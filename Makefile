@@ -1,0 +1,42 @@
+# Standard developer entry points. Everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-race bench vet fmt experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# One full pass of every reproduction benchmark (one iteration each).
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./...
+
+# Regenerate the EXPERIMENTS.md tables (markdown on stdout).
+experiments:
+	$(GO) run ./cmd/ndbench -all -markdown
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/heterogeneity
+	$(GO) run ./examples/asyncdrift
+	$(GO) run ./examples/baseline
+	$(GO) run ./examples/termination
+	$(GO) run ./examples/scheduling
+	$(GO) run ./examples/churn
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,252 @@
+package m2hew
+
+// One benchmark per reproduction experiment (DESIGN.md §5, EXPERIMENTS.md).
+// Each benchmark executes the full experiment — workload generation,
+// parameter sweep, baselines, trials — and reports its headline quantities
+// as custom benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every "table" of the reproduction. Shape assertions live in
+// internal/experiment's tests; the benchmarks surface the numbers.
+
+import (
+	"testing"
+
+	"m2hew/internal/experiment"
+)
+
+// benchOpts returns the experiment options used by the benchmark run:
+// full-size workloads, deterministic seed, enough trials for stable means
+// without making `go test -bench=.` take minutes.
+func benchOpts() experiment.Options {
+	return experiment.Options{Trials: 10, Seed: 1}
+}
+
+// runExperiment executes the experiment b.N times and reports the selected
+// (column, row) cells of the final table as benchmark metrics.
+func runExperiment(b *testing.B, id string, report map[string]string) {
+	b.Helper()
+	entry, err := experiment.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var table *experiment.Table
+	for i := 0; i < b.N; i++ {
+		table, err = entry.Run(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for metric, cell := range report {
+		row, col, ok := splitCell(cell)
+		if !ok {
+			b.Fatalf("bad cell spec %q", cell)
+		}
+		v, ok := table.Value(row, col)
+		if !ok {
+			b.Fatalf("missing cell %q/%q in %s", row, col, id)
+		}
+		b.ReportMetric(v, metric)
+	}
+}
+
+// splitCell parses "row|column".
+func splitCell(cell string) (row, col string, ok bool) {
+	for i := 0; i < len(cell); i++ {
+		if cell[i] == '|' {
+			return cell[:i], cell[i+1:], true
+		}
+	}
+	return "", "", false
+}
+
+// BenchmarkE1Theorem1SyncStaged reproduces E1: Algorithm 1 completion stages
+// versus the Theorem 1 M-stage bound on CR networks.
+func BenchmarkE1Theorem1SyncStaged(b *testing.B) {
+	runExperiment(b, "E1", map[string]string{
+		"stages-mean-N40":  "N=40|mean",
+		"bound-stages-N40": "N=40|M bound",
+		"within-bound-N40": "N=40|≤bound",
+	})
+}
+
+// BenchmarkE2Theorem2SyncGrowing reproduces E2: Algorithm 2 (no degree
+// knowledge) completion slots versus the Theorem 2 bound.
+func BenchmarkE2Theorem2SyncGrowing(b *testing.B) {
+	runExperiment(b, "E2", map[string]string{
+		"slots-mean-N40":   "N=40|mean",
+		"slot-bound-N40":   "N=40|slot bound",
+		"within-bound-N40": "N=40|≤bound",
+	})
+}
+
+// BenchmarkE3Theorem3SyncUniform reproduces E3: Algorithm 3 slots after T_s
+// under staggered start times versus the Theorem 3 bound.
+func BenchmarkE3Theorem3SyncUniform(b *testing.B) {
+	runExperiment(b, "E3", map[string]string{
+		"slots-mean-win500":   "N=20 win=500|mean",
+		"slot-bound-win500":   "N=20 win=500|slot bound",
+		"within-bound-win500": "N=20 win=500|≤bound",
+	})
+}
+
+// BenchmarkE4Theorem9Async reproduces E4: Algorithm 4 under drifting clocks
+// versus the Theorem 9 frame bound and Theorem 10 time bound.
+func BenchmarkE4Theorem9Async(b *testing.B) {
+	runExperiment(b, "E4", map[string]string{
+		"time-mean-walk7":   "walk δ=1/7|mean time",
+		"time-bound-walk7":  "walk δ=1/7|time bound",
+		"frames-mean-walk7": "walk δ=1/7|mean frames",
+	})
+}
+
+// BenchmarkE5CoverageBounds reproduces E5: empirical per-stage and
+// per-aligned-pair coverage probability versus the Eq. (6) and Lemma 5
+// lower bounds.
+func BenchmarkE5CoverageBounds(b *testing.B) {
+	runExperiment(b, "E5", map[string]string{
+		"sync-over-bound-S4":  "S=4 Δ=4|sync/bound",
+		"async-over-bound-S4": "S=4 Δ=4|async/bound",
+	})
+}
+
+// BenchmarkE6FrameLemmas reproduces E6: the Lemma 4 / 7 / 8 audits at
+// δ = 1/7 across drift processes.
+func BenchmarkE6FrameLemmas(b *testing.B) {
+	runExperiment(b, "E6", map[string]string{
+		"max-overlap-alt": "alt δ|max overlap",
+		"align-rate-alt":  "alt δ|align rate",
+		"yield-alt":       "alt δ|yield ratio",
+	})
+}
+
+// BenchmarkE7UniversalSetBaseline reproduces E7: universal-set baseline cost
+// versus Algorithm 3 as the agreed universal set grows.
+func BenchmarkE7UniversalSetBaseline(b *testing.B) {
+	runExperiment(b, "E7", map[string]string{
+		"baseline-mean-U64": "U=64|baseline mean",
+		"alg3-mean-U64":     "U=64|alg3 mean",
+		"ratio-U64":         "U=64|base/alg3",
+	})
+}
+
+// BenchmarkE8SpanRatioScaling reproduces E8: completion time versus 1/ρ at
+// fixed S, Δ, N.
+func BenchmarkE8SpanRatioScaling(b *testing.B) {
+	runExperiment(b, "E8", map[string]string{
+		"slots-mean-rho1":     "m=12|mean slots",
+		"slots-mean-rho1of12": "m=1|mean slots",
+		"normalized-rho1of12": "m=1|slots·ρ",
+	})
+}
+
+// BenchmarkE9DriftSensitivity reproduces E9: lemma validity and completion
+// time as δ sweeps past 1/7.
+func BenchmarkE9DriftSensitivity(b *testing.B) {
+	runExperiment(b, "E9", map[string]string{
+		"align-rate-045":  "δ=0.450|align rate",
+		"max-overlap-045": "δ=0.450|max overlap",
+		"align-rate-143":  "δ=0.143|align rate",
+	})
+}
+
+// BenchmarkE10SlotAblation reproduces E10: the slots-per-frame ablation
+// around the paper's k = 3.
+func BenchmarkE10SlotAblation(b *testing.B) {
+	runExperiment(b, "E10", map[string]string{
+		"time-mean-k1": "k=1|mean time",
+		"time-mean-k3": "k=3|mean time",
+		"rate-k3":      "k=3|complete rate",
+	})
+}
+
+// BenchmarkE11AsymmetricGraphs reproduces E11: discovery on partially
+// asymmetric communication graphs (Section V extension (a)).
+func BenchmarkE11AsymmetricGraphs(b *testing.B) {
+	runExperiment(b, "E11", map[string]string{
+		"stages-mean-asym50":  "asym=0.50|mean",
+		"within-bound-asym50": "asym=0.50|≤bound",
+		"links-asym50":        "asym=0.50|links",
+	})
+}
+
+// BenchmarkE12UnreliableChannels reproduces E12: per-reception erasures
+// (Section V extension (b)) and the ~1/(1−p) slowdown.
+func BenchmarkE12UnreliableChannels(b *testing.B) {
+	runExperiment(b, "E12", map[string]string{
+		"slots-mean-p0":        "p=0.0|mean slots",
+		"slots-mean-p08":       "p=0.8|mean slots",
+		"normalized-slots-p08": "p=0.8|slots·(1-p)",
+	})
+}
+
+// BenchmarkE13DiversePropagation reproduces E13: per-link span restriction
+// (Section V extension (c)) absorbed by ρ.
+func BenchmarkE13DiversePropagation(b *testing.B) {
+	runExperiment(b, "E13", map[string]string{
+		"stages-mean-cap1":  "cap=1|mean",
+		"within-bound-cap1": "cap=1|≤bound",
+		"rho-cap1":          "cap=1|ρ",
+	})
+}
+
+// BenchmarkE14TerminationDetection reproduces E14: the recall/energy
+// tradeoff of the quiescence termination rule.
+func BenchmarkE14TerminationDetection(b *testing.B) {
+	runExperiment(b, "E14", map[string]string{
+		"recall-idle25":        "idle=25|recall",
+		"recall-idle1600":      "idle=1600|recall",
+		"active-mean-idle1600": "idle=1600|mean active",
+	})
+}
+
+// BenchmarkE15TailBound reproduces E15: empirical completion CCDF versus
+// the analytic N²·(1−q)^s failure tail.
+func BenchmarkE15TailBound(b *testing.B) {
+	runExperiment(b, "E15", map[string]string{
+		"empirical-2xmedian": "2.0×median|empirical CCDF",
+		"bound-2xmedian":     "2.0×median|analytic bound",
+		"dominated-2xmedian": "2.0×median|dominated",
+	})
+}
+
+// BenchmarkE16CouponCollector reproduces E16: measured single-channel
+// clique completion versus the coupon-collector closed form of ref [2].
+func BenchmarkE16CouponCollector(b *testing.B) {
+	runExperiment(b, "E16", map[string]string{
+		"predicted-n16": "n=16|predicted",
+		"measured-n16":  "n=16|measured",
+		"ratio-n16":     "n=16|ratio",
+	})
+}
+
+// BenchmarkE17ProgressProfile reproduces E17: time-to-quantile coverage
+// profile of all four algorithms on one CR network.
+func BenchmarkE17ProgressProfile(b *testing.B) {
+	runExperiment(b, "E17", map[string]string{
+		"t50-alg3":  "alg3 uniform|t50",
+		"t100-alg3": "alg3 uniform|t100",
+		"tail-alg3": "alg3 uniform|tail t100/t50",
+	})
+}
+
+// BenchmarkE18SpectrumChurn reproduces E18: primary-user arrival, channel
+// vacation, and the cost of re-discovery.
+func BenchmarkE18SpectrumChurn(b *testing.B) {
+	runExperiment(b, "E18", map[string]string{
+		"rho-after-r075":  "r=0.75|ρ after",
+		"re-over-initial": "r=0.75|re/initial",
+		"affected-r075":   "r=0.75|affected",
+	})
+}
+
+// BenchmarkE19Acknowledgment reproduces E19: out-link confirmation via
+// heard-list piggybacking on asymmetric graphs.
+func BenchmarkE19Acknowledgment(b *testing.B) {
+	runExperiment(b, "E19", map[string]string{
+		"t-in-asym06":     "asym=0.6|T_in mean",
+		"t-ack-asym06":    "asym=0.6|T_ack mean",
+		"ack-over-in-sym": "asym=0.0|T_ack/T_in",
+	})
+}

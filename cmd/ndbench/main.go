@@ -1,0 +1,111 @@
+// Command ndbench runs the reproduction experiment suite (E1–E19, see
+// DESIGN.md §5) and prints claim-versus-measurement tables.
+//
+// Usage:
+//
+//	ndbench -all                       # run the whole suite
+//	ndbench -exp E4 -trials 50         # one experiment, more trials
+//	ndbench -all -markdown             # emit EXPERIMENTS.md-style markdown
+//	ndbench -list                      # list experiments
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"m2hew/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ndbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ndbench", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		all      = fs.Bool("all", false, "run every experiment")
+		expID    = fs.String("exp", "", "experiment id(s) to run, comma separated (e.g. E4 or E1,E4)")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		trials   = fs.Int("trials", 0, "trials per configuration (0 = default 20)")
+		seed     = fs.Uint64("seed", 0, "root seed (0 = default 1)")
+		eps      = fs.Float64("eps", 0, "target failure probability ε (0 = default 0.1)")
+		quick    = fs.Bool("quick", false, "shrink workloads for a fast pass")
+		markdown = fs.Bool("markdown", false, "emit markdown tables")
+		asJSON   = fs.Bool("json", false, "emit tables as a JSON array")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiment.All() {
+			fmt.Fprintf(out, "%-4s %s\n", e.ID, e.Claim)
+		}
+		return nil
+	}
+
+	var entries []experiment.Entry
+	switch {
+	case *all && *expID != "":
+		return fmt.Errorf("-all and -exp are mutually exclusive")
+	case *all:
+		entries = experiment.All()
+	case *expID != "":
+		for _, id := range strings.Split(*expID, ",") {
+			e, err := experiment.ByID(strings.ToUpper(strings.TrimSpace(id)))
+			if err != nil {
+				return err
+			}
+			entries = append(entries, e)
+		}
+	default:
+		return fmt.Errorf("nothing to do: pass -all, -exp <id>, or -list")
+	}
+
+	if *markdown && *asJSON {
+		return fmt.Errorf("-markdown and -json are mutually exclusive")
+	}
+	opts := experiment.Options{
+		Trials: *trials,
+		Seed:   *seed,
+		Eps:    *eps,
+		Quick:  *quick,
+	}
+	var tables []*experiment.Table
+	for i, e := range entries {
+		table, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if *asJSON {
+			tables = append(tables, table)
+			continue
+		}
+		if *markdown {
+			if _, err := fmt.Fprintln(out, table.Markdown()); err != nil {
+				return err
+			}
+			continue
+		}
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		if err := table.Format(out); err != nil {
+			return err
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(tables)
+	}
+	return nil
+}

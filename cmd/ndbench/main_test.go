@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, id := range []string{"E1", "E5", "E10"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list output missing %s", id)
+		}
+	}
+}
+
+func TestSingleExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "e8", "-quick", "-trials", "3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "E8") {
+		t.Fatalf("output missing table header:\n%s", sb.String())
+	}
+}
+
+func TestMarkdownOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "E8", "-quick", "-trials", "3", "-markdown"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "### E8") {
+		t.Fatalf("markdown output missing header:\n%s", sb.String())
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Error("no action accepted")
+	}
+	if err := run([]string{"-all", "-exp", "E1"}, &sb); err == nil {
+		t.Error("-all with -exp accepted")
+	}
+	if err := run([]string{"-exp", "E99"}, &sb); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-nope"}, &sb); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "E8", "-quick", "-trials", "3", "-json"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct {
+		ID      string   `json:"id"`
+		Columns []string `json:"columns"`
+		Rows    []struct {
+			Label  string    `json:"label"`
+			Values []float64 `json:"values"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &tables); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(tables) != 1 || tables[0].ID != "E8" {
+		t.Fatalf("tables = %+v", tables)
+	}
+	if len(tables[0].Rows) == 0 || len(tables[0].Rows[0].Values) != len(tables[0].Columns) {
+		t.Fatal("row shape mismatch")
+	}
+}
+
+func TestJSONMarkdownExclusive(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "E8", "-json", "-markdown"}, &sb); err == nil {
+		t.Fatal("-json -markdown accepted together")
+	}
+}
+
+func TestMultipleExperiments(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "e8, E16", "-quick", "-trials", "3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "E8") || !strings.Contains(out, "E16") {
+		t.Fatalf("multi-experiment output missing a table:\n%s", out)
+	}
+}

@@ -1,0 +1,214 @@
+// Command ndsim runs one neighbor-discovery scenario and reports the
+// outcome: network parameters, completion time versus the paper's analytic
+// bound, and optionally the per-node neighbor tables or a reception trace.
+//
+// Usage:
+//
+//	ndsim -nodes 20 -topology geometric -channels primary-users -alg sync-staged
+//	ndsim -alg async -drift 0.14 -spread 30 -tables
+//	ndsim -alg sync-uniform -start-window 200 -v
+//	ndsim -alg sync-uniform -loss 0.5 -terminate-idle 400
+//	ndsim -net saved.json -alg async -json
+//	ndsim -asym 0.3 -span-cap 2 -curve progress.csv
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"m2hew"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ndsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ndsim", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		nodes       = fs.Int("nodes", 16, "number of nodes")
+		topo        = fs.String("topology", "geometric", "topology: geometric|erdos-renyi|grid|line|ring|clique|star|bridge")
+		radius      = fs.Float64("radius", 0.4, "geometric connection radius")
+		edgeProb    = fs.Float64("edge-prob", 0.3, "erdos-renyi edge probability")
+		rows        = fs.Int("rows", 4, "grid rows")
+		cols        = fs.Int("cols", 4, "grid cols")
+		connected   = fs.Bool("connected", true, "retry geometric generation until connected")
+		universe    = fs.Int("universe", 8, "universal channel set size")
+		channels    = fs.String("channels", "homogeneous", "channel model: homogeneous|uniform|bernoulli|primary-users|block-overlap")
+		subset      = fs.Int("subset", 0, "subset size for -channels uniform (0 = universe/2)")
+		inclusion   = fs.Float64("inclusion", 0.5, "inclusion probability for -channels bernoulli")
+		primaries   = fs.Int("primaries", 10, "primary users for -channels primary-users")
+		exclusion   = fs.Float64("exclusion", 0.3, "primary-user exclusion radius")
+		shared      = fs.Int("shared", 2, "shared block for -channels block-overlap")
+		private     = fs.Int("private", 2, "private block for -channels block-overlap")
+		asym        = fs.Float64("asym", 0, "per-edge probability of dropping one direction (asymmetric graphs)")
+		spanCap     = fs.Int("span-cap", 0, "cap each link's span at this many channels (diverse propagation; 0 = off)")
+		netSeed     = fs.Uint64("net-seed", 1, "network generation seed")
+		netFile     = fs.String("net", "", "load the network from a file saved by ndtopo -save instead of generating one")
+		alg         = fs.String("alg", "sync-staged", "algorithm: sync-staged|sync-growing|sync-uniform|async")
+		deltaEst    = fs.Int("delta-est", 0, "degree upper bound given to nodes (0 = derive)")
+		epsilon     = fs.Float64("eps", 0.1, "failure probability ε for sizing the horizon")
+		maxSlots    = fs.Int("max-slots", 0, "synchronous horizon override")
+		maxFrames   = fs.Int("max-frames", 0, "asynchronous horizon override")
+		frameLen    = fs.Float64("frame-len", 3, "asynchronous local frame length L")
+		startWindow = fs.Int("start-window", 0, "stagger sync start slots uniformly in [0,w)")
+		spread      = fs.Float64("spread", 0, "stagger async start times uniformly in [0,s)")
+		drift       = fs.Float64("drift", 0, "async clock drift bound δ (paper needs ≤ 1/7)")
+		loss        = fs.Float64("loss", 0, "per-reception erasure probability (unreliable channels)")
+		termIdle    = fs.Int("terminate-idle", 0, "quiescence rule: stop after this many idle slots/frames (0 = run forever)")
+		runSeed     = fs.Uint64("seed", 1, "run seed")
+		tables      = fs.Bool("tables", false, "print per-node neighbor tables")
+		asJSON      = fs.Bool("json", false, "emit the full report as JSON instead of text")
+		curveFile   = fs.String("curve", "", "write the discovery progress curve as CSV to this file")
+		verbose     = fs.Bool("v", false, "trace every clear reception")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		nw  *m2hew.Network
+		err error
+	)
+	if *netFile != "" {
+		f, err2 := os.Open(*netFile)
+		if err2 != nil {
+			return err2
+		}
+		nw, err = m2hew.LoadNetwork(f)
+		f.Close()
+	} else {
+		nw, err = m2hew.BuildNetwork(m2hew.NetworkConfig{
+			Nodes:              *nodes,
+			Topology:           m2hew.Topology(*topo),
+			Radius:             *radius,
+			EdgeProb:           *edgeProb,
+			Rows:               *rows,
+			Cols:               *cols,
+			RequireConnected:   *connected,
+			Universe:           *universe,
+			Channels:           m2hew.ChannelModel(*channels),
+			SubsetSize:         *subset,
+			InclusionProb:      *inclusion,
+			Primaries:          *primaries,
+			ExclusionRadius:    *exclusion,
+			SharedBlock:        *shared,
+			PrivateBlock:       *private,
+			AsymmetricFraction: *asym,
+			SpanCap:            *spanCap,
+			Seed:               *netSeed,
+		})
+	}
+	if err != nil {
+		return err
+	}
+	if !*asJSON {
+		s := nw.Stats()
+		fmt.Fprintf(out, "network: N=%d U=%d S=%d Δ=%d deg=%d ρ=%.3f edges=%d links=%d\n",
+			s.Nodes, s.Universe, s.S, s.Delta, s.MaxDegree, s.Rho, s.Edges, s.DiscoverableLinks)
+	}
+
+	cfg := m2hew.RunConfig{
+		Algorithm:          m2hew.Algorithm(*alg),
+		DeltaEst:           *deltaEst,
+		Epsilon:            *epsilon,
+		MaxSlots:           *maxSlots,
+		MaxFrames:          *maxFrames,
+		FrameLen:           *frameLen,
+		StartWindow:        *startWindow,
+		StartSpread:        *spread,
+		DriftBound:         *drift,
+		LossProb:           *loss,
+		TerminateAfterIdle: *termIdle,
+		Seed:               *runSeed,
+	}
+	if *verbose {
+		cfg.TraceWriter = out
+	}
+	report, err := m2hew.Run(nw, cfg)
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+
+	fmt.Fprintf(out, "algorithm: %s\n", report.Algorithm)
+	if report.Complete {
+		switch report.Algorithm {
+		case m2hew.AlgorithmAsync:
+			fmt.Fprintf(out, "complete: all %d links in %.2f time units after T_s (bound %.0f, %.1f%% of bound)\n",
+				report.LinksTotal, report.Duration, report.Bound, 100*report.Duration/report.Bound)
+		default:
+			fmt.Fprintf(out, "complete: all %d links in %d slots (bound %.0f, %.1f%% of bound)\n",
+				report.LinksTotal, report.Slots, report.Bound, 100*float64(report.Slots)/report.Bound)
+		}
+	} else {
+		fmt.Fprintf(out, "INCOMPLETE: %d/%d links covered within horizon\n",
+			report.LinksCovered, report.LinksTotal)
+	}
+	if *termIdle > 0 {
+		fmt.Fprintf(out, "termination: %d/%d nodes stopped; mean active units %.0f\n",
+			report.TerminatedNodes, nw.N(), report.MeanActiveUnits)
+	}
+
+	if *tables {
+		for u, entries := range report.Tables {
+			parts := make([]string, len(entries))
+			for i, d := range entries {
+				parts[i] = fmt.Sprintf("%d%v", d.Neighbor, d.CommonChannels)
+			}
+			fmt.Fprintf(out, "node %3d: %s\n", u, strings.Join(parts, " "))
+		}
+	}
+
+	if *curveFile != "" {
+		if err := writeCurveCSV(*curveFile, report.Curve); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "progress curve (%d points) written to %s\n", len(report.Curve), *curveFile)
+	}
+	return nil
+}
+
+// writeCurveCSV writes a discovery progress curve as "time,covered" rows.
+func writeCurveCSV(path string, curve []m2hew.ProgressPoint) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"time", "covered"}); err != nil {
+		f.Close()
+		return err
+	}
+	for _, p := range curve {
+		row := []string{
+			strconv.FormatFloat(p.Time, 'g', -1, 64),
+			strconv.Itoa(p.Covered),
+		}
+		if err := w.Write(row); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

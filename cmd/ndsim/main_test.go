@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"m2hew"
+)
+
+func TestSyncRunOutput(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-topology", "clique", "-nodes", "5", "-universe", "3",
+		"-alg", "sync-staged", "-seed", "3",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"network:", "algorithm: sync-staged", "complete:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAsyncRunWithTables(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-topology", "ring", "-nodes", "5", "-universe", "2",
+		"-alg", "async", "-drift", "0.1", "-spread", "10", "-tables",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "node   0:") {
+		t.Errorf("tables missing:\n%s", out)
+	}
+}
+
+func TestVerboseTrace(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-topology", "clique", "-nodes", "3", "-universe", "2",
+		"-alg", "sync-uniform", "-v",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "deliver") {
+		t.Errorf("verbose output has no reception trace:\n%s", sb.String())
+	}
+}
+
+func TestIncompleteReported(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-topology", "clique", "-nodes", "6", "-universe", "4",
+		"-alg", "sync-uniform", "-max-slots", "1",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "INCOMPLETE") {
+		t.Errorf("missing INCOMPLETE marker:\n%s", sb.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-alg", "nope"}, &sb); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run([]string{"-topology", "nope"}, &sb); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if err := run([]string{"-wat"}, &sb); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-alg", "sync-staged", "-start-window", "5"}, &sb); err == nil {
+		t.Error("staggered staged accepted")
+	}
+}
+
+func TestCurveCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/curve.csv"
+	var sb strings.Builder
+	err := run([]string{
+		"-topology", "clique", "-nodes", "4", "-universe", "2",
+		"-alg", "sync-uniform", "-curve", path,
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if lines[0] != "time,covered" {
+		t.Fatalf("csv header %q", lines[0])
+	}
+	// 4-clique has 12 directed links → 12 data rows.
+	if len(lines) != 13 {
+		t.Fatalf("csv has %d lines, want 13", len(lines))
+	}
+	if !strings.Contains(sb.String(), "progress curve") {
+		t.Fatal("missing curve confirmation in output")
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-topology", "clique", "-nodes", "3", "-universe", "2",
+		"-alg", "sync-uniform", "-json",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Algorithm string `json:"algorithm"`
+		Complete  bool   `json:"complete"`
+		Slots     int    `json:"slots"`
+		Tables    [][]struct {
+			Neighbor int `json:"neighbor"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &report); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if report.Algorithm != "sync-uniform" || !report.Complete || report.Slots <= 0 {
+		t.Fatalf("report = %+v", report)
+	}
+	if len(report.Tables) != 3 {
+		t.Fatalf("tables for %d nodes", len(report.Tables))
+	}
+}
+
+func TestLoadNetworkFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/net.json"
+	// Save a network with ndtopo-equivalent API, then run ndsim -net on it.
+	nw, err := m2hew.BuildNetwork(m2hew.NetworkConfig{
+		Topology: m2hew.TopologyClique, Nodes: 4, Universe: 2, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2hew.SaveNetwork(nw, f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-net", path, "-alg", "sync-uniform"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "N=4") || !strings.Contains(sb.String(), "complete:") {
+		t.Fatalf("loaded-network run output:\n%s", sb.String())
+	}
+	if err := run([]string{"-net", dir + "/missing.json"}, &sb); err == nil {
+		t.Fatal("missing network file accepted")
+	}
+}

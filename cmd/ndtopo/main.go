@@ -1,0 +1,232 @@
+// Command ndtopo generates M²HeW network topologies and describes them:
+// derived parameters (N, S, Δ, ρ), JSON dumps for external tooling, and
+// Graphviz DOT output for visualization.
+//
+// Usage:
+//
+//	ndtopo -nodes 20 -channels primary-users            # parameter summary
+//	ndtopo -nodes 12 -json                              # machine-readable dump
+//	ndtopo -topology ring -nodes 8 -dot | dot -Tsvg ... # draw it
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"m2hew"
+)
+
+// dump is the JSON shape emitted by -json.
+type dump struct {
+	Stats m2hew.Stats `json:"stats"`
+	Nodes []nodeDump  `json:"nodes"`
+	Edges []edgeDump  `json:"edges"`
+}
+
+type nodeDump struct {
+	ID       int     `json:"id"`
+	X        float64 `json:"x"`
+	Y        float64 `json:"y"`
+	Channels []int   `json:"channels"`
+}
+
+type edgeDump struct {
+	From int   `json:"from"`
+	To   int   `json:"to"`
+	Span []int `json:"span"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ndtopo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ndtopo", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		nodes     = fs.Int("nodes", 16, "number of nodes")
+		topo      = fs.String("topology", "geometric", "topology kind")
+		radius    = fs.Float64("radius", 0.4, "geometric connection radius")
+		edgeProb  = fs.Float64("edge-prob", 0.3, "erdos-renyi edge probability")
+		rows      = fs.Int("rows", 4, "grid rows")
+		cols      = fs.Int("cols", 4, "grid cols")
+		connected = fs.Bool("connected", true, "retry geometric generation until connected")
+		universe  = fs.Int("universe", 8, "universal channel set size")
+		channels  = fs.String("channels", "homogeneous", "channel model")
+		subset    = fs.Int("subset", 0, "subset size for uniform model")
+		inclusion = fs.Float64("inclusion", 0.5, "bernoulli inclusion probability")
+		primaries = fs.Int("primaries", 10, "primary users")
+		exclusion = fs.Float64("exclusion", 0.3, "primary exclusion radius")
+		shared    = fs.Int("shared", 2, "block-overlap shared block")
+		private   = fs.Int("private", 2, "block-overlap private block")
+		seed      = fs.Uint64("seed", 1, "generation seed")
+		asJSON    = fs.Bool("json", false, "emit the network as JSON")
+		asDOT     = fs.Bool("dot", false, "emit the graph as Graphviz DOT")
+		sample    = fs.Int("sample", 0, "generate this many networks (seeds seed..seed+n-1) and print parameter statistics")
+		saveFile  = fs.String("save", "", "also save the network (full fidelity, reloadable by ndsim -net) to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *asJSON && *asDOT {
+		return fmt.Errorf("-json and -dot are mutually exclusive")
+	}
+
+	build := func(seed uint64) (*m2hew.Network, error) {
+		return m2hew.BuildNetwork(m2hew.NetworkConfig{
+			Nodes:            *nodes,
+			Topology:         m2hew.Topology(*topo),
+			Radius:           *radius,
+			EdgeProb:         *edgeProb,
+			Rows:             *rows,
+			Cols:             *cols,
+			RequireConnected: *connected,
+			Universe:         *universe,
+			Channels:         m2hew.ChannelModel(*channels),
+			SubsetSize:       *subset,
+			InclusionProb:    *inclusion,
+			Primaries:        *primaries,
+			ExclusionRadius:  *exclusion,
+			SharedBlock:      *shared,
+			PrivateBlock:     *private,
+			Seed:             seed,
+		})
+	}
+	if *sample > 0 {
+		if *asJSON || *asDOT {
+			return fmt.Errorf("-sample is incompatible with -json/-dot")
+		}
+		return writeSample(build, *seed, *sample, out)
+	}
+
+	nw, err := build(*seed)
+	if err != nil {
+		return err
+	}
+	if *saveFile != "" {
+		f, err := os.Create(*saveFile)
+		if err != nil {
+			return err
+		}
+		if err := m2hew.SaveNetwork(nw, f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "network saved to %s\n", *saveFile)
+	}
+
+	switch {
+	case *asJSON:
+		return writeJSON(nw, out)
+	case *asDOT:
+		return writeDOT(nw, out)
+	default:
+		s := nw.Stats()
+		_, err := fmt.Fprintf(out,
+			"N=%d U=%d S=%d Δ=%d deg=%d ρ=%.3f edges=%d links=%d connected=%v\n",
+			s.Nodes, s.Universe, s.S, s.Delta, s.MaxDegree, s.Rho,
+			s.Edges, s.DiscoverableLinks, nw.Connected())
+		return err
+	}
+}
+
+func writeJSON(nw *m2hew.Network, out io.Writer) error {
+	d := dump{Stats: nw.Stats()}
+	for u := 0; u < nw.N(); u++ {
+		x, y := nw.Position(u)
+		d.Nodes = append(d.Nodes, nodeDump{
+			ID: u, X: x, Y: y, Channels: nw.AvailableChannels(u),
+		})
+		for _, v := range nw.NeighborIDs(u) {
+			if v < u {
+				continue // one record per undirected edge
+			}
+			d.Edges = append(d.Edges, edgeDump{
+				From: u, To: v, Span: nw.CommonChannels(u, v),
+			})
+		}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+func writeDOT(nw *m2hew.Network, out io.Writer) error {
+	if _, err := fmt.Fprintln(out, "graph m2hew {"); err != nil {
+		return err
+	}
+	for u := 0; u < nw.N(); u++ {
+		x, y := nw.Position(u)
+		if _, err := fmt.Fprintf(out, "  n%d [label=\"%d %v\" pos=\"%.3f,%.3f!\"];\n",
+			u, u, nw.AvailableChannels(u), x*10, y*10); err != nil {
+			return err
+		}
+	}
+	for u := 0; u < nw.N(); u++ {
+		for _, v := range nw.NeighborIDs(u) {
+			if v < u {
+				continue
+			}
+			if _, err := fmt.Fprintf(out, "  n%d -- n%d [label=\"%v\"];\n",
+				u, v, nw.CommonChannels(u, v)); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(out, "}")
+	return err
+}
+
+// writeSample generates n networks with consecutive seeds and prints the
+// spread of the derived parameters — the workload characterization a paper
+// would put in its setup section.
+func writeSample(build func(seed uint64) (*m2hew.Network, error), seed uint64, n int, out io.Writer) error {
+	var s, delta, rho, links []float64
+	for i := 0; i < n; i++ {
+		nw, err := build(seed + uint64(i))
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", seed+uint64(i), err)
+		}
+		st := nw.Stats()
+		s = append(s, float64(st.S))
+		delta = append(delta, float64(st.Delta))
+		rho = append(rho, st.Rho)
+		links = append(links, float64(st.DiscoverableLinks))
+	}
+	stat := func(name string, vals []float64) error {
+		minV, maxV, sum := vals[0], vals[0], 0.0
+		for _, v := range vals {
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+			sum += v
+		}
+		_, err := fmt.Fprintf(out, "%-6s mean=%-8.3g min=%-8.3g max=%-8.3g\n",
+			name, sum/float64(len(vals)), minV, maxV)
+		return err
+	}
+	if _, err := fmt.Fprintf(out, "sampled %d networks (seeds %d..%d):\n", n, seed, seed+uint64(n)-1); err != nil {
+		return err
+	}
+	for _, row := range []struct {
+		name string
+		vals []float64
+	}{{"S", s}, {"Δ", delta}, {"ρ", rho}, {"links", links}} {
+		if err := stat(row.name, row.vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}

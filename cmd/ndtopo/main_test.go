@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestSummary(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-topology", "ring", "-nodes", "6", "-universe", "4"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"N=6", "U=4", "connected=true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary %q missing %q", out, want)
+		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-topology", "line", "-nodes", "4", "-json"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var d dump
+	if err := json.Unmarshal([]byte(sb.String()), &d); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(d.Nodes) != 4 {
+		t.Fatalf("dumped %d nodes, want 4", len(d.Nodes))
+	}
+	if len(d.Edges) != 3 {
+		t.Fatalf("dumped %d edges, want 3", len(d.Edges))
+	}
+	if d.Stats.Nodes != 4 {
+		t.Fatalf("stats %+v", d.Stats)
+	}
+	for _, e := range d.Edges {
+		if len(e.Span) == 0 {
+			t.Fatalf("edge %+v has empty span", e)
+		}
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-topology", "ring", "-nodes", "3", "-dot"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"graph m2hew {", "n0 -- n1", "}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-json", "-dot"}, &sb); err == nil {
+		t.Error("-json -dot accepted together")
+	}
+	if err := run([]string{"-topology", "nope"}, &sb); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if err := run([]string{"-badflag"}, &sb); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestSample(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-topology", "geometric", "-nodes", "12", "-channels", "primary-users",
+		"-sample", "5",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"sampled 5 networks", "S", "ρ", "links"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sample output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSampleFlagConflicts(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-sample", "3", "-json"}, &sb); err == nil {
+		t.Error("-sample -json accepted together")
+	}
+}
+
+func TestSaveFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/net.json"
+	var sb strings.Builder
+	if err := run([]string{"-topology", "ring", "-nodes", "5", "-save", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "network saved") {
+		t.Fatalf("missing save confirmation: %s", sb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"version"`) {
+		t.Fatal("saved file missing version field")
+	}
+}

@@ -1,0 +1,60 @@
+// Asyncdrift: run Algorithm 4 on unsynchronized, drifting clocks.
+//
+// The paper's main contribution is an asynchronous discovery algorithm that
+// needs no slot synchronization: each node free-runs its own clock, divides
+// local time into 3-slot frames, and transmits or listens per frame. The
+// guarantee (Theorems 9 and 10) holds for any clock drift bounded by
+// δ ≤ 1/7, with arbitrary start offsets between nodes.
+//
+// This example starts nodes at scattered times with random-walk drifting
+// clocks and reports completion time against the Theorem 10 real-time bound,
+// at several drift magnitudes up to the paper's 1/7 limit.
+//
+//	go run ./examples/asyncdrift
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"m2hew"
+)
+
+func main() {
+	nw, err := m2hew.BuildNetwork(m2hew.NetworkConfig{
+		Nodes:            12,
+		Topology:         m2hew.TopologyGeometric,
+		Radius:           0.5,
+		RequireConnected: true,
+		Universe:         6,
+		Channels:         m2hew.ChannelsPrimaryUsers,
+		Primaries:        8,
+		Seed:             9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := nw.Stats()
+	fmt.Printf("network: N=%d S=%d Δ=%d ρ=%.2f, %d links to discover\n\n",
+		s.Nodes, s.S, s.Delta, s.Rho, s.DiscoverableLinks)
+	fmt.Printf("%10s %14s %16s %10s\n", "drift δ", "completion", "Thm 10 bound", "% of bound")
+
+	for _, delta := range []float64{0, 1e-6, 0.05, 1.0 / 7} {
+		report, err := m2hew.Run(nw, m2hew.RunConfig{
+			Algorithm:   m2hew.AlgorithmAsync,
+			DriftBound:  delta,
+			StartSpread: 40, // nodes power on over a 40-time-unit window
+			Seed:        17,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !report.Complete {
+			log.Fatalf("δ=%v incomplete: %d/%d links", delta, report.LinksCovered, report.LinksTotal)
+		}
+		fmt.Printf("%10.6f %14.1f %16.0f %9.2f%%\n",
+			delta, report.Duration, report.Bound, 100*report.Duration/report.Bound)
+	}
+	fmt.Println("\nDiscovery completes orders of magnitude inside the (union-bound) guarantee,")
+	fmt.Println("and drift up to the paper's 1/7 limit barely moves the completion time.")
+}

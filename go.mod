@@ -1,0 +1,3 @@
+module m2hew
+
+go 1.22

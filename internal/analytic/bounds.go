@@ -1,0 +1,195 @@
+// Package analytic computes the paper's closed-form bounds, used by the
+// experiment harness to compare measured behaviour against every quantity
+// the paper proves.
+//
+// All bounds are parameterized by the scenario quantities of Section II:
+// N (nodes), S (largest available channel set), Δ (maximum per-channel
+// degree), Δ_est (the degree upper bound known to nodes), ρ (minimum
+// span-ratio) and the failure probability ε. The simulator knows the true
+// values from topology.Params; the algorithms themselves never read them.
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"m2hew/internal/core"
+)
+
+// Scenario carries the parameters the paper's bounds are stated in.
+type Scenario struct {
+	// N is the number of nodes in the network.
+	N int
+	// S is the size of the largest available channel set.
+	S int
+	// Delta is the true maximum degree of any node on any channel.
+	Delta int
+	// DeltaEst is the degree upper bound the nodes were configured with
+	// (Δ ≤ DeltaEst for the bounds to apply).
+	DeltaEst int
+	// Rho is the minimum span-ratio over all links.
+	Rho float64
+	// Eps is the target failure probability ε.
+	Eps float64
+}
+
+// Validate checks the scenario is in the domain of the paper's theorems.
+func (sc Scenario) Validate() error {
+	if sc.N < 2 {
+		return fmt.Errorf("analytic: N=%d needs at least two nodes", sc.N)
+	}
+	if sc.S < 1 {
+		return fmt.Errorf("analytic: S=%d must be positive", sc.S)
+	}
+	if sc.Delta < 1 {
+		return fmt.Errorf("analytic: Delta=%d must be positive", sc.Delta)
+	}
+	if sc.DeltaEst < sc.Delta {
+		return fmt.Errorf("analytic: DeltaEst=%d below true Delta=%d", sc.DeltaEst, sc.Delta)
+	}
+	if sc.Rho <= 0 || sc.Rho > 1 {
+		return fmt.Errorf("analytic: Rho=%v outside (0,1]", sc.Rho)
+	}
+	if sc.Eps <= 0 || sc.Eps >= 1 {
+		return fmt.Errorf("analytic: Eps=%v outside (0,1)", sc.Eps)
+	}
+	return nil
+}
+
+// lnN2OverEps returns ln(N²/ε), the union-bound factor shared by all the
+// running-time bounds.
+func (sc Scenario) lnN2OverEps() float64 {
+	return math.Log(float64(sc.N) * float64(sc.N) / sc.Eps)
+}
+
+// Eq6CoverageBound returns the per-stage link coverage probability lower
+// bound of Eq. (6): ρ / (16·max(S,Δ)).
+func (sc Scenario) Eq6CoverageBound() float64 {
+	return sc.Rho / (16 * float64(max(sc.S, sc.Delta)))
+}
+
+// M1Stages returns M = (16·max(S,Δ)/ρ)·ln(N²/ε), the stage count of
+// Theorem 1 (and the M of Theorem 2).
+func (sc Scenario) M1Stages() float64 {
+	return 16 * float64(max(sc.S, sc.Delta)) / sc.Rho * sc.lnN2OverEps()
+}
+
+// Theorem1Slots returns the slot bound of Theorem 1: M1Stages stages of
+// ⌈log₂ Δ_est⌉ slots each.
+func (sc Scenario) Theorem1Slots() float64 {
+	return sc.M1Stages() * float64(core.StageLen(sc.DeltaEst))
+}
+
+// Theorem2Stages returns the stage bound of Theorem 2: Δ + M stages (the
+// first Δ−1 stages may have estimates below the true degree; once the
+// estimate reaches Δ every stage contains a near-optimal slot).
+func (sc Scenario) Theorem2Stages() float64 {
+	return float64(sc.Delta) + sc.M1Stages()
+}
+
+// Theorem2Slots returns the slot bound of Theorem 2 by summing the actual
+// growing stage lengths of Algorithm 2 over Theorem2Stages stages: stage j
+// uses estimate d = j+1, so the bound is SlotsForEstimate(⌈Δ+M⌉+1). This is
+// the O(M log M) of the theorem with its constants made concrete.
+func (sc Scenario) Theorem2Slots() float64 {
+	stages := int(math.Ceil(sc.Theorem2Stages()))
+	return float64(core.SlotsForEstimate(stages + 1))
+}
+
+// Alg3CoverageBound returns Algorithm 3's per-slot link coverage
+// probability lower bound, from Eq. (9) with Eqs. (4) and (5):
+// ρ / (8·max(2S, Δ_est)).
+func (sc Scenario) Alg3CoverageBound() float64 {
+	return sc.Rho / (8 * float64(max(2*sc.S, sc.DeltaEst)))
+}
+
+// Theorem3Slots returns the slot bound of Theorem 3 (slots after T_s):
+// (8·max(2S, Δ_est)/ρ)·ln(N²/ε).
+func (sc Scenario) Theorem3Slots() float64 {
+	return 8 * float64(max(2*sc.S, sc.DeltaEst)) / sc.Rho * sc.lnN2OverEps()
+}
+
+// Lemma5CoverageBound returns the aligned-frame-pair coverage probability
+// lower bound of Lemma 5: ρ / (8·max(2S, 3·Δ_est)).
+func (sc Scenario) Lemma5CoverageBound() float64 {
+	return sc.Rho / (8 * float64(max(2*sc.S, 3*sc.DeltaEst)))
+}
+
+// Theorem9Frames returns the per-node full-frame count of Theorem 9:
+// (48·max(2S, 3·Δ_est)/ρ)·ln(N²/ε). Once every node has executed this many
+// full frames after T_s, discovery has completed with probability ≥ 1−ε.
+func (sc Scenario) Theorem9Frames() float64 {
+	return 48 * float64(max(2*sc.S, 3*sc.DeltaEst)) / sc.Rho * sc.lnN2OverEps()
+}
+
+// Theorem10Span returns the real-time bound of Theorem 10 on T_f − T_s:
+// (Theorem9Frames + 1) · L/(1−δ), for local frame length L and drift bound
+// delta.
+func (sc Scenario) Theorem10Span(frameLen, delta float64) float64 {
+	return (sc.Theorem9Frames() + 1) * frameLen / (1 - delta)
+}
+
+// failureProb is the shared tail shape of the paper's completion arguments:
+// the probability that some directed link remains uncovered after `units`
+// independent coverage opportunities each succeeding with probability at
+// least q is at most N²·(1−q)^units (links ≤ N², Eq. (8)). The result is
+// capped at 1.
+func (sc Scenario) failureProb(q, units float64) float64 {
+	if units < 0 {
+		units = 0
+	}
+	p := float64(sc.N) * float64(sc.N) * math.Pow(1-q, units)
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// FailureProbAfterStages bounds the probability that Algorithm 1 has not
+// finished after the given number of stages (the inverse view of
+// Theorem 1): N²·(1−Eq6CoverageBound)^stages.
+func (sc Scenario) FailureProbAfterStages(stages float64) float64 {
+	return sc.failureProb(sc.Eq6CoverageBound(), stages)
+}
+
+// FailureProbAfterSlots3 bounds the probability that Algorithm 3 has not
+// finished within the given number of slots after T_s (inverse of
+// Theorem 3).
+func (sc Scenario) FailureProbAfterSlots3(slots float64) float64 {
+	return sc.failureProb(sc.Alg3CoverageBound(), slots)
+}
+
+// FailureProbAfterFrames bounds the probability that Algorithm 4 has not
+// finished once every node has executed the given number of full frames
+// after T_s (inverse of Theorem 9; the admissible pairs available are
+// frames/6 by Lemma 8).
+func (sc Scenario) FailureProbAfterFrames(frames float64) float64 {
+	return sc.failureProb(sc.Lemma5CoverageBound(), frames/6)
+}
+
+// eulerGamma is the Euler–Mascheroni constant.
+const eulerGamma = 0.5772156649015329
+
+// CouponCollectorApprox estimates the expected completion time, in slots,
+// of constant-transmit-probability discovery (Algorithm 3) on a
+// single-channel clique of n nodes with per-slot transmit probability p.
+//
+// Each of the m = n(n−1) directed links is covered in a slot with
+// probability q = p(1−p)^(n−1) (transmitter on, receiver listening, the
+// other n−2 nodes silent). Modeling the links as independent coupons —
+// the approximation underlying the coupon-collector analysis of
+// single-channel neighbor discovery in the paper's ref [2] (Vasudevan et
+// al., MobiCom 2009) — the expected completion is the expected maximum of
+// m geometric(q) variables:
+//
+//	E ≈ (ln m + γ) / (−ln(1−q)) ≈ (ln m + γ)/q.
+//
+// Experiment E16 checks the implementation against this prediction.
+func CouponCollectorApprox(n int, p float64) float64 {
+	if n < 2 || p <= 0 || p >= 1 {
+		return math.NaN()
+	}
+	m := float64(n) * float64(n-1)
+	q := p * math.Pow(1-p, float64(n-1))
+	return (math.Log(m) + eulerGamma) / -math.Log1p(-q)
+}

@@ -1,0 +1,214 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"m2hew/internal/core"
+)
+
+func valid() Scenario {
+	return Scenario{N: 20, S: 5, Delta: 4, DeltaEst: 8, Rho: 0.5, Eps: 0.1}
+}
+
+func TestValidate(t *testing.T) {
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+	cases := map[string]func(*Scenario){
+		"one node":       func(s *Scenario) { s.N = 1 },
+		"zero S":         func(s *Scenario) { s.S = 0 },
+		"zero delta":     func(s *Scenario) { s.Delta = 0 },
+		"estimate below": func(s *Scenario) { s.DeltaEst = 3 },
+		"zero rho":       func(s *Scenario) { s.Rho = 0 },
+		"rho above one":  func(s *Scenario) { s.Rho = 1.5 },
+		"zero eps":       func(s *Scenario) { s.Eps = 0 },
+		"eps one":        func(s *Scenario) { s.Eps = 1 },
+	}
+	for name, mutate := range cases {
+		sc := valid()
+		mutate(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestEq6CoverageBound(t *testing.T) {
+	sc := valid() // max(S,Δ)=5, ρ=0.5 → 0.5/80
+	want := 0.5 / 80
+	if got := sc.Eq6CoverageBound(); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Eq6 = %v, want %v", got, want)
+	}
+}
+
+func TestM1Stages(t *testing.T) {
+	sc := valid()
+	want := 16 * 5 / 0.5 * math.Log(400/0.1)
+	if got := sc.M1Stages(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("M1 = %v, want %v", got, want)
+	}
+}
+
+func TestTheorem1Slots(t *testing.T) {
+	sc := valid() // stage len for Δest=8 is 3
+	want := sc.M1Stages() * 3
+	if got := sc.Theorem1Slots(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Theorem1Slots = %v, want %v", got, want)
+	}
+}
+
+func TestTheorem2(t *testing.T) {
+	sc := valid()
+	wantStages := float64(sc.Delta) + sc.M1Stages()
+	if got := sc.Theorem2Stages(); math.Abs(got-wantStages) > 1e-9 {
+		t.Fatalf("Theorem2Stages = %v, want %v", got, wantStages)
+	}
+	stages := int(math.Ceil(wantStages))
+	wantSlots := float64(core.SlotsForEstimate(stages + 1))
+	if got := sc.Theorem2Slots(); got != wantSlots {
+		t.Fatalf("Theorem2Slots = %v, want %v", got, wantSlots)
+	}
+}
+
+func TestTheorem3Slots(t *testing.T) {
+	sc := valid() // max(2S, Δest) = max(10,8) = 10
+	want := 8 * 10 / 0.5 * math.Log(400/0.1)
+	if got := sc.Theorem3Slots(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Theorem3Slots = %v, want %v", got, want)
+	}
+	if got := sc.Alg3CoverageBound(); math.Abs(got-0.5/80) > 1e-15 {
+		t.Fatalf("Alg3CoverageBound = %v", got)
+	}
+}
+
+func TestLemma5AndTheorem9(t *testing.T) {
+	sc := valid() // max(2S, 3Δest) = max(10,24) = 24
+	wantCov := 0.5 / (8 * 24)
+	if got := sc.Lemma5CoverageBound(); math.Abs(got-wantCov) > 1e-15 {
+		t.Fatalf("Lemma5 = %v, want %v", got, wantCov)
+	}
+	wantFrames := 48 * 24 / 0.5 * math.Log(400/0.1)
+	if got := sc.Theorem9Frames(); math.Abs(got-wantFrames) > 1e-9 {
+		t.Fatalf("Theorem9Frames = %v, want %v", got, wantFrames)
+	}
+}
+
+func TestTheorem10Span(t *testing.T) {
+	sc := valid()
+	l, delta := 3.0, 1.0/7
+	want := (sc.Theorem9Frames() + 1) * l / (1 - delta)
+	if got := sc.Theorem10Span(l, delta); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Theorem10Span = %v, want %v", got, want)
+	}
+}
+
+// Property: bounds behave monotonically the way the paper's formulas say —
+// more heterogeneity (smaller ρ) or smaller ε can only increase the bounds.
+func TestBoundMonotonicityProperty(t *testing.T) {
+	err := quick.Check(func(sRaw, dRaw uint8, rhoRaw, epsRaw uint16) bool {
+		s := int(sRaw%20) + 1
+		d := int(dRaw%20) + 1
+		rho := float64(rhoRaw%1000+1) / 1000
+		eps := float64(epsRaw%998+1) / 1000
+		sc := Scenario{N: 10, S: s, Delta: d, DeltaEst: d, Rho: rho, Eps: eps}
+		if err := sc.Validate(); err != nil {
+			return false
+		}
+		tighter := sc
+		tighter.Rho = rho / 2
+		smallerEps := sc
+		smallerEps.Eps = eps / 2
+		return tighter.M1Stages() >= sc.M1Stages() &&
+			smallerEps.M1Stages() >= sc.M1Stages() &&
+			tighter.Theorem3Slots() >= sc.Theorem3Slots() &&
+			tighter.Theorem9Frames() >= sc.Theorem9Frames() &&
+			sc.Eq6CoverageBound() > 0 && sc.Eq6CoverageBound() <= 1 &&
+			sc.Lemma5CoverageBound() > 0 && sc.Lemma5CoverageBound() <= 1
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The asynchronous per-pair coverage bound is never larger than the
+// synchronous per-stage bound for the same parameters (asynchrony costs a
+// constant factor), and Theorem 9's frame count is 6× the pairs needed by
+// Lemma 6 (the M/6 yield of Lemma 8).
+func TestCrossBoundRelations(t *testing.T) {
+	sc := valid()
+	if sc.Lemma5CoverageBound() > sc.Eq6CoverageBound()*2 {
+		t.Fatalf("Lemma5 bound %v unexpectedly large vs Eq6 %v",
+			sc.Lemma5CoverageBound(), sc.Eq6CoverageBound())
+	}
+	pairsNeeded := 8 * float64(max(2*sc.S, 3*sc.DeltaEst)) / sc.Rho * sc.lnN2OverEps()
+	if math.Abs(sc.Theorem9Frames()-6*pairsNeeded) > 1e-9 {
+		t.Fatalf("Theorem9Frames %v != 6 × Lemma6 pairs %v", sc.Theorem9Frames(), pairsNeeded)
+	}
+}
+
+func TestFailureProbInverts(t *testing.T) {
+	sc := valid()
+	// Running for exactly the theorem's unit count drives the failure
+	// bound to (at most) ε. The M formulas use ln(N²/ε)/q while the tail
+	// uses (1−q)^M ≤ e^{−qM}, so the inverse is ≤ ε, never above.
+	if got := sc.FailureProbAfterStages(sc.M1Stages()); got > sc.Eps+1e-12 {
+		t.Fatalf("failure after M1 stages = %v > ε", got)
+	}
+	if got := sc.FailureProbAfterSlots3(sc.Theorem3Slots()); got > sc.Eps+1e-12 {
+		t.Fatalf("failure after Theorem 3 slots = %v > ε", got)
+	}
+	if got := sc.FailureProbAfterFrames(sc.Theorem9Frames()); got > sc.Eps+1e-12 {
+		t.Fatalf("failure after Theorem 9 frames = %v > ε", got)
+	}
+}
+
+func TestFailureProbShape(t *testing.T) {
+	sc := valid()
+	if got := sc.FailureProbAfterStages(0); got != 1 {
+		t.Fatalf("failure after 0 stages = %v, want 1 (capped)", got)
+	}
+	if got := sc.FailureProbAfterStages(-5); got != 1 {
+		t.Fatalf("negative stages = %v, want 1", got)
+	}
+	// Monotone decreasing.
+	prev := 1.0
+	for _, stages := range []float64{100, 1000, 5000, 20000} {
+		cur := sc.FailureProbAfterStages(stages)
+		if cur > prev {
+			t.Fatalf("failure bound not monotone at %v stages", stages)
+		}
+		prev = cur
+	}
+	if prev >= 1e-3 {
+		t.Fatalf("failure bound after 20000 stages still %v", prev)
+	}
+}
+
+func TestCouponCollectorApprox(t *testing.T) {
+	// n=2, p=1/2: q = 1/4, m = 2 → (ln 2 + γ)/(−ln(3/4)).
+	got := CouponCollectorApprox(2, 0.5)
+	want := (math.Log(2) + 0.5772156649015329) / -math.Log(0.75)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CouponCollectorApprox(2, .5) = %v, want %v", got, want)
+	}
+	// Grows superlinearly in n (q shrinks like e^{-1}/n, m like n²).
+	prev := 0.0
+	for _, n := range []int{4, 8, 16, 32} {
+		cur := CouponCollectorApprox(n, 1/float64(n-1))
+		if cur <= prev {
+			t.Fatalf("approximation not increasing at n=%d: %v <= %v", n, cur, prev)
+		}
+		prev = cur
+	}
+	// Domain errors yield NaN.
+	for _, bad := range []float64{0, 1, -0.5} {
+		if !math.IsNaN(CouponCollectorApprox(5, bad)) {
+			t.Fatalf("p=%v did not yield NaN", bad)
+		}
+	}
+	if !math.IsNaN(CouponCollectorApprox(1, 0.5)) {
+		t.Fatal("n=1 did not yield NaN")
+	}
+}

@@ -1,0 +1,170 @@
+// Package baseline implements the comparator algorithms from the paper's
+// Related Work section, used by the experiments that reproduce its critique
+// of prior approaches.
+//
+// Two baselines are provided:
+//
+//   - UniversalBirthday: the natural multi-channel extension of
+//     single-channel randomized ("birthday protocol") neighbor discovery
+//     [McGlynn & Borbash 2001; Vasudevan et al. 2009]: run one instance of a
+//     single-channel discovery protocol per channel of the agreed universal
+//     channel set, concurrently, by dedicating slot t to channel t mod U. A
+//     node participates only in instances of channels in its available set.
+//     The paper's critique (Section I): the running time is Θ(U) even when
+//     available sets are tiny, all nodes must agree on the universal set,
+//     and all nodes must start simultaneously.
+//
+//   - DeterministicRoundRobin: a deterministic schedule in the spirit of
+//     [Krishnamurthy et al. 2008; Mittal et al. 2009]: slot t is dedicated
+//     to transmitter t/U mod N_max on channel t mod U. Collision-free and
+//     deterministic, but the running time is the product N_max·U and nodes
+//     must know a bound on the ID space — exactly the dependence the paper
+//     calls out as expensive.
+//
+// Both implement sim.SyncProtocol and assume identical start times, which is
+// part of what the paper improves upon.
+package baseline
+
+import (
+	"fmt"
+
+	"m2hew/internal/channel"
+	"m2hew/internal/core"
+	"m2hew/internal/radio"
+	"m2hew/internal/rng"
+	"m2hew/internal/topology"
+)
+
+// UniversalBirthday runs one staged single-channel birthday-protocol
+// instance per universal channel, interleaved round-robin across slots.
+type UniversalBirthday struct {
+	avail        channel.Set
+	universeSize int
+	stageLen     int
+	rng          *rng.Source
+	table        *core.NeighborTable
+}
+
+// NewUniversalBirthday returns a baseline instance. universeSize is the
+// agreed universal channel set size |U| (channels 0..U−1); deltaEst plays
+// the same scheduling role as in Algorithm 1.
+func NewUniversalBirthday(avail channel.Set, universeSize, deltaEst int, r *rng.Source) (*UniversalBirthday, error) {
+	if avail.IsEmpty() {
+		return nil, fmt.Errorf("baseline: empty available channel set")
+	}
+	if universeSize < 1 {
+		return nil, fmt.Errorf("baseline: universe size %d must be positive", universeSize)
+	}
+	if maxID, _ := avail.Max(); int(maxID) >= universeSize {
+		return nil, fmt.Errorf("baseline: available set %v exceeds universal set of size %d", avail, universeSize)
+	}
+	if deltaEst < 1 {
+		return nil, fmt.Errorf("baseline: degree estimate %d must be positive", deltaEst)
+	}
+	if r == nil {
+		return nil, fmt.Errorf("baseline: nil random source")
+	}
+	return &UniversalBirthday{
+		avail:        avail.Clone(),
+		universeSize: universeSize,
+		stageLen:     core.StageLen(deltaEst),
+		rng:          r,
+		table:        core.NewNeighborTable(),
+	}, nil
+}
+
+// Step implements sim.SyncProtocol. Slot t belongs to the instance for
+// channel t mod U; a node without that channel stays quiet (this idle time
+// is the linear-in-U cost the paper criticizes). Within an instance, slot
+// indexes advance by one every U global slots, and the single-channel
+// staged schedule min(1/2, 1/2^i) is applied.
+func (p *UniversalBirthday) Step(localSlot int) radio.Action {
+	c := channel.ID(localSlot % p.universeSize)
+	if !p.avail.Contains(c) {
+		return radio.Action{Mode: radio.Quiet}
+	}
+	instanceSlot := localSlot / p.universeSize
+	i := instanceSlot%p.stageLen + 1
+	// Single-channel instance: the "available set" within the instance has
+	// size 1, giving the birthday-protocol schedule min(1/2, 1/2^i) — but
+	// capped stage slots keep it 1/2 in early slots exactly as Algorithm 1
+	// does with |A| = 1.
+	mode := radio.Receive
+	if p.rng.Bernoulli(core.TransmitProbStaged(1, i)) {
+		mode = radio.Transmit
+	}
+	return radio.Action{Mode: mode, Channel: c}
+}
+
+// Deliver records a clear message.
+func (p *UniversalBirthday) Deliver(msg radio.Message) {
+	p.table.Record(msg.From, msg.Avail.Intersect(p.avail))
+}
+
+// Neighbors returns the discovery output.
+func (p *UniversalBirthday) Neighbors() *core.NeighborTable { return p.table }
+
+// DeterministicRoundRobin cycles through (transmitter, channel) pairs:
+// slot t has transmitter (t/U) mod N_max on channel t mod U.
+type DeterministicRoundRobin struct {
+	id           topology.NodeID
+	avail        channel.Set
+	universeSize int
+	maxIDs       int
+	table        *core.NeighborTable
+}
+
+// NewDeterministicRoundRobin returns a deterministic baseline instance for
+// the node with the given ID. maxIDs bounds the ID space (IDs 0..maxIDs−1);
+// the schedule length is maxIDs·universeSize slots.
+func NewDeterministicRoundRobin(id topology.NodeID, avail channel.Set, universeSize, maxIDs int) (*DeterministicRoundRobin, error) {
+	if avail.IsEmpty() {
+		return nil, fmt.Errorf("baseline: empty available channel set")
+	}
+	if universeSize < 1 {
+		return nil, fmt.Errorf("baseline: universe size %d must be positive", universeSize)
+	}
+	if maxID, _ := avail.Max(); int(maxID) >= universeSize {
+		return nil, fmt.Errorf("baseline: available set %v exceeds universal set of size %d", avail, universeSize)
+	}
+	if maxIDs < 1 {
+		return nil, fmt.Errorf("baseline: ID bound %d must be positive", maxIDs)
+	}
+	if int(id) < 0 || int(id) >= maxIDs {
+		return nil, fmt.Errorf("baseline: node ID %d outside [0,%d)", id, maxIDs)
+	}
+	return &DeterministicRoundRobin{
+		id:           id,
+		avail:        avail.Clone(),
+		universeSize: universeSize,
+		maxIDs:       maxIDs,
+		table:        core.NewNeighborTable(),
+	}, nil
+}
+
+// ScheduleLength returns the number of slots after which every
+// (transmitter, channel) pair has had its dedicated slot.
+func (p *DeterministicRoundRobin) ScheduleLength() int {
+	return p.maxIDs * p.universeSize
+}
+
+// Step implements sim.SyncProtocol.
+func (p *DeterministicRoundRobin) Step(localSlot int) radio.Action {
+	c := channel.ID(localSlot % p.universeSize)
+	if !p.avail.Contains(c) {
+		return radio.Action{Mode: radio.Quiet}
+	}
+	speaker := topology.NodeID(localSlot / p.universeSize % p.maxIDs)
+	if speaker == p.id {
+		return radio.Action{Mode: radio.Transmit, Channel: c}
+	}
+	return radio.Action{Mode: radio.Receive, Channel: c}
+}
+
+// Deliver records a clear message.
+func (p *DeterministicRoundRobin) Deliver(msg radio.Message) {
+	p.table.Record(msg.From, msg.Avail.Intersect(p.avail))
+}
+
+// Neighbors returns the discovery output.
+func (p *DeterministicRoundRobin) Neighbors() *core.NeighborTable { return p.table }

@@ -1,0 +1,211 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"m2hew/internal/channel"
+	"m2hew/internal/radio"
+	"m2hew/internal/rng"
+	"m2hew/internal/sim"
+	"m2hew/internal/topology"
+)
+
+func TestUniversalBirthdayValidation(t *testing.T) {
+	r := rng.New(1)
+	avail := channel.NewSet(0, 2)
+	if _, err := NewUniversalBirthday(channel.Set{}, 4, 4, r); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := NewUniversalBirthday(avail, 0, 4, r); err == nil {
+		t.Error("zero universe accepted")
+	}
+	if _, err := NewUniversalBirthday(avail, 2, 4, r); err == nil {
+		t.Error("set outside universe accepted")
+	}
+	if _, err := NewUniversalBirthday(avail, 4, 0, r); err == nil {
+		t.Error("zero delta accepted")
+	}
+	if _, err := NewUniversalBirthday(avail, 4, 4, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestUniversalBirthdaySlotChannelMapping(t *testing.T) {
+	r := rng.New(2)
+	avail := channel.NewSet(1, 3)
+	p, err := NewUniversalBirthday(avail, 4, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot := 0; slot < 400; slot++ {
+		a := p.Step(slot)
+		c := channel.ID(slot % 4)
+		if avail.Contains(c) {
+			if a.Mode == radio.Quiet {
+				t.Fatalf("slot %d: quiet on available channel %d", slot, c)
+			}
+			if a.Channel != c {
+				t.Fatalf("slot %d: tuned to %d, want %d", slot, a.Channel, c)
+			}
+		} else if a.Mode != radio.Quiet {
+			t.Fatalf("slot %d: active on unavailable channel %d", slot, c)
+		}
+	}
+}
+
+func TestUniversalBirthdayTransmitSchedule(t *testing.T) {
+	// Δest=4 → stage length 2, probs 1/2, 1/4 on instance slots.
+	r := rng.New(3)
+	avail := channel.NewSet(0)
+	p, err := NewUniversalBirthday(avail, 2, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 40000
+	tx := make([]int, 2)
+	for inst := 0; inst < rounds; inst++ {
+		// Channel 0's slots are the even global slots; instance slot number
+		// is inst, stage position inst%2.
+		a := p.Step(inst * 2)
+		if a.Mode == radio.Transmit {
+			tx[inst%2]++
+		}
+	}
+	for i, want := range []float64{0.5, 0.25} {
+		got := float64(tx[i]) / (rounds / 2)
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("instance stage slot %d transmit freq %v, want %v", i+1, got, want)
+		}
+	}
+}
+
+func TestUniversalBirthdayDiscoversPair(t *testing.T) {
+	nw, err := topology.Pair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.SetAvail(0, channel.NewSet(2))
+	nw.SetAvail(1, channel.NewSet(2, 3))
+	root := rng.New(4)
+	protos := make([]sim.SyncProtocol, 2)
+	for u := 0; u < 2; u++ {
+		p, err := NewUniversalBirthday(nw.Avail(topology.NodeID(u)), 8, 2, root.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		protos[u] = p
+	}
+	res, err := sim.RunSync(sim.SyncConfig{Network: nw, Protocols: protos, MaxSlots: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatalf("baseline did not complete: %s", res.Coverage)
+	}
+	tbl := protos[0].(*UniversalBirthday).Neighbors()
+	common, ok := tbl.Common(1)
+	if !ok || !common.Equal(channel.NewSet(2)) {
+		t.Fatalf("node 0 table: %v, %v", common, ok)
+	}
+}
+
+func TestDeterministicRoundRobinValidation(t *testing.T) {
+	avail := channel.NewSet(0)
+	if _, err := NewDeterministicRoundRobin(0, channel.Set{}, 2, 4); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := NewDeterministicRoundRobin(0, avail, 0, 4); err == nil {
+		t.Error("zero universe accepted")
+	}
+	if _, err := NewDeterministicRoundRobin(0, channel.NewSet(5), 2, 4); err == nil {
+		t.Error("set outside universe accepted")
+	}
+	if _, err := NewDeterministicRoundRobin(0, avail, 2, 0); err == nil {
+		t.Error("zero ID bound accepted")
+	}
+	if _, err := NewDeterministicRoundRobin(9, avail, 2, 4); err == nil {
+		t.Error("ID beyond bound accepted")
+	}
+}
+
+func TestDeterministicRoundRobinSchedule(t *testing.T) {
+	avail := channel.NewSet(0, 1)
+	p, err := NewDeterministicRoundRobin(1, avail, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ScheduleLength() != 6 {
+		t.Fatalf("schedule length %d, want 6", p.ScheduleLength())
+	}
+	// Slot layout: t mod 2 = channel, t/2 mod 3 = speaker.
+	wantTx := map[int]bool{2: true, 3: true} // speaker 1 slots
+	for slot := 0; slot < 6; slot++ {
+		a := p.Step(slot)
+		if wantTx[slot] && a.Mode != radio.Transmit {
+			t.Errorf("slot %d: mode %v, want tx", slot, a.Mode)
+		}
+		if !wantTx[slot] && a.Mode != radio.Receive {
+			t.Errorf("slot %d: mode %v, want rx", slot, a.Mode)
+		}
+		if a.Channel != channel.ID(slot%2) {
+			t.Errorf("slot %d: channel %d", slot, a.Channel)
+		}
+	}
+}
+
+func TestDeterministicRoundRobinCompletesExactly(t *testing.T) {
+	// On a clique with full universe, the deterministic schedule must
+	// complete within exactly one schedule length and with zero randomness.
+	nw, err := topology.Clique(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topology.AssignHomogeneous(nw, 3); err != nil {
+		t.Fatal(err)
+	}
+	protos := make([]sim.SyncProtocol, nw.N())
+	for u := 0; u < nw.N(); u++ {
+		p, err := NewDeterministicRoundRobin(topology.NodeID(u), nw.Avail(topology.NodeID(u)), 3, nw.N())
+		if err != nil {
+			t.Fatal(err)
+		}
+		protos[u] = p
+	}
+	res, err := sim.RunSync(sim.SyncConfig{Network: nw, Protocols: protos, MaxSlots: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatalf("deterministic schedule incomplete after full cycle: %s", res.Coverage)
+	}
+	if res.SlotsSimulated > 15 {
+		t.Fatalf("took %d slots, want <= N·U = 15", res.SlotsSimulated)
+	}
+}
+
+func TestDeterministicRoundRobinHeterogeneous(t *testing.T) {
+	// Node 1 lacks channel 0; links still complete via channel 1.
+	nw, err := topology.Line(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.SetAvail(0, channel.NewSet(0, 1))
+	nw.SetAvail(1, channel.NewSet(1))
+	nw.SetAvail(2, channel.NewSet(0, 1))
+	protos := make([]sim.SyncProtocol, 3)
+	for u := 0; u < 3; u++ {
+		p, err := NewDeterministicRoundRobin(topology.NodeID(u), nw.Avail(topology.NodeID(u)), 2, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		protos[u] = p
+	}
+	res, err := sim.RunSync(sim.SyncConfig{Network: nw, Protocols: protos, MaxSlots: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatalf("heterogeneous deterministic run incomplete: %s", res.Coverage)
+	}
+}

@@ -1,0 +1,27 @@
+package baseline_test
+
+// Conformance checks for the baseline protocols via the shared testkit.
+
+import (
+	"testing"
+
+	"m2hew/internal/baseline"
+	"m2hew/internal/channel"
+	"m2hew/internal/core"
+	"m2hew/internal/rng"
+	"m2hew/internal/simtest"
+)
+
+func TestConformanceUniversalBirthday(t *testing.T) {
+	avail := channel.NewSet(0, 2, 5)
+	simtest.CheckSync(t, "UniversalBirthday", avail, func(r *rng.Source) (core.SyncDiscoverer, error) {
+		return baseline.NewUniversalBirthday(avail, 8, 4, r)
+	}, simtest.Options{AllowQuiet: true}) // quiet on channels outside A(u)
+}
+
+func TestConformanceDeterministicRoundRobin(t *testing.T) {
+	avail := channel.NewSet(0, 2, 5)
+	simtest.CheckSync(t, "DeterministicRoundRobin", avail, func(r *rng.Source) (core.SyncDiscoverer, error) {
+		return baseline.NewDeterministicRoundRobin(3, avail, 8, 10)
+	}, simtest.Options{AllowQuiet: true})
+}

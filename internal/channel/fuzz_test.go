@@ -1,0 +1,55 @@
+package channel
+
+import (
+	"testing"
+)
+
+// FuzzParseSet checks that ParseSet never panics and that accepted inputs
+// round-trip through String.
+func FuzzParseSet(f *testing.F) {
+	for _, seed := range []string{"{}", "{1,2,3}", "1,2", "{ 5 , 64 }", "{-1}", "{a}", "", "{999999}"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseSet(text)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		round, err := ParseSet(s.String())
+		if err != nil {
+			t.Fatalf("canonical form %q rejected: %v", s.String(), err)
+		}
+		if !round.Equal(s) {
+			t.Fatalf("round trip changed set: %v -> %v", s, round)
+		}
+	})
+}
+
+// FuzzSetOps checks algebra invariants on arbitrary bit patterns.
+func FuzzSetOps(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(0xff), uint64(0xf0))
+	f.Add(^uint64(0), uint64(1))
+	f.Fuzz(func(t *testing.T, am, bm uint64) {
+		var a, b Set
+		for c := 0; c < 64; c++ {
+			if am&(1<<c) != 0 {
+				a.Add(ID(c))
+			}
+			if bm&(1<<c) != 0 {
+				b.Add(ID(c))
+			}
+		}
+		inter := a.Intersect(b)
+		union := a.Union(b)
+		if a.Size()+b.Size() != union.Size()+inter.Size() {
+			t.Fatal("inclusion-exclusion violated")
+		}
+		if !a.Minus(b).Union(inter).Equal(a) {
+			t.Fatal("partition identity violated")
+		}
+		if a.Intersects(b) != !inter.IsEmpty() {
+			t.Fatal("Intersects inconsistent with Intersect")
+		}
+	})
+}

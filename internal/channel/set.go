@@ -1,0 +1,316 @@
+// Package channel models wireless channels and channel sets for M²HeW
+// networks.
+//
+// A channel is a small non-negative integer index into the universal channel
+// set of a scenario (the collective set of all channels any radio in the
+// network can operate over). The central type is Set, a dense bitset: the
+// available channel sets A(u) of the paper, link spans span(u,v), and message
+// payloads are all Sets. The representation is compact (one word per 64
+// channels), supports the algebra the discovery algorithms need (membership,
+// intersection, uniform random pick), and is cheap to copy into simulated
+// messages.
+package channel
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+
+	"m2hew/internal/rng"
+)
+
+// ID identifies a channel as an index into the universal channel set.
+type ID int
+
+// Set is a set of channel IDs backed by a bitset. The zero value is the
+// empty set, ready to use.
+type Set struct {
+	words []uint64
+}
+
+// NewSet returns a set containing the given channels.
+func NewSet(channels ...ID) Set {
+	var s Set
+	for _, c := range channels {
+		s.Add(c)
+	}
+	return s
+}
+
+// Range returns the set {0, 1, ..., n-1}, the canonical universal set of
+// size n. It returns an empty set for n <= 0.
+func Range(n int) Set {
+	var s Set
+	for c := 0; c < n; c++ {
+		s.Add(ID(c))
+	}
+	return s
+}
+
+// Add inserts channel c. Negative IDs are rejected with a panic because they
+// indicate a construction bug, never a data condition.
+func (s *Set) Add(c ID) {
+	if c < 0 {
+		panic(fmt.Sprintf("channel: Add(%d): negative channel id", c))
+	}
+	w := int(c) / 64
+	for len(s.words) <= w {
+		s.words = append(s.words, 0)
+	}
+	s.words[w] |= 1 << (uint(c) % 64)
+}
+
+// Remove deletes channel c if present.
+func (s *Set) Remove(c ID) {
+	if c < 0 {
+		return
+	}
+	w := int(c) / 64
+	if w < len(s.words) {
+		s.words[w] &^= 1 << (uint(c) % 64)
+	}
+}
+
+// Contains reports whether channel c is in the set.
+func (s Set) Contains(c ID) bool {
+	if c < 0 {
+		return false
+	}
+	w := int(c) / 64
+	return w < len(s.words) && s.words[w]&(1<<(uint(c)%64)) != 0
+}
+
+// Size returns |s|.
+func (s Set) Size() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IsEmpty reports whether the set has no channels.
+func (s Set) IsEmpty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of s. Sets share no storage afterwards,
+// which matters because simulated messages carry channel sets across node
+// boundaries.
+func (s Set) Clone() Set {
+	if len(s.words) == 0 {
+		return Set{}
+	}
+	words := make([]uint64, len(s.words))
+	copy(words, s.words)
+	return Set{words: words}
+}
+
+// Intersect returns s ∩ t as a new set.
+func (s Set) Intersect(t Set) Set {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	if n == 0 {
+		return Set{}
+	}
+	words := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		words[i] = s.words[i] & t.words[i]
+	}
+	return Set{words: words}
+}
+
+// Union returns s ∪ t as a new set.
+func (s Set) Union(t Set) Set {
+	long, short := s.words, t.words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	if len(long) == 0 {
+		return Set{}
+	}
+	words := make([]uint64, len(long))
+	copy(words, long)
+	for i := range short {
+		words[i] |= short[i]
+	}
+	return Set{words: words}
+}
+
+// Minus returns s \ t as a new set.
+func (s Set) Minus(t Set) Set {
+	if len(s.words) == 0 {
+		return Set{}
+	}
+	words := make([]uint64, len(s.words))
+	copy(words, s.words)
+	for i := range words {
+		if i < len(t.words) {
+			words[i] &^= t.words[i]
+		}
+	}
+	return Set{words: words}
+}
+
+// Equal reports whether s and t contain exactly the same channels.
+func (s Set) Equal(t Set) bool {
+	long, short := s.words, t.words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	for i := range short {
+		if long[i] != short[i] {
+			return false
+		}
+	}
+	for i := len(short); i < len(long); i++ {
+		if long[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every channel of s is in t.
+func (s Set) SubsetOf(t Set) bool {
+	for i, w := range s.words {
+		var tw uint64
+		if i < len(t.words) {
+			tw = t.words[i]
+		}
+		if w&^tw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s ∩ t is non-empty without allocating.
+func (s Set) Intersects(t Set) bool {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IDs returns the channels in ascending order.
+func (s Set) IDs() []ID {
+	ids := make([]ID, 0, s.Size())
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			ids = append(ids, ID(wi*64+b))
+			w &= w - 1
+		}
+	}
+	return ids
+}
+
+// Max returns the largest channel ID in the set and true, or 0 and false if
+// the set is empty.
+func (s Set) Max() (ID, bool) {
+	for wi := len(s.words) - 1; wi >= 0; wi-- {
+		if w := s.words[wi]; w != 0 {
+			return ID(wi*64 + 63 - bits.LeadingZeros64(w)), true
+		}
+	}
+	return 0, false
+}
+
+// Pick returns a channel selected uniformly at random from the set, exactly
+// the "channel selected uniformly at random from A(u)" step of every
+// algorithm in the paper. It returns an error if the set is empty.
+func (s Set) Pick(r *rng.Source) (ID, error) {
+	n := s.Size()
+	if n == 0 {
+		return 0, fmt.Errorf("channel: pick from empty set: %w", rng.ErrEmptyRange)
+	}
+	target := r.IntN(n)
+	for wi, w := range s.words {
+		c := bits.OnesCount64(w)
+		if target >= c {
+			target -= c
+			continue
+		}
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if target == 0 {
+				return ID(wi*64 + b), nil
+			}
+			target--
+			w &= w - 1
+		}
+	}
+	// Unreachable: Size() counted the bits we just walked.
+	panic("channel: Pick walked past set end")
+}
+
+// String renders the set as "{0,3,7}".
+func (s Set) String() string {
+	ids := s.IDs()
+	parts := make([]string, len(ids))
+	for i, c := range ids {
+		parts[i] = strconv.Itoa(int(c))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// MaxParsedID caps channel IDs accepted by ParseSet. Real spectra have at
+// most a few hundred channels; the cap keeps a hostile input ("{1e18}")
+// from forcing a gigantic bitset allocation.
+const MaxParsedID = 1 << 20
+
+// ParseSet parses the String format, accepting "{1,2,3}", "1,2,3" and "{}".
+// Channel IDs must lie in [0, MaxParsedID].
+func ParseSet(text string) (Set, error) {
+	text = strings.TrimSpace(text)
+	text = strings.TrimPrefix(text, "{")
+	text = strings.TrimSuffix(text, "}")
+	var s Set
+	if text == "" {
+		return s, nil
+	}
+	for _, part := range strings.Split(text, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return Set{}, fmt.Errorf("channel: parse set element %q: %w", part, err)
+		}
+		if v < 0 {
+			return Set{}, fmt.Errorf("channel: parse set: negative channel %d", v)
+		}
+		if v > MaxParsedID {
+			return Set{}, fmt.Errorf("channel: parse set: channel %d exceeds limit %d", v, MaxParsedID)
+		}
+		s.Add(ID(v))
+	}
+	return s, nil
+}
+
+// RandomSubset returns a uniformly random subset of universe with exactly k
+// elements. It returns an error if k is negative or exceeds the universe
+// size.
+func RandomSubset(universe Set, k int, r *rng.Source) (Set, error) {
+	ids := universe.IDs()
+	if k < 0 || k > len(ids) {
+		return Set{}, fmt.Errorf("channel: subset of size %d from universe of %d", k, len(ids))
+	}
+	r.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	sub := ids[:k]
+	sort.Slice(sub, func(i, j int) bool { return sub[i] < sub[j] })
+	return NewSet(sub...), nil
+}

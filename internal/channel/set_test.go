@@ -1,0 +1,407 @@
+package channel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"m2hew/internal/rng"
+)
+
+// setFromMask builds a Set from the low 16 bits of a mask; used by
+// property tests to cover arbitrary small sets.
+func setFromMask(mask uint16) Set {
+	var s Set
+	for c := 0; c < 16; c++ {
+		if mask&(1<<c) != 0 {
+			s.Add(ID(c))
+		}
+	}
+	return s
+}
+
+func TestZeroValueIsEmpty(t *testing.T) {
+	var s Set
+	if !s.IsEmpty() {
+		t.Fatal("zero Set is not empty")
+	}
+	if s.Size() != 0 {
+		t.Fatalf("zero Set size %d", s.Size())
+	}
+	if s.Contains(0) {
+		t.Fatal("zero Set contains 0")
+	}
+}
+
+func TestAddContainsRemove(t *testing.T) {
+	var s Set
+	s.Add(3)
+	s.Add(64) // second word
+	s.Add(130)
+	for _, c := range []ID{3, 64, 130} {
+		if !s.Contains(c) {
+			t.Errorf("missing channel %d", c)
+		}
+	}
+	for _, c := range []ID{0, 2, 63, 65, 129} {
+		if s.Contains(c) {
+			t.Errorf("spurious channel %d", c)
+		}
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("Remove(64) did not remove")
+	}
+	if s.Size() != 2 {
+		t.Fatalf("size %d after removal, want 2", s.Size())
+	}
+	// Removing absent / out-of-range channels is a no-op.
+	s.Remove(9999)
+	s.Remove(-1)
+	if s.Size() != 2 {
+		t.Fatal("no-op removals changed the set")
+	}
+}
+
+func TestAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	var s Set
+	s.Add(-1)
+}
+
+func TestAddIdempotent(t *testing.T) {
+	var s Set
+	s.Add(5)
+	s.Add(5)
+	if s.Size() != 1 {
+		t.Fatalf("size %d after double add, want 1", s.Size())
+	}
+}
+
+func TestRange(t *testing.T) {
+	s := Range(70)
+	if s.Size() != 70 {
+		t.Fatalf("Range(70) size %d", s.Size())
+	}
+	for c := 0; c < 70; c++ {
+		if !s.Contains(ID(c)) {
+			t.Fatalf("Range(70) missing %d", c)
+		}
+	}
+	if s.Contains(70) {
+		t.Fatal("Range(70) contains 70")
+	}
+	if !Range(0).IsEmpty() || !Range(-3).IsEmpty() {
+		t.Fatal("Range of non-positive size not empty")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := NewSet(1, 2, 3)
+	c := s.Clone()
+	c.Add(9)
+	if s.Contains(9) {
+		t.Fatal("mutating clone affected original")
+	}
+	s.Remove(1)
+	if !c.Contains(1) {
+		t.Fatal("mutating original affected clone")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := NewSet(1, 2, 3, 64)
+	b := NewSet(2, 3, 4, 64, 128)
+	got := a.Intersect(b)
+	want := NewSet(2, 3, 64)
+	if !got.Equal(want) {
+		t.Fatalf("intersect = %v, want %v", got, want)
+	}
+	if !a.Intersect(Set{}).IsEmpty() {
+		t.Fatal("intersect with empty not empty")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := NewSet(1, 2)
+	b := NewSet(2, 200)
+	got := a.Union(b)
+	want := NewSet(1, 2, 200)
+	if !got.Equal(want) {
+		t.Fatalf("union = %v, want %v", got, want)
+	}
+}
+
+func TestMinus(t *testing.T) {
+	a := NewSet(1, 2, 3, 100)
+	b := NewSet(2, 100, 300)
+	got := a.Minus(b)
+	want := NewSet(1, 3)
+	if !got.Equal(want) {
+		t.Fatalf("minus = %v, want %v", got, want)
+	}
+}
+
+func TestEqualDifferentWordLengths(t *testing.T) {
+	a := NewSet(1)
+	b := NewSet(1, 200)
+	b.Remove(200) // b now has trailing zero words
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("sets with different word lengths but same content not Equal")
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	a := NewSet(1, 2)
+	b := NewSet(1, 2, 3)
+	if !a.SubsetOf(b) {
+		t.Fatal("a ⊆ b not detected")
+	}
+	if b.SubsetOf(a) {
+		t.Fatal("b ⊆ a wrongly detected")
+	}
+	var empty Set
+	if !empty.SubsetOf(a) || !empty.SubsetOf(empty) {
+		t.Fatal("empty set subset relation wrong")
+	}
+	big := NewSet(500)
+	if big.SubsetOf(a) {
+		t.Fatal("out-of-range channel claimed subset")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := NewSet(1, 65)
+	b := NewSet(65)
+	if !a.Intersects(b) {
+		t.Fatal("overlap not detected")
+	}
+	if a.Intersects(NewSet(2, 64)) {
+		t.Fatal("false overlap")
+	}
+	if a.Intersects(Set{}) {
+		t.Fatal("overlap with empty set")
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	s := NewSet(130, 3, 64, 7)
+	ids := s.IDs()
+	want := []ID{3, 7, 64, 130}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestMax(t *testing.T) {
+	if _, ok := (Set{}).Max(); ok {
+		t.Fatal("Max of empty set reported ok")
+	}
+	s := NewSet(3, 130, 7)
+	m, ok := s.Max()
+	if !ok || m != 130 {
+		t.Fatalf("Max = %d,%v want 130,true", m, ok)
+	}
+}
+
+func TestPickEmptyErrors(t *testing.T) {
+	var s Set
+	if _, err := s.Pick(rng.New(1)); err == nil {
+		t.Fatal("Pick from empty set returned nil error")
+	}
+}
+
+func TestPickMembership(t *testing.T) {
+	s := NewSet(5, 66, 190)
+	r := rng.New(2)
+	for i := 0; i < 1000; i++ {
+		c, err := s.Pick(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.Contains(c) {
+			t.Fatalf("picked %d not in set", c)
+		}
+	}
+}
+
+func TestPickUniform(t *testing.T) {
+	s := NewSet(0, 63, 64, 127, 128)
+	r := rng.New(3)
+	counts := make(map[ID]int)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		c, err := s.Pick(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[c]++
+	}
+	want := draws / s.Size()
+	for c, n := range counts {
+		if n < want*9/10 || n > want*11/10 {
+			t.Errorf("channel %d drawn %d times, want ~%d", c, n, want)
+		}
+	}
+}
+
+func TestStringAndParseRoundTrip(t *testing.T) {
+	cases := []Set{
+		{},
+		NewSet(0),
+		NewSet(1, 2, 3),
+		NewSet(5, 64, 190),
+	}
+	for _, s := range cases {
+		parsed, err := ParseSet(s.String())
+		if err != nil {
+			t.Fatalf("parse %q: %v", s.String(), err)
+		}
+		if !parsed.Equal(s) {
+			t.Fatalf("round trip %v -> %v", s, parsed)
+		}
+	}
+}
+
+func TestParseSetErrors(t *testing.T) {
+	for _, bad := range []string{"{a}", "{1,-2}", "1,b"} {
+		if _, err := ParseSet(bad); err == nil {
+			t.Errorf("ParseSet(%q) returned nil error", bad)
+		}
+	}
+}
+
+func TestParseSetForms(t *testing.T) {
+	for _, good := range []string{"{}", "", "1,2", "{ 1 , 2 }"} {
+		if _, err := ParseSet(good); err != nil {
+			t.Errorf("ParseSet(%q): %v", good, err)
+		}
+	}
+}
+
+func TestRandomSubset(t *testing.T) {
+	r := rng.New(7)
+	u := Range(10)
+	sub, err := RandomSubset(u, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Size() != 4 {
+		t.Fatalf("subset size %d, want 4", sub.Size())
+	}
+	if !sub.SubsetOf(u) {
+		t.Fatal("subset not within universe")
+	}
+	if _, err := RandomSubset(u, 11, r); err == nil {
+		t.Fatal("oversized subset request returned nil error")
+	}
+	if _, err := RandomSubset(u, -1, r); err == nil {
+		t.Fatal("negative subset request returned nil error")
+	}
+	empty, err := RandomSubset(u, 0, r)
+	if err != nil || !empty.IsEmpty() {
+		t.Fatalf("RandomSubset(_,0) = %v, %v", empty, err)
+	}
+}
+
+func TestRandomSubsetCoversUniverse(t *testing.T) {
+	// Over many draws of a size-1 subset from a 5-element universe, every
+	// element must appear.
+	r := rng.New(11)
+	u := NewSet(2, 4, 6, 8, 10)
+	seen := make(map[ID]bool)
+	for i := 0; i < 500; i++ {
+		sub, err := RandomSubset(u, 1, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[sub.IDs()[0]] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("only %d/5 elements ever sampled", len(seen))
+	}
+}
+
+// Property: De Morgan-ish identities on arbitrary 16-bit masks.
+func TestAlgebraProperties(t *testing.T) {
+	err := quick.Check(func(am, bm uint16) bool {
+		a, b := setFromMask(am), setFromMask(bm)
+		inter := a.Intersect(b)
+		union := a.Union(b)
+		// |A| + |B| = |A∪B| + |A∩B|
+		if a.Size()+b.Size() != union.Size()+inter.Size() {
+			return false
+		}
+		// A∩B ⊆ A ⊆ A∪B
+		if !inter.SubsetOf(a) || !a.SubsetOf(union) {
+			return false
+		}
+		// (A\B) ∩ B = ∅
+		if a.Minus(b).Intersects(b) {
+			return false
+		}
+		// (A\B) ∪ (A∩B) = A
+		if !a.Minus(b).Union(inter).Equal(a) {
+			return false
+		}
+		// Intersects consistent with Intersect
+		if a.Intersects(b) != !inter.IsEmpty() {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommutativity(t *testing.T) {
+	err := quick.Check(func(am, bm uint16) bool {
+		a, b := setFromMask(am), setFromMask(bm)
+		return a.Intersect(b).Equal(b.Intersect(a)) &&
+			a.Union(b).Equal(b.Union(a))
+	}, &quick.Config{MaxCount: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPick(b *testing.B) {
+	s := Range(40)
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Pick(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIntersect(b *testing.B) {
+	x := Range(128)
+	y := NewSet(1, 60, 120)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Intersect(y)
+	}
+}
+
+func TestParseSetRejectsHugeIDs(t *testing.T) {
+	if _, err := ParseSet("{9223372036854775807}"); err == nil {
+		t.Fatal("absurd channel id accepted")
+	}
+	if _, err := ParseSet("{1048576}"); err != nil {
+		t.Fatalf("boundary id rejected: %v", err)
+	}
+	if _, err := ParseSet("{1048577}"); err == nil {
+		t.Fatal("id beyond cap accepted")
+	}
+}

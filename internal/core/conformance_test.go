@@ -1,0 +1,75 @@
+package core_test
+
+// Conformance checks for every protocol in the package, via the shared
+// testkit. These live in an external test package (core_test) so the
+// testkit can import core without a cycle.
+
+import (
+	"testing"
+
+	"m2hew/internal/channel"
+	"m2hew/internal/core"
+	"m2hew/internal/rng"
+	"m2hew/internal/simtest"
+)
+
+func conformanceAvail() channel.Set { return channel.NewSet(0, 2, 5) }
+
+func TestConformanceSyncStaged(t *testing.T) {
+	avail := conformanceAvail()
+	simtest.CheckSync(t, "SyncStaged", avail, func(r *rng.Source) (core.SyncDiscoverer, error) {
+		return core.NewSyncStaged(avail, 8, r)
+	}, simtest.Options{})
+}
+
+func TestConformanceSyncGrowing(t *testing.T) {
+	avail := conformanceAvail()
+	simtest.CheckSync(t, "SyncGrowing", avail, func(r *rng.Source) (core.SyncDiscoverer, error) {
+		return core.NewSyncGrowing(avail, r)
+	}, simtest.Options{})
+}
+
+func TestConformanceSyncUniform(t *testing.T) {
+	avail := conformanceAvail()
+	simtest.CheckSync(t, "SyncUniform", avail, func(r *rng.Source) (core.SyncDiscoverer, error) {
+		return core.NewSyncUniform(avail, 8, r)
+	}, simtest.Options{})
+}
+
+func TestConformanceAsync(t *testing.T) {
+	avail := conformanceAvail()
+	simtest.CheckAsync(t, "Async", avail, func(r *rng.Source) (core.AsyncDiscoverer, error) {
+		return core.NewAsync(avail, 8, r)
+	}, simtest.Options{})
+}
+
+func TestConformanceAsyncSlots(t *testing.T) {
+	avail := conformanceAvail()
+	for _, k := range []int{1, 2, 4, 6} {
+		simtest.CheckAsync(t, "AsyncSlots", avail, func(r *rng.Source) (core.AsyncDiscoverer, error) {
+			return core.NewAsyncSlots(avail, 8, k, r)
+		}, simtest.Options{Steps: 800})
+	}
+}
+
+func TestConformanceSyncTerminating(t *testing.T) {
+	avail := conformanceAvail()
+	simtest.CheckSync(t, "SyncTerminating", avail, func(r *rng.Source) (core.SyncDiscoverer, error) {
+		inner, err := core.NewSyncUniform(avail, 8, r)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewSyncTerminating(inner, 1000000)
+	}, simtest.Options{AllowQuiet: true})
+}
+
+func TestConformanceAsyncTerminating(t *testing.T) {
+	avail := conformanceAvail()
+	simtest.CheckAsync(t, "AsyncTerminating", avail, func(r *rng.Source) (core.AsyncDiscoverer, error) {
+		inner, err := core.NewAsync(avail, 8, r)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewAsyncTerminating(inner, 1000000)
+	}, simtest.Options{AllowQuiet: true})
+}

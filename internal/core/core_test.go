@@ -1,0 +1,420 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"m2hew/internal/channel"
+	"m2hew/internal/radio"
+	"m2hew/internal/rng"
+)
+
+func TestNeighborTable(t *testing.T) {
+	tbl := NewNeighborTable()
+	if tbl.Len() != 0 || tbl.Has(3) {
+		t.Fatal("fresh table not empty")
+	}
+	tbl.Record(3, channel.NewSet(1, 2))
+	tbl.Record(1, channel.NewSet(5))
+	if !tbl.Has(3) || !tbl.Has(1) || tbl.Len() != 2 {
+		t.Fatal("records missing")
+	}
+	common, ok := tbl.Common(3)
+	if !ok || !common.Equal(channel.NewSet(1, 2)) {
+		t.Fatalf("Common(3) = %v, %v", common, ok)
+	}
+	if _, ok := tbl.Common(9); ok {
+		t.Fatal("Common(9) reported present")
+	}
+	ids := tbl.Neighbors()
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 3 {
+		t.Fatalf("Neighbors = %v, want [1 3]", ids)
+	}
+}
+
+func TestNeighborTableRerecordUnions(t *testing.T) {
+	tbl := NewNeighborTable()
+	tbl.Record(5, channel.NewSet(1))
+	tbl.Record(5, channel.NewSet(2))
+	common, _ := tbl.Common(5)
+	if !common.Equal(channel.NewSet(1, 2)) {
+		t.Fatalf("re-record union = %v, want {1,2}", common)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d after re-record", tbl.Len())
+	}
+}
+
+func TestNeighborTableClonesInput(t *testing.T) {
+	tbl := NewNeighborTable()
+	s := channel.NewSet(1)
+	tbl.Record(2, s)
+	s.Add(7)
+	common, _ := tbl.Common(2)
+	if common.Contains(7) {
+		t.Fatal("table aliased caller's set")
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := []struct{ x, want int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {16, 4}, {17, 5}, {1024, 10},
+	}
+	for _, tt := range cases {
+		if got := ceilLog2(tt.x); got != tt.want {
+			t.Errorf("ceilLog2(%d) = %d, want %d", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestStageLen(t *testing.T) {
+	cases := []struct{ d, want int }{
+		{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {100, 7},
+	}
+	for _, tt := range cases {
+		if got := StageLen(tt.d); got != tt.want {
+			t.Errorf("StageLen(%d) = %d, want %d", tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestTransmitProbSchedules(t *testing.T) {
+	// Staged: min(1/2, |A|/2^i).
+	if got := TransmitProbStaged(4, 1); got != 0.5 {
+		t.Errorf("staged(4,1) = %v, want 0.5 (capped)", got)
+	}
+	if got := TransmitProbStaged(4, 3); got != 0.5 {
+		t.Errorf("staged(4,3) = %v, want 0.5", got)
+	}
+	if got := TransmitProbStaged(4, 4); got != 0.25 {
+		t.Errorf("staged(4,4) = %v, want 0.25", got)
+	}
+	if got := TransmitProbStaged(1, 5); got != 1.0/32 {
+		t.Errorf("staged(1,5) = %v, want 1/32", got)
+	}
+	// Uniform: min(1/2, |A|/Δest).
+	if got := TransmitProbUniform(3, 10); got != 0.3 {
+		t.Errorf("uniform(3,10) = %v, want 0.3", got)
+	}
+	if got := TransmitProbUniform(10, 10); got != 0.5 {
+		t.Errorf("uniform(10,10) = %v, want 0.5", got)
+	}
+	// Async: min(1/2, |A|/(3Δest)).
+	if got := TransmitProbAsync(3, 2); got != 0.5 {
+		t.Errorf("async(3,2) = %v, want 0.5", got)
+	}
+	if got := TransmitProbAsync(2, 4); got != 2.0/12 {
+		t.Errorf("async(2,4) = %v, want 1/6", got)
+	}
+}
+
+func TestConstructorsValidate(t *testing.T) {
+	r := rng.New(1)
+	empty := channel.Set{}
+	avail := channel.NewSet(0, 1)
+	if _, err := NewSyncStaged(empty, 4, r); err == nil {
+		t.Error("SyncStaged accepted empty set")
+	}
+	if _, err := NewSyncStaged(avail, 0, r); err == nil {
+		t.Error("SyncStaged accepted Δest=0")
+	}
+	if _, err := NewSyncStaged(avail, 4, nil); err == nil {
+		t.Error("SyncStaged accepted nil rng")
+	}
+	if _, err := NewSyncGrowing(empty, r); err == nil {
+		t.Error("SyncGrowing accepted empty set")
+	}
+	if _, err := NewSyncUniform(avail, -1, r); err == nil {
+		t.Error("SyncUniform accepted negative Δest")
+	}
+	if _, err := NewAsync(empty, 4, r); err == nil {
+		t.Error("Async accepted empty set")
+	}
+	if _, err := NewAsync(avail, 0, r); err == nil {
+		t.Error("Async accepted Δest=0")
+	}
+}
+
+func TestProtocolsCloneAvail(t *testing.T) {
+	r := rng.New(2)
+	avail := channel.NewSet(0)
+	p, err := NewSyncUniform(avail, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avail.Add(9)
+	for i := 0; i < 50; i++ {
+		if a := p.Step(i); a.Channel == 9 {
+			t.Fatal("protocol observed caller's mutation of avail")
+		}
+	}
+}
+
+func TestStagedChannelAlwaysAvailable(t *testing.T) {
+	r := rng.New(3)
+	avail := channel.NewSet(2, 5, 9)
+	p, err := NewSyncStaged(avail, 8, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot := 0; slot < 2000; slot++ {
+		a := p.Step(slot)
+		if err := a.Validate(avail); err != nil {
+			t.Fatalf("slot %d: %v", slot, err)
+		}
+		if a.Mode == radio.Quiet {
+			t.Fatalf("slot %d: algorithm chose quiet", slot)
+		}
+	}
+}
+
+func TestStagedTransmitFrequencyMatchesSchedule(t *testing.T) {
+	// |A| = 2, Δest = 16 → stage length 4, probs: i=1: 1/2 (cap), i=2: 1/2,
+	// i=3: 1/4, i=4: 1/8.
+	r := rng.New(4)
+	avail := channel.NewSet(0, 1)
+	p, err := NewSyncStaged(avail, 16, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.StageLen() != 4 {
+		t.Fatalf("stage length %d, want 4", p.StageLen())
+	}
+	const stages = 40000
+	tx := make([]int, 4)
+	for s := 0; s < stages; s++ {
+		for i := 0; i < 4; i++ {
+			if p.Step(s*4+i).Mode == radio.Transmit {
+				tx[i]++
+			}
+		}
+	}
+	want := []float64{0.5, 0.5, 0.25, 0.125}
+	for i, w := range want {
+		got := float64(tx[i]) / stages
+		if math.Abs(got-w) > 0.01 {
+			t.Errorf("slot %d transmit frequency %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestStagedDeltaEstOneDegenerate(t *testing.T) {
+	// Δest = 1 → stage of 1 slot with p = min(1/2, |A|/2).
+	r := rng.New(5)
+	p, err := NewSyncStaged(channel.NewSet(0), 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.StageLen() != 1 {
+		t.Fatalf("StageLen = %d, want 1", p.StageLen())
+	}
+	tx := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if p.Step(i).Mode == radio.Transmit {
+			tx++
+		}
+	}
+	if f := float64(tx) / n; math.Abs(f-0.5) > 0.02 {
+		t.Fatalf("transmit frequency %v, want 0.5", f)
+	}
+}
+
+func TestGrowingEstimateAdvances(t *testing.T) {
+	r := rng.New(6)
+	p, err := NewSyncGrowing(channel.NewSet(0, 1), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Estimate() != 2 {
+		t.Fatalf("initial estimate %d, want 2", p.Estimate())
+	}
+	slot := 0
+	// Stage for d=2 has 1 slot; d=3 has 2; d=4 has 2; d=5 has 3...
+	wantAfter := []struct {
+		slots int
+		d     int
+	}{
+		{1, 3}, {3, 4}, {5, 5}, {8, 6},
+	}
+	for _, tt := range wantAfter {
+		for slot < tt.slots {
+			p.Step(slot)
+			slot++
+		}
+		if p.Estimate() != tt.d {
+			t.Fatalf("after %d slots estimate %d, want %d", tt.slots, p.Estimate(), tt.d)
+		}
+	}
+}
+
+func TestSlotsForEstimate(t *testing.T) {
+	cases := []struct{ d, want int }{
+		{1, 0},
+		{2, 1},         // stage for 2
+		{3, 3},         // +2
+		{4, 5},         // +2
+		{5, 8},         // +3
+		{8, 8 + 3 + 3}, // 6:3, 7:3, 8:3 → 8+9=17? see below
+	}
+	// Recompute case d=8 honestly: StageLen: 2→1, 3→2, 4→2, 5→3, 6→3, 7→3, 8→3.
+	cases[5].want = 1 + 2 + 2 + 3 + 3 + 3 + 3
+	for _, tt := range cases {
+		if got := SlotsForEstimate(tt.d); got != tt.want {
+			t.Errorf("SlotsForEstimate(%d) = %d, want %d", tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestGrowingScheduleMatchesSlotsForEstimate(t *testing.T) {
+	r := rng.New(7)
+	p, err := NewSyncGrowing(channel.NewSet(0), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot := 0; slot < 200; slot++ {
+		// Before stepping slot, the estimate d satisfies
+		// SlotsForEstimate(d-1) <= slot < SlotsForEstimate(d).
+		d := p.Estimate()
+		if !(SlotsForEstimate(d-1) <= slot && slot < SlotsForEstimate(d)) {
+			t.Fatalf("slot %d: estimate %d inconsistent with schedule", slot, d)
+		}
+		p.Step(slot)
+	}
+}
+
+func TestUniformConstantProbability(t *testing.T) {
+	r := rng.New(8)
+	avail := channel.NewSet(0, 1, 2)
+	p, err := NewSyncUniform(avail, 12, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TransmitProb() != 0.25 {
+		t.Fatalf("TransmitProb = %v, want 0.25", p.TransmitProb())
+	}
+	tx := 0
+	const n = 40000
+	for i := 0; i < n; i++ {
+		a := p.Step(i)
+		if err := a.Validate(avail); err != nil {
+			t.Fatal(err)
+		}
+		if a.Mode == radio.Transmit {
+			tx++
+		}
+	}
+	if f := float64(tx) / n; math.Abs(f-0.25) > 0.01 {
+		t.Fatalf("transmit frequency %v, want 0.25", f)
+	}
+}
+
+func TestAsyncConstantProbability(t *testing.T) {
+	r := rng.New(9)
+	avail := channel.NewSet(0, 1)
+	p, err := NewAsync(avail, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 / 12
+	if math.Abs(p.TransmitProb()-want) > 1e-15 {
+		t.Fatalf("TransmitProb = %v, want %v", p.TransmitProb(), want)
+	}
+	tx := 0
+	const n = 60000
+	for i := 0; i < n; i++ {
+		a := p.NextFrame(i)
+		if err := a.Validate(avail); err != nil {
+			t.Fatal(err)
+		}
+		if a.Mode == radio.Transmit {
+			tx++
+		}
+	}
+	if f := float64(tx) / n; math.Abs(f-want) > 0.01 {
+		t.Fatalf("transmit frequency %v, want %v", f, want)
+	}
+}
+
+func TestChannelSelectionUniform(t *testing.T) {
+	r := rng.New(10)
+	avail := channel.NewSet(3, 7, 11, 19)
+	p, err := NewSyncUniform(avail, 8, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[channel.ID]int)
+	const n = 80000
+	for i := 0; i < n; i++ {
+		counts[p.Step(i).Channel]++
+	}
+	for _, c := range avail.IDs() {
+		f := float64(counts[c]) / n
+		if math.Abs(f-0.25) > 0.01 {
+			t.Errorf("channel %d selected with frequency %v, want 0.25", c, f)
+		}
+	}
+}
+
+func TestDeliverIntersectsWithOwnSet(t *testing.T) {
+	r := rng.New(11)
+	avail := channel.NewSet(1, 2, 3)
+	p, err := NewAsync(avail, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Deliver(radio.Message{From: 7, Avail: channel.NewSet(2, 3, 4, 5)})
+	common, ok := p.Neighbors().Common(7)
+	if !ok {
+		t.Fatal("neighbor 7 not recorded")
+	}
+	if !common.Equal(channel.NewSet(2, 3)) {
+		t.Fatalf("common = %v, want {2,3}", common)
+	}
+}
+
+func TestProtocolDeterminism(t *testing.T) {
+	avail := channel.NewSet(0, 1, 2)
+	mk := func(seed uint64) []radio.Action {
+		p, err := NewSyncStaged(avail, 8, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		actions := make([]radio.Action, 500)
+		for i := range actions {
+			actions[i] = p.Step(i)
+		}
+		return actions
+	}
+	a, b := mk(42), mk(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("slot %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: all schedule probabilities stay within (0, 1/2] for valid
+// parameters — the paper's algorithms never transmit with probability
+// greater than 1/2 or exactly 0.
+func TestScheduleProbabilityRangeProperty(t *testing.T) {
+	err := quick.Check(func(availRaw, dRaw, iRaw uint8) bool {
+		avail := int(availRaw%64) + 1
+		d := int(dRaw%64) + 1
+		i := int(iRaw%20) + 1
+		for _, p := range []float64{
+			TransmitProbStaged(avail, i),
+			TransmitProbUniform(avail, d),
+			TransmitProbAsync(avail, d),
+		} {
+			if p <= 0 || p > 0.5 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

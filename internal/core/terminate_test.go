@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+
+	"m2hew/internal/channel"
+	"m2hew/internal/radio"
+	"m2hew/internal/rng"
+)
+
+func TestSyncTerminatingValidation(t *testing.T) {
+	inner, err := NewSyncUniform(channel.NewSet(0), 2, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSyncTerminating(nil, 5); err == nil {
+		t.Error("nil inner accepted")
+	}
+	if _, err := NewSyncTerminating(inner, 0); err == nil {
+		t.Error("zero idle limit accepted")
+	}
+}
+
+func TestSyncTerminatingGoesQuiet(t *testing.T) {
+	inner, err := NewSyncUniform(channel.NewSet(0), 2, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewSyncTerminating(inner, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot := 0
+	for ; slot < 10; slot++ {
+		if p.Step(slot).Mode == radio.Quiet {
+			t.Fatalf("terminated at slot %d, before the idle limit", slot)
+		}
+	}
+	if !(p.Step(slot).Mode == radio.Quiet) {
+		t.Fatal("did not terminate after idle limit")
+	}
+	if !p.Terminated() {
+		t.Fatal("Terminated() false after quiescence")
+	}
+	if p.ActiveSlots() != 10 {
+		t.Fatalf("ActiveSlots = %d, want 10", p.ActiveSlots())
+	}
+	// Stays quiet forever.
+	for i := 0; i < 5; i++ {
+		if p.Step(slot+i).Mode != radio.Quiet {
+			t.Fatal("woke up after termination")
+		}
+	}
+}
+
+func TestSyncTerminatingDeliveryResetsIdle(t *testing.T) {
+	inner, err := NewSyncUniform(channel.NewSet(0, 1), 2, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewSyncTerminating(inner, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot := 0
+	for ; slot < 4; slot++ {
+		p.Step(slot)
+	}
+	// New neighbor at the brink: idle counter resets.
+	p.Deliver(radio.Message{From: 9, Avail: channel.NewSet(0)})
+	for i := 0; i < 5; i++ {
+		if p.Step(slot).Mode == radio.Quiet {
+			t.Fatalf("terminated %d slots after a fresh discovery", i)
+		}
+		slot++
+	}
+	if p.Step(slot).Mode != radio.Quiet {
+		t.Fatal("did not terminate after post-discovery idle limit")
+	}
+	// A repeat delivery from the same neighbor does not reset the counter.
+	if p.Terminated() {
+		p2inner, err := NewSyncUniform(channel.NewSet(0), 2, rng.New(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := NewSyncTerminating(p2inner, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2.Deliver(radio.Message{From: 1, Avail: channel.NewSet(0)})
+		p2.Step(0)
+		p2.Deliver(radio.Message{From: 1, Avail: channel.NewSet(0)}) // repeat
+		p2.Step(1)
+		p2.Step(2)
+		if p2.Step(3).Mode != radio.Quiet {
+			t.Fatal("repeat delivery reset the idle counter")
+		}
+	}
+}
+
+func TestSyncTerminatingForwardsTable(t *testing.T) {
+	inner, err := NewSyncStaged(channel.NewSet(0), 2, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewSyncTerminating(inner, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Deliver(radio.Message{From: 4, Avail: channel.NewSet(0, 7)})
+	common, ok := p.Neighbors().Common(4)
+	if !ok || !common.Equal(channel.NewSet(0)) {
+		t.Fatalf("table %v,%v", common, ok)
+	}
+}
+
+func TestAsyncTerminatingLifecycle(t *testing.T) {
+	inner, err := NewAsync(channel.NewSet(0), 2, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAsyncTerminating(nil, 5); err == nil {
+		t.Error("nil inner accepted")
+	}
+	if _, err := NewAsyncTerminating(inner, 0); err == nil {
+		t.Error("zero idle limit accepted")
+	}
+	p, err := NewAsyncTerminating(inner, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := 0
+	for ; frame < 4; frame++ {
+		if p.NextFrame(frame).Mode == radio.Quiet {
+			t.Fatalf("terminated at frame %d", frame)
+		}
+	}
+	if p.NextFrame(frame).Mode != radio.Quiet {
+		t.Fatal("did not terminate")
+	}
+	if !p.Terminated() || p.ActiveFrames() != 4 {
+		t.Fatalf("Terminated=%v ActiveFrames=%d", p.Terminated(), p.ActiveFrames())
+	}
+	p.Deliver(radio.Message{From: 2, Avail: channel.NewSet(0)})
+	if !p.Neighbors().Has(2) {
+		t.Fatal("delivery after termination not recorded")
+	}
+}

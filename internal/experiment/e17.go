@@ -1,0 +1,162 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"m2hew/internal/clock"
+	"m2hew/internal/core"
+	"m2hew/internal/metrics"
+	"m2hew/internal/rng"
+	"m2hew/internal/sim"
+	"m2hew/internal/topology"
+)
+
+// E17 profiles the discovery progress curve — the "figure" a systems paper
+// would plot: fraction of links covered versus time, for all four
+// algorithms on the same CR network. Reported as time-to-quantile columns
+// (t50/t90/t99/t100, medians over trials, in slots; the asynchronous
+// algorithm's real time is divided by the slot length L/3 to share the
+// axis).
+//
+// Expected shape: a steep start and a long tail — the last links are
+// weakest (smallest span, most contention) and dominate completion, the
+// coupon-collector phenomenon the related work [2] analyzes. t100/t50
+// ratios of 4–10× are normal; algorithms differ in absolute level
+// (Algorithm 3's constant probability beats Algorithm 1's staged schedule
+// once Δ_est is loose; Algorithm 2 pays for its estimate ramp; Algorithm 4
+// pays the asynchrony constant).
+func E17(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	n := 16
+	if opts.Quick {
+		n = 10
+	}
+	table := &Table{
+		ID:    "E17",
+		Title: "Discovery progress profile: time to cover 50/90/99/100% of links",
+		Note: fmt.Sprintf("CR network N=%d; slots (async real time ÷ slot length); medians over %d trials",
+			n, opts.Trials),
+		Columns: []string{"t50", "t90", "t99", "t100", "tail t100/t50"},
+	}
+	root := rng.New(opts.Seed)
+	nw, params, err := crNetwork(n, 8, 10, root.Split())
+	if err != nil {
+		return nil, fmt.Errorf("E17: %w", err)
+	}
+	deltaEst := nextPow2(params.Delta)
+	target := params.DiscoverableLinks
+
+	quantTimes := func(curve []metrics.CurvePoint) ([4]float64, bool) {
+		var out [4]float64
+		fracs := []float64{0.5, 0.9, 0.99, 1.0}
+		if len(curve) < target {
+			return out, false
+		}
+		for i, f := range fracs {
+			need := int(f * float64(target))
+			if need < 1 {
+				need = 1
+			}
+			out[i] = curve[need-1].Time
+		}
+		return out, true
+	}
+
+	type variant struct {
+		label string
+		run   func(seed *rng.Source) ([]metrics.CurvePoint, bool, error)
+	}
+	syncRun := func(factory syncFactory, seed *rng.Source) ([]metrics.CurvePoint, bool, error) {
+		protos := make([]sim.SyncProtocol, nw.N())
+		for u := 0; u < nw.N(); u++ {
+			p, err := factory(topology.NodeID(u), seed.Split())
+			if err != nil {
+				return nil, false, err
+			}
+			protos[u] = p
+		}
+		res, err := sim.RunSync(sim.SyncConfig{Network: nw, Protocols: protos, MaxSlots: 100000})
+		if err != nil {
+			return nil, false, err
+		}
+		return res.Coverage.Curve(), res.Complete, nil
+	}
+	variants := []variant{
+		{"alg1 staged", func(seed *rng.Source) ([]metrics.CurvePoint, bool, error) {
+			return syncRun(func(u topology.NodeID, r *rng.Source) (sim.SyncProtocol, error) {
+				return core.NewSyncStaged(nw.Avail(u), deltaEst, r)
+			}, seed)
+		}},
+		{"alg2 growing", func(seed *rng.Source) ([]metrics.CurvePoint, bool, error) {
+			return syncRun(func(u topology.NodeID, r *rng.Source) (sim.SyncProtocol, error) {
+				return core.NewSyncGrowing(nw.Avail(u), r)
+			}, seed)
+		}},
+		{"alg3 uniform", func(seed *rng.Source) ([]metrics.CurvePoint, bool, error) {
+			return syncRun(func(u topology.NodeID, r *rng.Source) (sim.SyncProtocol, error) {
+				return core.NewSyncUniform(nw.Avail(u), deltaEst, r)
+			}, seed)
+		}},
+		{"alg4 async", func(seed *rng.Source) ([]metrics.CurvePoint, bool, error) {
+			nodes := make([]sim.AsyncNode, nw.N())
+			for u := 0; u < nw.N(); u++ {
+				p, err := core.NewAsync(nw.Avail(topology.NodeID(u)), deltaEst, seed.Split())
+				if err != nil {
+					return nil, false, err
+				}
+				drift, err := clock.NewRandomWalk(clock.MaxAsyncDrift, 0.03, seed.Split())
+				if err != nil {
+					return nil, false, err
+				}
+				nodes[u] = sim.AsyncNode{Protocol: p, Drift: drift}
+			}
+			res, err := sim.RunAsync(sim.AsyncConfig{
+				Network: nw, Nodes: nodes, FrameLen: e4FrameLen, MaxFrames: 30000,
+			})
+			if err != nil {
+				return nil, false, err
+			}
+			// Convert real time to slot units (slot = L/3).
+			curve := res.Coverage.Curve()
+			scaled := make([]metrics.CurvePoint, len(curve))
+			for i, p := range curve {
+				scaled[i] = metrics.CurvePoint{Time: p.Time / (e4FrameLen / 3), Covered: p.Covered}
+			}
+			return scaled, res.Complete, nil
+		}},
+	}
+
+	for _, v := range variants {
+		quantiles := make([][]float64, 4)
+		for trial := 0; trial < opts.Trials; trial++ {
+			curve, complete, err := v.run(root)
+			if err != nil {
+				return nil, fmt.Errorf("E17 %s: %w", v.label, err)
+			}
+			if !complete {
+				return nil, fmt.Errorf("E17 %s: trial %d incomplete", v.label, trial)
+			}
+			qs, ok := quantTimes(curve)
+			if !ok {
+				return nil, fmt.Errorf("E17 %s: curve shorter than target", v.label)
+			}
+			for i := range qs {
+				quantiles[i] = append(quantiles[i], qs[i])
+			}
+		}
+		medians := make([]float64, 4)
+		for i, q := range quantiles {
+			sort.Float64s(q)
+			medians[i] = metrics.Quantile(q, 0.5)
+		}
+		table.Rows = append(table.Rows, Row{
+			Label: v.label,
+			Values: []float64{
+				medians[0], medians[1], medians[2], medians[3],
+				medians[3] / medians[0],
+			},
+		})
+	}
+	return table, nil
+}

@@ -1,0 +1,126 @@
+package experiment
+
+import (
+	"fmt"
+
+	"m2hew/internal/channel"
+	"m2hew/internal/core"
+	"m2hew/internal/metrics"
+	"m2hew/internal/radio"
+	"m2hew/internal/rng"
+	"m2hew/internal/sim"
+	"m2hew/internal/topology"
+)
+
+// E18 measures spectrum churn — the event the paper's introduction
+// motivates cognitive radio with: "when a primary user arrives and starts
+// using its channel, the secondary users have to vacate the channel."
+//
+// A CR network completes discovery; then a new primary user arrives at the
+// center of the area and claims one channel within its exclusion radius.
+// Nodes inside the region lose the channel: some links lose their only
+// common channel (undiscoverable now), the rest keep a reduced span. The
+// experiment re-runs discovery on the post-churn network and reports the
+// damage (nodes affected, links lost, ρ before/after) and the re-discovery
+// cost relative to the initial discovery — which the theory predicts grows
+// as the revocation shrinks spans (ρ falls) even though the network itself
+// is smaller.
+//
+// Expected shape: the re/initial ratio climbs with the churn radius (wider
+// revocation → smaller spans → smaller ρ → slower discovery, the E8
+// relationship reappearing through churn), while "links lost" stays at or
+// near zero — multi-channel redundancy protects connectivity even when a
+// whole channel vanishes from a region, which is the resilience story of
+// the M²HeW model.
+func E18(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	radii := []float64{0.15, 0.3, 0.5, 0.75}
+	if opts.Quick {
+		radii = []float64{0.3, 0.75}
+	}
+	n := 20
+	if opts.Quick {
+		n = 12
+	}
+	table := &Table{
+		ID:    "E18",
+		Title: "Spectrum churn: primary-user arrival, vacated channel, re-discovery",
+		Note: fmt.Sprintf("CR network N=%d; a primary claims channel 0 at the area center within the given radius; Algorithm 1, %d trials",
+			n, opts.Trials),
+		Columns: []string{"affected", "links lost", "ρ before", "ρ after", "initial", "re-run", "re/initial"},
+	}
+	for _, radius := range radii {
+		root := rng.New(opts.Seed) // same pre-churn network per row
+		nw, before, err := crNetwork(n, 4, 6, root.Split())
+		if err != nil {
+			return nil, fmt.Errorf("E18: %w", err)
+		}
+		deltaEst := nextPow2(before.Delta)
+		factory := func(u topology.NodeID, r *rng.Source) (sim.SyncProtocol, error) {
+			return core.NewSyncStaged(nw.Avail(u), deltaEst, r)
+		}
+		initial, incomplete, err := runSyncTrials(nw, factory, nil, 200000, opts.Trials, root)
+		if err != nil {
+			return nil, fmt.Errorf("E18: %w", err)
+		}
+		if incomplete > 0 {
+			return nil, fmt.Errorf("E18: %d initial trials incomplete", incomplete)
+		}
+
+		// The primary arrives. Channel 0 always exists in the universe; if
+		// no node holds it anywhere (fully excluded at build time), churn is
+		// a no-op and the row still reports honestly.
+		affected := topology.RevokeChannel(nw, channel.ID(0), 0.5, 0.5, radius)
+		after := nw.ComputeParams()
+		linksLost := before.DiscoverableLinks - after.DiscoverableLinks
+
+		var rerun []float64
+		if after.DiscoverableLinks > 0 {
+			deltaEst = nextPow2(maxInt(after.Delta, 1))
+			factory = func(u topology.NodeID, r *rng.Source) (sim.SyncProtocol, error) {
+				// A node that lost its whole spectrum cannot participate;
+				// it sits silent (its links left the discovery target with
+				// it).
+				if nw.Avail(u).IsEmpty() {
+					return quietProtocol{}, nil
+				}
+				return core.NewSyncStaged(nw.Avail(u), deltaEst, r)
+			}
+			rerun, incomplete, err = runSyncTrials(nw, factory, nil, 400000, opts.Trials, root)
+			if err != nil {
+				return nil, fmt.Errorf("E18: %w", err)
+			}
+			if incomplete > 0 {
+				return nil, fmt.Errorf("E18: %d re-discovery trials incomplete", incomplete)
+			}
+		}
+		initMean := metrics.Summarize(initial).Mean
+		reMean := metrics.Summarize(rerun).Mean
+		table.Rows = append(table.Rows, Row{
+			Label: fmt.Sprintf("r=%.2f", radius),
+			Values: []float64{
+				float64(len(affected)), float64(linksLost),
+				before.Rho, after.Rho,
+				initMean, reMean, reMean / initMean,
+			},
+		})
+	}
+	return table, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// quietProtocol is the protocol of a node with no spectrum left: radio off.
+type quietProtocol struct{}
+
+// Step implements sim.SyncProtocol.
+func (quietProtocol) Step(int) radio.Action { return radio.Action{Mode: radio.Quiet} }
+
+// Deliver implements sim.SyncProtocol (a silent radio hears nothing, but
+// the interface must be satisfied).
+func (quietProtocol) Deliver(radio.Message) {}

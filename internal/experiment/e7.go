@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"fmt"
+
+	"m2hew/internal/baseline"
+	"m2hew/internal/channel"
+	"m2hew/internal/core"
+	"m2hew/internal/metrics"
+	"m2hew/internal/rng"
+	"m2hew/internal/sim"
+	"m2hew/internal/topology"
+)
+
+// E7 reproduces the Related Work critique (Section I): extending a
+// single-channel discovery protocol by running one instance per universal
+// channel costs time linear in |U| even when every node's available set is
+// small, whereas Algorithm 3's running time depends only on S, Δ_est and ρ.
+//
+// A clique of nodes each holding the same 4 channels is discovered (a) by
+// the universal-set birthday baseline with growing universal set sizes U,
+// and (b) by Algorithm 3, which never looks at U. The baseline's completion
+// slots must grow ~linearly with U; Algorithm 3's must stay flat. The
+// deterministic round-robin baseline's exact N·U schedule length is listed
+// for reference.
+func E7(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	n := 8
+	universes := []int{4, 8, 16, 32, 64}
+	if opts.Quick {
+		n = 5
+		universes = []int{4, 16}
+	}
+	const availSize = 4
+	table := &Table{
+		ID:    "E7",
+		Title: "Related-work critique: universal-set baseline cost grows with U, Algorithm 3 does not",
+		Note: fmt.Sprintf("clique N=%d, every node holds channels 0..3 (S=%d) regardless of U; mean completion slots over %d trials",
+			n, availSize, opts.Trials),
+		Columns: []string{"baseline mean", "baseline p95", "alg3 mean", "alg3 p95", "base/alg3", "det N·U"},
+	}
+	root := rng.New(opts.Seed)
+	nw, err := topology.Clique(n)
+	if err != nil {
+		return nil, fmt.Errorf("E7: %w", err)
+	}
+	if err := topology.AssignHomogeneous(nw, availSize); err != nil {
+		return nil, fmt.Errorf("E7: %w", err)
+	}
+	params := nw.ComputeParams()
+	deltaEst := nextPow2(params.Delta)
+	_ = channel.Set{}
+
+	// Algorithm 3 is independent of U: measure once.
+	alg3Factory := func(u topology.NodeID, r *rng.Source) (sim.SyncProtocol, error) {
+		return core.NewSyncUniform(nw.Avail(u), deltaEst, r)
+	}
+	alg3Slots, alg3Incomplete, err := runSyncTrials(nw, alg3Factory, nil, 200000, opts.Trials, root)
+	if err != nil {
+		return nil, fmt.Errorf("E7 alg3: %w", err)
+	}
+	if alg3Incomplete > 0 {
+		return nil, fmt.Errorf("E7: algorithm 3 incomplete in %d trials", alg3Incomplete)
+	}
+	alg3 := metrics.Summarize(alg3Slots)
+
+	for _, u := range universes {
+		baseFactory := func(id topology.NodeID, r *rng.Source) (sim.SyncProtocol, error) {
+			return baseline.NewUniversalBirthday(nw.Avail(id), u, deltaEst, r)
+		}
+		baseSlots, baseIncomplete, err := runSyncTrials(nw, baseFactory, nil, 400000*u/4, opts.Trials, root)
+		if err != nil {
+			return nil, fmt.Errorf("E7 U=%d: %w", u, err)
+		}
+		if baseIncomplete > 0 {
+			return nil, fmt.Errorf("E7 U=%d: baseline incomplete in %d trials", u, baseIncomplete)
+		}
+		base := metrics.Summarize(baseSlots)
+		table.Rows = append(table.Rows, Row{
+			Label: fmt.Sprintf("U=%d", u),
+			Values: []float64{
+				base.Mean, base.P95, alg3.Mean, alg3.P95,
+				base.Mean / alg3.Mean, float64(n * u),
+			},
+		})
+	}
+	return table, nil
+}

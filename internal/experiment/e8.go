@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"fmt"
+
+	"m2hew/internal/core"
+	"m2hew/internal/metrics"
+	"m2hew/internal/rng"
+	"m2hew/internal/sim"
+	"m2hew/internal/topology"
+)
+
+// E8 reproduces the paper's central qualitative claim about heterogeneity
+// (Section II): "the running time of our algorithms is inversely
+// proportional to ρ".
+//
+// The block-overlap channel assigner realizes exact span-ratios on a fixed
+// graph with fixed S = 12 and fixed Δ, so ρ is the only moving part:
+// shared-block size m gives ρ = m/12. If the paper's claim holds, measured
+// completion slots × ρ is roughly constant across rows (the "slots·ρ"
+// column), i.e. completion time scales as 1/ρ.
+func E8(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	const s = 12
+	shared := []int{12, 6, 3, 2, 1}
+	if opts.Quick {
+		shared = []int{12, 3}
+	}
+	n := 8
+	table := &Table{
+		ID:    "E8",
+		Title: "Heterogeneity cost: completion time ∝ 1/ρ at fixed S, Δ, N",
+		Note: fmt.Sprintf("ring N=%d, block-overlap sets with |A|=%d; Algorithm 3, mean completion slots over %d trials",
+			n, s, opts.Trials),
+		Columns: []string{"ρ", "1/ρ", "mean slots", "p95 slots", "slots·ρ"},
+	}
+	root := rng.New(opts.Seed)
+	for _, m := range shared {
+		nw, err := topology.Ring(n)
+		if err != nil {
+			return nil, fmt.Errorf("E8: %w", err)
+		}
+		if err := topology.AssignBlockOverlap(nw, m, s-m); err != nil {
+			return nil, fmt.Errorf("E8 m=%d: %w", m, err)
+		}
+		params := nw.ComputeParams()
+		deltaEst := nextPow2(params.Delta)
+		factory := func(u topology.NodeID, r *rng.Source) (sim.SyncProtocol, error) {
+			return core.NewSyncUniform(nw.Avail(u), deltaEst, r)
+		}
+		slots, incomplete, err := runSyncTrials(nw, factory, nil, 4000000/m, opts.Trials, root)
+		if err != nil {
+			return nil, fmt.Errorf("E8 m=%d: %w", m, err)
+		}
+		if incomplete > 0 {
+			return nil, fmt.Errorf("E8 m=%d: %d incomplete trials", m, incomplete)
+		}
+		sum := metrics.Summarize(slots)
+		rho := params.Rho
+		table.Rows = append(table.Rows, Row{
+			Label: fmt.Sprintf("m=%d", m),
+			Values: []float64{
+				rho, 1 / rho, sum.Mean, sum.P95, sum.Mean * rho,
+			},
+		})
+	}
+	return table, nil
+}

@@ -1,0 +1,369 @@
+// Package experiment implements the reproduction experiment suite E1–E19
+// defined in DESIGN.md.
+//
+// The paper proves probabilistic running-time bounds instead of reporting
+// measurements, so each "table" here is a claim-versus-measurement table:
+// one of the paper's theorems, lemmas or qualitative claims is exercised on
+// simulated M²HeW networks and the measured behaviour is put next to the
+// analytic bound. Experiments are deterministic functions of (Options.Seed);
+// cmd/ndbench prints them, bench_test.go wraps each as a benchmark, and
+// EXPERIMENTS.md records a reference run.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"m2hew/internal/rng"
+	"m2hew/internal/sim"
+	"m2hew/internal/topology"
+)
+
+// Options control the scale of an experiment run.
+type Options struct {
+	// Trials is the number of simulation trials per table row; 0 means the
+	// default (20).
+	Trials int
+	// Seed is the root seed; every random decision of the run derives from
+	// it. 0 means the default seed 1.
+	Seed uint64
+	// Eps is the target failure probability ε for the bounds; 0 means 0.1.
+	Eps float64
+	// Quick shrinks workloads (fewer rows, smaller networks) so the whole
+	// suite runs in seconds. Used by tests; benchmarks and ndbench default
+	// to full size.
+	Quick bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Trials == 0 {
+		o.Trials = 20
+		if o.Quick {
+			o.Trials = 6
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Eps == 0 {
+		o.Eps = 0.1
+	}
+	return o
+}
+
+// Table is one experiment's result: a claim-versus-measurement grid.
+type Table struct {
+	// ID is the experiment identifier (e.g. "E1").
+	ID string `json:"id"`
+	// Title describes the paper claim being reproduced.
+	Title string `json:"title"`
+	// Note explains how to read the table (units, caveats).
+	Note string `json:"note,omitempty"`
+	// Columns names the value columns.
+	Columns []string `json:"columns"`
+	// Rows holds one labeled value vector per configuration.
+	Rows []Row `json:"rows"`
+}
+
+// Row is one configuration's measurements.
+type Row struct {
+	Label  string    `json:"label"`
+	Values []float64 `json:"values"`
+}
+
+// Value returns the cell at (rowLabel, column).
+func (t *Table) Value(rowLabel, column string) (float64, bool) {
+	col := -1
+	for i, c := range t.Columns {
+		if c == column {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return 0, false
+	}
+	for _, r := range t.Rows {
+		if r.Label == rowLabel && col < len(r.Values) {
+			return r.Values[col], true
+		}
+	}
+	return 0, false
+}
+
+// Column returns all values of one column in row order.
+func (t *Table) Column(column string) ([]float64, bool) {
+	col := -1
+	for i, c := range t.Columns {
+		if c == column {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return nil, false
+	}
+	out := make([]float64, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		if col >= len(r.Values) {
+			return nil, false
+		}
+		out = append(out, r.Values[col])
+	}
+	return out, true
+}
+
+// Format writes the table as aligned text.
+func (t *Table) Format(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	if t.Note != "" {
+		if _, err := fmt.Fprintf(w, "  (%s)\n", t.Note); err != nil {
+			return err
+		}
+	}
+	widths := make([]int, len(t.Columns)+1)
+	widths[0] = len("config")
+	for _, r := range t.Rows {
+		if len(r.Label) > widths[0] {
+			widths[0] = len(r.Label)
+		}
+	}
+	cells := make([][]string, len(t.Rows))
+	for i, r := range t.Rows {
+		cells[i] = make([]string, len(r.Values))
+		for j, v := range r.Values {
+			cells[i][j] = formatCell(v)
+		}
+	}
+	for j, c := range t.Columns {
+		widths[j+1] = len(c)
+		for i := range cells {
+			if j < len(cells[i]) && len(cells[i][j]) > widths[j+1] {
+				widths[j+1] = len(cells[i][j])
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-*s", widths[0], "config")
+	for j, c := range t.Columns {
+		fmt.Fprintf(&b, "  %*s", widths[j+1], c)
+	}
+	b.WriteByte('\n')
+	for i, r := range t.Rows {
+		fmt.Fprintf(&b, "  %-*s", widths[0], r.Label)
+		for j := range t.Columns {
+			cell := ""
+			if j < len(cells[i]) {
+				cell = cells[i][j]
+			}
+			fmt.Fprintf(&b, "  %*s", widths[j+1], cell)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table (used to
+// regenerate EXPERIMENTS.md).
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "_%s_\n\n", t.Note)
+	}
+	b.WriteString("| config |")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %s |", c)
+	}
+	b.WriteString("\n|---|")
+	for range t.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "| %s |", r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, " %s |", formatCell(v))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// formatCell renders a value compactly: integers without decimals, small
+// values with more precision.
+func formatCell(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// crNetwork builds the standard cognitive-radio scenario: a connected
+// geometric graph with spatial primary-user channel exclusion. The returned
+// parameters are the realized (post-repair) values.
+func crNetwork(n, universe, primaries int, r *rng.Source) (*topology.Network, topology.Params, error) {
+	// Radius chosen to keep random geometric graphs connected with high
+	// probability (≳ sqrt(2·ln n / n)) while staying multi-hop.
+	radius := 1.6 * math.Sqrt(math.Log(float64(n))/float64(n))
+	if radius > 0.7 {
+		radius = 0.7
+	}
+	nw, err := topology.GeometricConnected(n, radius, r, 200)
+	if err != nil {
+		return nil, topology.Params{}, err
+	}
+	if _, err := topology.AssignPrimaryUsers(nw, universe, primaries, 0.3, r); err != nil {
+		return nil, topology.Params{}, err
+	}
+	if err := nw.Validate(); err != nil {
+		return nil, topology.Params{}, fmt.Errorf("experiment: generated network invalid: %w", err)
+	}
+	return nw, nw.ComputeParams(), nil
+}
+
+// nextPow2 returns the smallest power of two ≥ x (and ≥ 2); degree estimates
+// in the experiments are deliberately loose the way a deployment's would be.
+func nextPow2(x int) int {
+	p := 2
+	for p < x {
+		p *= 2
+	}
+	return p
+}
+
+// syncFactory builds one node's protocol for a synchronous trial.
+type syncFactory func(u topology.NodeID, r *rng.Source) (sim.SyncProtocol, error)
+
+// runSyncTrials runs trials of a synchronous scenario and returns completion
+// slots per trial (only for completed trials) and the count of trials that
+// did not complete within maxSlots.
+//
+// Trials are independent, so they execute on a worker pool. Results are
+// identical to a sequential run: every trial's random sources are split
+// from root in trial order *before* any worker starts, and the Network is
+// read-only during simulation.
+func runSyncTrials(nw *topology.Network, factory syncFactory, starts []int, maxSlots, trials int, root *rng.Source) (slots []float64, incomplete int, err error) {
+	sources := make([][]*rng.Source, trials)
+	for trial := range sources {
+		sources[trial] = root.SplitN(nw.N())
+	}
+
+	type outcome struct {
+		slots    float64
+		complete bool
+		err      error
+	}
+	outcomes := make([]outcome, trials)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				trial := int(next.Add(1)) - 1
+				if trial >= trials {
+					return
+				}
+				protos := make([]sim.SyncProtocol, nw.N())
+				for u := 0; u < nw.N(); u++ {
+					p, err := factory(topology.NodeID(u), sources[trial][u])
+					if err != nil {
+						outcomes[trial] = outcome{err: err}
+						return
+					}
+					protos[u] = p
+				}
+				res, err := sim.RunSync(sim.SyncConfig{
+					Network:    nw,
+					Protocols:  protos,
+					StartSlots: starts,
+					MaxSlots:   maxSlots,
+				})
+				if err != nil {
+					outcomes[trial] = outcome{err: err}
+					return
+				}
+				outcomes[trial] = outcome{
+					slots:    float64(res.CompletionSlot + 1),
+					complete: res.Complete,
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, o := range outcomes {
+		if o.err != nil {
+			return nil, 0, o.err
+		}
+		if !o.complete {
+			incomplete++
+			continue
+		}
+		slots = append(slots, o.slots)
+	}
+	return slots, incomplete, nil
+}
+
+// runAsyncConfigs executes pre-built asynchronous configurations on a
+// worker pool and returns their results in input order. Callers construct
+// the configs (and therefore consume their random streams) sequentially, so
+// results are identical to a sequential run; only the engine execution —
+// which draws no shared randomness unless a loss model is attached — is
+// parallel. Configs with loss models must not share rng sources.
+func runAsyncConfigs(cfgs []sim.AsyncConfig) ([]*sim.AsyncResult, error) {
+	results := make([]*sim.AsyncResult, len(cfgs))
+	errs := make([]error, len(cfgs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cfgs) {
+					return
+				}
+				results[i], errs[i] = sim.RunAsync(cfgs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

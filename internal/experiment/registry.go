@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Func runs one experiment.
+type Func func(Options) (*Table, error)
+
+// Entry describes a registered experiment.
+type Entry struct {
+	ID    string
+	Claim string
+	Run   Func
+}
+
+// registry lists the experiment suite. Order follows DESIGN.md §5.
+var registry = []Entry{
+	{"E1", "Theorem 1: Algorithm 1 within M stages w.p. 1-ε", E1},
+	{"E2", "Theorem 2: Algorithm 2 without degree knowledge", E2},
+	{"E3", "Theorem 3: Algorithm 3 with variable start times", E3},
+	{"E4", "Theorems 9+10: Algorithm 4 under clock drift", E4},
+	{"E5", "Eq.(6) + Lemma 5: per-unit coverage probability bounds", E5},
+	{"E6", "Lemmas 4, 7, 8: frame geometry at δ=1/7", E6},
+	{"E7", "Related work: universal-set baseline costs Θ(U)", E7},
+	{"E8", "Heterogeneity: completion time ∝ 1/ρ", E8},
+	{"E9", "Assumption 1: drift sensitivity past δ=1/7", E9},
+	{"E10", "Ablation: slots per frame", E10},
+	{"E11", "Extension (a): asymmetric communication graphs", E11},
+	{"E12", "Extension (b): unreliable channels", E12},
+	{"E13", "Extension (c): diverse propagation characteristics", E13},
+	{"E14", "Termination detection: recall vs energy", E14},
+	{"E15", "Tail bound: completion CCDF vs analytic failure bound", E15},
+	{"E16", "Coupon-collector cross-check (single channel, ref [2])", E16},
+	{"E17", "Progress profile: time to 50/90/99/100% coverage", E17},
+	{"E18", "Spectrum churn: primary arrival, vacated channel, re-discovery", E18},
+	{"E19", "Acknowledgment extension: out-link confirmation (asymmetric graphs)", E19},
+}
+
+// All returns the registered experiments in suite order.
+func All() []Entry {
+	out := make([]Entry, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByID returns the experiment with the given ID (case-sensitive, e.g. "E4").
+func ByID(id string) (Entry, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.ID
+	}
+	sort.Strings(ids)
+	return Entry{}, fmt.Errorf("experiment: unknown id %q (have %v)", id, ids)
+}

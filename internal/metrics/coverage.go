@@ -1,0 +1,140 @@
+// Package metrics tracks discovery progress during a simulation and
+// aggregates results across trials.
+//
+// The central type is Coverage: the oracle's view of which directed links
+// have been covered (paper terminology: link (v,u) is covered when u hears a
+// clear message from v) and when. Engines feed it observations; experiments
+// read completion times and progress curves from it. Aggregation helpers
+// summarize repeated trials into the statistics EXPERIMENTS.md reports.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"m2hew/internal/topology"
+)
+
+// Coverage tracks first-coverage times for a target set of directed links.
+// Times are unitless float64s: slot indexes for synchronous runs, real time
+// for asynchronous runs.
+type Coverage struct {
+	first     map[topology.Link]float64
+	target    map[topology.Link]bool
+	remaining int
+}
+
+// NewCoverage returns a Coverage whose completion target is the given links
+// (typically Network.DiscoverableLinks()).
+func NewCoverage(links []topology.Link) *Coverage {
+	target := make(map[topology.Link]bool, len(links))
+	for _, l := range links {
+		target[l] = true
+	}
+	return &Coverage{
+		first:     make(map[topology.Link]float64, len(links)),
+		target:    target,
+		remaining: len(target),
+	}
+}
+
+// Observe records that link l was covered at the given time. It returns true
+// if this is the first coverage of a target link. Observations of non-target
+// links are recorded but do not affect completion.
+func (c *Coverage) Observe(l topology.Link, at float64) bool {
+	if _, seen := c.first[l]; seen {
+		return false
+	}
+	c.first[l] = at
+	if c.target[l] {
+		c.remaining--
+		return true
+	}
+	return false
+}
+
+// Complete reports whether every target link has been covered.
+func (c *Coverage) Complete() bool { return c.remaining == 0 }
+
+// Remaining returns the number of uncovered target links.
+func (c *Coverage) Remaining() int { return c.remaining }
+
+// TargetSize returns the number of target links.
+func (c *Coverage) TargetSize() int { return len(c.target) }
+
+// Progress returns the covered fraction of the target in [0,1]; it is 1 for
+// an empty target.
+func (c *Coverage) Progress() float64 {
+	if len(c.target) == 0 {
+		return 1
+	}
+	return float64(len(c.target)-c.remaining) / float64(len(c.target))
+}
+
+// FirstCovered returns when link l was first covered.
+func (c *Coverage) FirstCovered(l topology.Link) (float64, bool) {
+	at, ok := c.first[l]
+	return at, ok
+}
+
+// CompletionTime returns the time at which the last target link was covered.
+// It returns ok=false while incomplete. An empty target completes at time 0.
+func (c *Coverage) CompletionTime() (float64, bool) {
+	if !c.Complete() {
+		return 0, false
+	}
+	maxAt := 0.0
+	for l := range c.target {
+		if at := c.first[l]; at > maxAt {
+			maxAt = at
+		}
+	}
+	return maxAt, true
+}
+
+// Uncovered returns the target links not yet covered, in deterministic
+// order. Useful in failure diagnostics.
+func (c *Coverage) Uncovered() []topology.Link {
+	var out []topology.Link
+	for l := range c.target {
+		if _, ok := c.first[l]; !ok {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Curve returns the discovery progress curve as (time, covered-count) steps
+// over target links, sorted by time. The curve starts implicitly at (−∞, 0);
+// each point is the cumulative count at that coverage instant.
+func (c *Coverage) Curve() []CurvePoint {
+	times := make([]float64, 0, len(c.target))
+	for l := range c.target {
+		if at, ok := c.first[l]; ok {
+			times = append(times, at)
+		}
+	}
+	sort.Float64s(times)
+	points := make([]CurvePoint, len(times))
+	for i, at := range times {
+		points[i] = CurvePoint{Time: at, Covered: i + 1}
+	}
+	return points
+}
+
+// CurvePoint is one step of a discovery progress curve.
+type CurvePoint struct {
+	Time    float64 `json:"time"`
+	Covered int     `json:"covered"`
+}
+
+// String summarizes progress.
+func (c *Coverage) String() string {
+	return fmt.Sprintf("covered %d/%d links", len(c.target)-c.remaining, len(c.target))
+}

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"fmt"
+
+	"m2hew/internal/radio"
+)
+
+// EnergyMeter tallies per-node radio activity over a synchronous run. The
+// neighbor-discovery literature the paper builds on (birthday protocols)
+// is energy-motivated: a radio burns power whenever it transmits or
+// listens, so the interesting quantity is the duty cycle — the fraction of
+// slots the transceiver was on. Plug ObserveSlot into
+// sim.SyncConfig.OnSlot.
+type EnergyMeter struct {
+	tx    []int
+	rx    []int
+	quiet []int
+}
+
+// NewEnergyMeter returns a meter for n nodes.
+func NewEnergyMeter(n int) (*EnergyMeter, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("metrics: energy meter for %d nodes", n)
+	}
+	return &EnergyMeter{
+		tx:    make([]int, n),
+		rx:    make([]int, n),
+		quiet: make([]int, n),
+	}, nil
+}
+
+// ObserveSlot records one slot's actions; its signature matches
+// sim.SyncConfig.OnSlot.
+func (m *EnergyMeter) ObserveSlot(_ int, actions []radio.Action) {
+	for u, a := range actions {
+		if u >= len(m.tx) {
+			return // defensive: meter sized for fewer nodes than the run
+		}
+		switch a.Mode {
+		case radio.Transmit:
+			m.tx[u]++
+		case radio.Receive:
+			m.rx[u]++
+		default:
+			m.quiet[u]++
+		}
+	}
+}
+
+// Tx returns node u's transmit-slot count.
+func (m *EnergyMeter) Tx(u int) int { return m.tx[u] }
+
+// Rx returns node u's receive-slot count.
+func (m *EnergyMeter) Rx(u int) int { return m.rx[u] }
+
+// Quiet returns node u's quiet-slot count.
+func (m *EnergyMeter) Quiet(u int) int { return m.quiet[u] }
+
+// Active returns node u's radio-on slot count (transmit + receive).
+func (m *EnergyMeter) Active(u int) int { return m.tx[u] + m.rx[u] }
+
+// DutyCycle returns the fraction of node u's observed slots with the radio
+// on; 0 if nothing was observed.
+func (m *EnergyMeter) DutyCycle(u int) float64 {
+	total := m.tx[u] + m.rx[u] + m.quiet[u]
+	if total == 0 {
+		return 0
+	}
+	return float64(m.tx[u]+m.rx[u]) / float64(total)
+}
+
+// TotalActive returns the network-wide radio-on slot count — the energy
+// proxy experiments report.
+func (m *EnergyMeter) TotalActive() int {
+	total := 0
+	for u := range m.tx {
+		total += m.tx[u] + m.rx[u]
+	}
+	return total
+}
+
+// MeanDutyCycle returns the average duty cycle over all nodes.
+func (m *EnergyMeter) MeanDutyCycle() float64 {
+	var sum float64
+	for u := range m.tx {
+		sum += m.DutyCycle(u)
+	}
+	return sum / float64(len(m.tx))
+}

@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"m2hew/internal/radio"
+)
+
+func TestEnergyMeterValidation(t *testing.T) {
+	if _, err := NewEnergyMeter(0); err == nil {
+		t.Fatal("0-node meter accepted")
+	}
+	if _, err := NewEnergyMeter(-1); err == nil {
+		t.Fatal("negative meter accepted")
+	}
+}
+
+func TestEnergyMeterCounts(t *testing.T) {
+	m, err := NewEnergyMeter(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot := []radio.Action{
+		{Mode: radio.Transmit, Channel: 0},
+		{Mode: radio.Receive, Channel: 1},
+		{Mode: radio.Quiet},
+	}
+	for i := 0; i < 4; i++ {
+		m.ObserveSlot(i, slot)
+	}
+	if m.Tx(0) != 4 || m.Rx(0) != 0 || m.Quiet(0) != 0 {
+		t.Fatalf("node 0 counts: tx=%d rx=%d quiet=%d", m.Tx(0), m.Rx(0), m.Quiet(0))
+	}
+	if m.Rx(1) != 4 || m.Quiet(2) != 4 {
+		t.Fatal("node 1/2 counts wrong")
+	}
+	if m.Active(0) != 4 || m.Active(2) != 0 {
+		t.Fatal("active counts wrong")
+	}
+	if m.DutyCycle(0) != 1 || m.DutyCycle(2) != 0 {
+		t.Fatalf("duty cycles: %v %v", m.DutyCycle(0), m.DutyCycle(2))
+	}
+	if m.TotalActive() != 8 {
+		t.Fatalf("TotalActive = %d, want 8", m.TotalActive())
+	}
+	if want := (1.0 + 1.0 + 0) / 3; math.Abs(m.MeanDutyCycle()-want) > 1e-12 {
+		t.Fatalf("MeanDutyCycle = %v, want %v", m.MeanDutyCycle(), want)
+	}
+}
+
+func TestEnergyMeterEmptyDutyCycle(t *testing.T) {
+	m, err := NewEnergyMeter(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DutyCycle(0) != 0 {
+		t.Fatal("unobserved duty cycle not 0")
+	}
+}
+
+func TestEnergyMeterOversizedSlotIgnored(t *testing.T) {
+	m, err := NewEnergyMeter(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observation with more actions than nodes must not panic.
+	m.ObserveSlot(0, []radio.Action{
+		{Mode: radio.Transmit}, {Mode: radio.Receive},
+	})
+	if m.Tx(0) != 1 {
+		t.Fatalf("Tx(0) = %d", m.Tx(0))
+	}
+}

@@ -1,0 +1,227 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"m2hew/internal/topology"
+)
+
+func links(pairs ...[2]int) []topology.Link {
+	out := make([]topology.Link, len(pairs))
+	for i, p := range pairs {
+		out[i] = topology.Link{From: topology.NodeID(p[0]), To: topology.NodeID(p[1])}
+	}
+	return out
+}
+
+func TestCoverageLifecycle(t *testing.T) {
+	c := NewCoverage(links([2]int{0, 1}, [2]int{1, 0}))
+	if c.Complete() || c.Remaining() != 2 || c.TargetSize() != 2 {
+		t.Fatal("fresh coverage state wrong")
+	}
+	if c.Progress() != 0 {
+		t.Fatalf("fresh progress %v", c.Progress())
+	}
+	if !c.Observe(topology.Link{From: 0, To: 1}, 5) {
+		t.Fatal("first observation not reported new")
+	}
+	if c.Observe(topology.Link{From: 0, To: 1}, 9) {
+		t.Fatal("repeat observation reported new")
+	}
+	if at, ok := c.FirstCovered(topology.Link{From: 0, To: 1}); !ok || at != 5 {
+		t.Fatalf("FirstCovered = %v,%v; want 5,true", at, ok)
+	}
+	if c.Progress() != 0.5 {
+		t.Fatalf("progress %v, want 0.5", c.Progress())
+	}
+	if _, ok := c.CompletionTime(); ok {
+		t.Fatal("incomplete coverage reported completion time")
+	}
+	unc := c.Uncovered()
+	if len(unc) != 1 || unc[0] != (topology.Link{From: 1, To: 0}) {
+		t.Fatalf("Uncovered = %v", unc)
+	}
+	c.Observe(topology.Link{From: 1, To: 0}, 11)
+	if !c.Complete() {
+		t.Fatal("coverage not complete")
+	}
+	at, ok := c.CompletionTime()
+	if !ok || at != 11 {
+		t.Fatalf("CompletionTime = %v,%v; want 11,true", at, ok)
+	}
+}
+
+func TestCoverageNonTargetObservation(t *testing.T) {
+	c := NewCoverage(links([2]int{0, 1}))
+	if c.Observe(topology.Link{From: 5, To: 6}, 1) {
+		t.Fatal("non-target observation reported as target coverage")
+	}
+	if c.Complete() {
+		t.Fatal("non-target observation completed coverage")
+	}
+	// But it is remembered.
+	if _, ok := c.FirstCovered(topology.Link{From: 5, To: 6}); !ok {
+		t.Fatal("non-target observation not recorded")
+	}
+}
+
+func TestCoverageEmptyTarget(t *testing.T) {
+	c := NewCoverage(nil)
+	if !c.Complete() {
+		t.Fatal("empty target not complete")
+	}
+	if c.Progress() != 1 {
+		t.Fatalf("empty target progress %v", c.Progress())
+	}
+	at, ok := c.CompletionTime()
+	if !ok || at != 0 {
+		t.Fatalf("empty target completion %v,%v", at, ok)
+	}
+}
+
+func TestCoverageCurve(t *testing.T) {
+	c := NewCoverage(links([2]int{0, 1}, [2]int{1, 0}, [2]int{1, 2}))
+	c.Observe(topology.Link{From: 1, To: 0}, 7)
+	c.Observe(topology.Link{From: 0, To: 1}, 3)
+	curve := c.Curve()
+	if len(curve) != 2 {
+		t.Fatalf("curve has %d points, want 2", len(curve))
+	}
+	if curve[0] != (CurvePoint{Time: 3, Covered: 1}) || curve[1] != (CurvePoint{Time: 7, Covered: 2}) {
+		t.Fatalf("curve = %v", curve)
+	}
+	if c.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Count != 4 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Mean-2.5) > 1e-12 {
+		t.Fatalf("mean %v", s.Mean)
+	}
+	if math.Abs(s.Median-2.5) > 1e-12 {
+		t.Fatalf("median %v", s.Median)
+	}
+	wantSd := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 4)
+	if math.Abs(s.Stddev-wantSd) > 1e-12 {
+		t.Fatalf("stddev %v, want %v", s.Stddev, wantSd)
+	}
+	if s.String() == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{42})
+	if s.Mean != 42 || s.Median != 42 || s.P95 != 42 || s.Stddev != 0 {
+		t.Fatalf("single summary %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("Summarize mutated its input")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40, 50}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 10}, {1, 50}, {0.5, 30}, {0.25, 20}, {0.1, 14},
+	}
+	for _, tt := range cases {
+		if got := Quantile(sorted, tt.q); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":    func() { Quantile(nil, 0.5) },
+		"negative": func() { Quantile([]float64{1}, -0.1) },
+		"above1":   func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFractionWithin(t *testing.T) {
+	vals := []float64{1, 2, 3, 4}
+	if got := FractionWithin(vals, 2.5); got != 0.5 {
+		t.Fatalf("FractionWithin = %v, want 0.5", got)
+	}
+	if got := FractionWithin(vals, 0); got != 0 {
+		t.Fatalf("FractionWithin(0) = %v", got)
+	}
+	if got := FractionWithin(vals, 10); got != 1 {
+		t.Fatalf("FractionWithin(10) = %v", got)
+	}
+	if got := FractionWithin(nil, 1); got != 0 {
+		t.Fatalf("FractionWithin(nil) = %v", got)
+	}
+	// Boundary is inclusive.
+	if got := FractionWithin(vals, 4); got != 1 {
+		t.Fatalf("inclusive bound: %v", got)
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	// 95% interval for 18/20 successes: known value ≈ (0.699, 0.972).
+	lo, hi := WilsonInterval(18, 20, 1.96)
+	if math.Abs(lo-0.6989) > 0.01 || math.Abs(hi-0.9721) > 0.01 {
+		t.Fatalf("Wilson(18/20) = (%v, %v)", lo, hi)
+	}
+	// Certainty cases stay inside [0,1].
+	lo, hi = WilsonInterval(20, 20, 1.96)
+	if lo < 0.80 || hi != 1 {
+		t.Fatalf("Wilson(20/20) = (%v, %v)", lo, hi)
+	}
+	lo, hi = WilsonInterval(0, 20, 1.96)
+	if lo != 0 || hi > 0.2 {
+		t.Fatalf("Wilson(0/20) = (%v, %v)", lo, hi)
+	}
+	// Degenerate n.
+	lo, hi = WilsonInterval(0, 0, 1.96)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("Wilson(0/0) = (%v, %v)", lo, hi)
+	}
+	// Interval shrinks with n.
+	lo1, hi1 := WilsonInterval(9, 10, 1.96)
+	lo2, hi2 := WilsonInterval(90, 100, 1.96)
+	if hi2-lo2 >= hi1-lo1 {
+		t.Fatal("interval did not shrink with sample size")
+	}
+}
+
+func TestWilsonIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid successes did not panic")
+		}
+	}()
+	WilsonInterval(5, 3, 1.96)
+}

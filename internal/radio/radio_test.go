@@ -1,0 +1,67 @@
+package radio
+
+import (
+	"testing"
+
+	"m2hew/internal/channel"
+)
+
+func TestModeString(t *testing.T) {
+	cases := []struct {
+		m    Mode
+		want string
+	}{
+		{Transmit, "tx"},
+		{Receive, "rx"},
+		{Quiet, "quiet"},
+		{Mode(0), "Mode(0)"},
+		{Mode(9), "Mode(9)"},
+	}
+	for _, tt := range cases {
+		if got := tt.m.String(); got != tt.want {
+			t.Errorf("Mode(%d).String() = %q, want %q", int(tt.m), got, tt.want)
+		}
+	}
+}
+
+func TestModeValid(t *testing.T) {
+	for _, m := range []Mode{Transmit, Receive, Quiet} {
+		if !m.Valid() {
+			t.Errorf("mode %v invalid", m)
+		}
+	}
+	if Mode(0).Valid() || Mode(4).Valid() {
+		t.Error("undefined modes reported valid")
+	}
+}
+
+func TestActionValidate(t *testing.T) {
+	avail := channel.NewSet(1, 3)
+	cases := []struct {
+		name    string
+		action  Action
+		wantErr bool
+	}{
+		{"tx on available", Action{Mode: Transmit, Channel: 1}, false},
+		{"rx on available", Action{Mode: Receive, Channel: 3}, false},
+		{"tx outside set", Action{Mode: Transmit, Channel: 2}, true},
+		{"rx outside set", Action{Mode: Receive, Channel: 0}, true},
+		{"quiet ignores channel", Action{Mode: Quiet, Channel: 99}, false},
+		{"zero mode", Action{}, true},
+	}
+	for _, tt := range cases {
+		err := tt.action.Validate(avail)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("%s: Validate = %v, wantErr=%v", tt.name, err, tt.wantErr)
+		}
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if got := (Action{Mode: Transmit, Channel: 5}).String(); got != "tx@5" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Action{Mode: Quiet, Channel: 5}).String(); got != "quiet" {
+		t.Errorf("quiet String = %q", got)
+	}
+}

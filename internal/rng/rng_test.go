@@ -1,0 +1,432 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("output %d diverged: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDistinctSeedsDistinctStreams(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams for different seeds collided %d/1000 times", same)
+	}
+}
+
+func TestReseedRestartsStream(t *testing.T) {
+	r := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Reseed(7)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("after reseed, output %d = %d, want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestZeroSeedNotStuck(t *testing.T) {
+	r := New(0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("seed 0 produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(99)
+	a := parent.Split()
+	b := parent.Split()
+	collisions := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			collisions++
+		}
+	}
+	if collisions > 0 {
+		t.Fatalf("sibling streams collided %d/1000 times", collisions)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	p1 := New(5)
+	p2 := New(5)
+	c1 := p1.Split()
+	c2 := p2.Split()
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatal("Split is not deterministic")
+		}
+	}
+}
+
+func TestSplitN(t *testing.T) {
+	r := New(3)
+	kids := r.SplitN(10)
+	if len(kids) != 10 {
+		t.Fatalf("SplitN(10) returned %d sources", len(kids))
+	}
+	// All children must produce distinct first outputs.
+	seen := make(map[uint64]bool)
+	for _, k := range kids {
+		seen[k.Uint64()] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("children produced only %d distinct first outputs", len(seen))
+	}
+}
+
+func TestUint64NInRange(t *testing.T) {
+	r := New(11)
+	err := quick.Check(func(n uint64) bool {
+		n = n%1000 + 1
+		v := r.Uint64N(n)
+		return v < n
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64NZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64N(0) did not panic")
+		}
+	}()
+	New(1).Uint64N(0)
+}
+
+func TestIntNNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IntN(-1) did not panic")
+		}
+	}()
+	New(1).IntN(-1)
+}
+
+func TestIntNUniformity(t *testing.T) {
+	// Chi-squared style sanity check: over 10 buckets and 100k draws each
+	// bucket should hold close to 10k.
+	r := New(123)
+	const draws = 100000
+	counts := make([]int, 10)
+	for i := 0; i < draws; i++ {
+		counts[r.IntN(10)]++
+	}
+	for b, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("bucket %d holds %d draws, want ~10000", b, c)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 returned %v outside [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(19)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v too far from 0.5", mean)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(23)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if r.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !r.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := New(29)
+	const n = 100000
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		for i := 0; i < n; i++ {
+			if r.Bernoulli(p) {
+				hits++
+			}
+		}
+		freq := float64(hits) / n
+		if math.Abs(freq-p) > 0.01 {
+			t.Errorf("Bernoulli(%v) frequency %v", p, freq)
+		}
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(31)
+	const n = 200000
+	lambda := 2.0
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64(lambda)
+		if v < 0 {
+			t.Fatalf("ExpFloat64 returned negative %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1/lambda) > 0.01 {
+		t.Fatalf("ExpFloat64(2) mean %v, want ~0.5", mean)
+	}
+}
+
+func TestExpFloat64BadRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ExpFloat64(0) did not panic")
+		}
+	}()
+	New(1).ExpFloat64(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(37)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance %v, want ~1", variance)
+	}
+}
+
+func TestUniformFloat64(t *testing.T) {
+	r := New(41)
+	for i := 0; i < 10000; i++ {
+		v := r.UniformFloat64(-3, 5)
+		if v < -3 || v >= 5 {
+			t.Fatalf("UniformFloat64(-3,5) = %v out of range", v)
+		}
+	}
+	// Degenerate range returns lo.
+	if v := r.UniformFloat64(2, 2); v != 2 {
+		t.Fatalf("UniformFloat64(2,2) = %v, want 2", v)
+	}
+}
+
+func TestUniformFloat64InvertedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inverted bounds did not panic")
+		}
+	}()
+	New(1).UniformFloat64(5, 3)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(43)
+	err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermZero(t *testing.T) {
+	if p := New(1).Perm(0); len(p) != 0 {
+		t.Fatalf("Perm(0) = %v, want empty", p)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(47)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, v := range xs {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed multiset: sum %d != %d", got, sum)
+	}
+}
+
+func TestShuffleActuallyShuffles(t *testing.T) {
+	r := New(53)
+	const n = 100
+	orig := make([]int, n)
+	xs := make([]int, n)
+	for i := range xs {
+		orig[i] = i
+		xs[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	same := 0
+	for i := range xs {
+		if xs[i] == orig[i] {
+			same++
+		}
+	}
+	if same > n/2 {
+		t.Fatalf("%d/%d elements fixed after shuffle; not shuffled", same, n)
+	}
+}
+
+func TestPickOne(t *testing.T) {
+	r := New(59)
+	if _, err := r.PickOne(0); err == nil {
+		t.Fatal("PickOne(0) returned nil error")
+	}
+	if _, err := r.PickOne(-3); err == nil {
+		t.Fatal("PickOne(-3) returned nil error")
+	}
+	for i := 0; i < 100; i++ {
+		v, err := r.PickOne(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < 0 || v >= 4 {
+			t.Fatalf("PickOne(4) = %d out of range", v)
+		}
+	}
+}
+
+func TestUint64NUnbiasedSmallRange(t *testing.T) {
+	// n=3 exposes modulo bias if bounded generation is naive.
+	r := New(61)
+	const draws = 300000
+	counts := make([]int, 3)
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64N(3)]++
+	}
+	want := draws / 3
+	for b, c := range counts {
+		if math.Abs(float64(c-want)) > float64(want)/50 {
+			t.Errorf("bucket %d holds %d, want ~%d", b, c, want)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkIntN(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.IntN(17)
+	}
+}
+
+func BenchmarkBernoulli(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Bernoulli(0.3)
+	}
+}
+
+func TestJumpChangesStateDeterministically(t *testing.T) {
+	a := New(7)
+	b := New(7)
+	a.Jump()
+	b.Jump()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Jump is not deterministic")
+		}
+	}
+	c := New(7)
+	jumped := New(7)
+	jumped.Jump()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c.Uint64() == jumped.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("jumped stream collided with original %d/1000 times", same)
+	}
+}
+
+func TestJumpedCopy(t *testing.T) {
+	r := New(9)
+	child := r.JumpedCopy()
+	collisions := 0
+	for i := 0; i < 1000; i++ {
+		if r.Uint64() == child.Uint64() {
+			collisions++
+		}
+	}
+	if collisions > 0 {
+		t.Fatalf("parent and jumped child collided %d/1000 times", collisions)
+	}
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+
+	"m2hew/internal/channel"
+	"m2hew/internal/core"
+	"m2hew/internal/rng"
+	"m2hew/internal/topology"
+)
+
+// wrapAck builds Algorithm 3 wrapped with the acknowledgment extension for
+// every node of nw.
+func wrapAck(t *testing.T, nw *topology.Network, deltaEst int, seed uint64) ([]SyncProtocol, []*core.Acknowledging) {
+	t.Helper()
+	root := rng.New(seed)
+	protos := make([]SyncProtocol, nw.N())
+	wrappers := make([]*core.Acknowledging, nw.N())
+	for u := 0; u < nw.N(); u++ {
+		inner, err := core.NewSyncUniform(nw.Avail(topology.NodeID(u)), deltaEst, root.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := core.NewAcknowledging(topology.NodeID(u), inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		protos[u] = w
+		wrappers[u] = w
+	}
+	return protos, wrappers
+}
+
+func TestAckSymmetricPairConfirmsBothWays(t *testing.T) {
+	nw := pairNet(t, channel.NewSet(0), channel.NewSet(0))
+	protos, wrappers := wrapAck(t, nw, 2, 11)
+	res, err := RunSync(SyncConfig{
+		Network:       nw,
+		Protocols:     protos,
+		MaxSlots:      2000,
+		RunToMaxSlots: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("pair discovery incomplete")
+	}
+	if !wrappers[0].HasConfirmed(1) || !wrappers[1].HasConfirmed(0) {
+		t.Fatalf("symmetric pair not mutually confirmed: 0→1 %v, 1→0 %v",
+			wrappers[0].HasConfirmed(1), wrappers[1].HasConfirmed(0))
+	}
+}
+
+func TestAckAsymmetricLinkNeverConfirms(t *testing.T) {
+	// 0→1 dropped: node 0 still hears node 1 (in-link), but neither side
+	// can ever confirm an out-link — confirmation needs a round trip and
+	// only one direction exists.
+	nw := pairNet(t, channel.NewSet(0), channel.NewSet(0))
+	if err := nw.DropDirection(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	protos, wrappers := wrapAck(t, nw, 2, 12)
+	if _, err := RunSync(SyncConfig{
+		Network:       nw,
+		Protocols:     protos,
+		MaxSlots:      4000,
+		RunToMaxSlots: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !wrappers[0].Neighbors().Has(1) {
+		t.Fatal("surviving direction not discovered")
+	}
+	if len(wrappers[0].Confirmed()) != 0 || len(wrappers[1].Confirmed()) != 0 {
+		t.Fatalf("one-way link produced confirmations: %v / %v",
+			wrappers[0].Confirmed(), wrappers[1].Confirmed())
+	}
+}
+
+func TestAckTriangleRoundTrip(t *testing.T) {
+	// Symmetric triangle: everyone eventually confirms everyone.
+	nw, err := topology.Clique(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topology.AssignHomogeneous(nw, 2); err != nil {
+		t.Fatal(err)
+	}
+	protos, wrappers := wrapAck(t, nw, 2, 13)
+	if _, err := RunSync(SyncConfig{
+		Network:       nw,
+		Protocols:     protos,
+		MaxSlots:      5000,
+		RunToMaxSlots: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for u, w := range wrappers {
+		if len(w.Confirmed()) != 2 {
+			t.Fatalf("node %d confirmed %v, want both others", u, w.Confirmed())
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"m2hew/internal/channel"
+	"m2hew/internal/clock"
+	"m2hew/internal/metrics"
+	"m2hew/internal/radio"
+	"m2hew/internal/topology"
+)
+
+// AsyncProtocol is a per-node protocol driven by the asynchronous engine.
+// NextFrame is called once per local frame with the node-local frame index;
+// the returned action holds for the whole frame (transmit during each slot,
+// or listen throughout). Deliver is called for each clear message received
+// during a listening frame.
+type AsyncProtocol interface {
+	NextFrame(frame int) radio.Action
+	Deliver(msg radio.Message)
+}
+
+// AsyncNode configures one node of an asynchronous run.
+type AsyncNode struct {
+	// Protocol decides the node's frames; required.
+	Protocol AsyncProtocol
+	// Start is the real time at which the node's clock starts (its local
+	// time zero). Offsets between nodes are arbitrary, as in the paper.
+	Start float64
+	// Drift is the node's clock drift process; nil means an ideal clock.
+	Drift clock.DriftProcess
+}
+
+// AsyncConfig configures an asynchronous run.
+type AsyncConfig struct {
+	// Network is the topology with channel assignment; required.
+	Network *topology.Network
+	// Nodes holds per-node protocol/clock configuration, indexed by NodeID;
+	// required.
+	Nodes []AsyncNode
+	// FrameLen is L, the local frame length (same for all nodes, measured
+	// on each node's own clock); required, > 0.
+	FrameLen float64
+	// SlotsPerFrame divides each frame; 0 means the paper's 3. The ablation
+	// experiment uses other values.
+	SlotsPerFrame int
+	// MaxFrames bounds the simulation: each node executes this many frames;
+	// required, > 0.
+	MaxFrames int
+	// Loss, if non-nil, erases arriving transmission slots per receiver
+	// listening frame with the model's probability (unreliable channels).
+	Loss *LossModel
+	// OnDeliver, if non-nil, observes every clear reception in
+	// chronological order.
+	OnDeliver func(at float64, from, to topology.NodeID, ch channel.ID)
+}
+
+// AsyncResult reports an asynchronous run.
+type AsyncResult struct {
+	// Complete is true when every discoverable link was covered within the
+	// horizon.
+	Complete bool
+	// CompletionTime is the real time at which the last link was covered;
+	// valid only when Complete.
+	CompletionTime float64
+	// Ts is the time by which all nodes have started (max node start) — the
+	// T_s of Theorems 9 and 10.
+	Ts float64
+	// Coverage is the oracle's link coverage record (times are real times
+	// of the clear slot's end).
+	Coverage *metrics.Coverage
+	// Timelines holds each node's clock timeline, for bound auditing.
+	Timelines []*clock.Timeline
+}
+
+// asyncFrame is one generated frame of one node.
+type asyncFrame struct {
+	start, end float64
+	action     radio.Action
+}
+
+func (c *AsyncConfig) validate() error {
+	if c.Network == nil {
+		return fmt.Errorf("sim: async config missing network")
+	}
+	if len(c.Nodes) != c.Network.N() {
+		return fmt.Errorf("sim: %d node configs for %d nodes", len(c.Nodes), c.Network.N())
+	}
+	for u, nc := range c.Nodes {
+		if nc.Protocol == nil {
+			return fmt.Errorf("sim: protocol for node %d is nil", u)
+		}
+	}
+	if c.FrameLen <= 0 {
+		return fmt.Errorf("sim: frame length %v must be positive", c.FrameLen)
+	}
+	if c.SlotsPerFrame < 0 {
+		return fmt.Errorf("sim: slots per frame %d is negative", c.SlotsPerFrame)
+	}
+	if c.MaxFrames <= 0 {
+		return fmt.Errorf("sim: max frames %d must be positive", c.MaxFrames)
+	}
+	return nil
+}
+
+// RunAsync executes an asynchronous simulation.
+//
+// The engine first generates every node's frame decisions and real-time
+// intervals for the whole horizon, then resolves receptions. Pre-generation
+// is sound because the paper's protocols are oblivious: their transmission
+// schedule is a function of their private randomness only, never of received
+// messages. Deliveries are applied in chronological order.
+func RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	nw := cfg.Network
+	n := nw.N()
+	slotsPerFrame := cfg.SlotsPerFrame
+	if slotsPerFrame == 0 {
+		slotsPerFrame = 3
+	}
+
+	// Phase 1: generate frames.
+	timelines := make([]*clock.Timeline, n)
+	frames := make([][]asyncFrame, n)
+	starts := make([][]float64, n) // frame start times for binary search
+	ts := 0.0
+	for u := 0; u < n; u++ {
+		nc := cfg.Nodes[u]
+		if nc.Start > ts {
+			ts = nc.Start
+		}
+		tl, err := clock.NewTimeline(nc.Start, cfg.FrameLen, slotsPerFrame, nc.Drift)
+		if err != nil {
+			return nil, fmt.Errorf("sim: node %d clock: %w", u, err)
+		}
+		timelines[u] = tl
+		frames[u] = make([]asyncFrame, cfg.MaxFrames)
+		starts[u] = make([]float64, cfg.MaxFrames)
+		for f := 0; f < cfg.MaxFrames; f++ {
+			a := nc.Protocol.NextFrame(f)
+			if err := a.Validate(nw.Avail(topology.NodeID(u))); err != nil {
+				return nil, fmt.Errorf("sim: node %d frame %d: %w", u, f, err)
+			}
+			fs, fe := tl.FrameInterval(f)
+			frames[u][f] = asyncFrame{start: fs, end: fe, action: a}
+			starts[u][f] = fs
+		}
+	}
+
+	// Phase 2: resolve receptions.
+	env := &asyncEnv{
+		nw:            nw,
+		frames:        frames,
+		starts:        starts,
+		timelines:     timelines,
+		slotsPerFrame: slotsPerFrame,
+		loss:          cfg.Loss,
+	}
+	var deliveries []delivery
+	for u := 0; u < n; u++ {
+		uid := topology.NodeID(u)
+		for _, g := range frames[u] {
+			deliveries = append(deliveries, env.resolveFrame(uid, g)...)
+		}
+	}
+
+	sort.Slice(deliveries, func(i, j int) bool {
+		if deliveries[i].at != deliveries[j].at {
+			return deliveries[i].at < deliveries[j].at
+		}
+		if deliveries[i].to != deliveries[j].to {
+			return deliveries[i].to < deliveries[j].to
+		}
+		return deliveries[i].from < deliveries[j].from
+	})
+
+	coverage := metrics.NewCoverage(nw.DiscoverableLinks())
+	for _, d := range deliveries {
+		msg := radio.Message{From: d.from, Avail: nw.Avail(d.from).Clone()}
+		if hr, ok := cfg.Nodes[d.from].Protocol.(HeardReporter); ok {
+			msg.Heard = hr.Heard()
+		}
+		cfg.Nodes[d.to].Protocol.Deliver(msg)
+		coverage.Observe(topology.Link{From: d.from, To: d.to}, d.at)
+		if cfg.OnDeliver != nil {
+			cfg.OnDeliver(d.at, d.from, d.to, d.ch)
+		}
+	}
+
+	result := &AsyncResult{Ts: ts, Coverage: coverage, Timelines: timelines}
+	if coverage.Complete() {
+		result.Complete = true
+		result.CompletionTime, _ = coverage.CompletionTime()
+	}
+	return result, nil
+}
+
+// FullFrames returns the number of full frames of node u that lie entirely
+// within the real-time interval [from, to] — the quantity Theorem 9 counts
+// ("each node has executed at least M full frames since T_s").
+func (r *AsyncResult) FullFrames(u topology.NodeID, from, to float64) int {
+	tl := r.Timelines[u]
+	f := tl.FirstFullFrameAfter(from)
+	count := 0
+	for {
+		_, end := tl.FrameInterval(f)
+		if end > to {
+			break
+		}
+		count++
+		f++
+	}
+	return count
+}
+
+// MinFullFrames returns the smallest per-node count of full frames within
+// [from, to] over all nodes.
+func (r *AsyncResult) MinFullFrames(from, to float64) int {
+	minCount := -1
+	for u := range r.Timelines {
+		c := r.FullFrames(topology.NodeID(u), from, to)
+		if minCount < 0 || c < minCount {
+			minCount = c
+		}
+	}
+	return minCount
+}

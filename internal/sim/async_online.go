@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"fmt"
+
+	"m2hew/internal/clock"
+	"m2hew/internal/metrics"
+	"m2hew/internal/radio"
+	"m2hew/internal/topology"
+)
+
+// RunAsyncOnline executes an asynchronous simulation with online delivery:
+// frames are generated lazily in global time order and every clear message
+// is delivered to its receiver's protocol before that protocol makes its
+// next frame decision.
+//
+// RunAsync pre-generates all frames, which is sound only for oblivious
+// protocols (the paper's algorithms). Adaptive protocols — notably the
+// termination-detection wrapper core.AsyncTerminating, whose behaviour
+// depends on what it has received — require this engine. For oblivious
+// protocols both engines produce identical coverage results (asserted by
+// differential tests), except when a loss model is active, whose erasure
+// draws are consumed in a different order.
+//
+// Scheduling invariant: node events (frame ends) are processed in global
+// time order; when the earliest unprocessed frame end belongs to node u,
+// every other node has generated frames covering that instant, so all
+// transmissions overlapping u's frame are known and the shared resolver can
+// run. Receptions are delivered at the receiving frame's end — the decode
+// point is the slot end, but the protocol can only act on it at its next
+// frame boundary, so delivering at frame end is behaviourally identical and
+// keeps per-node delivery order deterministic.
+func RunAsyncOnline(cfg AsyncConfig) (*AsyncResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	nw := cfg.Network
+	n := nw.N()
+	slotsPerFrame := cfg.SlotsPerFrame
+	if slotsPerFrame == 0 {
+		slotsPerFrame = 3
+	}
+
+	timelines := make([]*clock.Timeline, n)
+	env := &asyncEnv{
+		nw:            nw,
+		frames:        make([][]asyncFrame, n),
+		starts:        make([][]float64, n),
+		timelines:     timelines,
+		slotsPerFrame: slotsPerFrame,
+		loss:          cfg.Loss,
+	}
+	ts := 0.0
+	for u := 0; u < n; u++ {
+		nc := cfg.Nodes[u]
+		if nc.Start > ts {
+			ts = nc.Start
+		}
+		tl, err := clock.NewTimeline(nc.Start, cfg.FrameLen, slotsPerFrame, nc.Drift)
+		if err != nil {
+			return nil, fmt.Errorf("sim: node %d clock: %w", u, err)
+		}
+		timelines[u] = tl
+		env.frames[u] = make([]asyncFrame, 0, cfg.MaxFrames)
+		env.starts[u] = make([]float64, 0, cfg.MaxFrames)
+	}
+
+	// generate appends node u's next frame, asking its protocol for the
+	// decision. Returns false once the node hit its frame budget.
+	generate := func(u int) (float64, bool, error) {
+		f := len(env.frames[u])
+		if f >= cfg.MaxFrames {
+			return 0, false, nil
+		}
+		a := cfg.Nodes[u].Protocol.NextFrame(f)
+		if err := a.Validate(nw.Avail(topology.NodeID(u))); err != nil {
+			return 0, false, fmt.Errorf("sim: node %d frame %d: %w", u, f, err)
+		}
+		fs, fe := timelines[u].FrameInterval(f)
+		env.frames[u] = append(env.frames[u], asyncFrame{start: fs, end: fe, action: a})
+		env.starts[u] = append(env.starts[u], fs)
+		return fe, true, nil
+	}
+
+	// Prime every node with its first frame. nextEnd[u] is the end time of
+	// u's oldest unresolved frame; +Inf once exhausted.
+	const inf = 1e308
+	nextEnd := make([]float64, n)
+	pending := make([]int, n) // index of the oldest unresolved frame
+	for u := 0; u < n; u++ {
+		end, ok, err := generate(u)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			nextEnd[u] = inf
+			continue
+		}
+		nextEnd[u] = end
+	}
+
+	coverage := metrics.NewCoverage(nw.DiscoverableLinks())
+	result := &AsyncResult{Ts: ts, Coverage: coverage, Timelines: timelines}
+
+	for {
+		// Pop the earliest unresolved frame end.
+		u, best := -1, inf
+		for v := 0; v < n; v++ {
+			if nextEnd[v] < best {
+				best = nextEnd[v]
+				u = v
+			}
+		}
+		if u < 0 {
+			break // every node exhausted its budget
+		}
+		uid := topology.NodeID(u)
+		frameIdx := pending[u]
+		g := env.frames[u][frameIdx]
+
+		// Before resolving u's frame we must know every transmission
+		// overlapping it. All other nodes have an unresolved frame ending
+		// at or after g.end... except nodes that exhausted their budget,
+		// whose generated frames may end before g.end; transmissions after
+		// a node's horizon simply don't exist. Nodes still within budget
+		// always have a generated frame ending >= g.end by the pop order,
+		// and frames never skip time, so coverage of [g.start, g.end) is
+		// complete.
+		for _, d := range env.resolveFrame(uid, g) {
+			msg := radio.Message{From: d.from, Avail: nw.Avail(d.from).Clone()}
+			if hr, ok := cfg.Nodes[d.from].Protocol.(HeardReporter); ok {
+				msg.Heard = hr.Heard()
+			}
+			cfg.Nodes[d.to].Protocol.Deliver(msg)
+			coverage.Observe(topology.Link{From: d.from, To: d.to}, d.at)
+			if cfg.OnDeliver != nil {
+				cfg.OnDeliver(d.at, d.from, d.to, d.ch)
+			}
+		}
+		pending[u]++
+
+		// Generate u's next frame (its protocol has now seen everything it
+		// could have heard).
+		if pending[u] < len(env.frames[u]) {
+			// Shouldn't happen: we generate one frame ahead of resolution.
+			nextEnd[u] = env.frames[u][pending[u]].end
+			continue
+		}
+		end, ok, err := generate(u)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			nextEnd[u] = inf
+			continue
+		}
+		nextEnd[u] = end
+	}
+
+	if coverage.Complete() {
+		result.Complete = true
+		result.CompletionTime, _ = coverage.CompletionTime()
+	}
+	return result, nil
+}

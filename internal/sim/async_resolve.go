@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"sort"
+
+	"m2hew/internal/channel"
+	"m2hew/internal/clock"
+	"m2hew/internal/radio"
+	"m2hew/internal/topology"
+)
+
+// delivery is one resolved clear reception.
+type delivery struct {
+	at       float64
+	from, to topology.NodeID
+	ch       channel.ID
+}
+
+// asyncEnv bundles the state the frame-reception resolver reads. Both the
+// pre-generating engine (RunAsync) and the online engine (RunAsyncOnline)
+// resolve receptions through it, so the two implementations share the exact
+// reception semantics and can be differentially tested against each other.
+type asyncEnv struct {
+	nw            *topology.Network
+	frames        [][]asyncFrame
+	starts        [][]float64 // frame start times per node, for binary search
+	timelines     []*clock.Timeline
+	slotsPerFrame int
+	loss          *LossModel
+}
+
+// resolveFrame computes the clear receptions of node u during its listening
+// frame g:
+//
+//   - every transmission slot on g's channel from a neighbor that reaches u
+//     and overlaps g is collected (erased slots are dropped when a loss
+//     model is active);
+//   - a collected slot that lies entirely within g is received iff no slot
+//     from a different sender overlaps it (slots of the same sender never
+//     overlap each other);
+//   - at most one delivery per sender per frame is reported, at the end
+//     time of the earliest clear slot.
+//
+// Frames of neighbors must cover the real-time extent of g; the caller
+// guarantees this (RunAsync generates everything up front, RunAsyncOnline
+// maintains it as a scheduling invariant).
+func (env *asyncEnv) resolveFrame(uid topology.NodeID, g asyncFrame) []delivery {
+	if g.action.Mode != radio.Receive {
+		return nil
+	}
+	c := g.action.Channel
+	type txSlot struct {
+		start, end float64
+		from       topology.NodeID
+	}
+	var slots []txSlot
+	for _, w := range env.nw.Neighbors(uid) {
+		if !env.nw.Reaches(w, uid) {
+			continue
+		}
+		if !env.nw.Span(uid, w).Contains(c) {
+			continue
+		}
+		wf := env.frames[w]
+		// First frame of w possibly overlapping g: the one before the
+		// first frame starting at or after g.start.
+		idx := sort.SearchFloat64s(env.starts[w][:len(wf)], g.start)
+		if idx > 0 {
+			idx--
+		}
+		for ; idx < len(wf); idx++ {
+			fr := wf[idx]
+			if fr.start >= g.end {
+				break
+			}
+			if fr.end <= g.start {
+				continue
+			}
+			if fr.action.Mode != radio.Transmit || fr.action.Channel != c {
+				continue
+			}
+			for s := 0; s < env.slotsPerFrame; s++ {
+				ss, se := env.timelines[w].FrameSlotInterval(idx, s)
+				if se <= g.start || ss >= g.end {
+					continue
+				}
+				// Unreliable channels: the slot may fade at u.
+				if env.loss.erased() {
+					continue
+				}
+				slots = append(slots, txSlot{start: ss, end: se, from: w})
+			}
+		}
+	}
+	var out []delivery
+	delivered := make(map[topology.NodeID]bool)
+	for i, cand := range slots {
+		if delivered[cand.from] {
+			continue
+		}
+		if cand.start < g.start || cand.end > g.end {
+			continue // partially heard: cannot be decoded
+		}
+		clear := true
+		for j, other := range slots {
+			if i == j || other.from == cand.from {
+				continue
+			}
+			if other.start < cand.end && cand.start < other.end {
+				clear = false
+				break
+			}
+		}
+		if clear {
+			delivered[cand.from] = true
+			out = append(out, delivery{at: cand.end, from: cand.from, to: uid, ch: c})
+		}
+	}
+	return out
+}

@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"m2hew/internal/clock"
+	"m2hew/internal/rng"
+)
+
+func idealTimeline(t *testing.T, start float64) *clock.Timeline {
+	t.Helper()
+	tl, err := clock.NewTimeline(start, 3, 3, clock.Ideal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl
+}
+
+func driftTimeline(t *testing.T, start, delta float64, seed uint64) *clock.Timeline {
+	t.Helper()
+	w, err := clock.NewRandomWalk(delta, delta/3+0.001, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := clock.NewTimeline(start, 3, 3, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl
+}
+
+func TestAlignedIdenticalClocks(t *testing.T) {
+	a := idealTimeline(t, 0)
+	b := idealTimeline(t, 0)
+	// Identical frames: trivially aligned (all slots contained).
+	if !Aligned(a, 0, b, 0) {
+		t.Fatal("identical frames not aligned")
+	}
+	if !Aligned(a, 5, b, 5) {
+		t.Fatal("identical later frames not aligned")
+	}
+	// Disjoint frames are not aligned.
+	if Aligned(a, 0, b, 1) {
+		t.Fatal("disjoint frames aligned")
+	}
+}
+
+func TestAlignedHalfFrameOffset(t *testing.T) {
+	// Offset 1.5 with frame length 3, slots of 1: frame a0 = [0,3), slots
+	// [0,1),[1,2),[2,3). Frame b0 = [1.5,4.5). Slot [2,3) ⊂ [1.5,4.5):
+	// aligned.
+	a := idealTimeline(t, 0)
+	b := idealTimeline(t, 1.5)
+	if !Aligned(a, 0, b, 0) {
+		t.Fatal("half-offset frames should be aligned")
+	}
+	// Reverse direction: b0's slots [1.5,2.5),[2.5,3.5),[3.5,4.5); frame
+	// a0 = [0,3) contains [1.5,2.5): aligned.
+	if !Aligned(b, 0, a, 0) {
+		t.Fatal("reverse half-offset frames should be aligned")
+	}
+}
+
+func TestAlignedSlotOffsetBoundary(t *testing.T) {
+	// Offset exactly one slot: a's slot [1,2) coincides with b frame
+	// boundary region. b0 = [1,4): a0 slots [1,2) and [2,3) contained.
+	a := idealTimeline(t, 0)
+	b := idealTimeline(t, 1)
+	if !Aligned(a, 0, b, 0) {
+		t.Fatal("one-slot-offset frames should be aligned")
+	}
+}
+
+func TestOverlappingFramesIdeal(t *testing.T) {
+	a := idealTimeline(t, 0)
+	b := idealTimeline(t, 0)
+	// Same phase: each frame overlaps exactly its counterpart.
+	got := OverlappingFrames(a, 2, b)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("same-phase overlap = %v, want [2]", got)
+	}
+	// Offset phase: each frame overlaps two frames of the other.
+	c := idealTimeline(t, 1.5)
+	got = OverlappingFrames(a, 2, c)
+	if len(got) != 2 {
+		t.Fatalf("offset overlap = %v, want 2 frames", got)
+	}
+}
+
+func TestOverlappingFramesFirstFrame(t *testing.T) {
+	// Frame 0 of a late starter overlaps the early starter's frames
+	// correctly (regression guard for the step-back logic at index 0).
+	a := idealTimeline(t, 10)
+	b := idealTimeline(t, 0)
+	got := OverlappingFrames(a, 0, b) // a frame 0 = [10,13); b frames [9,12),[12,15)
+	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("overlap = %v, want [3 4]", got)
+	}
+}
+
+func TestLemma4MaxOverlapBound(t *testing.T) {
+	// Lemma 4: with drift ≤ 1/7, a frame overlaps at most 3 frames of any
+	// other node. Stress with adversarial alternating drift in opposite
+	// phases.
+	mk := func(invert bool, start float64) *clock.Timeline {
+		alt, err := clock.NewAlternating(clock.MaxAsyncDrift, 4, invert)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tl, err := clock.NewTimeline(start, 3, 3, alt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tl
+	}
+	a := mk(false, 0)
+	b := mk(true, 1.7)
+	if got := MaxOverlap(a, b, 400); got > 3 {
+		t.Fatalf("Lemma 4 violated: max overlap %d > 3", got)
+	}
+	if got := MaxOverlap(b, a, 400); got > 3 {
+		t.Fatalf("Lemma 4 violated (reverse): max overlap %d > 3", got)
+	}
+}
+
+func TestLemma4ViolatedAboveOneThird(t *testing.T) {
+	// The Lemma 4 proof needs δ ≤ 1/3; with δ = 0.45 and opposite constant
+	// drifts a frame can contain ≥ 2 full frames of the other clock, i.e.
+	// overlap 4. This validates that the audit can detect violations.
+	slow, err := clock.NewTimeline(0, 3, 3, clock.Constant(-0.45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := clock.NewTimeline(0, 3, 3, clock.Constant(0.45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := MaxOverlap(slow, fast, 300); got <= 3 {
+		t.Fatalf("expected Lemma 4 violation at δ=0.45, max overlap %d", got)
+	}
+}
+
+func TestLemma7AlignedPairExists(t *testing.T) {
+	// For arbitrary start offsets and drift ≤ 1/7, an aligned pair exists
+	// among the first two full frames of each node after any T ≥ T_s (the
+	// lemma presupposes both nodes have started by T).
+	err := quick.Check(func(seedA, seedB uint64, offRaw, tRaw uint8) bool {
+		offset := float64(offRaw) / 17.0
+		tQuery := offset + float64(tRaw)/3.0
+		a := driftTimelineQ(seedA, 0)
+		b := driftTimelineQ(seedB, offset)
+		_, ok := FindAlignedPairAfter(a, b, tQuery)
+		return ok
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// driftTimelineQ builds a δ=1/7 random-walk timeline without *testing.T for
+// property functions.
+func driftTimelineQ(seed uint64, start float64) *clock.Timeline {
+	w, err := clock.NewRandomWalk(clock.MaxAsyncDrift, 0.05, rng.New(seed))
+	if err != nil {
+		panic(err)
+	}
+	tl, err := clock.NewTimeline(start, 3, 3, w)
+	if err != nil {
+		panic(err)
+	}
+	return tl
+}
+
+func TestLemma7CanFailAboveBound(t *testing.T) {
+	// At δ = 0.45 with opposite constant drifts, alignment within the
+	// Lemma 7 window is no longer guaranteed. Find at least one T where it
+	// fails, demonstrating Assumption 1 is load-bearing.
+	slow, err := clock.NewTimeline(0, 3, 3, clock.Constant(-0.45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := clock.NewTimeline(0.3, 3, 3, clock.Constant(0.45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	failures := 0
+	for i := 0; i < 200; i++ {
+		if _, ok := FindAlignedPairAfter(slow, fast, float64(i)*0.7); !ok {
+			failures++
+		}
+	}
+	if failures == 0 {
+		t.Fatal("expected some Lemma 7 failures at δ=0.45; audit may be vacuous")
+	}
+}
+
+func TestAdmissibleSequenceConstruction(t *testing.T) {
+	a := driftTimeline(t, 0, clock.MaxAsyncDrift, 1)
+	b := driftTimeline(t, 2.2, clock.MaxAsyncDrift, 2)
+	const budget = 600
+	seq := AdmissibleSequence(a, b, 0, budget)
+	if len(seq) == 0 {
+		t.Fatal("empty admissible sequence")
+	}
+	if violation := CheckAdmissible(a, b, seq); violation != 0 {
+		t.Fatalf("sequence violates admissibility condition %d", violation)
+	}
+	// Lemma 8: from M full frames of both nodes the construction yields at
+	// least M/6 admissible pairs. Frame budget 600 on both ⇒ ≥ 100.
+	if len(seq) < budget/6 {
+		t.Fatalf("sequence length %d < budget/6 = %d", len(seq), budget/6)
+	}
+}
+
+func TestAdmissibleSequenceIdealClocks(t *testing.T) {
+	a := idealTimeline(t, 0)
+	b := idealTimeline(t, 0)
+	seq := AdmissibleSequence(a, b, 0, 300)
+	if violation := CheckAdmissible(a, b, seq); violation != 0 {
+		t.Fatalf("ideal-clock sequence violates condition %d", violation)
+	}
+	if len(seq) < 300/6 {
+		t.Fatalf("ideal-clock sequence too short: %d", len(seq))
+	}
+}
+
+func TestCheckAdmissibleDetectsViolations(t *testing.T) {
+	a := idealTimeline(t, 0)
+	b := idealTimeline(t, 0)
+	// Condition 3: non-aligned pair.
+	if v := CheckAdmissible(a, b, []FramePair{{V: 0, U: 5}}); v != 3 {
+		t.Fatalf("non-aligned pair: violation %d, want 3", v)
+	}
+	// Condition 2: non-increasing indexes (the repeated pair is aligned, so
+	// the precedence check is the one that fires).
+	if v := CheckAdmissible(a, b, []FramePair{{V: 5, U: 5}, {V: 5, U: 5}}); v != 2 {
+		t.Fatalf("non-advancing pair: violation %d, want 2", v)
+	}
+	// Condition 4: consecutive receiver frames too close (adjacent frames
+	// of u are overlapped by... adjacent ideal frames share only
+	// boundaries, so use the same frame twice? that hits condition 2.
+	// Instead use consecutive frames g and g+1: a frame of v that overlaps
+	// both requires drift; with ideal clocks same phase none exists, so
+	// conditions hold:
+	if v := CheckAdmissible(a, b, []FramePair{{V: 1, U: 1}, {V: 2, U: 2}}); v != 0 {
+		t.Fatalf("adjacent ideal pairs: violation %d, want 0", v)
+	}
+	// With an offset third... simulate via offset timeline pair where a
+	// frame of v straddles receiver frames g and g+1.
+	c := idealTimeline(t, 1.5) // frames straddle b's boundaries
+	if v := CheckAdmissible(c, b, []FramePair{{V: 1, U: 1}, {V: 2, U: 2}}); v != 4 {
+		t.Fatalf("straddling transmitter: violation %d, want 4", v)
+	}
+}
+
+func TestAdmissibleSequenceStopsAtBudget(t *testing.T) {
+	a := idealTimeline(t, 0)
+	b := idealTimeline(t, 0)
+	seq := AdmissibleSequence(a, b, 0, 30)
+	for _, p := range seq {
+		if p.V >= 30 || p.U >= 30 {
+			t.Fatalf("pair %+v beyond frame budget", p)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"testing"
+
+	"m2hew/internal/clock"
+	"m2hew/internal/core"
+	"m2hew/internal/rng"
+	"m2hew/internal/topology"
+)
+
+// benchNetwork builds a 30-node CR-ish network for engine throughput
+// benchmarks.
+func benchNetwork(b *testing.B) *topology.Network {
+	b.Helper()
+	r := rng.New(1)
+	nw, err := topology.GeometricConnected(30, 0.35, r, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := topology.AssignUniformK(nw, 8, 4, r); err != nil {
+		b.Fatal(err)
+	}
+	return nw
+}
+
+func BenchmarkRunSync(b *testing.B) {
+	nw := benchNetwork(b)
+	params := nw.ComputeParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root := rng.New(uint64(i) + 1)
+		protos := make([]SyncProtocol, nw.N())
+		for u := 0; u < nw.N(); u++ {
+			p, err := core.NewSyncUniform(nw.Avail(topology.NodeID(u)), params.Delta, root.Split())
+			if err != nil {
+				b.Fatal(err)
+			}
+			protos[u] = p
+		}
+		res, err := RunSync(SyncConfig{
+			Network:       nw,
+			Protocols:     protos,
+			MaxSlots:      2000,
+			RunToMaxSlots: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.SlotsSimulated), "slots")
+	}
+}
+
+func benchAsyncNodes(b *testing.B, nw *topology.Network, deltaEst int, seed uint64) []AsyncNode {
+	b.Helper()
+	root := rng.New(seed)
+	nodes := make([]AsyncNode, nw.N())
+	for u := 0; u < nw.N(); u++ {
+		p, err := core.NewAsync(nw.Avail(topology.NodeID(u)), deltaEst, root.Split())
+		if err != nil {
+			b.Fatal(err)
+		}
+		drift, err := clock.NewRandomWalk(clock.MaxAsyncDrift, 0.02, root.Split())
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes[u] = AsyncNode{Protocol: p, Start: root.Float64() * 10, Drift: drift}
+	}
+	return nodes
+}
+
+func BenchmarkRunAsync(b *testing.B) {
+	nw := benchNetwork(b)
+	params := nw.ComputeParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunAsync(AsyncConfig{
+			Network:   nw,
+			Nodes:     benchAsyncNodes(b, nw, params.Delta, uint64(i)+1),
+			FrameLen:  3,
+			MaxFrames: 800,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+func BenchmarkRunAsyncOnline(b *testing.B) {
+	nw := benchNetwork(b)
+	params := nw.ComputeParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunAsyncOnline(AsyncConfig{
+			Network:   nw,
+			Nodes:     benchAsyncNodes(b, nw, params.Delta, uint64(i)+1),
+			FrameLen:  3,
+			MaxFrames: 800,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+func BenchmarkAdmissibleSequence(b *testing.B) {
+	w1, err := clock.NewRandomWalk(clock.MaxAsyncDrift, 0.03, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w2, err := clock.NewRandomWalk(clock.MaxAsyncDrift, 0.03, rng.New(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := clock.NewTimeline(0, 3, 3, w1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := clock.NewTimeline(1.7, 3, 3, w2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq := AdmissibleSequence(a, c, 0, 500)
+		if len(seq) == 0 {
+			b.Fatal("empty sequence")
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"fmt"
+
+	"m2hew/internal/rng"
+)
+
+// LossModel models unreliable channels — extension (b) in the paper's
+// Section V. Each transmission that would otherwise arrive at a receiver is
+// independently erased there with probability Prob, modeling deep fades:
+// an erased transmission neither delivers a message nor interferes with
+// other transmissions at that receiver (the receiver simply never sees its
+// energy).
+//
+// Erasures are independent across receivers (a transmission may fade at one
+// neighbor and be heard by another) and, in the asynchronous engine, are
+// drawn independently per (receiver listening frame, transmission slot).
+//
+// A nil *LossModel means reliable channels.
+type LossModel struct {
+	// Prob is the per-reception erasure probability in [0, 1).
+	Prob float64
+	// Rng drives the erasure draws; the engine consumes it in a
+	// deterministic order, so runs remain reproducible.
+	Rng *rng.Source
+}
+
+// NewLossModel validates and builds a loss model.
+func NewLossModel(prob float64, r *rng.Source) (*LossModel, error) {
+	if prob < 0 || prob >= 1 {
+		return nil, fmt.Errorf("sim: loss probability %v outside [0,1)", prob)
+	}
+	if prob > 0 && r == nil {
+		return nil, fmt.Errorf("sim: loss model needs a random source")
+	}
+	return &LossModel{Prob: prob, Rng: r}, nil
+}
+
+// erased draws one erasure decision; safe on a nil model.
+func (l *LossModel) erased() bool {
+	if l == nil || l.Prob <= 0 {
+		return false
+	}
+	return l.Rng.Bernoulli(l.Prob)
+}

@@ -1,0 +1,208 @@
+// Package sim provides the two simulation engines that execute discovery
+// protocols on a network: a synchronous slotted engine and an asynchronous
+// real-time engine driven by drifting per-node clocks.
+//
+// Both engines implement the paper's communication semantics exactly:
+//
+//   - Half duplex: a node in transmit mode receives nothing.
+//   - No collision detection: a listener with two or more of its neighbors
+//     transmitting on its channel hears only noise.
+//   - Channel-scoped propagation: node v's transmission on channel c reaches
+//     node u iff v is a neighbor of u and c ∈ span(u,v). Non-neighbors never
+//     interfere (interference range equals communication range).
+//
+// Engines drive protocols through narrow interfaces (SyncProtocol,
+// AsyncProtocol) and report results through metrics.Coverage. Because the
+// paper's protocols never adapt their transmission schedule to what they
+// receive, the asynchronous engine may pre-generate all frame decisions and
+// then resolve receptions chronologically; this is noted where relied upon.
+package sim
+
+import (
+	"fmt"
+
+	"m2hew/internal/channel"
+	"m2hew/internal/metrics"
+	"m2hew/internal/radio"
+	"m2hew/internal/topology"
+)
+
+// HeardReporter is optionally implemented by protocols that piggyback
+// their discovered in-neighbor list on outgoing messages (the
+// acknowledgment extension for asymmetric graphs, core.Acknowledging).
+// Engines query it at delivery time, so the list reflects everything the
+// sender had heard before the delivered transmission.
+type HeardReporter interface {
+	Heard() []topology.NodeID
+}
+
+// SyncProtocol is a per-node protocol driven by the synchronous engine.
+// Step is called once per slot with the node-local slot index (0 on the
+// node's first active slot); Deliver is called for each clear message the
+// node receives.
+type SyncProtocol interface {
+	Step(localSlot int) radio.Action
+	Deliver(msg radio.Message)
+}
+
+// SyncConfig configures a synchronous run.
+type SyncConfig struct {
+	// Network is the topology with channel assignment; required.
+	Network *topology.Network
+	// Protocols holds one protocol per node, indexed by NodeID; required.
+	Protocols []SyncProtocol
+	// StartSlots optionally delays nodes: node u is quiet before slot
+	// StartSlots[u] and calls Step with localSlot = slot − StartSlots[u]
+	// afterwards. Nil means all nodes start at slot 0.
+	StartSlots []int
+	// MaxSlots bounds the simulation; required, > 0.
+	MaxSlots int
+	// RunToMaxSlots keeps simulating after full coverage (used by
+	// experiments that audit steady-state behaviour). Default is to stop at
+	// completion.
+	RunToMaxSlots bool
+	// Loss, if non-nil, erases arriving transmissions per receiver with the
+	// model's probability (unreliable channels).
+	Loss *LossModel
+	// OnDeliver, if non-nil, observes every clear reception.
+	OnDeliver func(slot int, from, to topology.NodeID, ch channel.ID)
+	// OnSlot, if non-nil, observes every slot's actions (indexed by node).
+	OnSlot func(slot int, actions []radio.Action)
+}
+
+// SyncResult reports a synchronous run.
+type SyncResult struct {
+	// Complete is true when every discoverable link was covered.
+	Complete bool
+	// CompletionSlot is the 0-based global slot during which the last link
+	// was covered; valid only when Complete.
+	CompletionSlot int
+	// SlotsSimulated is the number of slots executed.
+	SlotsSimulated int
+	// Coverage is the oracle's link coverage record (times are slot
+	// indexes).
+	Coverage *metrics.Coverage
+}
+
+func (c *SyncConfig) validate() error {
+	if c.Network == nil {
+		return fmt.Errorf("sim: sync config missing network")
+	}
+	n := c.Network.N()
+	if len(c.Protocols) != n {
+		return fmt.Errorf("sim: %d protocols for %d nodes", len(c.Protocols), n)
+	}
+	for u, p := range c.Protocols {
+		if p == nil {
+			return fmt.Errorf("sim: protocol for node %d is nil", u)
+		}
+	}
+	if c.StartSlots != nil && len(c.StartSlots) != n {
+		return fmt.Errorf("sim: %d start slots for %d nodes", len(c.StartSlots), n)
+	}
+	for u, s := range c.StartSlots {
+		if s < 0 {
+			return fmt.Errorf("sim: node %d has negative start slot %d", u, s)
+		}
+	}
+	if c.MaxSlots <= 0 {
+		return fmt.Errorf("sim: max slots %d must be positive", c.MaxSlots)
+	}
+	return nil
+}
+
+// RunSync executes a synchronous simulation. It returns an error for
+// configuration mistakes and for protocol actions that violate the radio
+// model (e.g. tuning outside the node's available set).
+func RunSync(cfg SyncConfig) (*SyncResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	nw := cfg.Network
+	n := nw.N()
+	coverage := metrics.NewCoverage(nw.DiscoverableLinks())
+
+	actions := make([]radio.Action, n)
+	// txOn maps channel -> transmitting nodes this slot; reused across
+	// slots. Listener resolution walks the listener's neighbors rather than
+	// this map, but the map prunes slots with no transmitter on a channel.
+	result := &SyncResult{Coverage: coverage}
+
+	for slot := 0; slot < cfg.MaxSlots; slot++ {
+		// Phase 1: collect actions.
+		for u := 0; u < n; u++ {
+			start := 0
+			if cfg.StartSlots != nil {
+				start = cfg.StartSlots[u]
+			}
+			if slot < start {
+				actions[u] = radio.Action{Mode: radio.Quiet}
+				continue
+			}
+			a := cfg.Protocols[u].Step(slot - start)
+			if err := a.Validate(nw.Avail(topology.NodeID(u))); err != nil {
+				return nil, fmt.Errorf("sim: node %d slot %d: %w", u, slot, err)
+			}
+			actions[u] = a
+		}
+		if cfg.OnSlot != nil {
+			cfg.OnSlot(slot, actions)
+		}
+
+		// Phase 2: resolve receptions per listener.
+		for u := 0; u < n; u++ {
+			if actions[u].Mode != radio.Receive {
+				continue
+			}
+			c := actions[u].Channel
+			var sender topology.NodeID
+			senders := 0
+			for _, v := range nw.Neighbors(topology.NodeID(u)) {
+				if actions[v].Mode != radio.Transmit || actions[v].Channel != c {
+					continue
+				}
+				// The transmission arrives only if the v→u direction exists
+				// (asymmetric graphs) and the link operates on c.
+				if !nw.Reaches(v, topology.NodeID(u)) {
+					continue
+				}
+				if !nw.Span(topology.NodeID(u), v).Contains(c) {
+					continue
+				}
+				// Unreliable channels: the transmission may fade at u.
+				if cfg.Loss.erased() {
+					continue
+				}
+				senders++
+				sender = v
+				if senders > 1 {
+					break // collision; no need to scan further
+				}
+			}
+			if senders != 1 {
+				continue // silence or collision: the node hears nothing useful
+			}
+			msg := radio.Message{From: sender, Avail: nw.Avail(sender).Clone()}
+			if hr, ok := cfg.Protocols[sender].(HeardReporter); ok {
+				msg.Heard = hr.Heard()
+			}
+			cfg.Protocols[u].Deliver(msg)
+			coverage.Observe(topology.Link{From: sender, To: topology.NodeID(u)}, float64(slot))
+			if cfg.OnDeliver != nil {
+				cfg.OnDeliver(slot, sender, topology.NodeID(u), c)
+			}
+		}
+
+		result.SlotsSimulated = slot + 1
+		if coverage.Complete() && !cfg.RunToMaxSlots {
+			break
+		}
+	}
+
+	if coverage.Complete() {
+		result.Complete = true
+		at, _ := coverage.CompletionTime()
+		result.CompletionSlot = int(at)
+	}
+	return result, nil
+}

@@ -1,0 +1,417 @@
+package sim
+
+import (
+	"testing"
+
+	"m2hew/internal/channel"
+	"m2hew/internal/core"
+	"m2hew/internal/radio"
+	"m2hew/internal/rng"
+	"m2hew/internal/topology"
+)
+
+// scriptSync is a deterministic protocol for unit-testing engine semantics:
+// it plays back a fixed list of actions (repeating the last one) and records
+// deliveries.
+type scriptSync struct {
+	actions   []radio.Action
+	delivered []radio.Message
+}
+
+func (s *scriptSync) Step(localSlot int) radio.Action {
+	if localSlot < len(s.actions) {
+		return s.actions[localSlot]
+	}
+	if len(s.actions) == 0 {
+		return radio.Action{Mode: radio.Quiet}
+	}
+	return s.actions[len(s.actions)-1]
+}
+
+func (s *scriptSync) Deliver(msg radio.Message) {
+	s.delivered = append(s.delivered, msg)
+}
+
+func tx(c channel.ID) radio.Action { return radio.Action{Mode: radio.Transmit, Channel: c} }
+func rx(c channel.ID) radio.Action { return radio.Action{Mode: radio.Receive, Channel: c} }
+func quiet() radio.Action          { return radio.Action{Mode: radio.Quiet} }
+
+// pairNet builds a 2-node network where both nodes have the given sets.
+func pairNet(t *testing.T, a, b channel.Set) *topology.Network {
+	t.Helper()
+	nw, err := topology.Pair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.SetAvail(0, a)
+	nw.SetAvail(1, b)
+	return nw
+}
+
+func TestSyncConfigValidation(t *testing.T) {
+	nw := pairNet(t, channel.NewSet(0), channel.NewSet(0))
+	good := func() SyncConfig {
+		return SyncConfig{
+			Network:   nw,
+			Protocols: []SyncProtocol{&scriptSync{}, &scriptSync{}},
+			MaxSlots:  10,
+		}
+	}
+	if _, err := RunSync(good()); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := map[string]func(*SyncConfig){
+		"nil network":    func(c *SyncConfig) { c.Network = nil },
+		"protocol count": func(c *SyncConfig) { c.Protocols = c.Protocols[:1] },
+		"nil protocol":   func(c *SyncConfig) { c.Protocols[1] = nil },
+		"start count":    func(c *SyncConfig) { c.StartSlots = []int{0} },
+		"negative start": func(c *SyncConfig) { c.StartSlots = []int{0, -1} },
+		"zero max slots": func(c *SyncConfig) { c.MaxSlots = 0 },
+		"negative slots": func(c *SyncConfig) { c.MaxSlots = -5 },
+	}
+	for name, mutate := range cases {
+		cfg := good()
+		mutate(&cfg)
+		if _, err := RunSync(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSyncCleanReception(t *testing.T) {
+	nw := pairNet(t, channel.NewSet(3, 4), channel.NewSet(3, 5))
+	sender := &scriptSync{actions: []radio.Action{tx(3)}}
+	receiver := &scriptSync{actions: []radio.Action{rx(3)}}
+	res, err := RunSync(SyncConfig{
+		Network:   nw,
+		Protocols: []SyncProtocol{sender, receiver},
+		MaxSlots:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(receiver.delivered) != 1 {
+		t.Fatalf("receiver got %d messages, want 1", len(receiver.delivered))
+	}
+	msg := receiver.delivered[0]
+	if msg.From != 0 {
+		t.Fatalf("message from %d, want 0", msg.From)
+	}
+	if !msg.Avail.Equal(channel.NewSet(3, 4)) {
+		t.Fatalf("message avail %v, want {3,4}", msg.Avail)
+	}
+	if len(sender.delivered) != 0 {
+		t.Fatal("half duplex violated: transmitter received")
+	}
+	// Coverage: link (0,1) covered, (1,0) not.
+	if _, ok := res.Coverage.FirstCovered(topology.Link{From: 0, To: 1}); !ok {
+		t.Fatal("link (0,1) not covered")
+	}
+	if _, ok := res.Coverage.FirstCovered(topology.Link{From: 1, To: 0}); ok {
+		t.Fatal("link (1,0) spuriously covered")
+	}
+}
+
+func TestSyncNoReceptionAcrossChannels(t *testing.T) {
+	nw := pairNet(t, channel.NewSet(1, 2), channel.NewSet(1, 2))
+	sender := &scriptSync{actions: []radio.Action{tx(1)}}
+	receiver := &scriptSync{actions: []radio.Action{rx(2)}}
+	if _, err := RunSync(SyncConfig{
+		Network:   nw,
+		Protocols: []SyncProtocol{sender, receiver},
+		MaxSlots:  1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(receiver.delivered) != 0 {
+		t.Fatal("received across different channels")
+	}
+}
+
+func TestSyncCollision(t *testing.T) {
+	// Star: hub 0 with leaves 1, 2. Both leaves transmit on the same
+	// channel; hub hears noise.
+	nw, err := topology.Star(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := channel.NewSet(0)
+	for u := 0; u < 3; u++ {
+		nw.SetAvail(topology.NodeID(u), all)
+	}
+	hub := &scriptSync{actions: []radio.Action{rx(0)}}
+	leaf1 := &scriptSync{actions: []radio.Action{tx(0)}}
+	leaf2 := &scriptSync{actions: []radio.Action{tx(0)}}
+	if _, err := RunSync(SyncConfig{
+		Network:   nw,
+		Protocols: []SyncProtocol{hub, leaf1, leaf2},
+		MaxSlots:  1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(hub.delivered) != 0 {
+		t.Fatal("collision delivered a message")
+	}
+}
+
+func TestSyncNonNeighborDoesNotInterfere(t *testing.T) {
+	// Line 0—1—2: nodes 0 and 2 both transmit on channel 0; node 1 hears a
+	// collision. But on a 4-node line 0—1—2—3, node 3's transmission does
+	// not reach node 1, so node 0's transmission is received cleanly by 1.
+	nw, err := topology.Line(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := channel.NewSet(0)
+	for u := 0; u < 4; u++ {
+		nw.SetAvail(topology.NodeID(u), all)
+	}
+	n0 := &scriptSync{actions: []radio.Action{tx(0)}}
+	n1 := &scriptSync{actions: []radio.Action{rx(0)}}
+	n2 := &scriptSync{actions: []radio.Action{rx(0)}}
+	n3 := &scriptSync{actions: []radio.Action{tx(0)}}
+	if _, err := RunSync(SyncConfig{
+		Network:   nw,
+		Protocols: []SyncProtocol{n0, n1, n2, n3},
+		MaxSlots:  1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 hears 0 and... its neighbors are 0 and 2; 2 listens, so only 0
+	// transmits among 1's neighbors: clean.
+	if len(n1.delivered) != 1 || n1.delivered[0].From != 0 {
+		t.Fatalf("node 1 deliveries: %+v", n1.delivered)
+	}
+	// Node 2's neighbors are 1 (listening) and 3 (transmitting): clean from 3.
+	if len(n2.delivered) != 1 || n2.delivered[0].From != 3 {
+		t.Fatalf("node 2 deliveries: %+v", n2.delivered)
+	}
+}
+
+func TestSyncSpanRestrictionBlocksReception(t *testing.T) {
+	// Both nodes share channels {0,1} but the link is restricted to {1}
+	// (diverse propagation): a transmission on 0 neither delivers nor
+	// interferes.
+	nw := pairNet(t, channel.NewSet(0, 1), channel.NewSet(0, 1))
+	if err := nw.RestrictSpan(0, 1, channel.NewSet(1)); err != nil {
+		t.Fatal(err)
+	}
+	sender := &scriptSync{actions: []radio.Action{tx(0), tx(1)}}
+	receiver := &scriptSync{actions: []radio.Action{rx(0), rx(1)}}
+	if _, err := RunSync(SyncConfig{
+		Network:       nw,
+		Protocols:     []SyncProtocol{sender, receiver},
+		MaxSlots:      2,
+		RunToMaxSlots: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(receiver.delivered) != 1 {
+		t.Fatalf("deliveries = %d, want 1 (only the on-span slot)", len(receiver.delivered))
+	}
+}
+
+func TestSyncStartSlotsDelayNodes(t *testing.T) {
+	nw := pairNet(t, channel.NewSet(0), channel.NewSet(0))
+	sender := &scriptSync{actions: []radio.Action{tx(0)}}
+	receiver := &scriptSync{actions: []radio.Action{rx(0)}}
+	res, err := RunSync(SyncConfig{
+		Network:    nw,
+		Protocols:  []SyncProtocol{sender, receiver},
+		StartSlots: []int{0, 5}, // receiver silent before slot 5
+		MaxSlots:   10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, ok := res.Coverage.FirstCovered(topology.Link{From: 0, To: 1})
+	if !ok {
+		t.Fatal("link never covered")
+	}
+	if at != 5 {
+		t.Fatalf("covered at slot %v, want 5 (receiver start)", at)
+	}
+}
+
+func TestSyncInvalidActionRejected(t *testing.T) {
+	nw := pairNet(t, channel.NewSet(0), channel.NewSet(0))
+	bad := &scriptSync{actions: []radio.Action{tx(7)}} // channel 7 not available
+	other := &scriptSync{actions: []radio.Action{rx(0)}}
+	if _, err := RunSync(SyncConfig{
+		Network:   nw,
+		Protocols: []SyncProtocol{bad, other},
+		MaxSlots:  1,
+	}); err == nil {
+		t.Fatal("out-of-set transmission accepted")
+	}
+}
+
+func TestSyncStopsAtCompletion(t *testing.T) {
+	nw := pairNet(t, channel.NewSet(0), channel.NewSet(0))
+	// Alternate roles: slot 0 covers (0,1), slot 1 covers (1,0).
+	p0 := &scriptSync{actions: []radio.Action{tx(0), rx(0)}}
+	p1 := &scriptSync{actions: []radio.Action{rx(0), tx(0)}}
+	res, err := RunSync(SyncConfig{
+		Network:   nw,
+		Protocols: []SyncProtocol{p0, p1},
+		MaxSlots:  100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("run incomplete")
+	}
+	if res.CompletionSlot != 1 {
+		t.Fatalf("completion slot %d, want 1", res.CompletionSlot)
+	}
+	if res.SlotsSimulated != 2 {
+		t.Fatalf("simulated %d slots, want 2 (stop at completion)", res.SlotsSimulated)
+	}
+}
+
+func TestSyncRunToMaxSlots(t *testing.T) {
+	nw := pairNet(t, channel.NewSet(0), channel.NewSet(0))
+	p0 := &scriptSync{actions: []radio.Action{tx(0), rx(0)}}
+	p1 := &scriptSync{actions: []radio.Action{rx(0), tx(0)}}
+	res, err := RunSync(SyncConfig{
+		Network:       nw,
+		Protocols:     []SyncProtocol{p0, p1},
+		MaxSlots:      50,
+		RunToMaxSlots: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SlotsSimulated != 50 {
+		t.Fatalf("simulated %d slots, want 50", res.SlotsSimulated)
+	}
+	if !res.Complete {
+		t.Fatal("run incomplete")
+	}
+}
+
+func TestSyncOnHooks(t *testing.T) {
+	nw := pairNet(t, channel.NewSet(0), channel.NewSet(0))
+	p0 := &scriptSync{actions: []radio.Action{tx(0)}}
+	p1 := &scriptSync{actions: []radio.Action{rx(0)}}
+	slotCalls, deliverCalls := 0, 0
+	_, err := RunSync(SyncConfig{
+		Network:       nw,
+		Protocols:     []SyncProtocol{p0, p1},
+		MaxSlots:      3,
+		RunToMaxSlots: true,
+		OnSlot: func(slot int, actions []radio.Action) {
+			slotCalls++
+			if len(actions) != 2 {
+				t.Errorf("OnSlot saw %d actions", len(actions))
+			}
+		},
+		OnDeliver: func(slot int, from, to topology.NodeID, ch channel.ID) {
+			deliverCalls++
+			if from != 0 || to != 1 || ch != 0 {
+				t.Errorf("OnDeliver(%d, %d->%d, ch %d)", slot, from, to, ch)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slotCalls != 3 {
+		t.Fatalf("OnSlot called %d times, want 3", slotCalls)
+	}
+	if deliverCalls != 3 {
+		t.Fatalf("OnDeliver called %d times, want 3", deliverCalls)
+	}
+}
+
+func TestSyncMessageAvailIsIsolated(t *testing.T) {
+	nw := pairNet(t, channel.NewSet(0, 4), channel.NewSet(0))
+	sender := &scriptSync{actions: []radio.Action{tx(0)}}
+	receiver := &scriptSync{actions: []radio.Action{rx(0)}}
+	if _, err := RunSync(SyncConfig{
+		Network:   nw,
+		Protocols: []SyncProtocol{sender, receiver},
+		MaxSlots:  1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := receiver.delivered[0].Avail
+	got.Add(60)
+	if nw.Avail(0).Contains(60) {
+		t.Fatal("message aliased network channel set")
+	}
+}
+
+func TestSyncIntegrationUniformProtocolCompletes(t *testing.T) {
+	// Real Algorithm 3 on a 5-clique with 3 common channels must discover
+	// everything well within the analytic bound.
+	nw, err := topology.Clique(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topology.AssignHomogeneous(nw, 3); err != nil {
+		t.Fatal(err)
+	}
+	root := rng.New(77)
+	protos := make([]SyncProtocol, nw.N())
+	for u := 0; u < nw.N(); u++ {
+		p, err := core.NewSyncUniform(nw.Avail(topology.NodeID(u)), 4, root.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		protos[u] = p
+	}
+	res, err := RunSync(SyncConfig{Network: nw, Protocols: protos, MaxSlots: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatalf("algorithm 3 did not complete in 20000 slots; %s", res.Coverage)
+	}
+	// Node tables must agree with the oracle.
+	for u := 0; u < nw.N(); u++ {
+		table := protos[u].(*core.SyncUniform).Neighbors()
+		for _, v := range nw.Neighbors(topology.NodeID(u)) {
+			common, ok := table.Common(v)
+			if !ok {
+				t.Fatalf("node %d missing neighbor %d", u, v)
+			}
+			if !common.Equal(nw.Span(topology.NodeID(u), v)) {
+				t.Fatalf("node %d neighbor %d common %v, want %v", u, v, common, nw.Span(topology.NodeID(u), v))
+			}
+		}
+	}
+}
+
+func TestSyncDeterminismWithSeeds(t *testing.T) {
+	run := func() int {
+		nw, err := topology.Clique(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := topology.AssignHomogeneous(nw, 2); err != nil {
+			t.Fatal(err)
+		}
+		root := rng.New(123)
+		protos := make([]SyncProtocol, nw.N())
+		for u := 0; u < nw.N(); u++ {
+			p, err := core.NewSyncStaged(nw.Avail(topology.NodeID(u)), 4, root.Split())
+			if err != nil {
+				t.Fatal(err)
+			}
+			protos[u] = p
+		}
+		res, err := RunSync(SyncConfig{Network: nw, Protocols: protos, MaxSlots: 50000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Complete {
+			t.Fatal("incomplete")
+		}
+		return res.CompletionSlot
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different completion slots: %d vs %d", a, b)
+	}
+}

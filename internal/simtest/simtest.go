@@ -1,0 +1,185 @@
+// Package simtest is a conformance testkit for discovery protocols.
+//
+// Every protocol the engines can drive — the paper's four algorithms, the
+// baselines, the termination wrappers, and any future additions — must obey
+// the same contract: actions stay inside the node's available channel set,
+// behaviour is a deterministic function of the random stream, and message
+// delivery grows the neighbor table monotonically and never panics, no
+// matter what the message contains. This package checks that contract
+// wholesale so each protocol's own test file is freed up for its specific
+// semantics.
+package simtest
+
+import (
+	"testing"
+
+	"m2hew/internal/channel"
+	"m2hew/internal/core"
+	"m2hew/internal/radio"
+	"m2hew/internal/rng"
+	"m2hew/internal/topology"
+)
+
+// Options tune a conformance check.
+type Options struct {
+	// Steps is the number of slots/frames to drive; 0 means 3000.
+	Steps int
+	// AllowQuiet permits the protocol to choose Quiet (termination
+	// wrappers do; the paper's algorithms never should).
+	AllowQuiet bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Steps == 0 {
+		o.Steps = 3000
+	}
+	return o
+}
+
+// SyncBuilder constructs a fresh synchronous protocol instance from a
+// random stream.
+type SyncBuilder func(r *rng.Source) (core.SyncDiscoverer, error)
+
+// AsyncBuilder constructs a fresh asynchronous protocol instance.
+type AsyncBuilder func(r *rng.Source) (core.AsyncDiscoverer, error)
+
+// CheckSync runs the conformance suite against a synchronous protocol.
+// avail must be the available set the builder configures its instances with.
+func CheckSync(t *testing.T, name string, avail channel.Set, build SyncBuilder, opts Options) {
+	t.Helper()
+	opts = opts.withDefaults()
+
+	t.Run(name+"/actions-valid", func(t *testing.T) {
+		p, err := build(rng.New(101))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for slot := 0; slot < opts.Steps; slot++ {
+			a := p.Step(slot)
+			if err := a.Validate(avail); err != nil {
+				t.Fatalf("slot %d: %v", slot, err)
+			}
+			if a.Mode == radio.Quiet && !opts.AllowQuiet {
+				t.Fatalf("slot %d: protocol chose quiet", slot)
+			}
+		}
+	})
+
+	t.Run(name+"/deterministic", func(t *testing.T) {
+		p1, err := build(rng.New(202))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := build(rng.New(202))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for slot := 0; slot < opts.Steps; slot++ {
+			if a, b := p1.Step(slot), p2.Step(slot); a != b {
+				t.Fatalf("slot %d: same seed diverged: %v vs %v", slot, a, b)
+			}
+		}
+	})
+
+	t.Run(name+"/delivery", func(t *testing.T) {
+		p, err := build(rng.New(303))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkDelivery(t, avail, p.Deliver, p.Neighbors)
+	})
+}
+
+// CheckAsync runs the conformance suite against an asynchronous protocol.
+func CheckAsync(t *testing.T, name string, avail channel.Set, build AsyncBuilder, opts Options) {
+	t.Helper()
+	opts = opts.withDefaults()
+
+	t.Run(name+"/actions-valid", func(t *testing.T) {
+		p, err := build(rng.New(111))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for frame := 0; frame < opts.Steps; frame++ {
+			a := p.NextFrame(frame)
+			if err := a.Validate(avail); err != nil {
+				t.Fatalf("frame %d: %v", frame, err)
+			}
+			if a.Mode == radio.Quiet && !opts.AllowQuiet {
+				t.Fatalf("frame %d: protocol chose quiet", frame)
+			}
+		}
+	})
+
+	t.Run(name+"/deterministic", func(t *testing.T) {
+		p1, err := build(rng.New(222))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := build(rng.New(222))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for frame := 0; frame < opts.Steps; frame++ {
+			if a, b := p1.NextFrame(frame), p2.NextFrame(frame); a != b {
+				t.Fatalf("frame %d: same seed diverged: %v vs %v", frame, a, b)
+			}
+		}
+	})
+
+	t.Run(name+"/delivery", func(t *testing.T) {
+		p, err := build(rng.New(333))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkDelivery(t, avail, p.Deliver, p.Neighbors)
+	})
+}
+
+// checkDelivery feeds adversarial messages and checks table semantics:
+// monotone growth, correct intersection, robustness to empty and disjoint
+// advertised sets.
+func checkDelivery(
+	t *testing.T,
+	avail channel.Set,
+	deliver func(radio.Message),
+	table func() *core.NeighborTable,
+) {
+	t.Helper()
+	cases := []radio.Message{
+		{From: 1, Avail: avail.Clone()},           // full overlap
+		{From: 2, Avail: channel.Set{}},           // empty advertised set
+		{From: 3, Avail: channel.NewSet(250)},     // disjoint high channel
+		{From: 1, Avail: channel.NewSet(251)},     // re-delivery, different set
+		{From: 4, Avail: channel.Range(256)},      // superset
+		{From: topology.NodeID(99), Avail: avail}, // aliasing check source
+	}
+	prevLen := 0
+	for i, msg := range cases {
+		deliver(msg)
+		tbl := table()
+		if tbl.Len() < prevLen {
+			t.Fatalf("delivery %d shrank the table", i)
+		}
+		prevLen = tbl.Len()
+	}
+	tbl := table()
+	common, ok := tbl.Common(1)
+	if !ok {
+		t.Fatal("neighbor 1 missing")
+	}
+	if !common.Equal(avail) {
+		t.Fatalf("neighbor 1 common = %v, want %v (full overlap then union with disjoint)", common, avail)
+	}
+	if c4, ok := tbl.Common(4); !ok || !c4.Equal(avail) {
+		t.Fatalf("superset message: common = %v, want %v", c4, avail)
+	}
+	// The table must have cloned the message set: mutating our copy must
+	// not leak in.
+	probe := channel.NewSet(7)
+	deliver(radio.Message{From: 55, Avail: probe})
+	probe.Add(200)
+	if c, _ := table().Common(55); c.Contains(200) {
+		t.Fatal("table aliased the delivered set")
+	}
+}

@@ -1,0 +1,352 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"m2hew/internal/channel"
+	"m2hew/internal/rng"
+)
+
+func TestAssignHomogeneous(t *testing.T) {
+	nw := mustLine(t, 4)
+	if err := AssignHomogeneous(nw, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := nw.ComputeParams()
+	if p.S != 5 || p.UniverseSize != 5 {
+		t.Fatalf("params %+v, want S=U=5", p)
+	}
+	if p.Rho != 1 {
+		t.Fatalf("homogeneous rho = %v, want 1", p.Rho)
+	}
+	if err := AssignHomogeneous(nw, 0); err == nil {
+		t.Fatal("universe 0 accepted")
+	}
+}
+
+func TestAssignUniformK(t *testing.T) {
+	r := rng.New(5)
+	nw, err := Clique(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AssignUniformK(nw, 12, 4, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatalf("uniform-k left infeasible network: %v", err)
+	}
+	for u := 0; u < nw.N(); u++ {
+		size := nw.Avail(NodeID(u)).Size()
+		if size < 4 {
+			t.Fatalf("node %d has %d channels, want >= 4", u, size)
+		}
+	}
+	if err := AssignUniformK(nw, 12, 0, r); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if err := AssignUniformK(nw, 12, 13, r); err == nil {
+		t.Fatal("k > universe accepted")
+	}
+	if err := AssignUniformK(nw, 0, 1, r); err == nil {
+		t.Fatal("universe 0 accepted")
+	}
+}
+
+func TestAssignBernoulli(t *testing.T) {
+	r := rng.New(7)
+	nw, err := GeometricConnected(25, 0.4, r, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AssignBernoulli(nw, 10, 0.5, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatalf("bernoulli left infeasible network: %v", err)
+	}
+	if err := AssignBernoulli(nw, 10, 1.2, r); err == nil {
+		t.Fatal("q > 1 accepted")
+	}
+	if err := AssignBernoulli(nw, -1, 0.5, r); err == nil {
+		t.Fatal("negative universe accepted")
+	}
+}
+
+func TestAssignBernoulliExtremeQRepaired(t *testing.T) {
+	// q = 0 leaves every set empty; repair must still produce a valid
+	// network.
+	r := rng.New(11)
+	nw := mustLine(t, 6)
+	if err := AssignBernoulli(nw, 8, 0, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatalf("repair failed on q=0: %v", err)
+	}
+}
+
+func TestAssignPrimaryUsers(t *testing.T) {
+	r := rng.New(13)
+	nw, err := GeometricConnected(30, 0.35, r, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primaries, err := AssignPrimaryUsers(nw, 10, 15, 0.3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(primaries) != 15 {
+		t.Fatalf("%d primaries returned, want 15", len(primaries))
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatalf("primary-user assignment infeasible: %v", err)
+	}
+	// Heterogeneity should generally appear: not all sets equal the
+	// universe (with 15 primaries over 10 channels this is near-certain).
+	hetero := false
+	for u := 0; u < nw.N(); u++ {
+		if nw.Avail(NodeID(u)).Size() < 10 {
+			hetero = true
+			break
+		}
+	}
+	if !hetero {
+		t.Fatal("primary users removed no channels anywhere")
+	}
+	if _, err := AssignPrimaryUsers(nw, 0, 5, 0.3, r); err == nil {
+		t.Fatal("universe 0 accepted")
+	}
+	if _, err := AssignPrimaryUsers(nw, 10, -1, 0.3, r); err == nil {
+		t.Fatal("negative primaries accepted")
+	}
+	if _, err := AssignPrimaryUsers(nw, 10, 5, -0.1, r); err == nil {
+		t.Fatal("negative radius accepted")
+	}
+}
+
+func TestAssignPrimaryUsersSpatialExclusion(t *testing.T) {
+	// With zero primaries, every node keeps the full universe.
+	r := rng.New(17)
+	nw, err := Geometric(10, 0.5, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AssignPrimaryUsers(nw, 6, 0, 0.2, r); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < nw.N(); u++ {
+		if nw.Avail(NodeID(u)).Size() != 6 {
+			t.Fatalf("node %d lost channels with no primaries", u)
+		}
+	}
+}
+
+func TestAssignBlockOverlapExactRho(t *testing.T) {
+	cases := []struct {
+		shared, private int
+	}{
+		{1, 0}, {1, 1}, {2, 2}, {3, 1}, {1, 9}, {4, 4},
+	}
+	for _, tt := range cases {
+		nw, err := Ring(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := AssignBlockOverlap(nw, tt.shared, tt.private); err != nil {
+			t.Fatal(err)
+		}
+		if err := nw.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		p := nw.ComputeParams()
+		wantRho := float64(tt.shared) / float64(tt.shared+tt.private)
+		if math.Abs(p.Rho-wantRho) > 1e-12 {
+			t.Errorf("shared=%d private=%d: rho %v, want %v", tt.shared, tt.private, p.Rho, wantRho)
+		}
+		if p.S != tt.shared+tt.private {
+			t.Errorf("shared=%d private=%d: S %d, want %d", tt.shared, tt.private, p.S, tt.shared+tt.private)
+		}
+	}
+	nw, err := Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AssignBlockOverlap(nw, 0, 2); err == nil {
+		t.Fatal("shared=0 accepted")
+	}
+	if err := AssignBlockOverlap(nw, 2, -1); err == nil {
+		t.Fatal("negative private accepted")
+	}
+}
+
+func TestBlockOverlapPrivateChannelsDisjoint(t *testing.T) {
+	nw, err := Clique(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AssignBlockOverlap(nw, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < nw.N(); u++ {
+		for v := u + 1; v < nw.N(); v++ {
+			inter := nw.Avail(NodeID(u)).Intersect(nw.Avail(NodeID(v)))
+			if inter.Size() != 2 {
+				t.Fatalf("nodes %d,%d share %d channels, want exactly the 2 shared", u, v, inter.Size())
+			}
+		}
+	}
+}
+
+func TestComputeParamsKnownNetwork(t *testing.T) {
+	// Star with hub 0 and 3 leaves, all on channel {0}; hub also has {1}
+	// shared with leaf 1 only.
+	nw, err := Star(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.SetAvail(0, parseSet(t, "{0,1}"))
+	nw.SetAvail(1, parseSet(t, "{0,1}"))
+	nw.SetAvail(2, parseSet(t, "{0}"))
+	nw.SetAvail(3, parseSet(t, "{0}"))
+	p := nw.ComputeParams()
+	if p.N != 4 || p.S != 2 {
+		t.Fatalf("params %+v", p)
+	}
+	// Hub sees 3 neighbors on channel 0.
+	if p.Delta != 3 {
+		t.Fatalf("Delta = %d, want 3", p.Delta)
+	}
+	// Link (0,2): span {0}, |A(2)|=1 → ratio 1. Link (2,0): span {0},
+	// |A(0)|=2 → ratio 1/2. Minimum over links = 1/2.
+	if math.Abs(p.Rho-0.5) > 1e-12 {
+		t.Fatalf("rho = %v, want 0.5", p.Rho)
+	}
+	if err := p.CheckRhoBounds(); err != nil {
+		t.Fatal(err)
+	}
+	if p.String() == "" {
+		t.Fatal("empty params string")
+	}
+}
+
+func TestParamsEdgelessNetwork(t *testing.T) {
+	nw, err := Clique(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.SetAvail(0, parseSet(t, "{0}"))
+	p := nw.ComputeParams()
+	if p.Rho != 1 || p.Delta != 0 || p.DiscoverableLinks != 0 {
+		t.Fatalf("edgeless params %+v", p)
+	}
+	if err := p.CheckRhoBounds(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every assigner yields a network whose parameters respect the
+// paper's structural bounds (span ⊆ A(u)∩A(v) by construction; 1/S ≤ ρ ≤ 1;
+// Δ ≤ graph degree).
+func TestAssignersRespectBoundsProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw, uRaw uint8) bool {
+		n := int(nRaw%12) + 3
+		universe := int(uRaw%10) + 2
+		r := rng.New(seed)
+		nw, err := ErdosRenyi(n, 0.5, r)
+		if err != nil {
+			return false
+		}
+		switch seed % 3 {
+		case 0:
+			k := universe/2 + 1
+			if err := AssignUniformK(nw, universe, k, r); err != nil {
+				return false
+			}
+		case 1:
+			if err := AssignBernoulli(nw, universe, 0.4, r); err != nil {
+				return false
+			}
+		default:
+			if err := AssignHomogeneous(nw, universe); err != nil {
+				return false
+			}
+		}
+		if err := nw.Validate(); err != nil {
+			return false
+		}
+		p := nw.ComputeParams()
+		if p.CheckRhoBounds() != nil {
+			return false
+		}
+		if p.Delta > p.MaxGraphDegree {
+			return false
+		}
+		if p.S > p.UniverseSize {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRevokeChannel(t *testing.T) {
+	r := rng.New(21)
+	nw, err := Geometric(20, 0.5, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AssignHomogeneous(nw, 4); err != nil {
+		t.Fatal(err)
+	}
+	affected := RevokeChannel(nw, 1, 0.5, 0.5, 0.4)
+	if len(affected) == 0 {
+		t.Fatal("central revocation affected nobody")
+	}
+	for _, u := range affected {
+		if nw.Avail(u).Contains(1) {
+			t.Fatalf("node %d still holds revoked channel", u)
+		}
+		if nw.Avail(u).Size() != 3 {
+			t.Fatalf("node %d lost more than one channel", u)
+		}
+	}
+	// Nodes outside the radius keep the channel.
+	outside := 0
+	for u := 0; u < nw.N(); u++ {
+		if nw.Avail(NodeID(u)).Contains(1) {
+			outside++
+		}
+	}
+	if outside+len(affected) != nw.N() {
+		t.Fatal("affected/unaffected partition inconsistent")
+	}
+	// Re-revoking is a no-op.
+	if again := RevokeChannel(nw, 1, 0.5, 0.5, 0.4); len(again) != 0 {
+		t.Fatalf("second revocation affected %d nodes", len(again))
+	}
+}
+
+func TestRevokeChannelCanEmptySets(t *testing.T) {
+	nw := mustLine(t, 2)
+	nw.SetAvail(0, channel.NewSet(0))
+	nw.SetAvail(1, channel.NewSet(0))
+	affected := RevokeChannel(nw, 0, 0, 0, 10)
+	if len(affected) != 2 {
+		t.Fatalf("affected %d nodes, want 2", len(affected))
+	}
+	if !nw.Avail(0).IsEmpty() {
+		t.Fatal("set not emptied")
+	}
+	// The discovery target collapses accordingly.
+	if links := nw.DiscoverableLinks(); len(links) != 0 {
+		t.Fatalf("%d discoverable links remain with no channels", len(links))
+	}
+}

@@ -1,0 +1,185 @@
+package topology
+
+import (
+	"testing"
+
+	"m2hew/internal/channel"
+	"m2hew/internal/rng"
+)
+
+func TestReachesSymmetricDefault(t *testing.T) {
+	nw := mustLine(t, 3)
+	if !nw.Symmetric() {
+		t.Fatal("fresh network not symmetric")
+	}
+	if !nw.Reaches(0, 1) || !nw.Reaches(1, 0) {
+		t.Fatal("adjacent nodes do not reach each other")
+	}
+	if nw.Reaches(0, 2) {
+		t.Fatal("non-adjacent nodes reach")
+	}
+}
+
+func TestDropDirection(t *testing.T) {
+	nw := mustLine(t, 2)
+	nw.SetAvail(0, channel.NewSet(0))
+	nw.SetAvail(1, channel.NewSet(0))
+	if err := nw.DropDirection(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Symmetric() {
+		t.Fatal("network still reported symmetric")
+	}
+	if nw.Reaches(0, 1) {
+		t.Fatal("dropped direction still reaches")
+	}
+	if !nw.Reaches(1, 0) {
+		t.Fatal("reverse direction was also dropped")
+	}
+	// Adjacency itself is untouched.
+	if !nw.AreNeighbors(0, 1) {
+		t.Fatal("adjacency removed by DropDirection")
+	}
+	if err := nw.DropDirection(0, 5); err == nil {
+		t.Fatal("drop of non-edge accepted")
+	}
+}
+
+func TestDirectedLinksRespectDrops(t *testing.T) {
+	nw := mustLine(t, 3)
+	for u := 0; u < 3; u++ {
+		nw.SetAvail(NodeID(u), channel.NewSet(0))
+	}
+	if err := nw.DropDirection(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	links := nw.DirectedLinks()
+	if len(links) != 3 {
+		t.Fatalf("got %d directed links, want 3: %v", len(links), links)
+	}
+	for _, l := range links {
+		if l.From == 1 && l.To == 2 {
+			t.Fatal("dropped link listed")
+		}
+	}
+	disc := nw.DiscoverableLinks()
+	if len(disc) != 3 {
+		t.Fatalf("discoverable links %v", disc)
+	}
+}
+
+func TestDegreeOnCountsInDegree(t *testing.T) {
+	nw, err := Star(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 4; u++ {
+		nw.SetAvail(NodeID(u), channel.NewSet(0))
+	}
+	if got := nw.DegreeOn(0, 0); got != 3 {
+		t.Fatalf("symmetric hub in-degree %d, want 3", got)
+	}
+	// Leaf 1 can no longer be heard by the hub.
+	if err := nw.DropDirection(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.DegreeOn(0, 0); got != 2 {
+		t.Fatalf("hub in-degree after drop %d, want 2", got)
+	}
+	// The hub still reaches leaf 1, so leaf 1's in-degree is unchanged.
+	if got := nw.DegreeOn(1, 0); got != 1 {
+		t.Fatalf("leaf in-degree %d, want 1", got)
+	}
+}
+
+func TestComputeParamsWithDrops(t *testing.T) {
+	nw := mustLine(t, 2)
+	nw.SetAvail(0, channel.NewSet(0))
+	nw.SetAvail(1, channel.NewSet(0))
+	if err := nw.DropDirection(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	p := nw.ComputeParams()
+	if p.DiscoverableLinks != 1 {
+		t.Fatalf("discoverable links %d, want 1", p.DiscoverableLinks)
+	}
+	if p.Delta != 1 {
+		t.Fatalf("Delta %d, want 1", p.Delta)
+	}
+}
+
+func TestDropRandomDirections(t *testing.T) {
+	r := rng.New(5)
+	nw, err := Clique(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AssignHomogeneous(nw, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := DropRandomDirections(nw, 0.5, r); err != nil {
+		t.Fatal(err)
+	}
+	total := 2 * nw.EdgeCount()
+	directed := len(nw.DirectedLinks())
+	if directed >= total {
+		t.Fatal("no directions dropped at fraction 0.5")
+	}
+	// At most one direction per edge is dropped.
+	if directed < nw.EdgeCount() {
+		t.Fatalf("more than one direction dropped per edge: %d < %d", directed, nw.EdgeCount())
+	}
+	if err := DropRandomDirections(nw, 1.5, r); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+	// Fraction 0 is a no-op.
+	nw2, err := Clique(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AssignHomogeneous(nw2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := DropRandomDirections(nw2, 0, r); err != nil {
+		t.Fatal(err)
+	}
+	if !nw2.Symmetric() {
+		t.Fatal("fraction 0 dropped directions")
+	}
+}
+
+func TestRestrictSpansRandomly(t *testing.T) {
+	r := rng.New(6)
+	nw, err := Ring(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AssignHomogeneous(nw, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := RestrictSpansRandomly(nw, 2, r); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range nw.DirectedLinks() {
+		span := nw.Span(l.From, l.To)
+		if span.Size() > 2 {
+			t.Fatalf("edge (%d,%d) span %v exceeds cap", l.From, l.To, span)
+		}
+		if span.IsEmpty() {
+			t.Fatalf("edge (%d,%d) span emptied", l.From, l.To)
+		}
+		if !span.SubsetOf(nw.Avail(l.From)) || !span.SubsetOf(nw.Avail(l.To)) {
+			t.Fatalf("restricted span outside endpoints' sets")
+		}
+	}
+	p := nw.ComputeParams()
+	if p.Rho > 2.0/8 {
+		t.Fatalf("rho %v too high after restriction to 2 of 8", p.Rho)
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := RestrictSpansRandomly(nw, 0, r); err == nil {
+		t.Fatal("span cap 0 accepted")
+	}
+}

@@ -1,0 +1,150 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"m2hew/internal/channel"
+)
+
+// The codec serializes a Network — including the extension state that the
+// human-oriented dumps omit: per-edge span overrides and dropped directions.
+// It exists so an exact scenario (e.g. one that produced an interesting
+// result) can be shared and re-run bit-for-bit.
+
+// codecVersion guards the wire format.
+const codecVersion = 1
+
+type networkJSON struct {
+	Version int        `json:"version"`
+	Nodes   []nodeJSON `json:"nodes"`
+	Edges   []edgeJSON `json:"edges"`
+}
+
+type nodeJSON struct {
+	ID       int     `json:"id"`
+	X        float64 `json:"x,omitempty"`
+	Y        float64 `json:"y,omitempty"`
+	Channels []int   `json:"channels"`
+}
+
+type edgeJSON struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+	// SpanOverride, when non-nil, restricts the edge's span (diverse
+	// propagation). Empty-but-present is meaningful ("no usable channel"),
+	// so the field distinguishes nil from empty via a pointer.
+	SpanOverride *[]int `json:"spanOverride,omitempty"`
+	// DropForward / DropReverse mark asymmetric directions (From→To and
+	// To→From respectively).
+	DropForward bool `json:"dropForward,omitempty"`
+	DropReverse bool `json:"dropReverse,omitempty"`
+}
+
+// EncodeJSON writes the network, with all extension state, to w.
+func (nw *Network) EncodeJSON(w io.Writer) error {
+	doc := networkJSON{Version: codecVersion}
+	for _, node := range nw.nodes {
+		doc.Nodes = append(doc.Nodes, nodeJSON{
+			ID: int(node.ID), X: node.X, Y: node.Y,
+			Channels: idsToInts(node.Avail.IDs()),
+		})
+	}
+	for u := 0; u < nw.N(); u++ {
+		for _, v := range nw.adj[u] {
+			if v < NodeID(u) {
+				continue // one record per undirected edge
+			}
+			e := edgeJSON{From: u, To: int(v)}
+			if mask, ok := nw.spanOverride[canonicalEdge(NodeID(u), v)]; ok {
+				ints := idsToInts(mask.IDs())
+				e.SpanOverride = &ints
+			}
+			e.DropForward = nw.dropped[[2]NodeID{NodeID(u), v}]
+			e.DropReverse = nw.dropped[[2]NodeID{v, NodeID(u)}]
+			doc.Edges = append(doc.Edges, e)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// DecodeJSON reads a network previously written by EncodeJSON.
+func DecodeJSON(r io.Reader) (*Network, error) {
+	var doc networkJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("topology: decode network: %w", err)
+	}
+	if doc.Version != codecVersion {
+		return nil, fmt.Errorf("topology: unsupported network format version %d", doc.Version)
+	}
+	nodes := make([]Node, len(doc.Nodes))
+	for i, n := range doc.Nodes {
+		if n.ID != i {
+			return nil, fmt.Errorf("topology: decode: node IDs must be dense, got %d at index %d", n.ID, i)
+		}
+		avail, err := intsToSet(n.Channels)
+		if err != nil {
+			return nil, fmt.Errorf("topology: decode node %d: %w", n.ID, err)
+		}
+		nodes[i] = Node{ID: NodeID(i), X: n.X, Y: n.Y, Avail: avail}
+	}
+	edges := make([][2]NodeID, 0, len(doc.Edges))
+	for _, e := range doc.Edges {
+		edges = append(edges, [2]NodeID{NodeID(e.From), NodeID(e.To)})
+	}
+	nw, err := newNetwork(nodes, edges)
+	if err != nil {
+		return nil, fmt.Errorf("topology: decode: %w", err)
+	}
+	// Re-apply the sets through SetAvail so the cached universal set is
+	// computed.
+	for i := range nodes {
+		nw.SetAvail(NodeID(i), nodes[i].Avail)
+	}
+	for _, e := range doc.Edges {
+		from, to := NodeID(e.From), NodeID(e.To)
+		if e.SpanOverride != nil {
+			mask, err := intsToSet(*e.SpanOverride)
+			if err != nil {
+				return nil, fmt.Errorf("topology: decode edge {%d,%d}: %w", e.From, e.To, err)
+			}
+			if err := nw.RestrictSpan(from, to, mask); err != nil {
+				return nil, err
+			}
+		}
+		if e.DropForward {
+			if err := nw.DropDirection(from, to); err != nil {
+				return nil, err
+			}
+		}
+		if e.DropReverse {
+			if err := nw.DropDirection(to, from); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return nw, nil
+}
+
+func idsToInts(ids []channel.ID) []int {
+	out := make([]int, len(ids))
+	for i, c := range ids {
+		out[i] = int(c)
+	}
+	return out
+}
+
+func intsToSet(ints []int) (channel.Set, error) {
+	var s channel.Set
+	for _, c := range ints {
+		if c < 0 || c > channel.MaxParsedID {
+			return channel.Set{}, fmt.Errorf("channel %d out of range", c)
+		}
+		s.Add(channel.ID(c))
+	}
+	return s, nil
+}

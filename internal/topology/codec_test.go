@@ -1,0 +1,127 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"m2hew/internal/channel"
+	"m2hew/internal/rng"
+)
+
+// roundTrip encodes and decodes a network, failing the test on error.
+func roundTrip(t *testing.T, nw *Network) *Network {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := nw.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// assertEqualNetworks compares every observable property of two networks.
+func assertEqualNetworks(t *testing.T, want, got *Network) {
+	t.Helper()
+	if want.N() != got.N() {
+		t.Fatalf("N %d != %d", got.N(), want.N())
+	}
+	for u := 0; u < want.N(); u++ {
+		wn, gn := want.Node(NodeID(u)), got.Node(NodeID(u))
+		if wn.X != gn.X || wn.Y != gn.Y {
+			t.Fatalf("node %d position differs", u)
+		}
+		if !want.Avail(NodeID(u)).Equal(got.Avail(NodeID(u))) {
+			t.Fatalf("node %d avail %v != %v", u, got.Avail(NodeID(u)), want.Avail(NodeID(u)))
+		}
+		wadj, gadj := want.Neighbors(NodeID(u)), got.Neighbors(NodeID(u))
+		if len(wadj) != len(gadj) {
+			t.Fatalf("node %d degree differs", u)
+		}
+		for i := range wadj {
+			if wadj[i] != gadj[i] {
+				t.Fatalf("node %d adjacency differs", u)
+			}
+			v := wadj[i]
+			if !want.Span(NodeID(u), v).Equal(got.Span(NodeID(u), v)) {
+				t.Fatalf("span (%d,%d) differs: %v != %v",
+					u, v, got.Span(NodeID(u), v), want.Span(NodeID(u), v))
+			}
+			if want.Reaches(NodeID(u), v) != got.Reaches(NodeID(u), v) {
+				t.Fatalf("reachability (%d,%d) differs", u, v)
+			}
+		}
+	}
+	wp, gp := want.ComputeParams(), got.ComputeParams()
+	if wp != gp {
+		t.Fatalf("params differ: %+v != %+v", gp, wp)
+	}
+}
+
+func TestCodecRoundTripPlain(t *testing.T) {
+	r := rng.New(5)
+	nw, err := GeometricConnected(15, 0.45, r, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AssignUniformK(nw, 8, 4, r); err != nil {
+		t.Fatal(err)
+	}
+	assertEqualNetworks(t, nw, roundTrip(t, nw))
+}
+
+func TestCodecRoundTripWithExtensions(t *testing.T) {
+	r := rng.New(6)
+	nw, err := Clique(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AssignHomogeneous(nw, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := RestrictSpansRandomly(nw, 2, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := DropRandomDirections(nw, 0.5, r); err != nil {
+		t.Fatal(err)
+	}
+	got := roundTrip(t, nw)
+	assertEqualNetworks(t, nw, got)
+	if got.Symmetric() {
+		t.Fatal("asymmetry lost in round trip")
+	}
+}
+
+func TestCodecRoundTripEmptySpanOverride(t *testing.T) {
+	// An override that empties a span must survive (nil vs empty matters).
+	nw := mustLine(t, 2)
+	nw.SetAvail(0, channel.NewSet(0, 1))
+	nw.SetAvail(1, channel.NewSet(0, 1))
+	if err := nw.RestrictSpan(0, 1, channel.Set{}); err != nil {
+		t.Fatal(err)
+	}
+	got := roundTrip(t, nw)
+	if !got.Span(0, 1).IsEmpty() {
+		t.Fatalf("emptying override lost: span %v", got.Span(0, 1))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      "not json",
+		"bad version":  `{"version":99,"nodes":[],"edges":[]}`,
+		"sparse ids":   `{"version":1,"nodes":[{"id":1,"channels":[0]}],"edges":[]}`,
+		"bad channel":  `{"version":1,"nodes":[{"id":0,"channels":[-2]}],"edges":[]}`,
+		"bad edge":     `{"version":1,"nodes":[{"id":0,"channels":[0]}],"edges":[{"from":0,"to":9}]}`,
+		"no nodes":     `{"version":1,"nodes":[],"edges":[]}`,
+		"huge channel": `{"version":1,"nodes":[{"id":0,"channels":[99999999]}],"edges":[]}`,
+	}
+	for name, text := range cases {
+		if _, err := DecodeJSON(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

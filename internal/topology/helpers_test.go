@@ -1,0 +1,17 @@
+package topology
+
+import (
+	"testing"
+
+	"m2hew/internal/channel"
+)
+
+// parseSet parses a channel-set literal, failing the test on error.
+func parseSet(t *testing.T, text string) channel.Set {
+	t.Helper()
+	s, err := channel.ParseSet(text)
+	if err != nil {
+		t.Fatalf("parse set %q: %v", text, err)
+	}
+	return s
+}

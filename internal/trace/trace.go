@@ -1,0 +1,181 @@
+// Package trace records structured simulation events for debugging and for
+// the ndsim tool's verbose output.
+//
+// Engines expose hook points (sim.SyncConfig.OnSlot / OnDeliver and
+// sim.AsyncConfig.OnDeliver); this package provides sinks to plug into them:
+// a bounded in-memory ring (for tests and post-mortem inspection) and a
+// line-oriented writer (for live output). Sinks compose with Multi.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"m2hew/internal/channel"
+	"m2hew/internal/topology"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds.
+const (
+	// KindDeliver is a clear message reception.
+	KindDeliver Kind = iota + 1
+	// KindCollision is a reception attempt destroyed by interference.
+	KindCollision
+	// KindNote is free-form annotation from the harness.
+	KindNote
+)
+
+// String renders the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindDeliver:
+		return "deliver"
+	case KindCollision:
+		return "collision"
+	case KindNote:
+		return "note"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded simulation event. Time carries the slot index for
+// synchronous runs and real time for asynchronous runs.
+type Event struct {
+	Time    float64
+	Kind    Kind
+	From    topology.NodeID
+	To      topology.NodeID
+	Channel channel.ID
+	Note    string
+}
+
+// String renders the event as one log line.
+func (e Event) String() string {
+	switch e.Kind {
+	case KindDeliver, KindCollision:
+		return fmt.Sprintf("t=%-10.3f %-9s %d -> %d ch=%d", e.Time, e.Kind, e.From, e.To, e.Channel)
+	default:
+		return fmt.Sprintf("t=%-10.3f %-9s %s", e.Time, e.Kind, e.Note)
+	}
+}
+
+// Sink consumes events. Implementations must be safe for use from a single
+// simulation goroutine; Ring additionally tolerates concurrent readers.
+type Sink interface {
+	Record(Event)
+}
+
+// Nop discards all events.
+type Nop struct{}
+
+// Record implements Sink.
+func (Nop) Record(Event) {}
+
+// Ring keeps the most recent events in a bounded buffer.
+type Ring struct {
+	mu     sync.Mutex
+	events []Event
+	next   int
+	filled bool
+}
+
+// NewRing returns a ring holding up to capacity events. Capacity must be
+// positive.
+func NewRing(capacity int) (*Ring, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("trace: ring capacity %d must be positive", capacity)
+	}
+	return &Ring{events: make([]Event, capacity)}, nil
+}
+
+// Record implements Sink.
+func (r *Ring) Record(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events[r.next] = e
+	r.next++
+	if r.next == len(r.events) {
+		r.next = 0
+		r.filled = true
+	}
+}
+
+// Events returns the recorded events oldest-first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.filled {
+		out := make([]Event, r.next)
+		copy(out, r.events[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// Len returns the number of stored events.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.filled {
+		return len(r.events)
+	}
+	return r.next
+}
+
+// Writer writes one line per event to an io.Writer. Write errors are
+// counted rather than propagated — tracing must never abort a simulation —
+// and reported by Err.
+type Writer struct {
+	w        io.Writer
+	failures int
+}
+
+// NewWriter returns a Sink writing lines to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w}
+}
+
+// Record implements Sink.
+func (t *Writer) Record(e Event) {
+	if _, err := fmt.Fprintln(t.w, e.String()); err != nil {
+		t.failures++
+	}
+}
+
+// Err returns a summary error if any writes failed, else nil.
+func (t *Writer) Err() error {
+	if t.failures == 0 {
+		return nil
+	}
+	return fmt.Errorf("trace: %d events failed to write", t.failures)
+}
+
+// Multi fans events out to several sinks.
+type Multi []Sink
+
+// Record implements Sink.
+func (m Multi) Record(e Event) {
+	for _, s := range m {
+		s.Record(e)
+	}
+}
+
+// Format renders events as an aligned multi-line string, for test failure
+// messages and tooling.
+func Format(events []Event) string {
+	var b strings.Builder
+	for _, e := range events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		want string
+	}{
+		{KindDeliver, "deliver"},
+		{KindCollision, "collision"},
+		{KindNote, "note"},
+		{Kind(0), "Kind(0)"},
+	}
+	for _, tt := range cases {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("Kind %d = %q, want %q", int(tt.k), got, tt.want)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Time: 1.5, Kind: KindDeliver, From: 2, To: 3, Channel: 4}
+	s := e.String()
+	for _, want := range []string{"deliver", "2 -> 3", "ch=4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("event string %q missing %q", s, want)
+		}
+	}
+	n := Event{Kind: KindNote, Note: "hello"}
+	if !strings.Contains(n.String(), "hello") {
+		t.Errorf("note string %q", n.String())
+	}
+}
+
+func TestNop(t *testing.T) {
+	var n Nop
+	n.Record(Event{}) // must not panic
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := NewRing(-1); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+}
+
+func TestRingBelowCapacity(t *testing.T) {
+	r, err := NewRing(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		r.Record(Event{Time: float64(i)})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	events := r.Events()
+	for i, e := range events {
+		if e.Time != float64(i) {
+			t.Fatalf("event %d time %v", i, e.Time)
+		}
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	r, err := NewRing(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		r.Record(Event{Time: float64(i)})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	events := r.Events()
+	want := []float64{4, 5, 6}
+	for i, e := range events {
+		if e.Time != want[i] {
+			t.Fatalf("events = %+v, want times %v", events, want)
+		}
+	}
+}
+
+func TestWriter(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Record(Event{Kind: KindDeliver, From: 1, To: 2, Channel: 3})
+	w.Record(Event{Kind: KindNote, Note: "done"})
+	out := sb.String()
+	if !strings.Contains(out, "1 -> 2") || !strings.Contains(out, "done") {
+		t.Fatalf("writer output %q", out)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatalf("unexpected writer error: %v", err)
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("boom") }
+
+func TestWriterCountsFailures(t *testing.T) {
+	w := NewWriter(failingWriter{})
+	w.Record(Event{Kind: KindNote})
+	w.Record(Event{Kind: KindNote})
+	if err := w.Err(); err == nil || !strings.Contains(err.Error(), "2") {
+		t.Fatalf("Err = %v, want 2 failures reported", err)
+	}
+}
+
+func TestMulti(t *testing.T) {
+	r1, err := NewRing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Multi{r1, r2}
+	m.Record(Event{Time: 9})
+	if r1.Len() != 1 || r2.Len() != 1 {
+		t.Fatal("multi did not fan out")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	events := []Event{
+		{Kind: KindNote, Note: "a"},
+		{Kind: KindNote, Note: "b"},
+	}
+	out := Format(events)
+	if strings.Count(out, "\n") != 2 {
+		t.Fatalf("Format output %q", out)
+	}
+}

@@ -1,0 +1,415 @@
+// Package m2hew is a library for neighbor discovery in multi-hop,
+// multi-channel, heterogeneous wireless (M²HeW) networks, reproducing
+// "Randomized Distributed Algorithms for Neighbor Discovery in Multi-hop
+// Multi-channel Heterogeneous Wireless Networks" (Mittal, Zeng, Venkatesan,
+// Chandrasekaran — ICDCS 2011).
+//
+// The package offers a scenario-level public API over the internal engine:
+// build a network (topology + per-node available channel sets), pick one of
+// the paper's four discovery algorithms, run it on the built-in synchronous
+// or asynchronous simulator, and inspect the outcome next to the paper's
+// analytic bound.
+//
+//	nw, err := m2hew.BuildNetwork(m2hew.NetworkConfig{
+//		Nodes:    20,
+//		Topology: m2hew.TopologyGeometric,
+//		Radius:   0.45,
+//		Universe: 10,
+//		Channels: m2hew.ChannelsPrimaryUsers,
+//		Primaries: 12,
+//		Seed:     42,
+//	})
+//	...
+//	report, err := m2hew.Run(nw, m2hew.RunConfig{
+//		Algorithm: m2hew.AlgorithmSyncStaged,
+//		Seed:      1,
+//	})
+//
+// The four algorithms and their assumptions (see the paper, Sections III–IV):
+//
+//	AlgorithmSyncStaged   synchronous slots, identical start times, knows Δ_est
+//	AlgorithmSyncGrowing  synchronous slots, identical start times, no degree knowledge
+//	AlgorithmSyncUniform  synchronous slots, variable start times, knows Δ_est
+//	AlgorithmAsync        unsynchronized drifting clocks (δ ≤ 1/7), knows Δ_est
+package m2hew
+
+import (
+	"fmt"
+	"io"
+
+	"m2hew/internal/channel"
+	"m2hew/internal/rng"
+	"m2hew/internal/topology"
+)
+
+// Topology selects a communication-graph generator.
+type Topology string
+
+// Supported topologies.
+const (
+	// TopologyGeometric places nodes uniformly in the unit square with an
+	// edge between nodes within Radius (the standard wireless model).
+	TopologyGeometric Topology = "geometric"
+	// TopologyErdosRenyi is a G(n, p) random graph with p = EdgeProb.
+	TopologyErdosRenyi Topology = "erdos-renyi"
+	// TopologyGrid is a Rows×Cols lattice with 4-neighbor connectivity.
+	TopologyGrid Topology = "grid"
+	// TopologyLine is a path of Nodes nodes.
+	TopologyLine Topology = "line"
+	// TopologyRing is a cycle of Nodes nodes.
+	TopologyRing Topology = "ring"
+	// TopologyClique is the complete graph (single-hop network).
+	TopologyClique Topology = "clique"
+	// TopologyStar is a hub with Nodes−1 leaves.
+	TopologyStar Topology = "star"
+	// TopologyBridge is two (Nodes/2)-cliques joined by one edge.
+	TopologyBridge Topology = "bridge"
+)
+
+// ChannelModel selects how per-node available channel sets are assigned.
+type ChannelModel string
+
+// Supported channel models.
+const (
+	// ChannelsHomogeneous gives every node the full universal set (ρ = 1).
+	ChannelsHomogeneous ChannelModel = "homogeneous"
+	// ChannelsUniform gives every node a uniformly random SubsetSize-subset
+	// of the universal set (repaired to keep discovery feasible).
+	ChannelsUniform ChannelModel = "uniform"
+	// ChannelsBernoulli includes each channel independently with
+	// probability InclusionProb (repaired).
+	ChannelsBernoulli ChannelModel = "bernoulli"
+	// ChannelsPrimaryUsers derives sets from spatial primary-user channel
+	// exclusion — the cognitive-radio scenario. Requires a spatial topology
+	// (geometric).
+	ChannelsPrimaryUsers ChannelModel = "primary-users"
+	// ChannelsBlockOverlap gives every node a shared block plus a private
+	// block, realizing the exact span-ratio SharedBlock/(SharedBlock+
+	// PrivateBlock).
+	ChannelsBlockOverlap ChannelModel = "block-overlap"
+)
+
+// NetworkConfig describes a network to build.
+type NetworkConfig struct {
+	// Nodes is the node count N (not used by TopologyGrid, which takes
+	// Rows×Cols).
+	Nodes int `json:"nodes"`
+	// Topology selects the graph generator; default TopologyGeometric.
+	Topology Topology `json:"topology"`
+	// Radius is the geometric connection radius; default 0.4.
+	Radius float64 `json:"radius,omitempty"`
+	// EdgeProb is the Erdős–Rényi edge probability; default 0.3.
+	EdgeProb float64 `json:"edgeProb,omitempty"`
+	// Rows, Cols size the grid topology.
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// RequireConnected retries geometric generation until connected.
+	RequireConnected bool `json:"requireConnected,omitempty"`
+
+	// Universe is the universal channel set size; default 8.
+	Universe int `json:"universe"`
+	// Channels selects the channel model; default ChannelsHomogeneous.
+	Channels ChannelModel `json:"channels"`
+	// SubsetSize is the per-node set size for ChannelsUniform; default
+	// Universe/2 (min 1).
+	SubsetSize int `json:"subsetSize,omitempty"`
+	// InclusionProb is the ChannelsBernoulli inclusion probability;
+	// default 0.5.
+	InclusionProb float64 `json:"inclusionProb,omitempty"`
+	// Primaries is the primary-user count for ChannelsPrimaryUsers;
+	// default 10.
+	Primaries int `json:"primaries,omitempty"`
+	// ExclusionRadius is the primary-user exclusion radius; default 0.3.
+	ExclusionRadius float64 `json:"exclusionRadius,omitempty"`
+	// SharedBlock and PrivateBlock size the ChannelsBlockOverlap model;
+	// defaults 2 and 2.
+	SharedBlock  int `json:"sharedBlock,omitempty"`
+	PrivateBlock int `json:"privateBlock,omitempty"`
+
+	// AsymmetricFraction makes the graph partially asymmetric: each edge
+	// loses one randomly chosen direction with this probability (the
+	// paper's Section V extension (a)). Default 0 (symmetric).
+	AsymmetricFraction float64 `json:"asymmetricFraction,omitempty"`
+	// SpanCap, if positive, restricts every link to at most SpanCap of the
+	// channels both endpoints share, modeling diverse propagation
+	// characteristics (the paper's Section V extension (c)).
+	SpanCap int `json:"spanCap,omitempty"`
+
+	// Seed makes generation deterministic; default 1.
+	Seed uint64 `json:"seed"`
+}
+
+// Stats are the derived network parameters of the paper's Section II.
+type Stats struct {
+	// Nodes is N.
+	Nodes int `json:"nodes"`
+	// Universe is the realized universal channel set size.
+	Universe int `json:"universe"`
+	// S is the largest available channel set size.
+	S int `json:"s"`
+	// Delta is the maximum per-channel degree Δ.
+	Delta int `json:"delta"`
+	// MaxDegree is the maximum plain graph degree.
+	MaxDegree int `json:"maxDegree"`
+	// Rho is the minimum span-ratio ρ ∈ [1/S, 1].
+	Rho float64 `json:"rho"`
+	// Edges is the undirected edge count.
+	Edges int `json:"edges"`
+	// DiscoverableLinks is the number of directed links with a non-empty
+	// span — the discovery target.
+	DiscoverableLinks int `json:"discoverableLinks"`
+}
+
+// Network is a built M²HeW network ready to run discovery on.
+type Network struct {
+	inner  *topology.Network
+	params topology.Params
+	seed   uint64
+}
+
+// BuildNetwork constructs a network from the configuration.
+func BuildNetwork(cfg NetworkConfig) (*Network, error) {
+	cfg = networkDefaults(cfg)
+	r := rng.New(cfg.Seed)
+	nw, err := buildGraph(cfg, r)
+	if err != nil {
+		return nil, err
+	}
+	if err := assignChannels(nw, cfg, r); err != nil {
+		return nil, err
+	}
+	if cfg.SpanCap < 0 {
+		return nil, fmt.Errorf("m2hew: negative span cap %d", cfg.SpanCap)
+	}
+	if cfg.SpanCap > 0 {
+		if err := topology.RestrictSpansRandomly(nw, cfg.SpanCap, r); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.AsymmetricFraction != 0 {
+		if err := topology.DropRandomDirections(nw, cfg.AsymmetricFraction, r); err != nil {
+			return nil, err
+		}
+	}
+	if err := nw.Validate(); err != nil {
+		return nil, fmt.Errorf("m2hew: built network invalid: %w", err)
+	}
+	return &Network{inner: nw, params: nw.ComputeParams(), seed: cfg.Seed}, nil
+}
+
+func networkDefaults(cfg NetworkConfig) NetworkConfig {
+	if cfg.Topology == "" {
+		cfg.Topology = TopologyGeometric
+	}
+	if cfg.Nodes == 0 && cfg.Topology != TopologyGrid {
+		cfg.Nodes = 16
+	}
+	if cfg.Radius == 0 {
+		cfg.Radius = 0.4
+	}
+	if cfg.EdgeProb == 0 {
+		cfg.EdgeProb = 0.3
+	}
+	if cfg.Rows == 0 {
+		cfg.Rows = 4
+	}
+	if cfg.Cols == 0 {
+		cfg.Cols = 4
+	}
+	if cfg.Universe == 0 {
+		cfg.Universe = 8
+	}
+	if cfg.Channels == "" {
+		cfg.Channels = ChannelsHomogeneous
+	}
+	if cfg.SubsetSize == 0 {
+		cfg.SubsetSize = cfg.Universe / 2
+		if cfg.SubsetSize < 1 {
+			cfg.SubsetSize = 1
+		}
+	}
+	if cfg.InclusionProb == 0 {
+		cfg.InclusionProb = 0.5
+	}
+	if cfg.Primaries == 0 {
+		cfg.Primaries = 10
+	}
+	if cfg.ExclusionRadius == 0 {
+		cfg.ExclusionRadius = 0.3
+	}
+	if cfg.SharedBlock == 0 {
+		cfg.SharedBlock = 2
+		// PrivateBlock = 0 is meaningful (it makes ρ = 1), so it defaults
+		// only when the whole block-overlap shape was left unset.
+		if cfg.PrivateBlock == 0 {
+			cfg.PrivateBlock = 2
+		}
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return cfg
+}
+
+func buildGraph(cfg NetworkConfig, r *rng.Source) (*topology.Network, error) {
+	switch cfg.Topology {
+	case TopologyGeometric:
+		if cfg.RequireConnected {
+			return topology.GeometricConnected(cfg.Nodes, cfg.Radius, r, 200)
+		}
+		return topology.Geometric(cfg.Nodes, cfg.Radius, r)
+	case TopologyErdosRenyi:
+		return topology.ErdosRenyi(cfg.Nodes, cfg.EdgeProb, r)
+	case TopologyGrid:
+		return topology.Grid(cfg.Rows, cfg.Cols)
+	case TopologyLine:
+		return topology.Line(cfg.Nodes)
+	case TopologyRing:
+		return topology.Ring(cfg.Nodes)
+	case TopologyClique:
+		return topology.Clique(cfg.Nodes)
+	case TopologyStar:
+		return topology.Star(cfg.Nodes)
+	case TopologyBridge:
+		return topology.TwoClusterBridge(cfg.Nodes / 2)
+	default:
+		return nil, fmt.Errorf("m2hew: unknown topology %q", cfg.Topology)
+	}
+}
+
+func assignChannels(nw *topology.Network, cfg NetworkConfig, r *rng.Source) error {
+	switch cfg.Channels {
+	case ChannelsHomogeneous:
+		return topology.AssignHomogeneous(nw, cfg.Universe)
+	case ChannelsUniform:
+		return topology.AssignUniformK(nw, cfg.Universe, cfg.SubsetSize, r)
+	case ChannelsBernoulli:
+		return topology.AssignBernoulli(nw, cfg.Universe, cfg.InclusionProb, r)
+	case ChannelsPrimaryUsers:
+		if cfg.Topology != TopologyGeometric {
+			return fmt.Errorf("m2hew: channel model %q needs topology %q", cfg.Channels, TopologyGeometric)
+		}
+		_, err := topology.AssignPrimaryUsers(nw, cfg.Universe, cfg.Primaries, cfg.ExclusionRadius, r)
+		return err
+	case ChannelsBlockOverlap:
+		return topology.AssignBlockOverlap(nw, cfg.SharedBlock, cfg.PrivateBlock)
+	default:
+		return fmt.Errorf("m2hew: unknown channel model %q", cfg.Channels)
+	}
+}
+
+// N returns the number of nodes.
+func (n *Network) N() int { return n.inner.N() }
+
+// Stats returns the derived network parameters.
+func (n *Network) Stats() Stats {
+	p := n.params
+	return Stats{
+		Nodes:             p.N,
+		Universe:          p.UniverseSize,
+		S:                 p.S,
+		Delta:             p.Delta,
+		MaxDegree:         p.MaxGraphDegree,
+		Rho:               p.Rho,
+		Edges:             p.Edges,
+		DiscoverableLinks: p.DiscoverableLinks,
+	}
+}
+
+// Connected reports whether the communication graph is connected.
+func (n *Network) Connected() bool { return n.inner.Connected() }
+
+// NeighborIDs returns the true neighbors of node u (ground truth the
+// discovery algorithms must find). It returns nil for out-of-range u.
+func (n *Network) NeighborIDs(u int) []int {
+	if u < 0 || u >= n.inner.N() {
+		return nil
+	}
+	src := n.inner.Neighbors(topology.NodeID(u))
+	out := make([]int, len(src))
+	for i, v := range src {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// AvailableChannels returns A(u) as channel indexes, or nil for
+// out-of-range u.
+func (n *Network) AvailableChannels(u int) []int {
+	if u < 0 || u >= n.inner.N() {
+		return nil
+	}
+	return setToInts(n.inner.Avail(topology.NodeID(u)))
+}
+
+// CommonChannels returns span(u,v), the channels the link between u and v
+// can use; empty for non-adjacent or out-of-range pairs.
+func (n *Network) CommonChannels(u, v int) []int {
+	if u < 0 || v < 0 || u >= n.inner.N() || v >= n.inner.N() {
+		return nil
+	}
+	return setToInts(n.inner.Span(topology.NodeID(u), topology.NodeID(v)))
+}
+
+// Position returns the plane coordinates of node u (zero for abstract
+// topologies).
+func (n *Network) Position(u int) (x, y float64) {
+	if u < 0 || u >= n.inner.N() {
+		return 0, 0
+	}
+	node := n.inner.Node(topology.NodeID(u))
+	return node.X, node.Y
+}
+
+func setToInts(s channel.Set) []int {
+	ids := s.IDs()
+	out := make([]int, len(ids))
+	for i, c := range ids {
+		out[i] = int(c)
+	}
+	return out
+}
+
+// SaveNetwork writes the network — topology, channel sets, span overrides
+// and asymmetric directions — to w in a stable JSON format, so an exact
+// scenario can be re-run later or shared. Load it back with LoadNetwork.
+func SaveNetwork(n *Network, w io.Writer) error {
+	if n == nil {
+		return fmt.Errorf("m2hew: nil network")
+	}
+	return n.inner.EncodeJSON(w)
+}
+
+// LoadNetwork reads a network previously written by SaveNetwork.
+func LoadNetwork(r io.Reader) (*Network, error) {
+	inner, err := topology.DecodeJSON(r)
+	if err != nil {
+		return nil, fmt.Errorf("m2hew: %w", err)
+	}
+	return &Network{inner: inner, params: inner.ComputeParams()}, nil
+}
+
+// RevokeChannel models the arrival of a licensed primary user during
+// operation: the channel is removed from the available set of every node
+// within radius of (x, y) — the "secondary users have to vacate the
+// channel" event of cognitive radio. It returns the IDs of affected nodes.
+//
+// Revocation mutates the network: spans shrink and some links may become
+// undiscoverable; Stats reflects the new parameters. Re-run discovery
+// afterwards to rebuild neighbor tables (experiment E18 quantifies the
+// cost). No repair is performed — a node may legitimately end up with no
+// channels at all, in which case subsequent runs leave it silent... which
+// the paper's protocols cannot represent, so Run returns an error for such
+// networks; check Stats first.
+func (n *Network) RevokeChannel(ch int, x, y, radius float64) []int {
+	if ch < 0 {
+		return nil
+	}
+	affected := topology.RevokeChannel(n.inner, channel.ID(ch), x, y, radius)
+	n.params = n.inner.ComputeParams()
+	out := make([]int, len(affected))
+	for i, u := range affected {
+		out[i] = int(u)
+	}
+	return out
+}

@@ -1,0 +1,675 @@
+package m2hew
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestBuildNetworkDefaults(t *testing.T) {
+	nw, err := BuildNetwork(NetworkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := nw.Stats()
+	if s.Nodes != 16 {
+		t.Fatalf("default nodes = %d, want 16", s.Nodes)
+	}
+	if s.Universe != 8 || s.S != 8 {
+		t.Fatalf("default channels: %+v", s)
+	}
+	if s.Rho != 1 {
+		t.Fatalf("homogeneous default rho = %v", s.Rho)
+	}
+}
+
+func TestBuildNetworkTopologies(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  NetworkConfig
+		n    int
+	}{
+		{"geometric", NetworkConfig{Topology: TopologyGeometric, Nodes: 12, RequireConnected: true}, 12},
+		{"erdos", NetworkConfig{Topology: TopologyErdosRenyi, Nodes: 10, EdgeProb: 0.9}, 10},
+		{"grid", NetworkConfig{Topology: TopologyGrid, Rows: 3, Cols: 5}, 15},
+		{"line", NetworkConfig{Topology: TopologyLine, Nodes: 7}, 7},
+		{"ring", NetworkConfig{Topology: TopologyRing, Nodes: 6}, 6},
+		{"clique", NetworkConfig{Topology: TopologyClique, Nodes: 5}, 5},
+		{"star", NetworkConfig{Topology: TopologyStar, Nodes: 9}, 9},
+		{"bridge", NetworkConfig{Topology: TopologyBridge, Nodes: 8}, 8},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			nw, err := BuildNetwork(tt.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nw.N() != tt.n {
+				t.Fatalf("N = %d, want %d", nw.N(), tt.n)
+			}
+		})
+	}
+}
+
+func TestBuildNetworkUnknownKinds(t *testing.T) {
+	if _, err := BuildNetwork(NetworkConfig{Topology: "mesh"}); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+	if _, err := BuildNetwork(NetworkConfig{Channels: "psychic"}); err == nil {
+		t.Fatal("unknown channel model accepted")
+	}
+}
+
+func TestBuildNetworkChannelModels(t *testing.T) {
+	for _, model := range []ChannelModel{
+		ChannelsHomogeneous, ChannelsUniform, ChannelsBernoulli, ChannelsBlockOverlap,
+	} {
+		nw, err := BuildNetwork(NetworkConfig{
+			Topology: TopologyRing,
+			Nodes:    6,
+			Universe: 6,
+			Channels: model,
+			Seed:     3,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		if nw.Stats().S < 1 {
+			t.Fatalf("%s: empty channel sets", model)
+		}
+	}
+	// Primary users require a spatial topology.
+	if _, err := BuildNetwork(NetworkConfig{
+		Topology: TopologyRing, Nodes: 6, Channels: ChannelsPrimaryUsers,
+	}); err == nil {
+		t.Fatal("primary users on abstract topology accepted")
+	}
+	nw, err := BuildNetwork(NetworkConfig{
+		Topology: TopologyGeometric, Nodes: 15, RequireConnected: true,
+		Channels: ChannelsPrimaryUsers, Universe: 8, Primaries: 12, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Stats().Rho <= 0 || nw.Stats().Rho > 1 {
+		t.Fatalf("primary-user rho %v", nw.Stats().Rho)
+	}
+}
+
+func TestNetworkAccessors(t *testing.T) {
+	nw, err := BuildNetwork(NetworkConfig{
+		Topology: TopologyLine, Nodes: 3, Universe: 4, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.NeighborIDs(1); len(got) != 2 {
+		t.Fatalf("NeighborIDs(1) = %v", got)
+	}
+	if got := nw.NeighborIDs(99); got != nil {
+		t.Fatalf("NeighborIDs(99) = %v, want nil", got)
+	}
+	if got := nw.AvailableChannels(0); len(got) != 4 {
+		t.Fatalf("AvailableChannels = %v", got)
+	}
+	if got := nw.AvailableChannels(-1); got != nil {
+		t.Fatal("negative node returned channels")
+	}
+	if got := nw.CommonChannels(0, 1); len(got) != 4 {
+		t.Fatalf("CommonChannels(0,1) = %v", got)
+	}
+	if got := nw.CommonChannels(0, 2); len(got) != 0 {
+		t.Fatalf("CommonChannels of non-edge = %v", got)
+	}
+	if got := nw.CommonChannels(0, 99); got != nil {
+		t.Fatal("out-of-range pair returned channels")
+	}
+	x, y := nw.Position(0)
+	if x != 0 || y != 0 {
+		t.Fatalf("line position = (%v,%v)", x, y)
+	}
+	if !nw.Connected() {
+		t.Fatal("line reported disconnected")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	nw, err := BuildNetwork(NetworkConfig{Topology: TopologyClique, Nodes: 4, Universe: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(nil, RunConfig{Algorithm: AlgorithmAsync}); err == nil {
+		t.Error("nil network accepted")
+	}
+	if _, err := Run(nw, RunConfig{Algorithm: "genie"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := Run(nw, RunConfig{Algorithm: AlgorithmSyncStaged, Epsilon: 2}); err == nil {
+		t.Error("epsilon 2 accepted")
+	}
+	if _, err := Run(nw, RunConfig{Algorithm: AlgorithmSyncStaged, DeltaEst: 1}); err == nil {
+		t.Error("degree estimate below true degree accepted")
+	}
+	if _, err := Run(nw, RunConfig{Algorithm: AlgorithmSyncStaged, StartWindow: 10}); err == nil {
+		t.Error("staggered starts with Algorithm 1 accepted")
+	}
+	if _, err := Run(nw, RunConfig{Algorithm: AlgorithmAsync, DriftBound: 1.5}); err == nil {
+		t.Error("drift bound 1.5 accepted")
+	}
+	if _, err := Run(nw, RunConfig{Algorithm: AlgorithmAsync, StartSpread: -1}); err == nil {
+		t.Error("negative start spread accepted")
+	}
+}
+
+func TestRunAllAlgorithmsComplete(t *testing.T) {
+	nw, err := BuildNetwork(NetworkConfig{
+		Topology: TopologyClique, Nodes: 5, Universe: 3, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{
+		AlgorithmSyncStaged, AlgorithmSyncGrowing, AlgorithmSyncUniform, AlgorithmAsync,
+	} {
+		t.Run(string(alg), func(t *testing.T) {
+			report, err := Run(nw, RunConfig{Algorithm: alg, Seed: 21})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !report.Complete {
+				t.Fatalf("%s incomplete: %d/%d links", alg, report.LinksCovered, report.LinksTotal)
+			}
+			if report.LinksCovered != report.LinksTotal {
+				t.Fatalf("complete but %d/%d links", report.LinksCovered, report.LinksTotal)
+			}
+			if report.Bound <= 0 {
+				t.Fatal("no analytic bound reported")
+			}
+			switch alg {
+			case AlgorithmAsync:
+				if report.Duration <= 0 {
+					t.Fatal("async run missing duration")
+				}
+				if report.Duration > report.Bound {
+					t.Fatalf("duration %v exceeds Theorem 10 bound %v", report.Duration, report.Bound)
+				}
+			default:
+				if report.Slots <= 0 {
+					t.Fatal("sync run missing slot count")
+				}
+				if float64(report.Slots) > report.Bound {
+					t.Fatalf("slots %d exceed bound %v", report.Slots, report.Bound)
+				}
+			}
+			// Tables must exactly match ground truth.
+			for u := 0; u < nw.N(); u++ {
+				want := nw.NeighborIDs(u)
+				got := report.Tables[u]
+				if len(got) != len(want) {
+					t.Fatalf("node %d discovered %d neighbors, want %d", u, len(got), len(want))
+				}
+				for i, d := range got {
+					if d.Neighbor != want[i] {
+						t.Fatalf("node %d table %v, want neighbors %v", u, got, want)
+					}
+					common := nw.CommonChannels(u, d.Neighbor)
+					if len(common) != len(d.CommonChannels) {
+						t.Fatalf("node %d neighbor %d channels %v, want %v",
+							u, d.Neighbor, d.CommonChannels, common)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRunStaggeredUniform(t *testing.T) {
+	nw, err := BuildNetwork(NetworkConfig{Topology: TopologyRing, Nodes: 6, Universe: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Run(nw, RunConfig{
+		Algorithm:   AlgorithmSyncUniform,
+		StartWindow: 200,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Complete {
+		t.Fatalf("staggered uniform incomplete: %d/%d", report.LinksCovered, report.LinksTotal)
+	}
+}
+
+func TestRunAsyncWithDriftAndSpread(t *testing.T) {
+	nw, err := BuildNetwork(NetworkConfig{Topology: TopologyRing, Nodes: 5, Universe: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Run(nw, RunConfig{
+		Algorithm:   AlgorithmAsync,
+		DriftBound:  1.0 / 7,
+		StartSpread: 30,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Complete {
+		t.Fatalf("drifting async incomplete: %d/%d", report.LinksCovered, report.LinksTotal)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	nw, err := BuildNetwork(NetworkConfig{Topology: TopologyClique, Nodes: 4, Universe: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Run(nw, RunConfig{Algorithm: AlgorithmSyncStaged, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(nw, RunConfig{Algorithm: AlgorithmSyncStaged, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Slots != r2.Slots {
+		t.Fatalf("same seed different slots: %d vs %d", r1.Slots, r2.Slots)
+	}
+}
+
+func TestRunHorizonOverride(t *testing.T) {
+	nw, err := BuildNetwork(NetworkConfig{Topology: TopologyClique, Nodes: 6, Universe: 4, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1-slot horizon cannot complete discovery.
+	report, err := Run(nw, RunConfig{Algorithm: AlgorithmSyncUniform, MaxSlots: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Complete {
+		t.Fatal("1-slot run reported complete")
+	}
+	if report.LinksTotal == 0 {
+		t.Fatal("no target links")
+	}
+}
+
+func TestRunBaselines(t *testing.T) {
+	nw, err := BuildNetwork(NetworkConfig{
+		Topology: TopologyClique, Nodes: 5, Universe: 3, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Run(nw, RunConfig{Algorithm: AlgorithmBaselineRoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Complete {
+		t.Fatalf("round robin incomplete: %d/%d", rr.LinksCovered, rr.LinksTotal)
+	}
+	if float64(rr.Slots) > rr.Bound {
+		t.Fatalf("round robin took %d slots, beyond its N·U=%v cycle", rr.Slots, rr.Bound)
+	}
+	ub, err := Run(nw, RunConfig{Algorithm: AlgorithmBaselineUniversal, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ub.Complete {
+		t.Fatalf("universal baseline incomplete: %d/%d", ub.LinksCovered, ub.LinksTotal)
+	}
+	if ub.Bound != 0 {
+		t.Fatalf("universal baseline reported a bound (%v); the paper gives none", ub.Bound)
+	}
+}
+
+func TestRunBaselineUniverseGrowsCost(t *testing.T) {
+	// The headline critique: same network, bigger agreed universal set →
+	// slower universal baseline.
+	nw, err := BuildNetwork(NetworkConfig{
+		Topology: TopologyClique, Nodes: 5, Universe: 4, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Run(nw, RunConfig{Algorithm: AlgorithmBaselineUniversal, UniverseSize: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(nw, RunConfig{Algorithm: AlgorithmBaselineUniversal, UniverseSize: 64, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !small.Complete || !big.Complete {
+		t.Fatal("baseline runs incomplete")
+	}
+	if big.Slots <= small.Slots {
+		t.Fatalf("universal baseline not slower with U=64 (%d) than U=4 (%d)", big.Slots, small.Slots)
+	}
+}
+
+func TestBuildNetworkExtensions(t *testing.T) {
+	nw, err := BuildNetwork(NetworkConfig{
+		Topology: TopologyClique, Nodes: 8, Universe: 8,
+		AsymmetricFraction: 0.5, SpanCap: 2, Seed: 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := nw.Stats()
+	if s.DiscoverableLinks >= 2*s.Edges {
+		t.Fatalf("asymmetry dropped no directions: %d links, %d edges", s.DiscoverableLinks, s.Edges)
+	}
+	// Span cap 2 of universe 8 forces low rho.
+	if s.Rho > 0.25 {
+		t.Fatalf("span cap did not lower rho: %v", s.Rho)
+	}
+	if _, err := BuildNetwork(NetworkConfig{AsymmetricFraction: 2}); err == nil {
+		t.Fatal("asymmetric fraction 2 accepted")
+	}
+	if _, err := BuildNetwork(NetworkConfig{SpanCap: -1}); err == nil {
+		t.Fatal("negative span cap accepted")
+	}
+}
+
+func TestRunWithLoss(t *testing.T) {
+	nw, err := BuildNetwork(NetworkConfig{Topology: TopologyRing, Nodes: 6, Universe: 2, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Run(nw, RunConfig{Algorithm: AlgorithmSyncUniform, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := Run(nw, RunConfig{Algorithm: AlgorithmSyncUniform, LossProb: 0.6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean.Complete || !lossy.Complete {
+		t.Fatal("runs incomplete")
+	}
+	if lossy.Slots <= clean.Slots {
+		t.Fatalf("60%% loss did not slow discovery: %d vs %d slots", lossy.Slots, clean.Slots)
+	}
+	if _, err := Run(nw, RunConfig{Algorithm: AlgorithmSyncUniform, LossProb: 1}); err == nil {
+		t.Fatal("loss probability 1 accepted")
+	}
+}
+
+func TestRunWithTerminationSync(t *testing.T) {
+	nw, err := BuildNetwork(NetworkConfig{Topology: TopologyClique, Nodes: 6, Universe: 3, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Run(nw, RunConfig{
+		Algorithm:          AlgorithmSyncUniform,
+		TerminateAfterIdle: 600,
+		Seed:               5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Complete {
+		t.Fatalf("terminating run incomplete: %d/%d", report.LinksCovered, report.LinksTotal)
+	}
+	if report.TerminatedNodes != nw.N() {
+		t.Fatalf("%d/%d nodes terminated", report.TerminatedNodes, nw.N())
+	}
+	if report.MeanActiveUnits <= 0 {
+		t.Fatal("no active-slot accounting")
+	}
+	if _, err := Run(nw, RunConfig{Algorithm: AlgorithmSyncUniform, TerminateAfterIdle: -1}); err == nil {
+		t.Fatal("negative idle limit accepted")
+	}
+}
+
+func TestRunWithTerminationAsync(t *testing.T) {
+	nw, err := BuildNetwork(NetworkConfig{Topology: TopologyRing, Nodes: 5, Universe: 2, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Run(nw, RunConfig{
+		Algorithm:          AlgorithmAsync,
+		TerminateAfterIdle: 500,
+		DriftBound:         0.1,
+		Seed:               6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Complete {
+		t.Fatalf("terminating async run incomplete: %d/%d", report.LinksCovered, report.LinksTotal)
+	}
+	if report.TerminatedNodes != nw.N() {
+		t.Fatalf("%d/%d nodes terminated", report.TerminatedNodes, nw.N())
+	}
+}
+
+func TestRunAsymmetricNetworkCompletes(t *testing.T) {
+	nw, err := BuildNetwork(NetworkConfig{
+		Topology: TopologyClique, Nodes: 6, Universe: 3,
+		AsymmetricFraction: 0.6, Seed: 18,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Run(nw, RunConfig{Algorithm: AlgorithmSyncStaged, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Complete {
+		t.Fatalf("asymmetric discovery incomplete: %d/%d", report.LinksCovered, report.LinksTotal)
+	}
+}
+
+func TestReportCurve(t *testing.T) {
+	nw, err := BuildNetwork(NetworkConfig{Topology: TopologyClique, Nodes: 4, Universe: 2, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Run(nw, RunConfig{Algorithm: AlgorithmSyncUniform, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Curve) != report.LinksTotal {
+		t.Fatalf("curve has %d points, want one per link (%d)", len(report.Curve), report.LinksTotal)
+	}
+	for i := 1; i < len(report.Curve); i++ {
+		if report.Curve[i].Time < report.Curve[i-1].Time {
+			t.Fatal("curve not time-sorted")
+		}
+		if report.Curve[i].Covered != report.Curve[i-1].Covered+1 {
+			t.Fatal("curve counts not cumulative")
+		}
+	}
+	last := report.Curve[len(report.Curve)-1]
+	if int(last.Time) != report.Slots-1 {
+		t.Fatalf("last curve point at %v, completion slot %d", last.Time, report.Slots-1)
+	}
+}
+
+func TestSaveLoadNetwork(t *testing.T) {
+	nw, err := BuildNetwork(NetworkConfig{
+		Topology: TopologyGeometric, Nodes: 10, RequireConnected: true,
+		Universe: 6, Channels: ChannelsPrimaryUsers, Primaries: 8,
+		AsymmetricFraction: 0.3, SpanCap: 2, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := SaveNetwork(nw, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadNetwork(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Stats() != nw.Stats() {
+		t.Fatalf("stats differ after round trip:\n%+v\n%+v", loaded.Stats(), nw.Stats())
+	}
+	// A discovery run on the loaded network must behave identically.
+	r1, err := Run(nw, RunConfig{Algorithm: AlgorithmSyncStaged, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(loaded, RunConfig{Algorithm: AlgorithmSyncStaged, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Slots != r2.Slots || r1.Complete != r2.Complete {
+		t.Fatalf("runs diverge on loaded network: %d vs %d slots", r1.Slots, r2.Slots)
+	}
+	if err := SaveNetwork(nil, &buf); err == nil {
+		t.Fatal("nil network accepted")
+	}
+	if _, err := LoadNetwork(strings.NewReader("junk")); err == nil {
+		t.Fatal("junk accepted")
+	}
+}
+
+func TestRunBoundsAndHorizons(t *testing.T) {
+	nw, err := BuildNetwork(NetworkConfig{Topology: TopologyClique, Nodes: 5, Universe: 3, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin bound is exactly N·U for the derived universe.
+	rr, err := Run(nw, RunConfig{Algorithm: AlgorithmBaselineRoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Bound != float64(5*3) {
+		t.Fatalf("round robin bound %v, want 15", rr.Bound)
+	}
+	// With an explicit UniverseSize it scales accordingly.
+	rr2, err := Run(nw, RunConfig{Algorithm: AlgorithmBaselineRoundRobin, UniverseSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr2.Bound != float64(5*10) {
+		t.Fatalf("round robin bound %v, want 50", rr2.Bound)
+	}
+	// Termination with the growing algorithm (no Δest) also works.
+	grow, err := Run(nw, RunConfig{Algorithm: AlgorithmSyncGrowing, TerminateAfterIdle: 400, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !grow.Complete || grow.TerminatedNodes != 5 {
+		t.Fatalf("growing+termination: complete=%v terminated=%d", grow.Complete, grow.TerminatedNodes)
+	}
+	// Trace writer works on the async path too.
+	var sb strings.Builder
+	_, err = Run(nw, RunConfig{Algorithm: AlgorithmAsync, Seed: 3, TraceWriter: &sb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "deliver") {
+		t.Fatal("async trace produced no deliveries")
+	}
+}
+
+func TestRevokeChannelPublic(t *testing.T) {
+	nw, err := BuildNetwork(NetworkConfig{
+		Topology: TopologyGeometric, Nodes: 15, RequireConnected: true,
+		Universe: 4, Channels: ChannelsHomogeneous, Seed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := nw.Stats()
+	affected := nw.RevokeChannel(0, 0.5, 0.5, 2.0) // everyone
+	if len(affected) != nw.N() {
+		t.Fatalf("affected %d, want all %d", len(affected), nw.N())
+	}
+	after := nw.Stats()
+	if after.S != before.S-1 {
+		t.Fatalf("S %d -> %d, want one channel gone", before.S, after.S)
+	}
+	// Discovery still works on the remaining channels.
+	report, err := Run(nw, RunConfig{Algorithm: AlgorithmSyncUniform, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Complete {
+		t.Fatalf("post-churn discovery incomplete: %d/%d", report.LinksCovered, report.LinksTotal)
+	}
+	if nw.RevokeChannel(-1, 0, 0, 1) != nil {
+		t.Fatal("negative channel revocation returned nodes")
+	}
+}
+
+func TestDutyCycleReported(t *testing.T) {
+	nw, err := BuildNetwork(NetworkConfig{Topology: TopologyClique, Nodes: 4, Universe: 2, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Always-on protocols: duty cycle 1.
+	alwaysOn, err := Run(nw, RunConfig{Algorithm: AlgorithmSyncUniform, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alwaysOn.MeanDutyCycle != 1 {
+		t.Fatalf("always-on duty cycle %v, want 1", alwaysOn.MeanDutyCycle)
+	}
+	// Termination drives it below 1 (the run continues past quiescence).
+	terminated, err := Run(nw, RunConfig{
+		Algorithm: AlgorithmSyncUniform, TerminateAfterIdle: 200, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if terminated.MeanDutyCycle >= 1 || terminated.MeanDutyCycle <= 0 {
+		t.Fatalf("terminating duty cycle %v, want in (0,1)", terminated.MeanDutyCycle)
+	}
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	in := RunConfig{
+		Algorithm: AlgorithmAsync, DeltaEst: 8, Epsilon: 0.05,
+		DriftBound: 0.1, StartSpread: 20, LossProb: 0.2,
+		TerminateAfterIdle: 100, UniverseSize: 16, Seed: 9,
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out RunConfig
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("RunConfig round trip changed: %+v -> %+v", in, out)
+	}
+	nc := NetworkConfig{
+		Nodes: 9, Topology: TopologyRing, Universe: 5,
+		Channels: ChannelsBlockOverlap, SharedBlock: 3, PrivateBlock: 1,
+		AsymmetricFraction: 0.25, SpanCap: 2, Seed: 3,
+	}
+	data, err = json.Marshal(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nc2 NetworkConfig
+	if err := json.Unmarshal(data, &nc2); err != nil {
+		t.Fatal(err)
+	}
+	if nc2 != nc {
+		t.Fatalf("NetworkConfig round trip changed: %+v -> %+v", nc, nc2)
+	}
+}
+
+func TestRunAsyncWithLoss(t *testing.T) {
+	nw, err := BuildNetwork(NetworkConfig{Topology: TopologyRing, Nodes: 5, Universe: 2, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Run(nw, RunConfig{Algorithm: AlgorithmAsync, LossProb: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Complete {
+		t.Fatalf("lossy async run incomplete: %d/%d", report.LinksCovered, report.LinksTotal)
+	}
+}

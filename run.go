@@ -1,0 +1,563 @@
+package m2hew
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"m2hew/internal/analytic"
+	"m2hew/internal/baseline"
+	"m2hew/internal/channel"
+	"m2hew/internal/clock"
+	"m2hew/internal/core"
+	"m2hew/internal/metrics"
+	"m2hew/internal/rng"
+	"m2hew/internal/sim"
+	"m2hew/internal/topology"
+	"m2hew/internal/trace"
+)
+
+// Algorithm selects one of the paper's discovery algorithms.
+type Algorithm string
+
+// The paper's four algorithms, plus the two Related-Work baselines used by
+// its opening critique.
+const (
+	// AlgorithmSyncStaged is Algorithm 1 (synchronous, identical starts,
+	// known degree bound).
+	AlgorithmSyncStaged Algorithm = "sync-staged"
+	// AlgorithmSyncGrowing is Algorithm 2 (synchronous, identical starts,
+	// no degree knowledge).
+	AlgorithmSyncGrowing Algorithm = "sync-growing"
+	// AlgorithmSyncUniform is Algorithm 3 (synchronous, variable starts,
+	// known degree bound).
+	AlgorithmSyncUniform Algorithm = "sync-uniform"
+	// AlgorithmAsync is Algorithm 4 (asynchronous, drifting clocks with
+	// δ ≤ 1/7, known degree bound).
+	AlgorithmAsync Algorithm = "async"
+
+	// AlgorithmBaselineUniversal is the Related-Work comparator: one
+	// single-channel birthday-protocol instance per channel of the agreed
+	// universal set, interleaved across slots. Its cost grows linearly with
+	// UniverseSize — the critique the paper opens with. Synchronous,
+	// identical start times.
+	AlgorithmBaselineUniversal Algorithm = "baseline-universal"
+	// AlgorithmBaselineRoundRobin is the deterministic comparator in the
+	// spirit of the paper's refs [20–22]: slot t is dedicated to
+	// transmitter (t/U) mod N on channel t mod U. Collision-free,
+	// deterministic, but Θ(N·U) time. Synchronous, identical start times.
+	AlgorithmBaselineRoundRobin Algorithm = "baseline-roundrobin"
+)
+
+// RunConfig controls one discovery run.
+type RunConfig struct {
+	// Algorithm selects the protocol; required.
+	Algorithm Algorithm `json:"algorithm"`
+	// DeltaEst is the degree upper bound given to the nodes; 0 derives the
+	// next power of two above the true Δ (a realistically loose bound).
+	// Ignored by AlgorithmSyncGrowing.
+	DeltaEst int `json:"deltaEst,omitempty"`
+	// Epsilon is the failure probability used to size the default horizon
+	// from the matching theorem's bound; default 0.1.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// MaxSlots overrides the synchronous horizon (default: the theorem
+	// bound for the chosen algorithm).
+	MaxSlots int `json:"maxSlots,omitempty"`
+	// MaxFrames overrides the asynchronous per-node frame horizon.
+	MaxFrames int `json:"maxFrames,omitempty"`
+	// FrameLen is the asynchronous local frame length L; default 3.
+	FrameLen float64 `json:"frameLen,omitempty"`
+	// StartWindow staggers synchronous start slots uniformly in
+	// [0, StartWindow); only AlgorithmSyncUniform tolerates it.
+	StartWindow int `json:"startWindow,omitempty"`
+	// StartSpread staggers asynchronous node start times uniformly in
+	// [0, StartSpread) real time units.
+	StartSpread float64 `json:"startSpread,omitempty"`
+	// DriftBound is the asynchronous clock drift bound δ; nodes get
+	// independent bounded random-walk drift processes. Default 0 (ideal
+	// clocks). Must be ≤ 1/7 for the paper's guarantee; larger values are
+	// allowed for experimentation.
+	DriftBound float64 `json:"driftBound,omitempty"`
+	// UniverseSize is the agreed universal channel set size assumed by the
+	// baseline algorithms (they require such agreement; the paper's
+	// algorithms do not). 0 derives the smallest size covering every
+	// node's channels. Ignored by the paper's algorithms.
+	UniverseSize int `json:"universeSize,omitempty"`
+	// LossProb makes channels unreliable: every arriving transmission is
+	// independently erased at each receiver with this probability (the
+	// paper's Section V extension (b)). Default 0 (reliable).
+	LossProb float64 `json:"lossProb,omitempty"`
+	// TerminateAfterIdle, if positive, wraps every node with the
+	// quiescence termination rule: a node shuts its radio off after this
+	// many consecutive slots (synchronous) or frames (asynchronous)
+	// without discovering a new neighbor. The run then continues to its
+	// horizon rather than stopping at oracle completion, and the Report's
+	// termination fields are populated. Default 0 (the paper's forever-
+	// running protocols).
+	TerminateAfterIdle int `json:"terminateAfterIdle,omitempty"`
+	// Seed makes the run deterministic; default 1.
+	Seed uint64 `json:"seed"`
+	// TraceWriter, if non-nil, receives one line per clear reception
+	// ("t=… deliver v -> u ch=c"). Intended for tooling; it does not affect
+	// the run.
+	TraceWriter io.Writer `json:"-"`
+}
+
+// Discovery is one entry of a node's neighbor table.
+type Discovery struct {
+	// Neighbor is the discovered neighbor's node ID.
+	Neighbor int `json:"neighbor"`
+	// CommonChannels is A(v) ∩ A(u) as reported by the protocol.
+	CommonChannels []int `json:"commonChannels"`
+}
+
+// Report is the outcome of a discovery run.
+type Report struct {
+	// Algorithm echoes the run configuration.
+	Algorithm Algorithm `json:"algorithm"`
+	// Complete is true when every discoverable link was covered within the
+	// horizon.
+	Complete bool `json:"complete"`
+	// Slots is the synchronous completion slot count (valid when Complete
+	// and the algorithm is synchronous).
+	Slots int `json:"slots,omitempty"`
+	// Duration is the asynchronous real completion time since T_s (valid
+	// when Complete and the algorithm is AlgorithmAsync).
+	Duration float64 `json:"duration,omitempty"`
+	// Bound is the paper's analytic bound in the same unit as Slots or
+	// Duration: the Theorem 1/2/3 slot bound, or the Theorem 10 real-time
+	// bound for AlgorithmAsync.
+	Bound float64 `json:"bound"`
+	// LinksCovered / LinksTotal report discovery progress.
+	LinksCovered int `json:"linksCovered"`
+	LinksTotal   int `json:"linksTotal"`
+	// MeanDutyCycle is the mean fraction of simulated slots with the radio
+	// on, over all nodes (synchronous runs only; 0 for asynchronous runs).
+	// Without termination the paper's protocols never idle, so this is 1.0
+	// up to start-stagger effects; with TerminateAfterIdle it is the energy
+	// saving headline.
+	MeanDutyCycle float64 `json:"meanDutyCycle,omitempty"`
+	// TerminatedNodes counts nodes that went quiet under the
+	// TerminateAfterIdle rule (0 when the rule is off).
+	TerminatedNodes int `json:"terminatedNodes,omitempty"`
+	// MeanActiveUnits is the mean per-node count of radio-on slots
+	// (synchronous) or frames (asynchronous) when TerminateAfterIdle is
+	// active — the energy proxy.
+	MeanActiveUnits float64 `json:"meanActiveUnits,omitempty"`
+	// Tables holds each node's discovered neighbors, indexed by node ID.
+	Tables [][]Discovery `json:"tables"`
+	// Curve is the discovery progress curve: cumulative covered-link count
+	// at each first-coverage instant (slot index for synchronous runs,
+	// real time for asynchronous runs), sorted by time.
+	Curve []ProgressPoint `json:"curve"`
+}
+
+// ProgressPoint is one step of a discovery progress curve.
+type ProgressPoint struct {
+	// Time is the coverage instant (slots or real time).
+	Time float64 `json:"time"`
+	// Covered is the cumulative number of covered links at Time.
+	Covered int `json:"covered"`
+}
+
+// Run executes a discovery run on the network.
+func Run(n *Network, cfg RunConfig) (*Report, error) {
+	if n == nil {
+		return nil, fmt.Errorf("m2hew: nil network")
+	}
+	cfg, sc, err := runDefaults(n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	switch cfg.Algorithm {
+	case AlgorithmSyncStaged, AlgorithmSyncGrowing, AlgorithmSyncUniform,
+		AlgorithmBaselineUniversal, AlgorithmBaselineRoundRobin:
+		return runSync(n, cfg, sc)
+	case AlgorithmAsync:
+		return runAsync(n, cfg, sc)
+	default:
+		return nil, fmt.Errorf("m2hew: unknown algorithm %q", cfg.Algorithm)
+	}
+}
+
+func runDefaults(n *Network, cfg RunConfig) (RunConfig, analytic.Scenario, error) {
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 0.1
+	}
+	if cfg.Epsilon <= 0 || cfg.Epsilon >= 1 {
+		return cfg, analytic.Scenario{}, fmt.Errorf("m2hew: epsilon %v outside (0,1)", cfg.Epsilon)
+	}
+	if cfg.FrameLen == 0 {
+		cfg.FrameLen = 3
+	}
+	if cfg.FrameLen < 0 {
+		return cfg, analytic.Scenario{}, fmt.Errorf("m2hew: negative frame length %v", cfg.FrameLen)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.StartWindow < 0 || cfg.StartSpread < 0 {
+		return cfg, analytic.Scenario{}, fmt.Errorf("m2hew: negative start stagger")
+	}
+	if cfg.DriftBound < 0 || cfg.DriftBound >= 1 {
+		return cfg, analytic.Scenario{}, fmt.Errorf("m2hew: drift bound %v outside [0,1)", cfg.DriftBound)
+	}
+	if cfg.StartWindow > 0 && cfg.Algorithm != AlgorithmSyncUniform {
+		return cfg, analytic.Scenario{}, fmt.Errorf(
+			"m2hew: %q assumes identical start times; use %q for staggered starts",
+			cfg.Algorithm, AlgorithmSyncUniform)
+	}
+	if cfg.LossProb < 0 || cfg.LossProb >= 1 {
+		return cfg, analytic.Scenario{}, fmt.Errorf("m2hew: loss probability %v outside [0,1)", cfg.LossProb)
+	}
+	if cfg.TerminateAfterIdle < 0 {
+		return cfg, analytic.Scenario{}, fmt.Errorf("m2hew: negative idle limit %d", cfg.TerminateAfterIdle)
+	}
+	p := n.params
+	delta := p.Delta
+	if delta < 1 {
+		delta = 1 // edgeless networks: trivially complete
+	}
+	if cfg.DeltaEst == 0 {
+		cfg.DeltaEst = nextPow2(delta)
+	}
+	if cfg.DeltaEst < delta {
+		return cfg, analytic.Scenario{}, fmt.Errorf(
+			"m2hew: degree estimate %d below true max degree %d; the paper's bounds need an upper bound",
+			cfg.DeltaEst, delta)
+	}
+	sc := analytic.Scenario{
+		N: p.N, S: p.S, Delta: delta, DeltaEst: cfg.DeltaEst,
+		Rho: p.Rho, Eps: cfg.Epsilon,
+	}
+	if p.N < 2 {
+		// Single-node networks have nothing to discover; synthesize a
+		// trivially valid scenario for the bound fields.
+		sc.N = 2
+	}
+	if sc.S < 1 {
+		sc.S = 1
+	}
+	if err := sc.Validate(); err != nil {
+		return cfg, analytic.Scenario{}, fmt.Errorf("m2hew: %w", err)
+	}
+	return cfg, sc, nil
+}
+
+func runSync(n *Network, cfg RunConfig, sc analytic.Scenario) (*Report, error) {
+	universeSize := cfg.UniverseSize
+	if universeSize == 0 {
+		if maxC, ok := n.inner.Universe().Max(); ok {
+			universeSize = int(maxC) + 1
+		} else {
+			universeSize = 1
+		}
+	}
+	var bound float64
+	switch cfg.Algorithm {
+	case AlgorithmSyncStaged:
+		bound = sc.Theorem1Slots()
+	case AlgorithmSyncGrowing:
+		bound = sc.Theorem2Slots()
+	case AlgorithmSyncUniform:
+		bound = sc.Theorem3Slots()
+	case AlgorithmBaselineRoundRobin:
+		// The deterministic schedule provably finishes in exactly one cycle.
+		bound = float64(n.N() * universeSize)
+	default: // AlgorithmBaselineUniversal
+		// No bound from the paper: U interleaved single-channel instances;
+		// size the default horizon as U × the Theorem 1 slot bound.
+		bound = 0
+	}
+	maxSlots := cfg.MaxSlots
+	if maxSlots == 0 {
+		switch cfg.Algorithm {
+		case AlgorithmBaselineUniversal:
+			maxSlots = universeSize * (int(sc.Theorem1Slots()) + 1)
+		default:
+			maxSlots = cfg.StartWindow + int(bound) + 1
+		}
+		if cfg.LossProb > 0 {
+			// Erasures thin deliveries by ~(1−p); widen the horizon so the
+			// run can still complete within it.
+			maxSlots = int(float64(maxSlots) / (1 - cfg.LossProb))
+		}
+		if cfg.TerminateAfterIdle > 0 {
+			// Leave room for the quiescence cascade after the last
+			// discovery.
+			maxSlots += 6 * cfg.TerminateAfterIdle
+		}
+	}
+	root := rng.New(cfg.Seed)
+	var loss *sim.LossModel
+	if cfg.LossProb > 0 {
+		var err error
+		loss, err = sim.NewLossModel(cfg.LossProb, root.Split())
+		if err != nil {
+			return nil, fmt.Errorf("m2hew: %w", err)
+		}
+	}
+	protos := make([]sim.SyncProtocol, n.N())
+	var (
+		hold             []interface{ Neighbors() *core.NeighborTable }
+		syncTermWrappers []*core.SyncTerminating
+	)
+	for u := 0; u < n.N(); u++ {
+		avail := n.inner.Avail(topology.NodeID(u))
+		var (
+			p   sim.SyncProtocol
+			t   interface{ Neighbors() *core.NeighborTable }
+			err error
+		)
+		switch cfg.Algorithm {
+		case AlgorithmSyncStaged:
+			sp, e := core.NewSyncStaged(avail, cfg.DeltaEst, root.Split())
+			p, t, err = sp, sp, e
+		case AlgorithmSyncGrowing:
+			sp, e := core.NewSyncGrowing(avail, root.Split())
+			p, t, err = sp, sp, e
+		case AlgorithmBaselineUniversal:
+			sp, e := baseline.NewUniversalBirthday(avail, universeSize, cfg.DeltaEst, root.Split())
+			p, t, err = sp, sp, e
+		case AlgorithmBaselineRoundRobin:
+			sp, e := baseline.NewDeterministicRoundRobin(topology.NodeID(u), avail, universeSize, n.N())
+			p, t, err = sp, sp, e
+		default:
+			sp, e := core.NewSyncUniform(avail, cfg.DeltaEst, root.Split())
+			p, t, err = sp, sp, e
+		}
+		if err != nil {
+			return nil, fmt.Errorf("m2hew: node %d: %w", u, err)
+		}
+		if cfg.TerminateAfterIdle > 0 {
+			disc, ok := p.(core.SyncDiscoverer)
+			if !ok {
+				return nil, fmt.Errorf("m2hew: %q cannot be wrapped for termination", cfg.Algorithm)
+			}
+			wrapped, err := core.NewSyncTerminating(disc, cfg.TerminateAfterIdle)
+			if err != nil {
+				return nil, fmt.Errorf("m2hew: node %d: %w", u, err)
+			}
+			p, t = wrapped, wrapped
+			syncTermWrappers = append(syncTermWrappers, wrapped)
+		}
+		protos[u] = p
+		hold = append(hold, t)
+	}
+	var starts []int
+	if cfg.StartWindow > 0 {
+		starts = make([]int, n.N())
+		for u := range starts {
+			starts[u] = root.IntN(cfg.StartWindow)
+		}
+	}
+	var onDeliver func(slot int, from, to topology.NodeID, ch channel.ID)
+	if cfg.TraceWriter != nil {
+		sink := trace.NewWriter(cfg.TraceWriter)
+		onDeliver = func(slot int, from, to topology.NodeID, ch channel.ID) {
+			sink.Record(trace.Event{
+				Time: float64(slot), Kind: trace.KindDeliver,
+				From: from, To: to, Channel: ch,
+			})
+		}
+	}
+	meter, err := metrics.NewEnergyMeter(n.N())
+	if err != nil {
+		return nil, fmt.Errorf("m2hew: %w", err)
+	}
+	res, err := sim.RunSync(sim.SyncConfig{
+		Network:    n.inner,
+		Protocols:  protos,
+		StartSlots: starts,
+		MaxSlots:   maxSlots,
+		// With termination active the interesting behaviour continues past
+		// oracle completion (nodes must notice quiescence), so run out the
+		// horizon.
+		RunToMaxSlots: cfg.TerminateAfterIdle > 0,
+		Loss:          loss,
+		OnDeliver:     onDeliver,
+		OnSlot:        meter.ObserveSlot,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("m2hew: %w", err)
+	}
+	report := &Report{
+		Algorithm:    cfg.Algorithm,
+		Complete:     res.Complete,
+		Bound:        bound,
+		LinksCovered: res.Coverage.TargetSize() - res.Coverage.Remaining(),
+		LinksTotal:   res.Coverage.TargetSize(),
+		Tables:       tablesOf(n, hold),
+		Curve:        curveOf(res.Coverage),
+	}
+	if res.Complete {
+		report.Slots = res.CompletionSlot + 1
+	}
+	report.MeanDutyCycle = meter.MeanDutyCycle()
+	for _, w := range syncTermWrappers {
+		if w.Terminated() {
+			report.TerminatedNodes++
+		}
+		report.MeanActiveUnits += float64(w.ActiveSlots())
+	}
+	if len(syncTermWrappers) > 0 {
+		report.MeanActiveUnits /= float64(len(syncTermWrappers))
+	}
+	return report, nil
+}
+
+func runAsync(n *Network, cfg RunConfig, sc analytic.Scenario) (*Report, error) {
+	bound := sc.Theorem10Span(cfg.FrameLen, cfg.DriftBound)
+	maxFrames := cfg.MaxFrames
+	if maxFrames == 0 {
+		maxFrames = int(math.Ceil(sc.Theorem9Frames())) + int(cfg.StartSpread/cfg.FrameLen) + 2
+		if cfg.LossProb > 0 {
+			// Erasures thin deliveries by ~(1−p); widen the horizon to
+			// match (as the synchronous path does).
+			maxFrames = int(float64(maxFrames) / (1 - cfg.LossProb))
+		}
+		// Cap the horizon: the bound is very conservative and generating
+		// its full frame count is wasteful; an incomplete run reports
+		// Complete=false either way.
+		if maxFrames > 20000 {
+			maxFrames = 20000
+		}
+	}
+	if cfg.TerminateAfterIdle > 0 {
+		maxFrames += 2 * cfg.TerminateAfterIdle
+	}
+	root := rng.New(cfg.Seed)
+	var loss *sim.LossModel
+	if cfg.LossProb > 0 {
+		var err error
+		loss, err = sim.NewLossModel(cfg.LossProb, root.Split())
+		if err != nil {
+			return nil, fmt.Errorf("m2hew: %w", err)
+		}
+	}
+	nodes := make([]sim.AsyncNode, n.N())
+	var (
+		hold              []interface{ Neighbors() *core.NeighborTable }
+		asyncTermWrappers []*core.AsyncTerminating
+	)
+	for u := 0; u < n.N(); u++ {
+		p, err := core.NewAsync(n.inner.Avail(topology.NodeID(u)), cfg.DeltaEst, root.Split())
+		if err != nil {
+			return nil, fmt.Errorf("m2hew: node %d: %w", u, err)
+		}
+		var proto sim.AsyncProtocol = p
+		var table interface{ Neighbors() *core.NeighborTable } = p
+		if cfg.TerminateAfterIdle > 0 {
+			wrapped, err := core.NewAsyncTerminating(p, cfg.TerminateAfterIdle)
+			if err != nil {
+				return nil, fmt.Errorf("m2hew: node %d: %w", u, err)
+			}
+			proto, table = wrapped, wrapped
+			asyncTermWrappers = append(asyncTermWrappers, wrapped)
+		}
+		var drift clock.DriftProcess = clock.Ideal
+		if cfg.DriftBound > 0 {
+			drift, err = clock.NewRandomWalk(cfg.DriftBound, cfg.DriftBound/4+0.001, root.Split())
+			if err != nil {
+				return nil, fmt.Errorf("m2hew: node %d drift: %w", u, err)
+			}
+		}
+		start := 0.0
+		if cfg.StartSpread > 0 {
+			start = root.Float64() * cfg.StartSpread
+		}
+		nodes[u] = sim.AsyncNode{Protocol: proto, Start: start, Drift: drift}
+		hold = append(hold, table)
+	}
+	var onDeliver func(at float64, from, to topology.NodeID, ch channel.ID)
+	if cfg.TraceWriter != nil {
+		sink := trace.NewWriter(cfg.TraceWriter)
+		onDeliver = func(at float64, from, to topology.NodeID, ch channel.ID) {
+			sink.Record(trace.Event{
+				Time: at, Kind: trace.KindDeliver,
+				From: from, To: to, Channel: ch,
+			})
+		}
+	}
+	simCfg := sim.AsyncConfig{
+		Network:   n.inner,
+		Nodes:     nodes,
+		FrameLen:  cfg.FrameLen,
+		MaxFrames: maxFrames,
+		Loss:      loss,
+		OnDeliver: onDeliver,
+	}
+	var (
+		res *sim.AsyncResult
+		err error
+	)
+	if cfg.TerminateAfterIdle > 0 {
+		// The termination wrapper is adaptive (its schedule depends on what
+		// it received), which requires the online engine.
+		res, err = sim.RunAsyncOnline(simCfg)
+	} else {
+		res, err = sim.RunAsync(simCfg)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("m2hew: %w", err)
+	}
+	report := &Report{
+		Algorithm:    cfg.Algorithm,
+		Complete:     res.Complete,
+		Bound:        bound,
+		LinksCovered: res.Coverage.TargetSize() - res.Coverage.Remaining(),
+		LinksTotal:   res.Coverage.TargetSize(),
+		Tables:       tablesOf(n, hold),
+		Curve:        curveOf(res.Coverage),
+	}
+	if res.Complete {
+		report.Duration = res.CompletionTime - res.Ts
+	}
+	for _, w := range asyncTermWrappers {
+		if w.Terminated() {
+			report.TerminatedNodes++
+		}
+		report.MeanActiveUnits += float64(w.ActiveFrames())
+	}
+	if len(asyncTermWrappers) > 0 {
+		report.MeanActiveUnits /= float64(len(asyncTermWrappers))
+	}
+	return report, nil
+}
+
+func tablesOf(n *Network, hold []interface{ Neighbors() *core.NeighborTable }) [][]Discovery {
+	tables := make([][]Discovery, len(hold))
+	for u, h := range hold {
+		tbl := h.Neighbors()
+		entries := make([]Discovery, 0, tbl.Len())
+		for _, v := range tbl.Neighbors() {
+			common, _ := tbl.Common(v)
+			entries = append(entries, Discovery{
+				Neighbor:       int(v),
+				CommonChannels: setToInts(common),
+			})
+		}
+		tables[u] = entries
+	}
+	_ = n
+	return tables
+}
+
+// nextPow2 returns the smallest power of two ≥ x (and ≥ 2).
+func nextPow2(x int) int {
+	p := 2
+	for p < x {
+		p *= 2
+	}
+	return p
+}
+
+// curveOf converts the oracle's coverage curve to the public shape.
+func curveOf(cov *metrics.Coverage) []ProgressPoint {
+	points := cov.Curve()
+	out := make([]ProgressPoint, len(points))
+	for i, p := range points {
+		out[i] = ProgressPoint{Time: p.Time, Covered: p.Covered}
+	}
+	return out
+}
