@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench vet fmt experiments examples clean
+.PHONY: all build test test-race bench vet fmt fmt-check lint ci experiments examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -15,11 +15,23 @@ vet:
 fmt:
 	gofmt -l -w .
 
+# Fail (with the offending files listed) if anything is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Custom determinism/concurrency analyzers; see CONTRIBUTING.md.
+lint:
+	$(GO) run ./cmd/ndlint ./...
+
 test:
 	$(GO) test ./...
 
 test-race:
 	$(GO) test -race ./...
+
+# Everything the GitHub Actions pipeline runs, locally and in order.
+ci: build vet fmt-check lint test
+	$(GO) test -race ./internal/experiment/... ./internal/trace/... ./internal/sim/...
 
 # One full pass of every reproduction benchmark (one iteration each).
 bench:

@@ -1,0 +1,82 @@
+// Command ndlint runs the repository's custom determinism and concurrency
+// analyzers (internal/lint/...) over the whole module.
+//
+// Usage:
+//
+//	go run ./cmd/ndlint ./...
+//
+// ndlint always analyzes every package of the enclosing module (package
+// pattern arguments are accepted for familiarity and ignored); it exits 0
+// when the tree is clean, 1 when it found violations, and 2 on an internal
+// error. Findings print one per line as file:line:col: message (analyzer).
+// A verified false positive can be suppressed in source with a comment:
+//
+//	//ndlint:ignore <analyzer> <reason>
+//
+// on the offending line or the line above it. See CONTRIBUTING.md for what
+// each analyzer enforces and why.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"m2hew/internal/lint"
+	"m2hew/internal/lint/suite"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ndlint [-list] [packages]\n\nruns the m2hew determinism lint suite over the enclosing module\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range suite.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	diags, err := run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ndlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ndlint: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// run loads every module package and applies the suite.
+func run() ([]lint.Diagnostic, error) {
+	wd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	root, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := lint.LoadRepo(root)
+	if err != nil {
+		return nil, err
+	}
+	analyzers := suite.Analyzers()
+	var all []lint.Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := lint.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	return all, nil
+}

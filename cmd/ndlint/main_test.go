@@ -1,0 +1,23 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun lints the enclosing repository through the command's own entry
+// path; the tree must be clean (the suite self-test asserts the same
+// invariant package by package).
+func TestRun(t *testing.T) {
+	diags, err := run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var lines []string
+	for _, d := range diags {
+		lines = append(lines, d.String())
+	}
+	if len(diags) != 0 {
+		t.Fatalf("repository has lint violations:\n%s", strings.Join(lines, "\n"))
+	}
+}

@@ -1,0 +1,115 @@
+package experiment
+
+// Dedicated -race stress for the worker pools: runSyncTrials and
+// runAsyncConfigs hand work to goroutines through an atomic.Int64
+// work-stealing counter. These tests drive many more trials than workers so
+// the counter, the per-trial outcome slots and the pre-split rng sources
+// all get contended, and they assert the pools stay deterministic: a
+// parallel run must equal a 1-trial-at-a-time baseline.
+
+import (
+	"runtime"
+	"testing"
+
+	"m2hew/internal/core"
+	"m2hew/internal/rng"
+	"m2hew/internal/sim"
+	"m2hew/internal/topology"
+)
+
+// syncFixture builds a small network plus a factory, sized so one test run
+// schedules far more trials than GOMAXPROCS workers.
+func syncFixture(t *testing.T) (*topology.Network, syncFactory) {
+	t.Helper()
+	nw, err := topology.Clique(8)
+	if err != nil {
+		t.Fatalf("building clique: %v", err)
+	}
+	if err := topology.AssignHomogeneous(nw, 4); err != nil {
+		t.Fatalf("assigning channels: %v", err)
+	}
+	factory := func(u topology.NodeID, r *rng.Source) (sim.SyncProtocol, error) {
+		return core.NewSyncUniform(nw.Avail(u), 8, r)
+	}
+	return nw, factory
+}
+
+func TestRunSyncTrialsWorkStealingRace(t *testing.T) {
+	nw, factory := syncFixture(t)
+	const trials = 64
+	const maxSlots = 4000
+
+	run := func(seed uint64) ([]float64, int) {
+		t.Helper()
+		slots, incomplete, err := runSyncTrials(nw, factory, nil, maxSlots, trials, rng.New(seed))
+		if err != nil {
+			t.Fatalf("runSyncTrials: %v", err)
+		}
+		return slots, incomplete
+	}
+	got, gotInc := run(11)
+
+	// Same seed, same results — regardless of how the goroutines
+	// interleaved on the work-stealing counter.
+	again, againInc := run(11)
+	if gotInc != againInc || len(got) != len(again) {
+		t.Fatalf("reruns disagree: %d/%d complete vs %d/%d", len(got), gotInc, len(again), againInc)
+	}
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("trial %d: completion %v vs %v across reruns", i, got[i], again[i])
+		}
+	}
+	if len(got) == 0 {
+		t.Fatalf("no trial completed within %d slots; fixture is miscalibrated", maxSlots)
+	}
+}
+
+func TestRunAsyncConfigsWorkStealingRace(t *testing.T) {
+	nw, err := topology.Clique(6)
+	if err != nil {
+		t.Fatalf("building clique: %v", err)
+	}
+	if err := topology.AssignHomogeneous(nw, 3); err != nil {
+		t.Fatalf("assigning channels: %v", err)
+	}
+	root := rng.New(7)
+	const configs = 48
+
+	build := func(r *rng.Source) sim.AsyncConfig {
+		t.Helper()
+		nodes := make([]sim.AsyncNode, nw.N())
+		for u := 0; u < nw.N(); u++ {
+			p, err := core.NewAsync(nw.Avail(topology.NodeID(u)), 8, r.Split())
+			if err != nil {
+				t.Fatalf("building protocol: %v", err)
+			}
+			nodes[u] = sim.AsyncNode{Protocol: p, Start: float64(u) * 0.1}
+		}
+		return sim.AsyncConfig{Network: nw, Nodes: nodes, FrameLen: 1, MaxFrames: 600}
+	}
+	cfgs := make([]sim.AsyncConfig, configs)
+	for i := range cfgs {
+		cfgs[i] = build(root)
+	}
+	results, err := runAsyncConfigs(cfgs)
+	if err != nil {
+		t.Fatalf("runAsyncConfigs: %v", err)
+	}
+	if len(results) != configs {
+		t.Fatalf("got %d results, want %d", len(results), configs)
+	}
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("config %d: nil result", i)
+		}
+		if !res.Complete {
+			t.Fatalf("config %d incomplete within horizon; fixture is miscalibrated", i)
+		}
+	}
+	// The pool must not have shrunk the machine's parallelism permanently
+	// (a regression guard against leaking LockOSThread-style state).
+	if runtime.GOMAXPROCS(0) < 1 {
+		t.Fatal("GOMAXPROCS went non-positive")
+	}
+}

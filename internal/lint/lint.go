@@ -1,0 +1,196 @@
+// Package lint is a small, dependency-free static-analysis framework plus
+// the determinism and concurrency invariants this repository enforces with
+// it (see the analyzer subpackages and cmd/ndlint).
+//
+// The design deliberately mirrors golang.org/x/tools/go/analysis — an
+// Analyzer owns a Run func that inspects one type-checked package through a
+// Pass — but is built purely on the standard library (go/ast, go/types and
+// the "source" importer), because this repository carries no module
+// dependencies. Analyzers therefore port to the upstream framework almost
+// mechanically if we ever vendor x/tools.
+//
+// Why custom linters at all: every quantitative table in EXPERIMENTS.md
+// rests on the invariant that one 64-bit seed determines an entire
+// multi-node, multi-trial run. Nothing in the type system stops a future
+// change from importing math/rand, reading the wall clock inside the slot
+// engine, iterating a map in an output path, or sharing a *rng.Source
+// across goroutines — so machines check it here.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. It is stateless: Run is called
+// once per package with a fresh Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	// It must be a lowercase identifier.
+	Name string
+	// Doc explains what the analyzer reports and why it matters.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	// Returning an error aborts the whole lint run (reserved for internal
+	// failures, not findings).
+	Run func(*Pass) error
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset resolves token positions for every file of the package.
+	Fset *token.FileSet
+	// Files are the parsed source files (comments included).
+	Files []*ast.File
+	// Pkg is the type-checker's package object.
+	Pkg *types.Package
+	// Info holds the type-checking facts (Types, Defs, Uses, Selections).
+	Info *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// IgnoreDirective is the comment prefix that suppresses findings. A comment
+//
+//	//ndlint:ignore <name> [reason...]
+//
+// suppresses diagnostics of analyzer <name> (or of every analyzer, when
+// <name> is "all") on the directive's own line and on the line immediately
+// below it, so it works both as a trailing comment and as a lead-in line.
+const IgnoreDirective = "//ndlint:ignore"
+
+// RunAnalyzers applies the analyzers to pkg and returns the surviving
+// diagnostics sorted by position. Findings suppressed by ignore directives
+// are dropped.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	diags = suppress(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// suppress drops diagnostics covered by ignore directives in pkg's files.
+func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
+	// covered[file][line] holds the analyzer names suppressed at that line.
+	covered := make(map[string]map[int]map[string]bool)
+	addLine := func(file string, line int, name string) {
+		if covered[file] == nil {
+			covered[file] = make(map[int]map[string]bool)
+		}
+		if covered[file][line] == nil {
+			covered[file][line] = make(map[string]bool)
+		}
+		covered[file][line][name] = true
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, IgnoreDirective)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue // malformed: no analyzer name
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				addLine(pos.Filename, pos.Line, fields[0])
+				addLine(pos.Filename, pos.Line+1, fields[0])
+			}
+		}
+	}
+	if len(covered) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		names := covered[d.Pos.Filename][d.Pos.Line]
+		if names[d.Analyzer] || names["all"] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// RNGPath is the import path of the repository's seeded random source; the
+// only package allowed to touch math/rand, and the type analyzers key on.
+const RNGPath = "m2hew/internal/rng"
+
+// IsRNGSource reports whether t is rng.Source or *rng.Source (matched by
+// package path and name so test fixtures can supply a stub).
+func IsRNGSource(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == RNGPath && obj.Name() == "Source"
+}
+
+// InPackages reports whether path is one of the listed package paths or
+// lies underneath one of them.
+func InPackages(path string, roots []string) bool {
+	for _, r := range roots {
+		if path == r || strings.HasPrefix(path, r+"/") {
+			return true
+		}
+	}
+	return false
+}

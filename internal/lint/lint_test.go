@@ -1,0 +1,137 @@
+package lint_test
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"m2hew/internal/lint"
+)
+
+// loadFixture loads the framework's own test package from testdata.
+func loadFixture(t *testing.T, importPath string) *lint.Package {
+	t.Helper()
+	l := lint.NewLoader()
+	if err := l.AddTree("", filepath.Join("testdata", "src")); err != nil {
+		t.Fatalf("AddTree: %v", err)
+	}
+	pkg, err := l.Load(importPath)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", importPath, err)
+	}
+	return pkg
+}
+
+// flagFuncs reports one diagnostic per function declaration, giving the
+// suppression tests something position-accurate to filter.
+var flagFuncs = &lint.Analyzer{
+	Name: "flagfuncs",
+	Doc:  "test analyzer: report every function declaration",
+	Run: func(pass *lint.Pass) error {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					pass.Reportf(fd.Name.Pos(), "function %s", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func TestRunAnalyzersAndSuppression(t *testing.T) {
+	pkg := loadFixture(t, "fixture")
+	diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{flagFuncs})
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	// fixture.go declares four functions; Suppressed (trailing directive),
+	// AlsoSuppressed (directive on the line above) and Blanket (ignore all)
+	// are filtered, leaving only Reported.
+	var names []string
+	for _, d := range diags {
+		names = append(names, d.Message)
+	}
+	got := strings.Join(names, ",")
+	if got != "function Reported" {
+		t.Fatalf("diagnostics after suppression = %q, want %q", got, "function Reported")
+	}
+}
+
+func TestDiagnosticOrderingAndString(t *testing.T) {
+	pkg := loadFixture(t, "fixture")
+	// Both analyzers report once at the package clause: identical
+	// positions force the analyzer-name tie-break.
+	reportStart := func(pass *lint.Pass) error {
+		pass.Reportf(pass.Files[0].Package, "pkg %s", pass.Pkg.Name())
+		return nil
+	}
+	diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{
+		{Name: "zeta", Doc: "d", Run: reportStart},
+		{Name: "alpha", Doc: "d", Run: reportStart},
+	})
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2", len(diags))
+	}
+	// Same position: ties break on analyzer name.
+	if diags[0].Analyzer != "alpha" || diags[1].Analyzer != "zeta" {
+		t.Fatalf("tie-break order = %s, %s; want alpha, zeta", diags[0].Analyzer, diags[1].Analyzer)
+	}
+	s := diags[0].String()
+	if !strings.Contains(s, "fixture.go") || !strings.HasSuffix(s, "(alpha)") {
+		t.Fatalf("Diagnostic.String() = %q; want file position and trailing analyzer name", s)
+	}
+}
+
+func TestLoaderResolvesTreeImports(t *testing.T) {
+	// fixture imports fixture/dep and the standard library; loading it
+	// exercises overlay resolution and the source importer together.
+	pkg := loadFixture(t, "fixture")
+	if pkg.Types.Name() != "fixture" {
+		t.Fatalf("package name = %q, want fixture", pkg.Types.Name())
+	}
+	deps := make(map[string]bool)
+	for _, imp := range pkg.Types.Imports() {
+		deps[imp.Path()] = true
+	}
+	if !deps["fixture/dep"] || !deps["strings"] {
+		t.Fatalf("imports = %v, want fixture/dep and strings resolved", deps)
+	}
+}
+
+func TestInPackages(t *testing.T) {
+	roots := []string{"m2hew/internal/sim", "m2hew/cmd"}
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"m2hew/internal/sim", true},
+		{"m2hew/internal/sim/sub", true},
+		{"m2hew/internal/simtest", false},
+		{"m2hew/cmd/ndbench", true},
+		{"m2hew/internal/metrics", false},
+	}
+	for _, c := range cases {
+		if got := lint.InPackages(c.path, roots); got != c.want {
+			t.Errorf("InPackages(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestModulePathAndFindModuleRoot(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("FindModuleRoot: %v", err)
+	}
+	mod, err := lint.ModulePath(root)
+	if err != nil {
+		t.Fatalf("ModulePath: %v", err)
+	}
+	if mod != "m2hew" {
+		t.Fatalf("module path = %q, want m2hew", mod)
+	}
+}

@@ -1,0 +1,138 @@
+// Package linttest runs lint analyzers against source fixtures, in the
+// style of golang.org/x/tools/go/analysis/analysistest: fixtures live under
+// testdata/src/<importpath>/ and annotate the findings they expect with
+// trailing comments of the form
+//
+//	code() // want "regexp"
+//
+// A line may carry several quoted regexps when several findings are
+// expected on it. Fixtures may import stub packages that live in the same
+// tree (e.g. a fake m2hew/internal/rng), plus anything from the standard
+// library.
+package linttest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"m2hew/internal/lint"
+)
+
+// want is one expected finding.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// Run loads each fixture package (an import path under testdata/src),
+// applies the analyzer, and reports every mismatch between actual
+// diagnostics and the fixtures' want annotations as a test error.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := lint.NewLoader()
+	if err := loader.AddTree("", filepath.Join(testdata, "src")); err != nil {
+		t.Fatalf("registering fixture tree: %v", err)
+	}
+	for _, p := range pkgPaths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			t.Fatalf("loading fixture package %s: %v", p, err)
+		}
+		diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, p, err)
+		}
+		check(t, pkg, diags)
+	}
+}
+
+// check matches diagnostics against want annotations in pkg's files.
+func check(t *testing.T, pkg *lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		found := false
+		for i, w := range wants {
+			if matched[i] || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pkg.Path, d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q", pkg.Path, w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants extracts `// want "re"` annotations from pkg's comments.
+func collectWants(t *testing.T, pkg *lint.Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range splitQuoted(text) {
+					expr, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted splits `"a" "b c"` into its quoted segments, quotes kept.
+// Both double-quoted and backquoted segments are accepted.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		start := strings.IndexAny(s, "\"`")
+		if start < 0 {
+			return out
+		}
+		quote := s[start]
+		rest := s[start+1:]
+		end := -1
+		for i := 0; i < len(rest); i++ {
+			if quote == '"' && rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == quote {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[start:start+1+end+1])
+		s = rest[end+1:]
+	}
+}

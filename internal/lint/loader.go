@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the directory its sources were read from.
+	Dir string
+	// Fset is shared by every package of one Loader.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, comments included.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds type-checking facts for Files.
+	Info *types.Info
+}
+
+// A Loader type-checks a set of directories as packages. Import paths
+// registered with Map or AddTree resolve to those directories and are
+// parsed and checked by the loader itself; every other import (the standard
+// library) is delegated to go/importer's "source" importer, which works
+// offline from GOROOT sources. Loading is memoized, so a Loader is cheap to
+// reuse across many packages but is not safe for concurrent use.
+type Loader struct {
+	fset    *token.FileSet
+	dirs    map[string]string // import path -> source directory
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns an empty loader.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:    fset,
+		dirs:    make(map[string]string),
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// Map registers dir as the source of import path importPath.
+func (l *Loader) Map(importPath, dir string) {
+	l.dirs[importPath] = dir
+}
+
+// AddTree walks root and registers every directory containing non-test Go
+// files. A directory at relative path rel is registered under
+// path.Join(prefix, rel); root itself is registered as prefix. Directories
+// named testdata, hidden directories and underscore-prefixed directories
+// are skipped, matching the go tool's convention.
+func (l *Loader) AddTree(prefix, root string) error {
+	return filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return fs.SkipDir
+		}
+		entries, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		hasGo := false
+		for _, e := range entries {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				hasGo = true
+				break
+			}
+		}
+		if !hasGo {
+			return nil
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		ip := prefix
+		if rel != "." {
+			ip = path.Join(prefix, filepath.ToSlash(rel))
+		}
+		if ip == "" {
+			ip = filepath.ToSlash(rel)
+		}
+		l.Map(ip, p)
+		return nil
+	})
+}
+
+// Paths returns the registered import paths, sorted.
+func (l *Loader) Paths() []string {
+	out := make([]string, 0, len(l.dirs))
+	for p := range l.dirs {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Load parses and type-checks the package registered under importPath
+// (loading its registered dependencies first) and returns it.
+func (l *Loader) Load(importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("lint: import cycle through %q", importPath)
+	}
+	dir, ok := l.dirs[importPath]
+	if !ok {
+		return nil, fmt.Errorf("lint: package %q is not registered with this loader", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", importPath, err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importerFunc(l.importDep)}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	pkg := &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// parseDir parses the buildable non-test Go files of dir, honoring build
+// constraints via go/build.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	ctx := build.Default
+	bpkg, err := ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	files := make([]*ast.File, 0, len(bpkg.GoFiles))
+	for _, name := range bpkg.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// importDep resolves one import during type-checking: registered paths load
+// through this loader, everything else through the standard-library source
+// importer.
+func (l *Loader) importDep(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := l.dirs[path]; ok {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// FindModuleRoot walks up from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// ModulePath reads the module path from root's go.mod.
+func ModulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s/go.mod", root)
+}
+
+// LoadRepo loads every package of the module rooted at root, in sorted
+// import-path order.
+func LoadRepo(root string) ([]*Package, error) {
+	modPath, err := ModulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	l := NewLoader()
+	if err := l.AddTree(modPath, root); err != nil {
+		return nil, err
+	}
+	paths := l.Paths()
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,246 @@
+// Package maporder flags map iteration whose order leaks into results.
+//
+// Go randomizes map iteration order on purpose. In the experiment and
+// metrics pipeline that nondeterminism is poison: the EXPERIMENTS.md tables
+// must reproduce byte-for-byte from a seed, so a range-over-map that
+// appends rows, prints cells, feeds a hash, or accumulates floating point
+// (float addition is not associative, so summation order changes low bits)
+// silently breaks run-to-run identity.
+//
+// The analyzer fences the deterministic-output packages and reports a
+// range over a map value whose body performs an order-sensitive effect:
+//
+//   - appending to a slice declared outside the loop — unless a later
+//     statement of the same block sorts that slice (the canonical
+//     collect-keys-then-sort idiom stays legal);
+//   - writing output (fmt print family, or Write/WriteString/Sum-style
+//     method calls, which also covers hashing);
+//   - compound floating-point accumulation (+=, -=, *=, /=) into a
+//     variable declared outside the loop.
+//
+// Order-insensitive reductions (integer sums, min/max, counting, set
+// membership tests) pass untouched. A finding that is a verified false
+// positive can be suppressed with //ndlint:ignore maporder <reason>.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"m2hew/internal/lint"
+)
+
+// fencedPackages lists the package trees whose output must be reproducible.
+var fencedPackages = []string{
+	"m2hew/internal/experiment",
+	"m2hew/internal/metrics",
+	"m2hew/cmd",
+}
+
+// Analyzer reports order-sensitive effects inside range-over-map loops.
+var Analyzer = &lint.Analyzer{
+	Name: "maporder",
+	Doc:  "flag range over a map that appends, prints, hashes or float-accumulates in iteration order; map order is nondeterministic",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	if !lint.InPackages(pass.Pkg.Path(), fencedPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Track enclosing blocks so the sorted-later escape can look at the
+		// statements that follow a range loop.
+		var blocks []*ast.BlockStmt
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				blocks = append(blocks, n)
+				for _, st := range n.List {
+					ast.Inspect(st, walk)
+				}
+				blocks = blocks[:len(blocks)-1]
+				return false
+			case *ast.RangeStmt:
+				if isMapType(pass, n.X) {
+					checkRange(pass, n, enclosing(blocks, n))
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+	return nil
+}
+
+// enclosing returns the statements that follow stmt in its innermost
+// enclosing block (nil when stmt is nested more deeply, e.g. inside an if).
+func enclosing(blocks []*ast.BlockStmt, stmt ast.Stmt) []ast.Stmt {
+	for i := len(blocks) - 1; i >= 0; i-- {
+		for j, st := range blocks[i].List {
+			if st == stmt {
+				return blocks[i].List[j+1:]
+			}
+		}
+	}
+	return nil
+}
+
+// isMapType reports whether expr's type is a map.
+func isMapType(pass *lint.Pass, expr ast.Expr) bool {
+	t := pass.Info.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkRange inspects one map-range body for order-sensitive effects.
+// following holds the statements after the loop in its enclosing block,
+// used to recognize the collect-then-sort idiom.
+func checkRange(pass *lint.Pass, rs *ast.RangeStmt, following []ast.Stmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, rs, n, following)
+		case *ast.AssignStmt:
+			checkFloatAccum(pass, rs, n)
+		}
+		return true
+	})
+}
+
+// checkCall flags output/hash calls and unsorted appends.
+func checkCall(pass *lint.Pass, rs *ast.RangeStmt, call *ast.CallExpr, following []ast.Stmt) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name != "append" {
+			return
+		}
+		if _, isBuiltin := pass.Info.Uses[fun].(*types.Builtin); !isBuiltin {
+			return
+		}
+		if len(call.Args) == 0 {
+			return
+		}
+		dst, ok := call.Args[0].(*ast.Ident)
+		if !ok {
+			// Appending to a field or element in map order: no way to prove
+			// a later sort, so flag conservatively.
+			pass.Reportf(call.Pos(), "append inside range over a map iterates in nondeterministic order; collect and sort, or iterate sorted keys")
+			return
+		}
+		obj := pass.Info.ObjectOf(dst)
+		if obj == nil || declaredWithin(obj, rs) {
+			return // loop-local slice: order cannot escape the iteration
+		}
+		if sortedLater(pass, obj, following) {
+			return // collect-then-sort idiom
+		}
+		pass.Reportf(call.Pos(), "append to %s inside range over a map iterates in nondeterministic order and %s is not sorted afterwards in this block; sort it or iterate sorted keys", dst.Name, dst.Name)
+	case *ast.SelectorExpr:
+		obj := pass.Info.Uses[fun.Sel]
+		if obj == nil {
+			return
+		}
+		if pkg := obj.Pkg(); pkg != nil && pkg.Path() == "fmt" && isPrint(obj.Name()) {
+			pass.Reportf(call.Pos(), "fmt.%s inside range over a map emits output in nondeterministic order; iterate sorted keys", obj.Name())
+			return
+		}
+		if isWriteMethod(fun.Sel.Name) && pass.Info.Selections[fun] != nil {
+			pass.Reportf(call.Pos(), "%s inside range over a map writes in nondeterministic order; iterate sorted keys", fun.Sel.Name)
+		}
+	}
+}
+
+// isPrint matches fmt's printing functions (Sprint* builds strings without
+// emitting them, so it is left alone).
+func isPrint(name string) bool {
+	switch name {
+	case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+		return true
+	}
+	return false
+}
+
+// isWriteMethod matches io.Writer-style sinks and hash.Hash feeding.
+func isWriteMethod(name string) bool {
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Sum":
+		return true
+	}
+	return false
+}
+
+// checkFloatAccum flags compound floating-point accumulation into a
+// variable that outlives the loop.
+func checkFloatAccum(pass *lint.Pass, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return
+	}
+	if len(as.Lhs) != 1 {
+		return
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	t := pass.Info.TypeOf(lhs)
+	if t == nil {
+		return
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsFloat == 0 {
+		return
+	}
+	obj := pass.Info.ObjectOf(lhs)
+	if obj == nil || declaredWithin(obj, rs) {
+		return
+	}
+	pass.Reportf(as.Pos(), "floating-point accumulation into %s inside range over a map depends on iteration order (float addition is not associative); iterate sorted keys", lhs.Name)
+}
+
+// declaredWithin reports whether obj's declaration lies inside node.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return node.Pos() <= obj.Pos() && obj.Pos() < node.End()
+}
+
+// sortedLater reports whether one of the statements after the loop calls a
+// sort/slices function with the slice obj among its arguments.
+func sortedLater(pass *lint.Pass, obj types.Object, following []ast.Stmt) bool {
+	for _, st := range following {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.Info.Uses[sel.Sel]
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id, ok := arg.(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

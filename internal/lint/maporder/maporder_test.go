@@ -1,0 +1,16 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"m2hew/internal/lint/linttest"
+	"m2hew/internal/lint/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, "testdata", maporder.Analyzer,
+		"m2hew/internal/metrics", // fenced: violations and legal idioms
+		"m2hew/cmd/ndfake",       // fenced: command output paths
+		"m2hew/internal/sim",     // not fenced: same code, no findings
+	)
+}

@@ -1,0 +1,20 @@
+// Package main is a fixture for maporder's output checks in a command.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	m := map[string]int{"a": 1}
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt.Printf inside range over a map`
+	}
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `WriteString inside range over a map`
+	}
+	fmt.Fprintln(os.Stdout, b.String())
+}

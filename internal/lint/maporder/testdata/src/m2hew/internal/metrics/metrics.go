@@ -1,0 +1,77 @@
+// Package metrics is a fixture exercising maporder inside a fenced
+// package: order-sensitive effects are flagged, the canonical deterministic
+// idioms are not.
+package metrics
+
+import "sort"
+
+// Labels gathers map keys in iteration order without sorting them.
+func Labels(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside range over a map`
+	}
+	return out
+}
+
+// SortedLabels collects then sorts: the canonical deterministic idiom.
+func SortedLabels(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SortedBySlice collects then sorts with sort.Slice, also legal.
+func SortedBySlice(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MeanValue accumulates floating point in map order; summation order
+// changes the low bits, so the result is not reproducible.
+func MeanValue(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation into sum`
+	}
+	return sum / float64(len(m))
+}
+
+// Count is an integer reduction: order-insensitive, legal.
+func Count(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Max is an order-insensitive reduction, legal.
+func Max(m map[string]float64) float64 {
+	best := 0.0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// LocalAppend appends to a slice that lives and dies inside one iteration;
+// order cannot escape, legal.
+func LocalAppend(m map[string][]int, f func([]int)) {
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		f(doubled)
+	}
+}

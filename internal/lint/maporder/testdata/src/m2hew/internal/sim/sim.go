@@ -1,0 +1,13 @@
+// Package sim is a fixture for a package outside maporder's fence: the
+// same order-dependent code draws no findings here (the engine has its own
+// determinism story; the fence covers the result-emitting pipeline).
+package sim
+
+// Keys gathers map keys unsorted, legal outside the fence.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+// Package norand forbids math/rand outside the seeded rng package.
+//
+// Reproducibility of the experiment tables requires every random decision
+// to flow from one 64-bit seed through internal/rng's splittable xoshiro
+// streams. math/rand (and math/rand/v2) breaks that in two ways: its
+// global functions draw from process-wide state no seed controls, and its
+// stream layout is not guaranteed across Go releases, so even a locally
+// seeded rand.New would tie results to a toolchain version.
+package norand
+
+import (
+	"strconv"
+
+	"m2hew/internal/lint"
+)
+
+// Analyzer rejects math/rand and math/rand/v2 imports in every package
+// except internal/rng itself (which documents why it replaces them).
+var Analyzer = &lint.Analyzer{
+	Name: "norand",
+	Doc:  "forbid math/rand imports; all randomness must come from the seeded internal/rng source",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	if pass.Pkg.Path() == lint.RNGPath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if p == "math/rand" || p == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s is forbidden: draw randomness from the seeded %s instead", p, lint.RNGPath)
+			}
+		}
+	}
+	return nil
+}

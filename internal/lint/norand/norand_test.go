@@ -1,0 +1,15 @@
+package norand_test
+
+import (
+	"testing"
+
+	"m2hew/internal/lint/linttest"
+	"m2hew/internal/lint/norand"
+)
+
+func TestNoRand(t *testing.T) {
+	linttest.Run(t, "testdata", norand.Analyzer,
+		"a",                  // violations
+		"m2hew/internal/rng", // the one package allowed to use math/rand
+	)
+}

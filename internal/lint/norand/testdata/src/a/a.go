@@ -1,0 +1,13 @@
+// Package a seeds norand violations: both math/rand generations are
+// forbidden outside the rng package.
+package a
+
+import (
+	"math/rand"       // want `import of math/rand is forbidden`
+	v2 "math/rand/v2" // want `import of math/rand/v2 is forbidden`
+)
+
+// Draw uses the forbidden global generators.
+func Draw() int {
+	return rand.Int() + v2.Int()
+}

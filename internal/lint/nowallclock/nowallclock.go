@@ -1,0 +1,70 @@
+// Package nowallclock forbids wall-clock reads in simulation packages.
+//
+// The simulation engines advance a virtual timeline (internal/clock for
+// the asynchronous engine, integer slots for the synchronous one); the
+// experiments' results must be functions of the seed alone. A time.Now or
+// time.Sleep inside that code couples results to the host machine — runs
+// stop being reproducible, and the paper's bound audits become noise.
+// Wall-clock use remains legal outside the simulation core (cmd/ tools may
+// time themselves, tests may set deadlines).
+package nowallclock
+
+import (
+	"go/ast"
+
+	"m2hew/internal/lint"
+)
+
+// simPackages are the packages where the deterministic timeline is the only
+// legal notion of time.
+var simPackages = []string{
+	"m2hew/internal/sim",
+	"m2hew/internal/core",
+	"m2hew/internal/clock",
+	"m2hew/internal/baseline",
+}
+
+// forbidden lists the time-package functions that read or wait on the wall
+// clock. Pure data types (time.Duration arithmetic, time.Time values passed
+// in) stay legal.
+var forbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// Analyzer rejects wall-clock calls inside the simulation packages.
+var Analyzer = &lint.Analyzer{
+	Name: "nowallclock",
+	Doc:  "forbid time.Now/Sleep/... in simulation packages; only the deterministic internal/clock timeline is legal there",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	if !lint.InPackages(pass.Pkg.Path(), simPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if forbidden[obj.Name()] {
+				pass.Reportf(sel.Pos(), "time.%s reads the wall clock; simulation code must be a deterministic function of the seed (use the internal/clock timeline)", obj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package nowallclock_test
+
+import (
+	"testing"
+
+	"m2hew/internal/lint/linttest"
+	"m2hew/internal/lint/nowallclock"
+)
+
+func TestNoWallClock(t *testing.T) {
+	linttest.Run(t, "testdata", nowallclock.Analyzer,
+		"m2hew/internal/sim", // violations inside a simulation package
+		"m2hew/cmd/outside",  // same calls outside the fence are legal
+	)
+}

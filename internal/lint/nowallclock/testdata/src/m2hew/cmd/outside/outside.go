@@ -1,0 +1,12 @@
+// Package outside is a fixture for a package that is NOT fenced: command
+// line tools may time themselves with the real clock.
+package outside
+
+import "time"
+
+// Elapsed measures real wall time, which is fine here.
+func Elapsed(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

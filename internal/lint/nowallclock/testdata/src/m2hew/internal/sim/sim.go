@@ -1,0 +1,18 @@
+// Package sim is a fixture standing in for the synchronous engine; every
+// wall-clock read here must be flagged.
+package sim
+
+import "time"
+
+// Step pretends to advance one slot.
+func Step() time.Duration {
+	start := time.Now()            // want `time.Now reads the wall clock`
+	time.Sleep(time.Millisecond)   // want `time.Sleep reads the wall clock`
+	<-time.After(time.Millisecond) // want `time.After reads the wall clock`
+	return time.Since(start)       // want `time.Since reads the wall clock`
+}
+
+// SlotLen uses time only as a data type, which is legal.
+func SlotLen(slots int) time.Duration {
+	return time.Duration(slots) * time.Millisecond
+}

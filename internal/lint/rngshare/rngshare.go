@@ -1,0 +1,93 @@
+// Package rngshare flags a *rng.Source handed to a new goroutine.
+//
+// rng.Source is documented as not safe for concurrent use: its xoshiro
+// state mutates on every draw, so two goroutines sharing one source race —
+// and even when the race happens to be benign under the memory model, the
+// interleaving makes the draw sequence scheduling-dependent, which destroys
+// run-to-run reproducibility silently. The sanctioned pattern is to fork a
+// child stream per goroutine with Split (or SplitN) *before* the goroutine
+// starts, the way internal/experiment's worker pools pre-split one source
+// per trial.
+//
+// The analyzer inspects every go statement and reports any identifier of
+// type rng.Source or *rng.Source that refers to a variable declared outside
+// the statement — a closure capture, a plain argument, or a source stored
+// into a composite literal that rides into the goroutine. Receivers of an
+// inline Split call (go worker(src.Split())) are allowed: arguments are
+// evaluated in the spawning goroutine, so the fork is sequenced before the
+// new goroutine runs.
+package rngshare
+
+import (
+	"go/ast"
+	"go/types"
+
+	"m2hew/internal/lint"
+)
+
+// Analyzer reports rng.Source values shared with a new goroutine.
+var Analyzer = &lint.Analyzer{
+	Name: "rngshare",
+	Doc:  "flag a *rng.Source captured by or passed into a go statement; fork a child stream with Split instead",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(pass, g)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGoStmt scans one go statement's whole subtree (callee, arguments and
+// closure body) for shared sources.
+func checkGoStmt(pass *lint.Pass, g *ast.GoStmt) {
+	// Two kinds of identifier are exempt from the walk below: receivers of
+	// an inline Split call (forked before the goroutine starts), and the
+	// key side of composite-literal elements (a field *name*, not a value;
+	// the value expression is still checked).
+	skip := make(map[*ast.Ident]bool)
+	ast.Inspect(g, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Split" && sel.Sel.Name != "SplitN") {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok {
+				skip[id] = true
+			}
+		case *ast.KeyValueExpr:
+			if id, ok := n.Key.(*ast.Ident); ok {
+				skip[id] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(g, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || skip[id] {
+			return true
+		}
+		obj, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || !lint.IsRNGSource(obj.Type()) {
+			return true
+		}
+		// Variables declared inside the go statement (closure parameters
+		// and locals, e.g. a child := parent.Split() materialized by the
+		// caller as an argument) are owned by the new goroutine.
+		if g.Pos() <= obj.Pos() && obj.Pos() < g.End() {
+			return true
+		}
+		pass.Reportf(id.Pos(), "rng source %s is shared with a new goroutine; rng.Source is not concurrency-safe — fork a child stream with Split before the go statement", id.Name)
+		return true
+	})
+}

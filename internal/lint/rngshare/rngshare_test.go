@@ -1,0 +1,12 @@
+package rngshare_test
+
+import (
+	"testing"
+
+	"m2hew/internal/lint/linttest"
+	"m2hew/internal/lint/rngshare"
+)
+
+func TestRNGShare(t *testing.T) {
+	linttest.Run(t, "testdata", rngshare.Analyzer, "a")
+}

@@ -1,0 +1,67 @@
+// Package a seeds rngshare violations: sources captured by or passed into
+// goroutines, next to the sanctioned pre-split patterns.
+package a
+
+import (
+	"sync"
+
+	"m2hew/internal/rng"
+)
+
+// job carries a source into a worker.
+type job struct {
+	src *rng.Source
+}
+
+func consume(*rng.Source) {}
+
+func work(job) {}
+
+// CaptureShared leaks the parent source into a goroutine closure.
+func CaptureShared(src *rng.Source) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = src.Uint64() // want `rng source src is shared with a new goroutine`
+	}()
+	wg.Wait()
+}
+
+// PassShared hands the same pointer to the goroutine as an argument.
+func PassShared(src *rng.Source) {
+	go consume(src) // want `rng source src is shared with a new goroutine`
+}
+
+// StructShared smuggles the source through a struct literal.
+func StructShared(src *rng.Source) {
+	go work(job{src: src}) // want `rng source src is shared with a new goroutine`
+}
+
+// SplitArgument forks inline; the fork runs in the spawning goroutine, so
+// this is the sanctioned handoff.
+func SplitArgument(src *rng.Source) {
+	go consume(src.Split())
+}
+
+// PreSplit forks one child per goroutine before any of them starts.
+func PreSplit(src *rng.Source, workers int) {
+	childs := src.SplitN(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(mine *rng.Source) {
+			defer wg.Done()
+			_ = mine.Uint64()
+		}(childs[w])
+	}
+	wg.Wait()
+}
+
+// LocalSource builds a goroutine-private source inside the closure.
+func LocalSource() {
+	go func() {
+		mine := rng.New(7)
+		_ = mine.Uint64()
+	}()
+}

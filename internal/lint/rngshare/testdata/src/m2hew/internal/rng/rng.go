@@ -1,0 +1,25 @@
+// Package rng is a fixture stub of the real seeded source: just enough
+// surface (Split, SplitN, draws) for the analyzer fixtures to type-check.
+package rng
+
+// Source stands in for the deterministic generator; like the real one it
+// is not safe for concurrent use.
+type Source struct{ state uint64 }
+
+// New returns a stub source.
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// Uint64 draws the next value.
+func (s *Source) Uint64() uint64 { s.state++; return s.state }
+
+// Split forks an independent child stream.
+func (s *Source) Split() *Source { return New(s.Uint64()) }
+
+// SplitN forks n independent child streams.
+func (s *Source) SplitN(n int) []*Source {
+	out := make([]*Source, n)
+	for i := range out {
+		out[i] = s.Split()
+	}
+	return out
+}

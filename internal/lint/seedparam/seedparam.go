@@ -1,0 +1,198 @@
+// Package seedparam requires randomness-using APIs to accept a seed.
+//
+// Every stochastic component must be seeded by its caller: the experiment
+// harness derives one stream per node per trial from the run seed, so an
+// exported simulation function that draws randomness it was never handed
+// can only get it from hidden state — which is exactly how reproducibility
+// dies. The analyzer computes, per package, which functions transitively
+// use internal/rng (direct references, or calls to package-local functions
+// that do) and reports exported package-level functions among them whose
+// signature carries no randomness: no rng.Source parameter, no parameter
+// named like a seed, and no config-struct parameter with an rng.Source or
+// Seed field.
+//
+// Methods are exempt: a method drawing from a source stored in its receiver
+// is the sanctioned pattern — the seed was injected when the receiver was
+// constructed, and the constructor is what this analyzer checks.
+package seedparam
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"m2hew/internal/lint"
+)
+
+// fencedPackages are the simulation packages whose exported API must
+// thread seeds explicitly.
+var fencedPackages = []string{
+	"m2hew/internal/sim",
+	"m2hew/internal/core",
+	"m2hew/internal/clock",
+	"m2hew/internal/baseline",
+	"m2hew/internal/topology",
+}
+
+// Analyzer reports exported seed-less functions that use randomness.
+var Analyzer = &lint.Analyzer{
+	Name: "seedparam",
+	Doc:  "flag exported simulation functions that transitively use randomness but accept no seed or *rng.Source parameter",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	if !lint.InPackages(pass.Pkg.Path(), fencedPackages) {
+		return nil
+	}
+
+	// Collect every function declaration and whether it touches rng
+	// directly: a reference to an object from the rng package (rng.New,
+	// Source methods) or to any value of type rng.Source.
+	type fn struct {
+		decl     *ast.FuncDecl
+		usesRand bool
+	}
+	fns := make(map[types.Object]*fn)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.Info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			fns[obj] = &fn{decl: fd, usesRand: usesRandDirectly(pass, fd.Body)}
+		}
+	}
+
+	// Propagate through package-local calls to a fixpoint: A calling B
+	// inherits B's randomness use.
+	for changed := true; changed; {
+		changed = false
+		for _, caller := range fns {
+			if caller.usesRand {
+				continue
+			}
+			ast.Inspect(caller.decl.Body, func(n ast.Node) bool {
+				if caller.usesRand {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				var callee types.Object
+				switch fun := call.Fun.(type) {
+				case *ast.Ident:
+					callee = pass.Info.Uses[fun]
+				case *ast.SelectorExpr:
+					callee = pass.Info.Uses[fun.Sel]
+				}
+				if target, ok := fns[callee]; ok && target.usesRand {
+					caller.usesRand = true
+					changed = true
+				}
+				return true
+			})
+		}
+	}
+
+	for _, f := range fns {
+		fd := f.decl
+		if !f.usesRand || fd.Recv != nil || !fd.Name.IsExported() {
+			continue
+		}
+		if signatureCarriesSeed(pass, fd) {
+			continue
+		}
+		pass.Reportf(fd.Name.Pos(), "exported %s transitively uses randomness but accepts no seed or rng.Source parameter; callers cannot make it reproducible", fd.Name.Name)
+	}
+	return nil
+}
+
+// usesRandDirectly reports whether body references the rng package or any
+// rng.Source-typed value.
+func usesRandDirectly(pass *lint.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if pkg := obj.Pkg(); pkg != nil && pkg.Path() == lint.RNGPath {
+			found = true
+			return false
+		}
+		if v, ok := obj.(*types.Var); ok && lint.IsRNGSource(v.Type()) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// signatureCarriesSeed reports whether one of fd's parameters injects
+// randomness: an rng.Source, a name containing "seed", or a type whose
+// fields (followed through pointers, slices, arrays, maps and nested
+// structs) contain either.
+func signatureCarriesSeed(pass *lint.Pass, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		t := pass.Info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		for _, name := range field.Names {
+			if strings.Contains(strings.ToLower(name.Name), "seed") {
+				return true
+			}
+		}
+		if typeCarriesRand(t, make(map[types.Type]bool)) {
+			return true
+		}
+	}
+	return false
+}
+
+// typeCarriesRand walks t's structure looking for an rng.Source or a field
+// named like a seed. seen guards against recursive types.
+func typeCarriesRand(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if lint.IsRNGSource(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		return typeCarriesRand(u.Elem(), seen)
+	case *types.Slice:
+		return typeCarriesRand(u.Elem(), seen)
+	case *types.Array:
+		return typeCarriesRand(u.Elem(), seen)
+	case *types.Map:
+		return typeCarriesRand(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if strings.Contains(strings.ToLower(f.Name()), "seed") {
+				return true
+			}
+			if typeCarriesRand(f.Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+package seedparam_test
+
+import (
+	"testing"
+
+	"m2hew/internal/lint/linttest"
+	"m2hew/internal/lint/seedparam"
+)
+
+func TestSeedParam(t *testing.T) {
+	linttest.Run(t, "testdata", seedparam.Analyzer,
+		"m2hew/internal/sim", // fenced: seeded and unseeded APIs
+		"m2hew/pkg/outside",  // not fenced: no findings
+	)
+}

@@ -1,0 +1,14 @@
+// Package rng is a fixture stub of the real seeded source.
+package rng
+
+// Source stands in for the deterministic generator.
+type Source struct{ state uint64 }
+
+// New returns a stub source.
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// Uint64 draws the next value.
+func (s *Source) Uint64() uint64 { s.state++; return s.state }
+
+// Bernoulli draws a biased coin.
+func (s *Source) Bernoulli(p float64) bool { return float64(s.Uint64()%1000)/1000 < p }

@@ -1,0 +1,56 @@
+// Package sim is a fixture exercising seedparam inside a fenced package.
+package sim
+
+import "m2hew/internal/rng"
+
+// Config is a config struct that carries its own source; APIs taking it
+// are reproducible.
+type Config struct {
+	Nodes int
+	Rng   *rng.Source
+}
+
+// Engine holds a seeded source injected at construction.
+type Engine struct {
+	r *rng.Source
+}
+
+// Jitter draws randomness with no way for the caller to seed it.
+func Jitter() uint64 { // want `exported Jitter transitively uses randomness`
+	return rng.New(0).Uint64()
+}
+
+// Shuffle launders its randomness through an unexported helper; the
+// transitive walk still finds it.
+func Shuffle(xs []int) { // want `exported Shuffle transitively uses randomness`
+	mix(xs)
+}
+
+func mix(xs []int) {
+	r := rng.New(uint64(len(xs)))
+	for i := range xs {
+		j := int(r.Uint64()) % (i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// NewEngine threads the source explicitly: legal.
+func NewEngine(r *rng.Source) *Engine { return &Engine{r: r} }
+
+// JitterSeeded derives its stream from an explicit seed: legal.
+func JitterSeeded(seed uint64) uint64 { return rng.New(seed).Uint64() }
+
+// Run receives randomness through the config struct: legal.
+func Run(cfg Config) uint64 {
+	if cfg.Rng == nil {
+		return 0
+	}
+	return cfg.Rng.Uint64()
+}
+
+// Step draws from the receiver's source; methods are exempt because the
+// seed was injected by the constructor.
+func (e *Engine) Step() uint64 { return e.r.Uint64() }
+
+// Size uses no randomness at all: legal.
+func Size(cfg Config) int { return cfg.Nodes }

@@ -1,0 +1,10 @@
+// Package outside is a fixture for a package that seedparam does not
+// fence; the same unseeded API draws no finding here.
+package outside
+
+import "m2hew/internal/rng"
+
+// Jitter would be flagged inside the simulation fence.
+func Jitter() uint64 {
+	return rng.New(0).Uint64()
+}

@@ -1,0 +1,23 @@
+// Package suite assembles the repository's analyzer set — the single
+// source of truth for what cmd/ndlint and the self-lint test run.
+package suite
+
+import (
+	"m2hew/internal/lint"
+	"m2hew/internal/lint/maporder"
+	"m2hew/internal/lint/norand"
+	"m2hew/internal/lint/nowallclock"
+	"m2hew/internal/lint/rngshare"
+	"m2hew/internal/lint/seedparam"
+)
+
+// Analyzers returns the full determinism/concurrency suite in stable order.
+func Analyzers() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		maporder.Analyzer,
+		norand.Analyzer,
+		nowallclock.Analyzer,
+		rngshare.Analyzer,
+		seedparam.Analyzer,
+	}
+}

@@ -1,0 +1,38 @@
+package suite_test
+
+import (
+	"testing"
+
+	"m2hew/internal/lint"
+	"m2hew/internal/lint/suite"
+)
+
+// TestRepositoryIsLintClean runs the full analyzer suite over every package
+// of this module — the same check as `go run ./cmd/ndlint ./...`, in test
+// form so `go test ./...` is itself a determinism gate.
+func TestRepositoryIsLintClean(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("FindModuleRoot: %v", err)
+	}
+	pkgs, err := lint.LoadRepo(root)
+	if err != nil {
+		t.Fatalf("LoadRepo: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("LoadRepo found only %d packages; the module walk looks broken", len(pkgs))
+	}
+	analyzers := suite.Analyzers()
+	if len(analyzers) < 5 {
+		t.Fatalf("suite has %d analyzers, want at least 5", len(analyzers))
+	}
+	for _, pkg := range pkgs {
+		diags, err := lint.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			t.Fatalf("running suite on %s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -1,0 +1,5 @@
+// Package dep exists so the loader test covers in-tree imports.
+package dep
+
+// Name returns a constant.
+func Name() string { return "fixture" }

@@ -1,0 +1,20 @@
+// Package fixture exercises the lint framework itself: loader overlay
+// resolution, standard-library imports and suppression directives.
+package fixture
+
+import (
+	"strings"
+
+	"fixture/dep"
+)
+
+// Reported has no directive, so test analyzers see it.
+func Reported() string { return strings.ToUpper(dep.Name()) }
+
+func Suppressed() {} //ndlint:ignore flagfuncs trailing directive covers this line
+
+//ndlint:ignore flagfuncs directive on the line above covers the next line
+func AlsoSuppressed() {}
+
+//ndlint:ignore all blanket directives cover every analyzer
+func Blanket() {}

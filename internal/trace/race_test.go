@@ -1,0 +1,72 @@
+package trace
+
+// Dedicated -race stress for Ring's documented concurrency contract: one
+// simulation goroutine writes while any number of goroutines read (trace.go
+// promises "Ring additionally tolerates concurrent readers").
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingConcurrentReadersRace(t *testing.T) {
+	const (
+		capacity = 64
+		writes   = 20000
+		readers  = 4
+	)
+	r, err := NewRing(capacity)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				events := r.Events()
+				if len(events) > capacity {
+					t.Errorf("Events returned %d events, capacity %d", len(events), capacity)
+					return
+				}
+				// A reader must always observe a consistent snapshot:
+				// events arrive with strictly increasing Time below, so
+				// any torn copy would show up as disorder.
+				for j := 1; j < len(events); j++ {
+					if events[j].Time <= events[j-1].Time {
+						t.Errorf("snapshot out of order at %d: %v after %v", j, events[j].Time, events[j-1].Time)
+						return
+					}
+				}
+				if n := r.Len(); n > capacity {
+					t.Errorf("Len = %d, capacity %d", n, capacity)
+					return
+				}
+			}
+		}()
+	}
+
+	// The single writer the contract promises.
+	for i := 0; i < writes; i++ {
+		r.Record(Event{Time: float64(i + 1), Kind: KindNote, Note: "stress"})
+	}
+	close(stop)
+	wg.Wait()
+
+	events := r.Events()
+	if len(events) != capacity {
+		t.Fatalf("after %d writes ring holds %d events, want full capacity %d", writes, len(events), capacity)
+	}
+	if got, want := events[len(events)-1].Time, float64(writes); got != want {
+		t.Fatalf("newest event Time = %v, want %v", got, want)
+	}
+}
