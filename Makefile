@@ -29,9 +29,13 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-# Everything the GitHub Actions pipeline runs, locally and in order.
-ci: build vet fmt-check lint test
-	$(GO) test -race ./internal/experiment/... ./internal/trace/... ./internal/sim/...
+# Everything the GitHub Actions pipeline runs, locally and in order. The
+# test pass shuffles execution order, the bench smoke compiles and runs each
+# fast-package benchmark once so harness breakage surfaces before merge.
+ci: build vet fmt-check lint
+	$(GO) test -shuffle=on ./...
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./internal/sim/... ./internal/harness/...
+	$(GO) test -race ./internal/harness/... ./internal/experiment/... ./internal/trace/... ./internal/sim/...
 
 # One full pass of every reproduction benchmark (one iteration each).
 bench:

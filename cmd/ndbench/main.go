@@ -6,6 +6,7 @@
 //	ndbench -all                       # run the whole suite
 //	ndbench -exp E4 -trials 50         # one experiment, more trials
 //	ndbench -all -markdown             # emit EXPERIMENTS.md-style markdown
+//	ndbench -all -json                 # one JSON object per experiment (NDJSON)
 //	ndbench -list                      # list experiments
 package main
 
@@ -18,6 +19,7 @@ import (
 	"strings"
 
 	"m2hew/internal/experiment"
+	"m2hew/internal/harness"
 )
 
 func main() {
@@ -39,7 +41,7 @@ func run(args []string, out io.Writer) error {
 		eps      = fs.Float64("eps", 0, "target failure probability ε (0 = default 0.1)")
 		quick    = fs.Bool("quick", false, "shrink workloads for a fast pass")
 		markdown = fs.Bool("markdown", false, "emit markdown tables")
-		asJSON   = fs.Bool("json", false, "emit tables as a JSON array")
+		asJSON   = fs.Bool("json", false, "emit one JSON object per experiment (NDJSON)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,33 +81,40 @@ func run(args []string, out io.Writer) error {
 		Eps:    *eps,
 		Quick:  *quick,
 	}
-	var tables []*experiment.Table
-	for i, e := range entries {
-		table, err := e.Run(opts)
+	// Experiments are independent deterministic functions of opts, so they
+	// run on the harness pool; output is emitted afterwards in input order.
+	tables := make([]*experiment.Table, len(entries))
+	if err := harness.Run(len(entries), func(i int) error {
+		table, err := entries[i].Run(opts)
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+			return fmt.Errorf("%s: %w", entries[i].ID, err)
 		}
-		if *asJSON {
-			tables = append(tables, table)
-			continue
-		}
-		if *markdown {
+		tables[i] = table
+		return nil
+	}); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	for i, table := range tables {
+		switch {
+		case *asJSON:
+			// NDJSON: one object per line, ready for `jq -s` or line-oriented
+			// perf-trajectory tooling.
+			if err := enc.Encode(table); err != nil {
+				return err
+			}
+		case *markdown:
 			if _, err := fmt.Fprintln(out, table.Markdown()); err != nil {
 				return err
 			}
-			continue
+		default:
+			if i > 0 {
+				fmt.Fprintln(out)
+			}
+			if err := table.Format(out); err != nil {
+				return err
+			}
 		}
-		if i > 0 {
-			fmt.Fprintln(out)
-		}
-		if err := table.Format(out); err != nil {
-			return err
-		}
-	}
-	if *asJSON {
-		enc := json.NewEncoder(out)
-		enc.SetIndent("", "  ")
-		return enc.Encode(tables)
 	}
 	return nil
 }

@@ -55,27 +55,54 @@ func TestFlagErrors(t *testing.T) {
 	}
 }
 
+type jsonTable struct {
+	ID      string   `json:"id"`
+	Columns []string `json:"columns"`
+	Rows    []struct {
+		Label  string    `json:"label"`
+		Values []float64 `json:"values"`
+	} `json:"rows"`
+}
+
+// decodeNDJSON parses one table per non-empty line.
+func decodeNDJSON(t *testing.T, s string) []jsonTable {
+	t.Helper()
+	var tables []jsonTable
+	for _, line := range strings.Split(strings.TrimSpace(s), "\n") {
+		if line == "" {
+			continue
+		}
+		var tbl jsonTable
+		if err := json.Unmarshal([]byte(line), &tbl); err != nil {
+			t.Fatalf("invalid NDJSON line %q: %v", line, err)
+		}
+		tables = append(tables, tbl)
+	}
+	return tables
+}
+
 func TestJSONOutput(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-exp", "E8", "-quick", "-trials", "3", "-json"}, &sb); err != nil {
 		t.Fatal(err)
 	}
-	var tables []struct {
-		ID      string   `json:"id"`
-		Columns []string `json:"columns"`
-		Rows    []struct {
-			Label  string    `json:"label"`
-			Values []float64 `json:"values"`
-		} `json:"rows"`
-	}
-	if err := json.Unmarshal([]byte(sb.String()), &tables); err != nil {
-		t.Fatalf("invalid JSON: %v", err)
-	}
+	tables := decodeNDJSON(t, sb.String())
 	if len(tables) != 1 || tables[0].ID != "E8" {
 		t.Fatalf("tables = %+v", tables)
 	}
 	if len(tables[0].Rows) == 0 || len(tables[0].Rows[0].Values) != len(tables[0].Columns) {
 		t.Fatal("row shape mismatch")
+	}
+}
+
+func TestJSONOutputMultiple(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "E8,E16", "-quick", "-trials", "3", "-json"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	tables := decodeNDJSON(t, sb.String())
+	if len(tables) != 2 || tables[0].ID != "E8" || tables[1].ID != "E16" {
+		t.Fatalf("expected E8 then E16, got %+v", tables)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"m2hew/internal/analytic"
 	"m2hew/internal/core"
+	"m2hew/internal/harness"
 	"m2hew/internal/metrics"
 	"m2hew/internal/rng"
 	"m2hew/internal/sim"
@@ -54,10 +55,11 @@ func E1(opts Options) (*Table, error) {
 		factory := func(u topology.NodeID, r *rng.Source) (sim.SyncProtocol, error) {
 			return core.NewSyncStaged(nw.Avail(u), deltaEst, r)
 		}
-		slots, incomplete, err := runSyncTrials(nw, factory, nil, maxSlots, opts.Trials, root)
+		results, err := harness.SyncTrials(nw, factory, nil, maxSlots, opts.Trials, root)
 		if err != nil {
 			return nil, fmt.Errorf("E1 N=%d: %w", n, err)
 		}
+		slots, _ := harness.CompletionSlots(results)
 		stages := make([]float64, len(slots))
 		for i, s := range slots {
 			stages[i] = s / float64(stageLen)
@@ -72,7 +74,6 @@ func E1(opts Options) (*Table, error) {
 				boundStages, sum.Mean, sum.P95, sum.Max, within,
 			},
 		})
-		_ = incomplete
 	}
 	return table, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"m2hew/internal/clock"
 	"m2hew/internal/core"
+	"m2hew/internal/harness"
 	"m2hew/internal/metrics"
 	"m2hew/internal/rng"
 	"m2hew/internal/sim"
@@ -76,7 +77,7 @@ func E10(opts Options) (*Table, error) {
 				MaxFrames:     maxFrames,
 			})
 		}
-		results, err := runAsyncConfigs(cfgs)
+		results, err := harness.AsyncConfigs(cfgs)
 		if err != nil {
 			return nil, fmt.Errorf("E10 k=%d: %w", k, err)
 		}

@@ -5,6 +5,7 @@ import (
 
 	"m2hew/internal/analytic"
 	"m2hew/internal/core"
+	"m2hew/internal/harness"
 	"m2hew/internal/metrics"
 	"m2hew/internal/rng"
 	"m2hew/internal/sim"
@@ -65,10 +66,11 @@ func E11(opts Options) (*Table, error) {
 			return core.NewSyncStaged(nw.Avail(u), deltaEst, r)
 		}
 		maxSlots := int(boundStages)*stageLen + stageLen
-		slots, _, err := runSyncTrials(nw, factory, nil, maxSlots, opts.Trials, root)
+		results, err := harness.SyncTrials(nw, factory, nil, maxSlots, opts.Trials, root)
 		if err != nil {
 			return nil, fmt.Errorf("E11 f=%.2f: %w", f, err)
 		}
+		slots, _ := harness.CompletionSlots(results)
 		stages := make([]float64, len(slots))
 		for i, s := range slots {
 			stages[i] = s / float64(stageLen)

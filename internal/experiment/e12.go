@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"m2hew/internal/core"
+	"m2hew/internal/harness"
 	"m2hew/internal/metrics"
 	"m2hew/internal/rng"
 	"m2hew/internal/sim"
@@ -46,37 +47,47 @@ func E12(opts Options) (*Table, error) {
 	params := nw.ComputeParams()
 	deltaEst := nextPow2(params.Delta)
 	for _, p := range probs {
-		var slots []float64
-		for trial := 0; trial < opts.Trials; trial++ {
-			protos := make([]sim.SyncProtocol, nw.N())
-			for u := 0; u < nw.N(); u++ {
-				proto, err := core.NewSyncUniform(nw.Avail(topology.NodeID(u)), deltaEst, root.Split())
-				if err != nil {
-					return nil, fmt.Errorf("E12: %w", err)
+		p := p
+		// Each trial's protocols and loss model draw from root in the
+		// sequential setup phase, in trial order; the lossy engine runs —
+		// which consume only the per-trial loss source — parallelize.
+		slots, err := harness.Trials(opts.Trials,
+			func(int) (sim.SyncConfig, error) {
+				protos := make([]sim.SyncProtocol, nw.N())
+				for u := 0; u < nw.N(); u++ {
+					proto, err := core.NewSyncUniform(nw.Avail(topology.NodeID(u)), deltaEst, root.Split())
+					if err != nil {
+						return sim.SyncConfig{}, err
+					}
+					protos[u] = proto
 				}
-				protos[u] = proto
-			}
-			var loss *sim.LossModel
-			if p > 0 {
-				var err error
-				loss, err = sim.NewLossModel(p, root.Split())
-				if err != nil {
-					return nil, fmt.Errorf("E12: %w", err)
+				var loss *sim.LossModel
+				if p > 0 {
+					var err error
+					loss, err = sim.NewLossModel(p, root.Split())
+					if err != nil {
+						return sim.SyncConfig{}, err
+					}
 				}
-			}
-			res, err := sim.RunSync(sim.SyncConfig{
-				Network:   nw,
-				Protocols: protos,
-				MaxSlots:  400000,
-				Loss:      loss,
+				return sim.SyncConfig{
+					Network:   nw,
+					Protocols: protos,
+					MaxSlots:  400000,
+					Loss:      loss,
+				}, nil
+			},
+			func(_ int, cfg sim.SyncConfig) (float64, error) {
+				res, err := sim.RunSync(cfg)
+				if err != nil {
+					return 0, err
+				}
+				if !res.Complete {
+					return 0, fmt.Errorf("p=%.1f: trial incomplete", p)
+				}
+				return float64(res.CompletionSlot + 1), nil
 			})
-			if err != nil {
-				return nil, fmt.Errorf("E12: %w", err)
-			}
-			if !res.Complete {
-				return nil, fmt.Errorf("E12 p=%.1f: trial incomplete", p)
-			}
-			slots = append(slots, float64(res.CompletionSlot+1))
+		if err != nil {
+			return nil, fmt.Errorf("E12: %w", err)
 		}
 		sum := metrics.Summarize(slots)
 		table.Rows = append(table.Rows, Row{

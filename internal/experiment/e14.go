@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"m2hew/internal/core"
+	"m2hew/internal/harness"
 	"m2hew/internal/metrics"
 	"m2hew/internal/rng"
 	"m2hew/internal/sim"
@@ -47,42 +48,65 @@ func E14(opts Options) (*Table, error) {
 		// largest limit (termination cascades: the last node stops at most
 		// limit slots after the last discovery).
 		horizon := limit*6 + 2000
-		var recalls, actives, stoppedRates []float64
-		for trial := 0; trial < opts.Trials; trial++ {
-			protos := make([]sim.SyncProtocol, nw.N())
-			wrappers := make([]*core.SyncTerminating, nw.N())
-			for u := 0; u < nw.N(); u++ {
-				inner, err := core.NewSyncUniform(nw.Avail(topology.NodeID(u)), deltaEst, root.Split())
-				if err != nil {
-					return nil, fmt.Errorf("E14: %w", err)
+		// The terminating wrappers are per-trial state inspected after the
+		// run, so each trial carries its own wrapper set through the
+		// harness: built sequentially (root splits in trial order), run and
+		// inspected on the pool.
+		type trialStats struct {
+			recall, active, stopped float64
+		}
+		stats, err := harness.Trials(opts.Trials,
+			func(int) ([]*core.SyncTerminating, error) {
+				wrappers := make([]*core.SyncTerminating, nw.N())
+				for u := 0; u < nw.N(); u++ {
+					inner, err := core.NewSyncUniform(nw.Avail(topology.NodeID(u)), deltaEst, root.Split())
+					if err != nil {
+						return nil, err
+					}
+					wrapped, err := core.NewSyncTerminating(inner, limit)
+					if err != nil {
+						return nil, err
+					}
+					wrappers[u] = wrapped
 				}
-				wrapped, err := core.NewSyncTerminating(inner, limit)
-				if err != nil {
-					return nil, fmt.Errorf("E14: %w", err)
+				return wrappers, nil
+			},
+			func(_ int, wrappers []*core.SyncTerminating) (trialStats, error) {
+				protos := make([]sim.SyncProtocol, len(wrappers))
+				for u, w := range wrappers {
+					protos[u] = w
 				}
-				wrappers[u] = wrapped
-				protos[u] = wrapped
-			}
-			res, err := sim.RunSync(sim.SyncConfig{
-				Network:       nw,
-				Protocols:     protos,
-				MaxSlots:      horizon,
-				RunToMaxSlots: true, // completion isn't the stop signal here
+				res, err := sim.RunSync(sim.SyncConfig{
+					Network:       nw,
+					Protocols:     protos,
+					MaxSlots:      horizon,
+					RunToMaxSlots: true, // completion isn't the stop signal here
+				})
+				if err != nil {
+					return trialStats{}, err
+				}
+				var active float64
+				stopped := 0
+				for _, w := range wrappers {
+					active += float64(w.ActiveSlots())
+					if w.Terminated() {
+						stopped++
+					}
+				}
+				return trialStats{
+					recall:  res.Coverage.Progress(),
+					active:  active / float64(nw.N()),
+					stopped: float64(stopped) / float64(nw.N()),
+				}, nil
 			})
-			if err != nil {
-				return nil, fmt.Errorf("E14: %w", err)
-			}
-			recalls = append(recalls, res.Coverage.Progress())
-			var active float64
-			stopped := 0
-			for _, w := range wrappers {
-				active += float64(w.ActiveSlots())
-				if w.Terminated() {
-					stopped++
-				}
-			}
-			actives = append(actives, active/float64(nw.N()))
-			stoppedRates = append(stoppedRates, float64(stopped)/float64(nw.N()))
+		if err != nil {
+			return nil, fmt.Errorf("E14: %w", err)
+		}
+		var recalls, actives, stoppedRates []float64
+		for _, st := range stats {
+			recalls = append(recalls, st.recall)
+			actives = append(actives, st.active)
+			stoppedRates = append(stoppedRates, st.stopped)
 		}
 		table.Rows = append(table.Rows, Row{
 			Label: fmt.Sprintf("idle=%d", limit),

@@ -6,6 +6,7 @@ import (
 
 	"m2hew/internal/analytic"
 	"m2hew/internal/core"
+	"m2hew/internal/harness"
 	"m2hew/internal/rng"
 	"m2hew/internal/sim"
 	"m2hew/internal/topology"
@@ -50,10 +51,11 @@ func E15(opts Options) (*Table, error) {
 	factory := func(u topology.NodeID, r *rng.Source) (sim.SyncProtocol, error) {
 		return core.NewSyncStaged(nw.Avail(u), deltaEst, r)
 	}
-	slots, incomplete, err := runSyncTrials(nw, factory, nil, maxSlots, trials, root)
+	results, err := harness.SyncTrials(nw, factory, nil, maxSlots, trials, root)
 	if err != nil {
 		return nil, fmt.Errorf("E15: %w", err)
 	}
+	slots, incomplete := harness.CompletionSlots(results)
 	if incomplete > 0 {
 		return nil, fmt.Errorf("E15: %d trials incomplete within the Theorem 1 bound", incomplete)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"m2hew/internal/analytic"
 	"m2hew/internal/core"
+	"m2hew/internal/harness"
 	"m2hew/internal/metrics"
 	"m2hew/internal/rng"
 	"m2hew/internal/sim"
@@ -53,10 +54,11 @@ func E16(opts Options) (*Table, error) {
 		factory := func(u topology.NodeID, r *rng.Source) (sim.SyncProtocol, error) {
 			return core.NewSyncUniform(nw.Avail(u), deltaEst, r)
 		}
-		slots, incomplete, err := runSyncTrials(nw, factory, nil, int(predicted*30)+1000, trials, root)
+		results, err := harness.SyncTrials(nw, factory, nil, int(predicted*30)+1000, trials, root)
 		if err != nil {
 			return nil, fmt.Errorf("E16 n=%d: %w", n, err)
 		}
+		slots, incomplete := harness.CompletionSlots(results)
 		if incomplete > 0 {
 			return nil, fmt.Errorf("E16 n=%d: %d incomplete trials", n, incomplete)
 		}

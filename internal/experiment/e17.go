@@ -6,6 +6,7 @@ import (
 
 	"m2hew/internal/clock"
 	"m2hew/internal/core"
+	"m2hew/internal/harness"
 	"m2hew/internal/metrics"
 	"m2hew/internal/rng"
 	"m2hew/internal/sim"
@@ -63,84 +64,102 @@ func E17(opts Options) (*Table, error) {
 		return out, true
 	}
 
+	// Each variant is split into a build phase (all root-stream splits,
+	// executed sequentially per trial by the harness) and the returned run
+	// closure (engine execution, parallel on the pool).
+	type preparedRun = func() ([]metrics.CurvePoint, bool, error)
 	type variant struct {
 		label string
-		run   func(seed *rng.Source) ([]metrics.CurvePoint, bool, error)
+		build func(seed *rng.Source) (preparedRun, error)
 	}
-	syncRun := func(factory syncFactory, seed *rng.Source) ([]metrics.CurvePoint, bool, error) {
+	syncBuild := func(factory harness.SyncFactory, seed *rng.Source) (preparedRun, error) {
 		protos := make([]sim.SyncProtocol, nw.N())
 		for u := 0; u < nw.N(); u++ {
 			p, err := factory(topology.NodeID(u), seed.Split())
 			if err != nil {
-				return nil, false, err
+				return nil, err
 			}
 			protos[u] = p
 		}
-		res, err := sim.RunSync(sim.SyncConfig{Network: nw, Protocols: protos, MaxSlots: 100000})
-		if err != nil {
-			return nil, false, err
-		}
-		return res.Coverage.Curve(), res.Complete, nil
+		return func() ([]metrics.CurvePoint, bool, error) {
+			res, err := sim.RunSync(sim.SyncConfig{Network: nw, Protocols: protos, MaxSlots: 100000})
+			if err != nil {
+				return nil, false, err
+			}
+			return res.Coverage.Curve(), res.Complete, nil
+		}, nil
 	}
 	variants := []variant{
-		{"alg1 staged", func(seed *rng.Source) ([]metrics.CurvePoint, bool, error) {
-			return syncRun(func(u topology.NodeID, r *rng.Source) (sim.SyncProtocol, error) {
+		{"alg1 staged", func(seed *rng.Source) (preparedRun, error) {
+			return syncBuild(func(u topology.NodeID, r *rng.Source) (sim.SyncProtocol, error) {
 				return core.NewSyncStaged(nw.Avail(u), deltaEst, r)
 			}, seed)
 		}},
-		{"alg2 growing", func(seed *rng.Source) ([]metrics.CurvePoint, bool, error) {
-			return syncRun(func(u topology.NodeID, r *rng.Source) (sim.SyncProtocol, error) {
+		{"alg2 growing", func(seed *rng.Source) (preparedRun, error) {
+			return syncBuild(func(u topology.NodeID, r *rng.Source) (sim.SyncProtocol, error) {
 				return core.NewSyncGrowing(nw.Avail(u), r)
 			}, seed)
 		}},
-		{"alg3 uniform", func(seed *rng.Source) ([]metrics.CurvePoint, bool, error) {
-			return syncRun(func(u topology.NodeID, r *rng.Source) (sim.SyncProtocol, error) {
+		{"alg3 uniform", func(seed *rng.Source) (preparedRun, error) {
+			return syncBuild(func(u topology.NodeID, r *rng.Source) (sim.SyncProtocol, error) {
 				return core.NewSyncUniform(nw.Avail(u), deltaEst, r)
 			}, seed)
 		}},
-		{"alg4 async", func(seed *rng.Source) ([]metrics.CurvePoint, bool, error) {
+		{"alg4 async", func(seed *rng.Source) (preparedRun, error) {
 			nodes := make([]sim.AsyncNode, nw.N())
 			for u := 0; u < nw.N(); u++ {
 				p, err := core.NewAsync(nw.Avail(topology.NodeID(u)), deltaEst, seed.Split())
 				if err != nil {
-					return nil, false, err
+					return nil, err
 				}
 				drift, err := clock.NewRandomWalk(clock.MaxAsyncDrift, 0.03, seed.Split())
 				if err != nil {
-					return nil, false, err
+					return nil, err
 				}
 				nodes[u] = sim.AsyncNode{Protocol: p, Drift: drift}
 			}
-			res, err := sim.RunAsync(sim.AsyncConfig{
-				Network: nw, Nodes: nodes, FrameLen: e4FrameLen, MaxFrames: 30000,
-			})
-			if err != nil {
-				return nil, false, err
-			}
-			// Convert real time to slot units (slot = L/3).
-			curve := res.Coverage.Curve()
-			scaled := make([]metrics.CurvePoint, len(curve))
-			for i, p := range curve {
-				scaled[i] = metrics.CurvePoint{Time: p.Time / (e4FrameLen / 3), Covered: p.Covered}
-			}
-			return scaled, res.Complete, nil
+			return func() ([]metrics.CurvePoint, bool, error) {
+				res, err := sim.RunAsync(sim.AsyncConfig{
+					Network: nw, Nodes: nodes, FrameLen: e4FrameLen, MaxFrames: 30000,
+				})
+				if err != nil {
+					return nil, false, err
+				}
+				// Convert real time to slot units (slot = L/3).
+				curve := res.Coverage.Curve()
+				scaled := make([]metrics.CurvePoint, len(curve))
+				for i, p := range curve {
+					scaled[i] = metrics.CurvePoint{Time: p.Time / (e4FrameLen / 3), Covered: p.Covered}
+				}
+				return scaled, res.Complete, nil
+			}, nil
 		}},
 	}
 
 	for _, v := range variants {
+		trialQuants, err := harness.Trials(opts.Trials,
+			func(int) (preparedRun, error) {
+				return v.build(root)
+			},
+			func(trial int, job preparedRun) ([4]float64, error) {
+				curve, complete, err := job()
+				if err != nil {
+					return [4]float64{}, err
+				}
+				if !complete {
+					return [4]float64{}, fmt.Errorf("trial %d incomplete", trial)
+				}
+				qs, ok := quantTimes(curve)
+				if !ok {
+					return [4]float64{}, fmt.Errorf("curve shorter than target")
+				}
+				return qs, nil
+			})
+		if err != nil {
+			return nil, fmt.Errorf("E17 %s: %w", v.label, err)
+		}
 		quantiles := make([][]float64, 4)
-		for trial := 0; trial < opts.Trials; trial++ {
-			curve, complete, err := v.run(root)
-			if err != nil {
-				return nil, fmt.Errorf("E17 %s: %w", v.label, err)
-			}
-			if !complete {
-				return nil, fmt.Errorf("E17 %s: trial %d incomplete", v.label, trial)
-			}
-			qs, ok := quantTimes(curve)
-			if !ok {
-				return nil, fmt.Errorf("E17 %s: curve shorter than target", v.label)
-			}
+		for _, qs := range trialQuants {
 			for i := range qs {
 				quantiles[i] = append(quantiles[i], qs[i])
 			}

@@ -5,6 +5,7 @@ import (
 
 	"m2hew/internal/channel"
 	"m2hew/internal/core"
+	"m2hew/internal/harness"
 	"m2hew/internal/metrics"
 	"m2hew/internal/radio"
 	"m2hew/internal/rng"
@@ -59,10 +60,11 @@ func E18(opts Options) (*Table, error) {
 		factory := func(u topology.NodeID, r *rng.Source) (sim.SyncProtocol, error) {
 			return core.NewSyncStaged(nw.Avail(u), deltaEst, r)
 		}
-		initial, incomplete, err := runSyncTrials(nw, factory, nil, 200000, opts.Trials, root)
+		initialResults, err := harness.SyncTrials(nw, factory, nil, 200000, opts.Trials, root)
 		if err != nil {
 			return nil, fmt.Errorf("E18: %w", err)
 		}
+		initial, incomplete := harness.CompletionSlots(initialResults)
 		if incomplete > 0 {
 			return nil, fmt.Errorf("E18: %d initial trials incomplete", incomplete)
 		}
@@ -86,10 +88,11 @@ func E18(opts Options) (*Table, error) {
 				}
 				return core.NewSyncStaged(nw.Avail(u), deltaEst, r)
 			}
-			rerun, incomplete, err = runSyncTrials(nw, factory, nil, 400000, opts.Trials, root)
+			rerunResults, err := harness.SyncTrials(nw, factory, nil, 400000, opts.Trials, root)
 			if err != nil {
 				return nil, fmt.Errorf("E18: %w", err)
 			}
+			rerun, incomplete = harness.CompletionSlots(rerunResults)
 			if incomplete > 0 {
 				return nil, fmt.Errorf("E18: %d re-discovery trials incomplete", incomplete)
 			}

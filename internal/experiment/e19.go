@@ -6,6 +6,7 @@ import (
 	"m2hew/internal/analytic"
 	"m2hew/internal/channel"
 	"m2hew/internal/core"
+	"m2hew/internal/harness"
 	"m2hew/internal/metrics"
 	"m2hew/internal/rng"
 	"m2hew/internal/sim"
@@ -68,57 +69,74 @@ func E19(opts Options) (*Table, error) {
 		}
 		maxSlots := 4 * int(sc.Theorem3Slots())
 
-		var tIn, tAck []float64
-		for trial := 0; trial < opts.Trials; trial++ {
-			protos := make([]sim.SyncProtocol, nw.N())
-			wrappers := make([]*core.Acknowledging, nw.N())
-			for u := 0; u < nw.N(); u++ {
-				inner, err := core.NewSyncUniform(nw.Avail(topology.NodeID(u)), deltaEst, root.Split())
-				if err != nil {
-					return nil, fmt.Errorf("E19: %w", err)
-				}
-				w, err := core.NewAcknowledging(topology.NodeID(u), inner)
-				if err != nil {
-					return nil, fmt.Errorf("E19: %w", err)
-				}
-				protos[u] = w
-				wrappers[u] = w
-			}
-			// Confirmation can only change on a delivery, so polling the
-			// delivered pair after each delivery captures the exact slot.
-			confirmed := make(map[pair]bool, len(ackTarget))
-			ackSlot := -1
-			res, err := sim.RunSync(sim.SyncConfig{
-				Network:       nw,
-				Protocols:     protos,
-				MaxSlots:      maxSlots,
-				RunToMaxSlots: true,
-				OnDeliver: func(slot int, from, to topology.NodeID, _ channel.ID) {
-					// The receiver `to` may have just confirmed its
-					// out-link to `from`.
-					p := pair{to, from}
-					if ackSlot >= 0 || !ackTarget[p] || confirmed[p] {
-						return
+		// The acknowledging wrappers are per-trial state the observer polls
+		// during the run, so each trial carries its own wrapper set through
+		// the harness: built sequentially (root splits in trial order), run
+		// and inspected on the pool.
+		type ackTimes struct{ tIn, tAck float64 }
+		times, err := harness.Trials(opts.Trials,
+			func(int) ([]*core.Acknowledging, error) {
+				wrappers := make([]*core.Acknowledging, nw.N())
+				for u := 0; u < nw.N(); u++ {
+					inner, err := core.NewSyncUniform(nw.Avail(topology.NodeID(u)), deltaEst, root.Split())
+					if err != nil {
+						return nil, err
 					}
-					if wrappers[to].HasConfirmed(from) {
-						confirmed[p] = true
-						if len(confirmed) == len(ackTarget) {
-							ackSlot = slot
+					w, err := core.NewAcknowledging(topology.NodeID(u), inner)
+					if err != nil {
+						return nil, err
+					}
+					wrappers[u] = w
+				}
+				return wrappers, nil
+			},
+			func(_ int, wrappers []*core.Acknowledging) (ackTimes, error) {
+				protos := make([]sim.SyncProtocol, len(wrappers))
+				for u, w := range wrappers {
+					protos[u] = w
+				}
+				// Confirmation can only change on a delivery, so polling the
+				// delivered pair after each delivery captures the exact slot.
+				confirmed := make(map[pair]bool, len(ackTarget))
+				ackSlot := -1
+				res, err := sim.RunSync(sim.SyncConfig{
+					Network:       nw,
+					Protocols:     protos,
+					MaxSlots:      maxSlots,
+					RunToMaxSlots: true,
+					Observer: sim.DeliverObserver(func(at float64, from, to topology.NodeID, _ channel.ID) {
+						// The receiver `to` may have just confirmed its
+						// out-link to `from`.
+						p := pair{to, from}
+						if ackSlot >= 0 || !ackTarget[p] || confirmed[p] {
+							return
 						}
-					}
-				},
+						if wrappers[to].HasConfirmed(from) {
+							confirmed[p] = true
+							if len(confirmed) == len(ackTarget) {
+								ackSlot = int(at)
+							}
+						}
+					}),
+				})
+				if err != nil {
+					return ackTimes{}, err
+				}
+				if !res.Complete {
+					return ackTimes{}, fmt.Errorf("in-coverage incomplete")
+				}
+				if ackSlot < 0 {
+					return ackTimes{}, fmt.Errorf("confirmation incomplete within %d slots", maxSlots)
+				}
+				return ackTimes{tIn: float64(res.CompletionSlot + 1), tAck: float64(ackSlot + 1)}, nil
 			})
-			if err != nil {
-				return nil, fmt.Errorf("E19: %w", err)
-			}
-			if !res.Complete {
-				return nil, fmt.Errorf("E19 f=%.1f: in-coverage incomplete", f)
-			}
-			if ackSlot < 0 {
-				return nil, fmt.Errorf("E19 f=%.1f: confirmation incomplete within %d slots", f, maxSlots)
-			}
-			tIn = append(tIn, float64(res.CompletionSlot+1))
-			tAck = append(tAck, float64(ackSlot+1))
+		if err != nil {
+			return nil, fmt.Errorf("E19 f=%.1f: %w", f, err)
+		}
+		var tIn, tAck []float64
+		for _, t := range times {
+			tIn = append(tIn, t.tIn)
+			tAck = append(tAck, t.tAck)
 		}
 		inMean := metrics.Summarize(tIn).Mean
 		ackMean := metrics.Summarize(tAck).Mean

@@ -5,6 +5,7 @@ import (
 
 	"m2hew/internal/analytic"
 	"m2hew/internal/core"
+	"m2hew/internal/harness"
 	"m2hew/internal/metrics"
 	"m2hew/internal/rng"
 	"m2hew/internal/sim"
@@ -51,10 +52,11 @@ func E2(opts Options) (*Table, error) {
 		factory := func(u topology.NodeID, r *rng.Source) (sim.SyncProtocol, error) {
 			return core.NewSyncGrowing(nw.Avail(u), r)
 		}
-		slots, _, err := runSyncTrials(nw, factory, nil, maxSlots, opts.Trials, root)
+		results, err := harness.SyncTrials(nw, factory, nil, maxSlots, opts.Trials, root)
 		if err != nil {
 			return nil, fmt.Errorf("E2 N=%d: %w", n, err)
 		}
+		slots, _ := harness.CompletionSlots(results)
 		sum := metrics.Summarize(slots)
 		within := metrics.FractionWithin(slots, boundSlots) *
 			float64(len(slots)) / float64(opts.Trials)

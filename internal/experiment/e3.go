@@ -5,6 +5,7 @@ import (
 
 	"m2hew/internal/analytic"
 	"m2hew/internal/core"
+	"m2hew/internal/harness"
 	"m2hew/internal/metrics"
 	"m2hew/internal/rng"
 	"m2hew/internal/sim"
@@ -70,10 +71,11 @@ func E3(opts Options) (*Table, error) {
 				return core.NewSyncUniform(nw.Avail(u), deltaEst, r)
 			}
 			maxSlots := ts + int(boundSlots) + 1
-			slots, incomplete, err := runSyncTrials(nw, factory, starts, maxSlots, 1, root)
+			results, err := harness.SyncTrials(nw, factory, starts, maxSlots, 1, root)
 			if err != nil {
 				return nil, fmt.Errorf("E3 N=%d: %w", cf.n, err)
 			}
+			slots, incomplete := harness.CompletionSlots(results)
 			if incomplete > 0 {
 				failures++
 				continue

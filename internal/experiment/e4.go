@@ -6,6 +6,7 @@ import (
 	"m2hew/internal/analytic"
 	"m2hew/internal/clock"
 	"m2hew/internal/core"
+	"m2hew/internal/harness"
 	"m2hew/internal/metrics"
 	"m2hew/internal/rng"
 	"m2hew/internal/sim"
@@ -116,7 +117,7 @@ func E4(opts Options) (*Table, error) {
 				MaxFrames: maxFrames,
 			})
 		}
-		results, err := runAsyncConfigs(cfgs)
+		results, err := harness.AsyncConfigs(cfgs)
 		if err != nil {
 			return nil, fmt.Errorf("E4: %w", err)
 		}

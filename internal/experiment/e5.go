@@ -7,6 +7,7 @@ import (
 	"m2hew/internal/channel"
 	"m2hew/internal/clock"
 	"m2hew/internal/core"
+	"m2hew/internal/harness"
 	"m2hew/internal/rng"
 	"m2hew/internal/sim"
 	"m2hew/internal/topology"
@@ -65,14 +66,30 @@ func E5(opts Options) (*Table, error) {
 			return nil, fmt.Errorf("E5: %w", err)
 		}
 
-		syncFreq, err := e5SyncFrequency(nw, deltaEst, units, root)
+		// Prepare both instrumented runs sequentially (fixing the random
+		// streams), then execute them in parallel through the harness; the
+		// runs only touch their own pre-split sources.
+		syncJob, err := e5SyncJob(nw, deltaEst, units, root)
 		if err != nil {
 			return nil, fmt.Errorf("E5 sync: %w", err)
 		}
-		asyncFreq, err := e5AsyncFrequency(nw, deltaEst, units, root)
+		asyncJob, err := e5AsyncJob(nw, deltaEst, units, root)
 		if err != nil {
 			return nil, fmt.Errorf("E5 async: %w", err)
 		}
+		jobs := []func() (float64, error){syncJob, asyncJob}
+		freqs := make([]float64, len(jobs))
+		if err := harness.Run(len(jobs), func(i int) error {
+			f, err := jobs[i]()
+			if err != nil {
+				return err
+			}
+			freqs[i] = f
+			return nil
+		}); err != nil {
+			return nil, fmt.Errorf("E5: %w", err)
+		}
+		syncFreq, asyncFreq := freqs[0], freqs[1]
 		eq6 := sc.Eq6CoverageBound()
 		lem5 := sc.Lemma5CoverageBound()
 		table.Rows = append(table.Rows, Row{
@@ -86,66 +103,71 @@ func E5(opts Options) (*Table, error) {
 	return table, nil
 }
 
-// e5SyncFrequency measures the fraction of Algorithm 1 stages in which the
-// link (1 → hub 0) is covered.
-func e5SyncFrequency(nw *topology.Network, deltaEst, stages int, root *rng.Source) (float64, error) {
+// e5SyncJob prepares a run measuring the fraction of Algorithm 1 stages in
+// which the link (1 → hub 0) is covered. Protocol construction (and hence
+// all root-stream consumption) happens before the returned job runs.
+func e5SyncJob(nw *topology.Network, deltaEst, stages int, root *rng.Source) (func() (float64, error), error) {
 	stageLen := core.StageLen(deltaEst)
 	protos := make([]sim.SyncProtocol, nw.N())
 	for u := 0; u < nw.N(); u++ {
 		p, err := core.NewSyncStaged(nw.Avail(topology.NodeID(u)), deltaEst, root.Split())
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		protos[u] = p
 	}
-	covered := make(map[int]bool, stages)
-	_, err := sim.RunSync(sim.SyncConfig{
-		Network:       nw,
-		Protocols:     protos,
-		MaxSlots:      stages * stageLen,
-		RunToMaxSlots: true,
-		OnDeliver: func(slot int, from, to topology.NodeID, _ channel.ID) {
-			if from == 1 && to == 0 {
-				covered[slot/stageLen] = true
-			}
-		},
-	})
-	if err != nil {
-		return 0, err
-	}
-	return float64(len(covered)) / float64(stages), nil
+	return func() (float64, error) {
+		covered := make(map[int]bool, stages)
+		_, err := sim.RunSync(sim.SyncConfig{
+			Network:       nw,
+			Protocols:     protos,
+			MaxSlots:      stages * stageLen,
+			RunToMaxSlots: true,
+			Observer: sim.DeliverObserver(func(at float64, from, to topology.NodeID, _ channel.ID) {
+				if from == 1 && to == 0 {
+					covered[int(at)/stageLen] = true
+				}
+			}),
+		})
+		if err != nil {
+			return 0, err
+		}
+		return float64(len(covered)) / float64(stages), nil
+	}, nil
 }
 
-// e5AsyncFrequency measures the fraction of the hub's frames during which
-// the link (1 → hub 0) is covered. With ideal same-phase clocks each hub
-// frame forms exactly one aligned pair with each neighbor frame, so the
-// per-frame frequency is the per-aligned-pair coverage probability the
-// Lemma 5 bound addresses. (Drifting clocks change which pair is aligned but
-// not the per-frame counting; the ideal-clock variant keeps the estimator
-// exact.)
-func e5AsyncFrequency(nw *topology.Network, deltaEst, frames int, root *rng.Source) (float64, error) {
+// e5AsyncJob prepares a run measuring the fraction of the hub's frames
+// during which the link (1 → hub 0) is covered. With ideal same-phase
+// clocks each hub frame forms exactly one aligned pair with each neighbor
+// frame, so the per-frame frequency is the per-aligned-pair coverage
+// probability the Lemma 5 bound addresses. (Drifting clocks change which
+// pair is aligned but not the per-frame counting; the ideal-clock variant
+// keeps the estimator exact.)
+func e5AsyncJob(nw *topology.Network, deltaEst, frames int, root *rng.Source) (func() (float64, error), error) {
 	nodes := make([]sim.AsyncNode, nw.N())
 	for u := 0; u < nw.N(); u++ {
 		p, err := core.NewAsync(nw.Avail(topology.NodeID(u)), deltaEst, root.Split())
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		nodes[u] = sim.AsyncNode{Protocol: p, Drift: clock.Ideal}
 	}
-	covered := make(map[int]bool, frames)
-	_, err := sim.RunAsync(sim.AsyncConfig{
-		Network:   nw,
-		Nodes:     nodes,
-		FrameLen:  e4FrameLen,
-		MaxFrames: frames,
-		OnDeliver: func(at float64, from, to topology.NodeID, _ channel.ID) {
-			if from == 1 && to == 0 {
-				covered[int(at/e4FrameLen)] = true
-			}
-		},
-	})
-	if err != nil {
-		return 0, err
-	}
-	return float64(len(covered)) / float64(frames), nil
+	return func() (float64, error) {
+		covered := make(map[int]bool, frames)
+		_, err := sim.RunAsync(sim.AsyncConfig{
+			Network:   nw,
+			Nodes:     nodes,
+			FrameLen:  e4FrameLen,
+			MaxFrames: frames,
+			Observer: sim.DeliverObserver(func(at float64, from, to topology.NodeID, _ channel.ID) {
+				if from == 1 && to == 0 {
+					covered[int(at/e4FrameLen)] = true
+				}
+			}),
+		})
+		if err != nil {
+			return 0, err
+		}
+		return float64(len(covered)) / float64(frames), nil
+	}, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"m2hew/internal/clock"
+	"m2hew/internal/harness"
 	"m2hew/internal/rng"
 	"m2hew/internal/sim"
 )
@@ -62,56 +63,89 @@ func E6(opts Options) (*Table, error) {
 			pairs, framesPerPair),
 		Columns: []string{"max overlap", "align rate", "yield ratio", "violations"},
 	}
+	// One prepared timeline pair: all randomness (offset, drift processes,
+	// Lemma 7 probe instants) is drawn during the sequential setup phase,
+	// in the same stream order as a sequential audit, so the parallel audit
+	// below is byte-identical to one.
+	type pairJob struct {
+		a, b   *clock.Timeline
+		offset float64
+		probes []float64
+	}
+	type pairAudit struct {
+		maxOverlap int
+		alignOK    int
+		yield      float64
+		violation  bool
+	}
+	const probesPerPair = 50
 	root := rng.New(opts.Seed)
 	for _, cf := range configs {
+		audits, err := harness.Trials(pairs,
+			func(int) (pairJob, error) {
+				offset := root.Float64() * 4 * e4FrameLen
+				driftA, err := cf.mk(false, root.Split())
+				if err != nil {
+					return pairJob{}, err
+				}
+				driftB, err := cf.mk(true, root.Split())
+				if err != nil {
+					return pairJob{}, err
+				}
+				a, err := clock.NewTimeline(0, e4FrameLen, 3, driftA)
+				if err != nil {
+					return pairJob{}, err
+				}
+				b, err := clock.NewTimeline(offset, e4FrameLen, 3, driftB)
+				if err != nil {
+					return pairJob{}, err
+				}
+				probes := make([]float64, probesPerPair)
+				for i := range probes {
+					probes[i] = offset + root.Float64()*float64(framesPerPair-10)*e4FrameLen/(1+delta)
+				}
+				return pairJob{a: a, b: b, offset: offset, probes: probes}, nil
+			},
+			func(_ int, job pairJob) (pairAudit, error) {
+				var audit pairAudit
+				// Lemma 4 audit, both directions.
+				audit.maxOverlap = sim.MaxOverlap(job.a, job.b, framesPerPair)
+				if o := sim.MaxOverlap(job.b, job.a, framesPerPair); o > audit.maxOverlap {
+					audit.maxOverlap = o
+				}
+				// Lemma 7 audit at random instants after both clocks started.
+				for _, t := range job.probes {
+					if _, ok := sim.FindAlignedPairAfter(job.a, job.b, t); ok {
+						audit.alignOK++
+					}
+				}
+				// Lemma 8 audit: construct σ and verify admissibility + yield.
+				seq := sim.AdmissibleSequence(job.a, job.b, job.offset, framesPerPair)
+				audit.violation = sim.CheckAdmissible(job.a, job.b, seq) != 0
+				// Lemma 8's M counts full frames after T_s; the start offset
+				// consumes up to ~5 of timeline a's budget, so measure yield
+				// against the frames both nodes certainly completed.
+				audit.yield = float64(len(seq)) / (float64(framesPerPair-10) / 6)
+				return audit, nil
+			})
+		if err != nil {
+			return nil, fmt.Errorf("E6 %s: %w", cf.label, err)
+		}
 		maxOverlap := 0
 		alignChecks, alignOK := 0, 0
 		minYield := 1.0
 		violations := 0
-		for p := 0; p < pairs; p++ {
-			offset := root.Float64() * 4 * e4FrameLen
-			driftA, err := cf.mk(false, root.Split())
-			if err != nil {
-				return nil, fmt.Errorf("E6 %s: %w", cf.label, err)
+		for _, audit := range audits {
+			if audit.maxOverlap > maxOverlap {
+				maxOverlap = audit.maxOverlap
 			}
-			driftB, err := cf.mk(true, root.Split())
-			if err != nil {
-				return nil, fmt.Errorf("E6 %s: %w", cf.label, err)
+			alignChecks += probesPerPair
+			alignOK += audit.alignOK
+			if audit.yield < minYield {
+				minYield = audit.yield
 			}
-			a, err := clock.NewTimeline(0, e4FrameLen, 3, driftA)
-			if err != nil {
-				return nil, fmt.Errorf("E6 %s: %w", cf.label, err)
-			}
-			b, err := clock.NewTimeline(offset, e4FrameLen, 3, driftB)
-			if err != nil {
-				return nil, fmt.Errorf("E6 %s: %w", cf.label, err)
-			}
-			// Lemma 4 audit, both directions.
-			if o := sim.MaxOverlap(a, b, framesPerPair); o > maxOverlap {
-				maxOverlap = o
-			}
-			if o := sim.MaxOverlap(b, a, framesPerPair); o > maxOverlap {
-				maxOverlap = o
-			}
-			// Lemma 7 audit at random instants after both clocks started.
-			for i := 0; i < 50; i++ {
-				t := offset + root.Float64()*float64(framesPerPair-10)*e4FrameLen/(1+delta)
-				alignChecks++
-				if _, ok := sim.FindAlignedPairAfter(a, b, t); ok {
-					alignOK++
-				}
-			}
-			// Lemma 8 audit: construct σ and verify admissibility + yield.
-			seq := sim.AdmissibleSequence(a, b, offset, framesPerPair)
-			if v := sim.CheckAdmissible(a, b, seq); v != 0 {
+			if audit.violation {
 				violations++
-			}
-			// Lemma 8's M counts full frames after T_s; the start offset
-			// consumes up to ~5 of timeline a's budget, so measure yield
-			// against the frames both nodes certainly completed.
-			yield := float64(len(seq)) / (float64(framesPerPair-10) / 6)
-			if yield < minYield {
-				minYield = yield
 			}
 		}
 		table.Rows = append(table.Rows, Row{

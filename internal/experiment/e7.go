@@ -6,6 +6,7 @@ import (
 	"m2hew/internal/baseline"
 	"m2hew/internal/channel"
 	"m2hew/internal/core"
+	"m2hew/internal/harness"
 	"m2hew/internal/metrics"
 	"m2hew/internal/rng"
 	"m2hew/internal/sim"
@@ -55,10 +56,11 @@ func E7(opts Options) (*Table, error) {
 	alg3Factory := func(u topology.NodeID, r *rng.Source) (sim.SyncProtocol, error) {
 		return core.NewSyncUniform(nw.Avail(u), deltaEst, r)
 	}
-	alg3Slots, alg3Incomplete, err := runSyncTrials(nw, alg3Factory, nil, 200000, opts.Trials, root)
+	alg3Results, err := harness.SyncTrials(nw, alg3Factory, nil, 200000, opts.Trials, root)
 	if err != nil {
 		return nil, fmt.Errorf("E7 alg3: %w", err)
 	}
+	alg3Slots, alg3Incomplete := harness.CompletionSlots(alg3Results)
 	if alg3Incomplete > 0 {
 		return nil, fmt.Errorf("E7: algorithm 3 incomplete in %d trials", alg3Incomplete)
 	}
@@ -68,10 +70,11 @@ func E7(opts Options) (*Table, error) {
 		baseFactory := func(id topology.NodeID, r *rng.Source) (sim.SyncProtocol, error) {
 			return baseline.NewUniversalBirthday(nw.Avail(id), u, deltaEst, r)
 		}
-		baseSlots, baseIncomplete, err := runSyncTrials(nw, baseFactory, nil, 400000*u/4, opts.Trials, root)
+		baseResults, err := harness.SyncTrials(nw, baseFactory, nil, 400000*u/4, opts.Trials, root)
 		if err != nil {
 			return nil, fmt.Errorf("E7 U=%d: %w", u, err)
 		}
+		baseSlots, baseIncomplete := harness.CompletionSlots(baseResults)
 		if baseIncomplete > 0 {
 			return nil, fmt.Errorf("E7 U=%d: baseline incomplete in %d trials", u, baseIncomplete)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"m2hew/internal/core"
+	"m2hew/internal/harness"
 	"m2hew/internal/metrics"
 	"m2hew/internal/rng"
 	"m2hew/internal/sim"
@@ -48,10 +49,11 @@ func E8(opts Options) (*Table, error) {
 		factory := func(u topology.NodeID, r *rng.Source) (sim.SyncProtocol, error) {
 			return core.NewSyncUniform(nw.Avail(u), deltaEst, r)
 		}
-		slots, incomplete, err := runSyncTrials(nw, factory, nil, 4000000/m, opts.Trials, root)
+		results, err := harness.SyncTrials(nw, factory, nil, 4000000/m, opts.Trials, root)
 		if err != nil {
 			return nil, fmt.Errorf("E8 m=%d: %w", m, err)
 		}
+		slots, incomplete := harness.CompletionSlots(results)
 		if incomplete > 0 {
 			return nil, fmt.Errorf("E8 m=%d: %d incomplete trials", m, incomplete)
 		}

@@ -5,6 +5,7 @@ import (
 
 	"m2hew/internal/clock"
 	"m2hew/internal/core"
+	"m2hew/internal/harness"
 	"m2hew/internal/metrics"
 	"m2hew/internal/rng"
 	"m2hew/internal/sim"
@@ -36,28 +37,56 @@ func E9(opts Options) (*Table, error) {
 			n, opts.Trials),
 		Columns: []string{"align rate", "max overlap", "mean time", "p95 time", "incomplete"},
 	}
+	type pairJob struct {
+		a, b   *clock.Timeline
+		probes []float64
+	}
+	type pairAudit struct {
+		alignOK    int
+		maxOverlap int
+	}
+	const probesPerPair = 50
 	root := rng.New(opts.Seed)
 	for _, delta := range deltas {
-		// Structural audit on adversarial timeline pairs.
-		alignChecks, alignOK, maxOverlap := 0, 0, 0
-		for p := 0; p < opts.Trials; p++ {
-			offset := root.Float64() * 4 * e4FrameLen
-			a, b, err := adversarialPair(delta, offset)
-			if err != nil {
-				return nil, fmt.Errorf("E9 δ=%.2f: %w", delta, err)
-			}
-			if o := sim.MaxOverlap(a, b, framesPerPair); o > maxOverlap {
-				maxOverlap = o
-			}
-			if o := sim.MaxOverlap(b, a, framesPerPair); o > maxOverlap {
-				maxOverlap = o
-			}
-			for i := 0; i < 50; i++ {
-				t := offset + root.Float64()*float64(framesPerPair-10)*e4FrameLen/(1+delta)
-				alignChecks++
-				if _, ok := sim.FindAlignedPairAfter(a, b, t); ok {
-					alignOK++
+		delta := delta
+		// Structural audit on adversarial timeline pairs; randomness is
+		// drawn in the sequential setup phase in the same stream order as a
+		// sequential audit, the lemma checks run on the pool.
+		audits, err := harness.Trials(opts.Trials,
+			func(int) (pairJob, error) {
+				offset := root.Float64() * 4 * e4FrameLen
+				a, b, err := adversarialPair(delta, offset)
+				if err != nil {
+					return pairJob{}, err
 				}
+				probes := make([]float64, probesPerPair)
+				for i := range probes {
+					probes[i] = offset + root.Float64()*float64(framesPerPair-10)*e4FrameLen/(1+delta)
+				}
+				return pairJob{a: a, b: b, probes: probes}, nil
+			},
+			func(_ int, job pairJob) (pairAudit, error) {
+				var audit pairAudit
+				audit.maxOverlap = sim.MaxOverlap(job.a, job.b, framesPerPair)
+				if o := sim.MaxOverlap(job.b, job.a, framesPerPair); o > audit.maxOverlap {
+					audit.maxOverlap = o
+				}
+				for _, t := range job.probes {
+					if _, ok := sim.FindAlignedPairAfter(job.a, job.b, t); ok {
+						audit.alignOK++
+					}
+				}
+				return audit, nil
+			})
+		if err != nil {
+			return nil, fmt.Errorf("E9 δ=%.2f: %w", delta, err)
+		}
+		alignChecks, alignOK, maxOverlap := 0, 0, 0
+		for _, audit := range audits {
+			alignChecks += probesPerPair
+			alignOK += audit.alignOK
+			if audit.maxOverlap > maxOverlap {
+				maxOverlap = audit.maxOverlap
 			}
 		}
 
@@ -99,7 +128,7 @@ func E9(opts Options) (*Table, error) {
 				MaxFrames: 3000,
 			})
 		}
-		results, err := runAsyncConfigs(cfgs)
+		results, err := harness.AsyncConfigs(cfgs)
 		if err != nil {
 			return nil, fmt.Errorf("E9: %w", err)
 		}

@@ -14,13 +14,9 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"runtime"
 	"strings"
-	"sync"
-	"sync/atomic"
 
 	"m2hew/internal/rng"
-	"m2hew/internal/sim"
 	"m2hew/internal/topology"
 )
 
@@ -199,17 +195,28 @@ func (t *Table) Markdown() string {
 }
 
 // formatCell renders a value compactly: integers without decimals, small
-// values with more precision.
+// values with more precision, and out-of-range values (NaN, ±Inf, extreme
+// magnitudes) in forms that cannot be mistaken for ordinary measurements.
 func formatCell(v float64) string {
 	switch {
 	case math.IsNaN(v):
 		return "-"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.Abs(v) >= 1e15:
+		// Beyond slot-count scales; decimal notation would be unreadable.
+		return fmt.Sprintf("%.2e", v)
 	case v == math.Trunc(v) && math.Abs(v) < 1e9:
 		return fmt.Sprintf("%.0f", v)
 	case math.Abs(v) >= 100:
 		return fmt.Sprintf("%.0f", v)
 	case math.Abs(v) >= 1:
 		return fmt.Sprintf("%.2f", v)
+	case v != 0 && math.Abs(v) < 1e-4:
+		// %.4f would round a tiny probability to "0.0000".
+		return fmt.Sprintf("%.2e", v)
 	default:
 		return fmt.Sprintf("%.4f", v)
 	}
@@ -246,124 +253,4 @@ func nextPow2(x int) int {
 		p *= 2
 	}
 	return p
-}
-
-// syncFactory builds one node's protocol for a synchronous trial.
-type syncFactory func(u topology.NodeID, r *rng.Source) (sim.SyncProtocol, error)
-
-// runSyncTrials runs trials of a synchronous scenario and returns completion
-// slots per trial (only for completed trials) and the count of trials that
-// did not complete within maxSlots.
-//
-// Trials are independent, so they execute on a worker pool. Results are
-// identical to a sequential run: every trial's random sources are split
-// from root in trial order *before* any worker starts, and the Network is
-// read-only during simulation.
-func runSyncTrials(nw *topology.Network, factory syncFactory, starts []int, maxSlots, trials int, root *rng.Source) (slots []float64, incomplete int, err error) {
-	sources := make([][]*rng.Source, trials)
-	for trial := range sources {
-		sources[trial] = root.SplitN(nw.N())
-	}
-
-	type outcome struct {
-		slots    float64
-		complete bool
-		err      error
-	}
-	outcomes := make([]outcome, trials)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > trials {
-		workers = trials
-	}
-	var (
-		wg   sync.WaitGroup
-		next atomic.Int64
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				trial := int(next.Add(1)) - 1
-				if trial >= trials {
-					return
-				}
-				protos := make([]sim.SyncProtocol, nw.N())
-				for u := 0; u < nw.N(); u++ {
-					p, err := factory(topology.NodeID(u), sources[trial][u])
-					if err != nil {
-						outcomes[trial] = outcome{err: err}
-						return
-					}
-					protos[u] = p
-				}
-				res, err := sim.RunSync(sim.SyncConfig{
-					Network:    nw,
-					Protocols:  protos,
-					StartSlots: starts,
-					MaxSlots:   maxSlots,
-				})
-				if err != nil {
-					outcomes[trial] = outcome{err: err}
-					return
-				}
-				outcomes[trial] = outcome{
-					slots:    float64(res.CompletionSlot + 1),
-					complete: res.Complete,
-				}
-			}
-		}()
-	}
-	wg.Wait()
-
-	for _, o := range outcomes {
-		if o.err != nil {
-			return nil, 0, o.err
-		}
-		if !o.complete {
-			incomplete++
-			continue
-		}
-		slots = append(slots, o.slots)
-	}
-	return slots, incomplete, nil
-}
-
-// runAsyncConfigs executes pre-built asynchronous configurations on a
-// worker pool and returns their results in input order. Callers construct
-// the configs (and therefore consume their random streams) sequentially, so
-// results are identical to a sequential run; only the engine execution —
-// which draws no shared randomness unless a loss model is attached — is
-// parallel. Configs with loss models must not share rng sources.
-func runAsyncConfigs(cfgs []sim.AsyncConfig) ([]*sim.AsyncResult, error) {
-	results := make([]*sim.AsyncResult, len(cfgs))
-	errs := make([]error, len(cfgs))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(cfgs) {
-		workers = len(cfgs)
-	}
-	var (
-		wg   sync.WaitGroup
-		next atomic.Int64
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(cfgs) {
-					return
-				}
-				results[i], errs[i] = sim.RunAsync(cfgs[i])
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
 }

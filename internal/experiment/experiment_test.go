@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -90,11 +91,76 @@ func TestFormatCell(t *testing.T) {
 		{123.4, "123"},
 		{1.5, "1.50"},
 		{0.0312, "0.0312"},
+		{0, "0"},
+		{-3, "-3"},
+		{-123.4, "-123"},
+		{-1.5, "-1.50"},
+		{math.NaN(), "-"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+		{1e18, "1.00e+18"},
+		{-2.5e16, "-2.50e+16"},
+		{3.2e-7, "3.20e-07"},
+		{-3.2e-7, "-3.20e-07"},
+		{1e-4, "0.0001"},
+		{math.MaxFloat64, "1.80e+308"},
+		{math.SmallestNonzeroFloat64, "4.94e-324"},
+		// Large integral values still print exactly below the 1e9 cutoff and
+		// switch to %.0f (same digits) above it until the scientific cutoff.
+		{999999999, "999999999"},
+		{1e12, "1000000000000"},
 	}
 	for _, tt := range cases {
 		if got := formatCell(tt.v); got != tt.want {
 			t.Errorf("formatCell(%v) = %q, want %q", tt.v, got, tt.want)
 		}
+	}
+}
+
+// TestTableFormatEdgeValues renders a table whose cells are the pathological
+// values end-to-end through Format and Markdown: the output must carry the
+// sentinel forms, not panic or silently print zeros.
+func TestTableFormatEdgeValues(t *testing.T) {
+	tb := &Table{
+		ID:      "EDGE",
+		Title:   "pathological cells",
+		Columns: []string{"nan", "pinf", "ninf", "huge", "tiny"},
+		Rows: []Row{{
+			Label:  "row",
+			Values: []float64{math.NaN(), math.Inf(1), math.Inf(-1), 1e18, 3.2e-7},
+		}},
+	}
+	var sb strings.Builder
+	if err := tb.Format(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"-", "+Inf", "-Inf", "1.00e+18", "3.20e-07"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q:\n%s", want, out)
+		}
+	}
+	md := tb.Markdown()
+	for _, want := range []string{"| +Inf |", "| -Inf |", "| 1.00e+18 |", "| 3.20e-07 |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+// TestTableFormatEmpty covers the degenerate shapes: no rows, and a row with
+// no values.
+func TestTableFormatEmpty(t *testing.T) {
+	tb := &Table{ID: "E0", Title: "empty", Columns: []string{"a"}}
+	var sb strings.Builder
+	if err := tb.Format(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "E0") {
+		t.Errorf("empty table output missing header:\n%s", sb.String())
+	}
+	if md := tb.Markdown(); !strings.Contains(md, "### E0") {
+		t.Errorf("empty table markdown missing header:\n%s", md)
 	}
 }
 

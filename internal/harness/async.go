@@ -1,0 +1,38 @@
+package harness
+
+import (
+	"m2hew/internal/sim"
+)
+
+// AsyncConfigs executes pre-built asynchronous configurations on the
+// worker pool and returns their results in input order. Callers construct
+// the configs — and therefore consume their random streams — sequentially
+// before calling, so results are identical to a sequential run; only the
+// engine execution, which draws no shared randomness, is parallel. Configs
+// with loss models must not share rng sources.
+func AsyncConfigs(cfgs []sim.AsyncConfig) ([]*sim.AsyncResult, error) {
+	results := make([]*sim.AsyncResult, len(cfgs))
+	err := Run(len(cfgs), func(i int) error {
+		res, err := sim.RunAsync(cfgs[i])
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// AsyncTrials runs a two-phase asynchronous pipeline: build(trial) is
+// called sequentially in trial order (the place to draw offsets, drifts
+// and protocol randomness from a shared root source) and the resulting
+// configs execute on the worker pool. Results are in trial order.
+func AsyncTrials(trials int, build func(trial int) (sim.AsyncConfig, error)) ([]*sim.AsyncResult, error) {
+	return Trials(trials, build,
+		func(_ int, cfg sim.AsyncConfig) (*sim.AsyncResult, error) {
+			return sim.RunAsync(cfg)
+		})
+}

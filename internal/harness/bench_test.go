@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"testing"
+
+	"m2hew/internal/core"
+	"m2hew/internal/rng"
+	"m2hew/internal/sim"
+	"m2hew/internal/topology"
+)
+
+// BenchmarkRunOverhead measures the pool's fixed cost per batch with
+// trivially cheap jobs — the harness tax every caller pays on top of the
+// simulations themselves.
+func BenchmarkRunOverhead(b *testing.B) {
+	sink := make([]int, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Run(len(sink), func(j int) error {
+			sink[j] = j
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSyncTrials exercises the full pipeline on a realistic small
+// scenario, for comparing harness-driven throughput against the engine
+// benchmarks in internal/sim.
+func BenchmarkSyncTrials(b *testing.B) {
+	nw, err := topology.Clique(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := topology.AssignHomogeneous(nw, 4); err != nil {
+		b.Fatal(err)
+	}
+	factory := func(u topology.NodeID, r *rng.Source) (sim.SyncProtocol, error) {
+		return core.NewSyncUniform(nw.Avail(u), 8, r)
+	}
+	root := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SyncTrials(nw, SyncFactory(factory), nil, 4000, 16, root); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunExecutesAll(t *testing.T) {
+	const n = 200
+	var done [n]atomic.Bool
+	if err := Run(n, func(i int) error {
+		if done[i].Swap(true) {
+			return fmt.Errorf("index %d executed twice", i)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range done {
+		if !done[i].Load() {
+			t.Fatalf("index %d never executed", i)
+		}
+	}
+}
+
+func TestRunZeroAndNegative(t *testing.T) {
+	called := false
+	if err := Run(0, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(-3, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called for non-positive n")
+	}
+}
+
+// TestRunErrorLowestIndex injects failures at several indexes and asserts
+// the reported error is always the lowest-indexed one, over many rounds so
+// goroutine interleavings vary.
+func TestRunErrorLowestIndex(t *testing.T) {
+	failAt := map[int]bool{7: true, 31: true, 90: true}
+	for round := 0; round < 50; round++ {
+		err := Run(128, func(i int) error {
+			if failAt[i] {
+				return fmt.Errorf("boom at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "boom at 7" {
+			t.Fatalf("round %d: got error %v, want boom at 7", round, err)
+		}
+	}
+}
+
+// TestRunStopsEarly checks that after a failure, not every remaining index
+// is executed: a long job list with an immediate failure must short-circuit.
+func TestRunStopsEarly(t *testing.T) {
+	var executed atomic.Int64
+	const n = 1 << 20
+	err := Run(n, func(i int) error {
+		executed.Add(1)
+		if i == 0 {
+			return errors.New("first job fails")
+		}
+		// Give index 0 time to fail before the pool drains everything.
+		time.Sleep(10 * time.Microsecond)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := executed.Load(); got == n {
+		t.Fatalf("all %d jobs executed despite early failure", n)
+	}
+}
+
+// TestRunNoGoroutineLeakOnError is the leak audit for the pool's error
+// path: an injected per-trial error must not strand any worker goroutine.
+func TestRunNoGoroutineLeakOnError(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 20; round++ {
+		err := Run(64, func(i int) error {
+			if i%5 == 0 {
+				return fmt.Errorf("injected failure at %d", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatal("expected error")
+		}
+	}
+	// Allow any stragglers to exit before counting (there should be none:
+	// Run joins its pool), then require the count to settle back.
+	var after int
+	for attempt := 0; attempt < 50; attempt++ {
+		runtime.GC()
+		after = runtime.NumGoroutine()
+		if after <= before {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("goroutines grew from %d to %d after erroring runs", before, after)
+}
+
+func TestTrialsSetupSequentialInOrder(t *testing.T) {
+	const trials = 64
+	var setupOrder []int
+	results, err := Trials(trials,
+		func(trial int) (int, error) {
+			// Appending without synchronization is safe only because setup
+			// runs on the caller's goroutine — which is the contract.
+			setupOrder = append(setupOrder, trial)
+			return trial * 10, nil
+		},
+		func(trial, job int) (int, error) {
+			return job + trial, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(setupOrder) != trials {
+		t.Fatalf("setup ran %d times, want %d", len(setupOrder), trials)
+	}
+	for i, got := range setupOrder {
+		if got != i {
+			t.Fatalf("setup call %d was for trial %d; setup must run in trial order", i, got)
+		}
+	}
+	for i, r := range results {
+		if r != i*11 {
+			t.Fatalf("result[%d] = %d, want %d", i, r, i*11)
+		}
+	}
+}
+
+func TestTrialsSetupErrorAbortsBeforeWorkers(t *testing.T) {
+	ran := false
+	_, err := Trials(8,
+		func(trial int) (int, error) {
+			if trial == 3 {
+				return 0, errors.New("setup failed")
+			}
+			return trial, nil
+		},
+		func(int, int) (int, error) {
+			ran = true
+			return 0, nil
+		})
+	if err == nil || err.Error() != "setup failed" {
+		t.Fatalf("got error %v, want setup failed", err)
+	}
+	if ran {
+		t.Fatal("run phase started despite setup error")
+	}
+}
+
+func TestTrialsRunError(t *testing.T) {
+	_, err := Trials(16,
+		func(trial int) (int, error) { return trial, nil },
+		func(trial, job int) (int, error) {
+			if trial >= 4 {
+				return 0, fmt.Errorf("run failed at %d", trial)
+			}
+			return job, nil
+		})
+	if err == nil || err.Error() != "run failed at 4" {
+		t.Fatalf("got error %v, want run failed at 4", err)
+	}
+}

@@ -1,11 +1,11 @@
-package experiment
+package harness
 
-// Dedicated -race stress for the worker pools: runSyncTrials and
-// runAsyncConfigs hand work to goroutines through an atomic.Int64
-// work-stealing counter. These tests drive many more trials than workers so
-// the counter, the per-trial outcome slots and the pre-split rng sources
-// all get contended, and they assert the pools stay deterministic: a
-// parallel run must equal a 1-trial-at-a-time baseline.
+// Dedicated -race stress for the pipeline driving real engines: SyncTrials
+// and AsyncConfigs hand work to goroutines through the atomic work-stealing
+// counter in Run. These tests drive many more trials than workers so the
+// counter, the per-trial result slots and the pre-split rng sources all get
+// contended, and they assert the pipeline stays deterministic: a parallel
+// run must equal itself on rerun regardless of goroutine interleaving.
 
 import (
 	"runtime"
@@ -19,7 +19,7 @@ import (
 
 // syncFixture builds a small network plus a factory, sized so one test run
 // schedules far more trials than GOMAXPROCS workers.
-func syncFixture(t *testing.T) (*topology.Network, syncFactory) {
+func syncFixture(t *testing.T) (*topology.Network, SyncFactory) {
 	t.Helper()
 	nw, err := topology.Clique(8)
 	if err != nil {
@@ -34,17 +34,18 @@ func syncFixture(t *testing.T) (*topology.Network, syncFactory) {
 	return nw, factory
 }
 
-func TestRunSyncTrialsWorkStealingRace(t *testing.T) {
+func TestSyncTrialsWorkStealingRace(t *testing.T) {
 	nw, factory := syncFixture(t)
 	const trials = 64
 	const maxSlots = 4000
 
 	run := func(seed uint64) ([]float64, int) {
 		t.Helper()
-		slots, incomplete, err := runSyncTrials(nw, factory, nil, maxSlots, trials, rng.New(seed))
+		results, err := SyncTrials(nw, factory, nil, maxSlots, trials, rng.New(seed))
 		if err != nil {
-			t.Fatalf("runSyncTrials: %v", err)
+			t.Fatalf("SyncTrials: %v", err)
 		}
+		slots, incomplete := CompletionSlots(results)
 		return slots, incomplete
 	}
 	got, gotInc := run(11)
@@ -65,7 +66,7 @@ func TestRunSyncTrialsWorkStealingRace(t *testing.T) {
 	}
 }
 
-func TestRunAsyncConfigsWorkStealingRace(t *testing.T) {
+func TestAsyncConfigsWorkStealingRace(t *testing.T) {
 	nw, err := topology.Clique(6)
 	if err != nil {
 		t.Fatalf("building clique: %v", err)
@@ -92,9 +93,9 @@ func TestRunAsyncConfigsWorkStealingRace(t *testing.T) {
 	for i := range cfgs {
 		cfgs[i] = build(root)
 	}
-	results, err := runAsyncConfigs(cfgs)
+	results, err := AsyncConfigs(cfgs)
 	if err != nil {
-		t.Fatalf("runAsyncConfigs: %v", err)
+		t.Fatalf("AsyncConfigs: %v", err)
 	}
 	if len(results) != configs {
 		t.Fatalf("got %d results, want %d", len(results), configs)
@@ -111,5 +112,53 @@ func TestRunAsyncConfigsWorkStealingRace(t *testing.T) {
 	// (a regression guard against leaking LockOSThread-style state).
 	if runtime.GOMAXPROCS(0) < 1 {
 		t.Fatal("GOMAXPROCS went non-positive")
+	}
+}
+
+func TestAsyncTrialsMatchesAsyncConfigs(t *testing.T) {
+	nw, err := topology.Clique(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topology.AssignHomogeneous(nw, 2); err != nil {
+		t.Fatal(err)
+	}
+	const trials = 12
+	build := func(root *rng.Source) func(int) (sim.AsyncConfig, error) {
+		return func(int) (sim.AsyncConfig, error) {
+			nodes := make([]sim.AsyncNode, nw.N())
+			for u := 0; u < nw.N(); u++ {
+				p, err := core.NewAsync(nw.Avail(topology.NodeID(u)), 8, root.Split())
+				if err != nil {
+					return sim.AsyncConfig{}, err
+				}
+				nodes[u] = sim.AsyncNode{Protocol: p, Start: float64(u) * 0.2}
+			}
+			return sim.AsyncConfig{Network: nw, Nodes: nodes, FrameLen: 1, MaxFrames: 500}, nil
+		}
+	}
+
+	viaTrials, err := AsyncTrials(trials, build(rng.New(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootB := rng.New(99)
+	cfgs := make([]sim.AsyncConfig, trials)
+	for i := range cfgs {
+		cfgs[i], err = build(rootB)(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	viaConfigs, err := AsyncConfigs(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range viaTrials {
+		a, b := viaTrials[i], viaConfigs[i]
+		if a.Complete != b.Complete || a.CompletionTime != b.CompletionTime {
+			t.Fatalf("trial %d: AsyncTrials %+v vs AsyncConfigs %+v", i,
+				[2]any{a.Complete, a.CompletionTime}, [2]any{b.Complete, b.CompletionTime})
+		}
 	}
 }

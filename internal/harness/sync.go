@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"m2hew/internal/rng"
+	"m2hew/internal/sim"
+	"m2hew/internal/topology"
+)
+
+// SyncFactory builds one node's protocol for a synchronous trial from the
+// node's private random source.
+type SyncFactory func(u topology.NodeID, r *rng.Source) (sim.SyncProtocol, error)
+
+// SyncTrials runs independent trials of a synchronous scenario and returns
+// the engine results in trial order. Each trial's per-node sources are
+// split from root sequentially in trial order (the split-then-fork
+// contract), so the outcome is byte-identical to a sequential run; the
+// Network must be read-only during simulation, which all topology
+// generators guarantee after construction.
+func SyncTrials(nw *topology.Network, factory SyncFactory, starts []int, maxSlots, trials int, root *rng.Source) ([]*sim.SyncResult, error) {
+	return Trials(trials,
+		func(int) ([]sim.SyncProtocol, error) {
+			sources := root.SplitN(nw.N())
+			protos := make([]sim.SyncProtocol, nw.N())
+			for u := 0; u < nw.N(); u++ {
+				p, err := factory(topology.NodeID(u), sources[u])
+				if err != nil {
+					return nil, err
+				}
+				protos[u] = p
+			}
+			return protos, nil
+		},
+		func(_ int, protos []sim.SyncProtocol) (*sim.SyncResult, error) {
+			return sim.RunSync(sim.SyncConfig{
+				Network:    nw,
+				Protocols:  protos,
+				StartSlots: starts,
+				MaxSlots:   maxSlots,
+			})
+		})
+}
+
+// CompletionSlots reduces synchronous results to the suite's standard
+// completion statistic: the 1-based completion slot of every completed
+// trial (in trial order) plus the count of trials that did not complete
+// within the horizon.
+func CompletionSlots(results []*sim.SyncResult) (slots []float64, incomplete int) {
+	for _, res := range results {
+		if !res.Complete {
+			incomplete++
+			continue
+		}
+		slots = append(slots, float64(res.CompletionSlot+1))
+	}
+	return slots, incomplete
+}

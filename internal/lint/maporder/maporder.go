@@ -34,6 +34,7 @@ import (
 // fencedPackages lists the package trees whose output must be reproducible.
 var fencedPackages = []string{
 	"m2hew/internal/experiment",
+	"m2hew/internal/harness",
 	"m2hew/internal/metrics",
 	"m2hew/cmd",
 }

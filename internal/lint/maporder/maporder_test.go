@@ -10,6 +10,7 @@ import (
 func TestMapOrder(t *testing.T) {
 	linttest.Run(t, "testdata", maporder.Analyzer,
 		"m2hew/internal/metrics", // fenced: violations and legal idioms
+		"m2hew/internal/harness", // fenced: trial-result merge patterns
 		"m2hew/cmd/ndfake",       // fenced: command output paths
 		"m2hew/internal/sim",     // not fenced: same code, no findings
 	)

@@ -1,0 +1,62 @@
+// Package harness is a fixture exercising maporder inside the fenced trial
+// pipeline: merging per-trial results out of a map in iteration order is
+// flagged, the collect-by-index and collect-then-sort merges are not.
+package harness
+
+import "sort"
+
+// MergeByMap gathers trial results out of a map in iteration order —
+// exactly the nondeterministic merge the harness exists to prevent.
+func MergeByMap(results map[int]float64) []float64 {
+	var out []float64
+	for _, v := range results {
+		out = append(out, v) // want `append to out inside range over a map`
+	}
+	return out
+}
+
+// MergeSortedKeys walks trial indexes in sorted order: the sanctioned merge
+// when results arrive keyed rather than indexed.
+func MergeSortedKeys(results map[int]float64) []float64 {
+	keys := make([]int, 0, len(results))
+	for k := range results {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]float64, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, results[k])
+	}
+	return out
+}
+
+// MergeByIndex is the harness's own merge: results land in a slice at their
+// trial index, no map involved, nothing to flag.
+func MergeByIndex(trials int, result func(int) float64) []float64 {
+	out := make([]float64, trials)
+	for i := range out {
+		out[i] = result(i)
+	}
+	return out
+}
+
+// MeanOverMap accumulates floating point in map order; the sum's low bits
+// depend on the schedule.
+func MeanOverMap(results map[int]float64) float64 {
+	var sum float64
+	for _, v := range results {
+		sum += v // want `floating-point accumulation into sum`
+	}
+	return sum / float64(len(results))
+}
+
+// CountComplete is an order-insensitive integer reduction, legal.
+func CountComplete(done map[int]bool) int {
+	n := 0
+	for _, ok := range done {
+		if ok {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,42 @@
+// Harness-shaped fixtures: the split-then-fork trial pipeline the real
+// internal/harness implements, next to the shortcut it forbids.
+package a
+
+import (
+	"sync"
+
+	"m2hew/internal/rng"
+)
+
+// TrialsShared hands the shared root to every worker — the bug the harness
+// setup/run split exists to prevent.
+func TrialsShared(root *rng.Source, trials int) {
+	var wg sync.WaitGroup
+	for t := 0; t < trials; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = root.Uint64() // want `rng source root is shared with a new goroutine`
+		}()
+	}
+	wg.Wait()
+}
+
+// TrialsPreSplit is the harness pattern: all root draws happen sequentially
+// in trial order before any worker starts; workers only ever touch their
+// own pre-split child.
+func TrialsPreSplit(root *rng.Source, trials int) {
+	childs := make([]*rng.Source, trials)
+	for t := range childs {
+		childs[t] = root.Split()
+	}
+	var wg sync.WaitGroup
+	for t := 0; t < trials; t++ {
+		wg.Add(1)
+		go func(mine *rng.Source) {
+			defer wg.Done()
+			_ = mine.Uint64()
+		}(childs[t])
+	}
+	wg.Wait()
+}

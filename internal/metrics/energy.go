@@ -10,8 +10,8 @@ import (
 // neighbor-discovery literature the paper builds on (birthday protocols)
 // is energy-motivated: a radio burns power whenever it transmits or
 // listens, so the interesting quantity is the duty cycle — the fraction of
-// slots the transceiver was on. Plug ObserveSlot into
-// sim.SyncConfig.OnSlot.
+// slots the transceiver was on. Attach it to a run with
+// sim.EnergyObserver.
 type EnergyMeter struct {
 	tx    []int
 	rx    []int
@@ -30,8 +30,8 @@ func NewEnergyMeter(n int) (*EnergyMeter, error) {
 	}, nil
 }
 
-// ObserveSlot records one slot's actions; its signature matches
-// sim.SyncConfig.OnSlot.
+// ObserveSlot records one slot's actions; sim.EnergyObserver feeds it from
+// the engine's slot events.
 func (m *EnergyMeter) ObserveSlot(_ int, actions []radio.Action) {
 	for u, a := range actions {
 		if u >= len(m.tx) {

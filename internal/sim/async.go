@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"m2hew/internal/channel"
 	"m2hew/internal/clock"
 	"m2hew/internal/metrics"
 	"m2hew/internal/radio"
@@ -51,9 +50,11 @@ type AsyncConfig struct {
 	// Loss, if non-nil, erases arriving transmission slots per receiver
 	// listening frame with the model's probability (unreliable channels).
 	Loss *LossModel
-	// OnDeliver, if non-nil, observes every clear reception in
-	// chronological order.
-	OnDeliver func(at float64, from, to topology.NodeID, ch channel.ID)
+	// Observer, if non-nil, receives an EventDeliver for every clear
+	// reception. RunAsync emits them in chronological order;
+	// RunAsyncOnline emits them grouped by receiving frame (see its doc).
+	// Compose several consumers with MultiObserver.
+	Observer Observer
 }
 
 // AsyncResult reports an asynchronous run.
@@ -185,8 +186,11 @@ func RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
 		}
 		cfg.Nodes[d.to].Protocol.Deliver(msg)
 		coverage.Observe(topology.Link{From: d.from, To: d.to}, d.at)
-		if cfg.OnDeliver != nil {
-			cfg.OnDeliver(d.at, d.from, d.to, d.ch)
+		if cfg.Observer != nil {
+			cfg.Observer.OnEvent(Event{
+				Kind: EventDeliver, Time: d.at,
+				From: d.from, To: d.to, Channel: d.ch,
+			})
 		}
 	}
 

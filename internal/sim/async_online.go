@@ -133,8 +133,11 @@ func RunAsyncOnline(cfg AsyncConfig) (*AsyncResult, error) {
 			}
 			cfg.Nodes[d.to].Protocol.Deliver(msg)
 			coverage.Observe(topology.Link{From: d.from, To: d.to}, d.at)
-			if cfg.OnDeliver != nil {
-				cfg.OnDeliver(d.at, d.from, d.to, d.ch)
+			if cfg.Observer != nil {
+				cfg.Observer.OnEvent(Event{
+					Kind: EventDeliver, Time: d.at,
+					From: d.from, To: d.to, Channel: d.ch,
+				})
 			}
 		}
 		pending[u]++

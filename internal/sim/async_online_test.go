@@ -329,19 +329,19 @@ func TestOnlineEngineAdaptiveChaos(t *testing.T) {
 			Nodes:     nodes,
 			FrameLen:  2.5,
 			MaxFrames: maxFrames,
-			OnDeliver: func(at float64, from, to topology.NodeID, ch channel.ID) {
-				_ = from
-				_ = to
-				_ = ch
-				if at < lastAt-2.5/(1-clock.MaxAsyncDrift) {
+			Observer: ObserverFunc(func(e Event) {
+				if e.Kind != EventDeliver {
+					return
+				}
+				if e.Time < lastAt-2.5/(1-clock.MaxAsyncDrift) {
 					// Deliveries are applied at frame pops, so they may
 					// jitter within a frame length, but never more.
-					t.Fatalf("delivery at %v far behind %v", at, lastAt)
+					t.Fatalf("delivery at %v far behind %v", e.Time, lastAt)
 				}
-				if at > lastAt {
-					lastAt = at
+				if e.Time > lastAt {
+					lastAt = e.Time
 				}
-			},
+			}),
 		})
 		if err != nil {
 			t.Fatal(err)

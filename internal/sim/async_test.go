@@ -285,9 +285,11 @@ func TestAsyncOnDeliverChronological(t *testing.T) {
 		Nodes:     []AsyncNode{{Protocol: p0}, {Protocol: p1}},
 		FrameLen:  3,
 		MaxFrames: 4,
-		OnDeliver: func(at float64, from, to topology.NodeID, ch channel.ID) {
-			times = append(times, at)
-		},
+		Observer: ObserverFunc(func(e Event) {
+			if e.Kind == EventDeliver {
+				times = append(times, e.Time)
+			}
+		}),
 	})
 	if err != nil {
 		t.Fatal(err)

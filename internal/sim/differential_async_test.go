@@ -186,9 +186,11 @@ func TestAsyncEngineMatchesReference(t *testing.T) {
 				FrameLen:      frameLen,
 				SlotsPerFrame: slotsPerFrame,
 				MaxFrames:     frames,
-				OnDeliver: func(at float64, from, to topology.NodeID, _ channel.ID) {
-					got = append(got, asyncRefDelivery{from: from, to: to, at: at})
-				},
+				Observer: ObserverFunc(func(e Event) {
+					if e.Kind == EventDeliver {
+						got = append(got, asyncRefDelivery{from: e.From, to: e.To, at: e.Time})
+					}
+				}),
 			})
 			if err != nil {
 				t.Fatal(err)

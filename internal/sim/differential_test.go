@@ -11,7 +11,6 @@ import (
 	"fmt"
 	"testing"
 
-	"m2hew/internal/channel"
 	"m2hew/internal/radio"
 	"m2hew/internal/rng"
 	"m2hew/internal/topology"
@@ -76,9 +75,11 @@ func replaySync(t *testing.T, nw *topology.Network, script [][]radio.Action) []r
 		Protocols:     protos,
 		MaxSlots:      len(script),
 		RunToMaxSlots: true,
-		OnDeliver: func(slot int, from, to topology.NodeID, _ channel.ID) {
-			got = append(got, refDelivery{slot: slot, from: from, to: to})
-		},
+		Observer: ObserverFunc(func(e Event) {
+			if e.Kind == EventDeliver {
+				got = append(got, refDelivery{slot: e.Slot, from: e.From, to: e.To})
+			}
+		}),
 	})
 	if err != nil {
 		t.Fatal(err)

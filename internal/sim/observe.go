@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"m2hew/internal/channel"
+	"m2hew/internal/metrics"
+	"m2hew/internal/radio"
+	"m2hew/internal/topology"
+	"m2hew/internal/trace"
+)
+
+// This file is the engines' observability seam. Both engines report what
+// happens through a single typed Event stream consumed by an Observer
+// attached to the run configuration; the trace, metrics and experiment
+// layers plug in through the adapters below instead of bespoke callback
+// fields. The seam is designed around two constraints:
+//
+//   - Zero cost when unused: with a nil Observer the engines construct no
+//     Event values and make no calls; the hot loops only pay one nil check
+//     per emission site.
+//   - Zero allocation when used: Event is a plain value passed by value;
+//     slices inside it are borrowed engine buffers, never copies.
+
+// EventKind classifies an engine event.
+type EventKind uint8
+
+// Event kinds emitted by the engines.
+const (
+	// EventDeliver is a clear reception: exactly one neighbor transmitted
+	// on the listener's channel, the link operates on it, and no erasure
+	// occurred. Emitted by both engines.
+	EventDeliver EventKind = iota + 1
+	// EventSlot is one synchronous slot's collected actions, emitted after
+	// phase 1 (action collection) and before reception resolution.
+	// Synchronous engine only.
+	EventSlot
+)
+
+// String renders the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventDeliver:
+		return "deliver"
+	case EventSlot:
+		return "slot"
+	default:
+		return "EventKind(?)"
+	}
+}
+
+// Event is one engine observation. It is passed by value; observers must
+// not retain the Actions slice past the call (it is the engine's reused
+// per-slot buffer).
+type Event struct {
+	// Kind selects which fields are meaningful.
+	Kind EventKind
+	// Time is the event instant: the slot index for the synchronous
+	// engine, the real reception time for the asynchronous engines.
+	Time float64
+	// Slot is the integer slot index (synchronous engine only; 0 for
+	// asynchronous events).
+	Slot int
+	// From and To identify the delivered link (EventDeliver only).
+	From, To topology.NodeID
+	// Channel is the delivery channel (EventDeliver only).
+	Channel channel.ID
+	// Actions holds every node's action this slot, indexed by NodeID
+	// (EventSlot only). Borrowed: valid only during the OnEvent call.
+	Actions []radio.Action
+}
+
+// Observer consumes engine events. Implementations are called from the
+// engine's goroutine in simulation order and must not block; they need no
+// internal locking unless shared across runs.
+type Observer interface {
+	OnEvent(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// OnEvent implements Observer.
+func (f ObserverFunc) OnEvent(e Event) { f(e) }
+
+// multiObserver fans one event stream out to several observers in order.
+type multiObserver []Observer
+
+// OnEvent implements Observer.
+func (m multiObserver) OnEvent(e Event) {
+	for _, o := range m {
+		o.OnEvent(e)
+	}
+}
+
+// MultiObserver combines observers into one, skipping nils. It returns nil
+// when every argument is nil, preserving the engines' no-observer fast
+// path, and returns a lone observer unwrapped.
+func MultiObserver(obs ...Observer) Observer {
+	var active multiObserver
+	for _, o := range obs {
+		if o != nil {
+			active = append(active, o)
+		}
+	}
+	switch len(active) {
+	case 0:
+		return nil
+	case 1:
+		return active[0]
+	default:
+		return active
+	}
+}
+
+// TraceObserver forwards deliver events to a trace sink (trace.Writer,
+// trace.Ring, …) as trace.KindDeliver events.
+func TraceObserver(sink trace.Sink) Observer {
+	if sink == nil {
+		return nil
+	}
+	return ObserverFunc(func(e Event) {
+		if e.Kind != EventDeliver {
+			return
+		}
+		sink.Record(trace.Event{
+			Time: e.Time, Kind: trace.KindDeliver,
+			From: e.From, To: e.To, Channel: e.Channel,
+		})
+	})
+}
+
+// EnergyObserver feeds slot events to an energy meter (the duty-cycle
+// accountant of the synchronous engine).
+func EnergyObserver(m *metrics.EnergyMeter) Observer {
+	if m == nil {
+		return nil
+	}
+	return ObserverFunc(func(e Event) {
+		if e.Kind != EventSlot {
+			return
+		}
+		m.ObserveSlot(e.Slot, e.Actions)
+	})
+}
+
+// DeliverObserver adapts a delivery callback: f is invoked for every
+// EventDeliver with the event's time (slot index for synchronous runs,
+// real time for asynchronous runs) and link coordinates.
+func DeliverObserver(f func(at float64, from, to topology.NodeID, ch channel.ID)) Observer {
+	if f == nil {
+		return nil
+	}
+	return ObserverFunc(func(e Event) {
+		if e.Kind != EventDeliver {
+			return
+		}
+		f(e.Time, e.From, e.To, e.Channel)
+	})
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"testing"
+
+	"m2hew/internal/channel"
+	"m2hew/internal/metrics"
+	"m2hew/internal/radio"
+	"m2hew/internal/topology"
+	"m2hew/internal/trace"
+)
+
+func TestEventKindString(t *testing.T) {
+	cases := []struct {
+		kind EventKind
+		want string
+	}{
+		{EventDeliver, "deliver"},
+		{EventSlot, "slot"},
+		{EventKind(99), "EventKind(?)"},
+	}
+	for _, c := range cases {
+		if got := c.kind.String(); got != c.want {
+			t.Errorf("EventKind(%d).String() = %q, want %q", c.kind, got, c.want)
+		}
+	}
+}
+
+func TestMultiObserver(t *testing.T) {
+	var a, b int
+	incA := ObserverFunc(func(Event) { a++ })
+	incB := ObserverFunc(func(Event) { b++ })
+
+	if got := MultiObserver(); got != nil {
+		t.Errorf("MultiObserver() = %v, want nil", got)
+	}
+	if got := MultiObserver(nil, nil); got != nil {
+		t.Errorf("MultiObserver(nil, nil) = %v, want nil", got)
+	}
+
+	// A single non-nil observer is returned unwrapped, preserving identity.
+	single := MultiObserver(nil, incA)
+	single.OnEvent(Event{Kind: EventSlot})
+	if a != 1 {
+		t.Errorf("single observer called %d times, want 1", a)
+	}
+
+	both := MultiObserver(incA, nil, incB)
+	both.OnEvent(Event{Kind: EventDeliver})
+	if a != 2 || b != 1 {
+		t.Errorf("fan-out counts a=%d b=%d, want a=2 b=1", a, b)
+	}
+}
+
+func TestTraceObserver(t *testing.T) {
+	if TraceObserver(nil) != nil {
+		t.Error("TraceObserver(nil) should be nil")
+	}
+	ring, err := trace.NewRing(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := TraceObserver(ring)
+	obs.OnEvent(Event{Kind: EventSlot, Slot: 3})
+	obs.OnEvent(Event{
+		Kind: EventDeliver, Time: 7, Slot: 7,
+		From: 1, To: 2, Channel: channel.ID(4),
+	})
+	events := ring.Events()
+	if len(events) != 1 {
+		t.Fatalf("recorded %d events, want 1 (slot events must be ignored)", len(events))
+	}
+	e := events[0]
+	if e.Kind != trace.KindDeliver || e.Time != 7 || e.From != 1 || e.To != 2 || e.Channel != 4 {
+		t.Errorf("recorded %+v, want deliver t=7 1->2 ch=4", e)
+	}
+}
+
+func TestEnergyObserver(t *testing.T) {
+	if EnergyObserver(nil) != nil {
+		t.Error("EnergyObserver(nil) should be nil")
+	}
+	meter, err := metrics.NewEnergyMeter(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := EnergyObserver(meter)
+	actions := []radio.Action{
+		{Mode: radio.Transmit, Channel: 0},
+		{Mode: radio.Receive, Channel: 0},
+		{Mode: radio.Quiet},
+	}
+	obs.OnEvent(Event{Kind: EventSlot, Slot: 0, Actions: actions})
+	obs.OnEvent(Event{Kind: EventDeliver, From: 0, To: 1}) // must be ignored
+	if meter.Tx(0) != 1 || meter.Rx(1) != 1 || meter.Quiet(2) != 1 {
+		t.Errorf("meter tx0=%d rx1=%d quiet2=%d, want 1/1/1",
+			meter.Tx(0), meter.Rx(1), meter.Quiet(2))
+	}
+}
+
+func TestDeliverObserver(t *testing.T) {
+	if DeliverObserver(nil) != nil {
+		t.Error("DeliverObserver(nil) should be nil")
+	}
+	var got []Event
+	obs := DeliverObserver(func(at float64, from, to topology.NodeID, ch channel.ID) {
+		got = append(got, Event{Time: at, From: from, To: to, Channel: ch})
+	})
+	obs.OnEvent(Event{Kind: EventSlot, Slot: 1})
+	obs.OnEvent(Event{Kind: EventDeliver, Time: 2.5, From: 4, To: 5, Channel: 1})
+	if len(got) != 1 {
+		t.Fatalf("callback fired %d times, want 1", len(got))
+	}
+	if got[0].Time != 2.5 || got[0].From != 4 || got[0].To != 5 || got[0].Channel != 1 {
+		t.Errorf("callback saw %+v, want t=2.5 4->5 ch=1", got[0])
+	}
+}
+
+// TestSyncNilObserverNoAllocs pins the acceptance criterion that with no
+// observer attached, the per-slot loop performs no allocations for the
+// seam. The scripted run has no deliveries (everyone transmits), so the
+// only allocations are the engine's fixed per-run setup; a hidden per-slot
+// allocation would multiply by the 256-slot horizon and blow the budget.
+func TestSyncNilObserverNoAllocs(t *testing.T) {
+	nw, err := topology.Clique(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topology.AssignHomogeneous(nw, 1); err != nil {
+		t.Fatal(err)
+	}
+	protos := make([]SyncProtocol, 4)
+	for u := 0; u < 4; u++ {
+		actions := make([]radio.Action, 256)
+		for s := range actions {
+			actions[s] = radio.Action{Mode: radio.Transmit, Channel: 0}
+		}
+		protos[u] = &scriptSync{actions: actions}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := RunSync(SyncConfig{
+			Network:       nw,
+			Protocols:     protos,
+			MaxSlots:      256,
+			RunToMaxSlots: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 40 {
+		t.Errorf("RunSync with nil observer allocated %.0f objects per run", allocs)
+	}
+}

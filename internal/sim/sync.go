@@ -12,7 +12,10 @@
 //     interfere (interference range equals communication range).
 //
 // Engines drive protocols through narrow interfaces (SyncProtocol,
-// AsyncProtocol) and report results through metrics.Coverage. Because the
+// AsyncProtocol), report results through metrics.Coverage, and expose what
+// happened through one typed observability seam: an Observer attached to
+// the run configuration receives Event values (see observe.go); the trace,
+// metrics and experiment layers plug in through its adapters. Because the
 // paper's protocols never adapt their transmission schedule to what they
 // receive, the asynchronous engine may pre-generate all frame decisions and
 // then resolve receptions chronologically; this is noted where relied upon.
@@ -21,7 +24,6 @@ package sim
 import (
 	"fmt"
 
-	"m2hew/internal/channel"
 	"m2hew/internal/metrics"
 	"m2hew/internal/radio"
 	"m2hew/internal/topology"
@@ -64,10 +66,10 @@ type SyncConfig struct {
 	// Loss, if non-nil, erases arriving transmissions per receiver with the
 	// model's probability (unreliable channels).
 	Loss *LossModel
-	// OnDeliver, if non-nil, observes every clear reception.
-	OnDeliver func(slot int, from, to topology.NodeID, ch channel.ID)
-	// OnSlot, if non-nil, observes every slot's actions (indexed by node).
-	OnSlot func(slot int, actions []radio.Action)
+	// Observer, if non-nil, receives every engine event (EventSlot once
+	// per slot, EventDeliver per clear reception) in simulation order.
+	// Compose several consumers with MultiObserver.
+	Observer Observer
 }
 
 // SyncResult reports a synchronous run.
@@ -145,8 +147,11 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 			}
 			actions[u] = a
 		}
-		if cfg.OnSlot != nil {
-			cfg.OnSlot(slot, actions)
+		if cfg.Observer != nil {
+			cfg.Observer.OnEvent(Event{
+				Kind: EventSlot, Time: float64(slot), Slot: slot,
+				Actions: actions,
+			})
 		}
 
 		// Phase 2: resolve receptions per listener.
@@ -188,8 +193,11 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 			}
 			cfg.Protocols[u].Deliver(msg)
 			coverage.Observe(topology.Link{From: sender, To: topology.NodeID(u)}, float64(slot))
-			if cfg.OnDeliver != nil {
-				cfg.OnDeliver(slot, sender, topology.NodeID(u), c)
+			if cfg.Observer != nil {
+				cfg.Observer.OnEvent(Event{
+					Kind: EventDeliver, Time: float64(slot), Slot: slot,
+					From: sender, To: topology.NodeID(u), Channel: c,
+				})
 			}
 		}
 

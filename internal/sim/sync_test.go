@@ -301,27 +301,29 @@ func TestSyncOnHooks(t *testing.T) {
 		Protocols:     []SyncProtocol{p0, p1},
 		MaxSlots:      3,
 		RunToMaxSlots: true,
-		OnSlot: func(slot int, actions []radio.Action) {
-			slotCalls++
-			if len(actions) != 2 {
-				t.Errorf("OnSlot saw %d actions", len(actions))
+		Observer: ObserverFunc(func(e Event) {
+			switch e.Kind {
+			case EventSlot:
+				slotCalls++
+				if len(e.Actions) != 2 {
+					t.Errorf("EventSlot saw %d actions", len(e.Actions))
+				}
+			case EventDeliver:
+				deliverCalls++
+				if e.From != 0 || e.To != 1 || e.Channel != 0 {
+					t.Errorf("EventDeliver(%d, %d->%d, ch %d)", e.Slot, e.From, e.To, e.Channel)
+				}
 			}
-		},
-		OnDeliver: func(slot int, from, to topology.NodeID, ch channel.ID) {
-			deliverCalls++
-			if from != 0 || to != 1 || ch != 0 {
-				t.Errorf("OnDeliver(%d, %d->%d, ch %d)", slot, from, to, ch)
-			}
-		},
+		}),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if slotCalls != 3 {
-		t.Fatalf("OnSlot called %d times, want 3", slotCalls)
+		t.Fatalf("EventSlot emitted %d times, want 3", slotCalls)
 	}
 	if deliverCalls != 3 {
-		t.Fatalf("OnDeliver called %d times, want 3", deliverCalls)
+		t.Fatalf("EventDeliver emitted %d times, want 3", deliverCalls)
 	}
 }
 

@@ -1,10 +1,10 @@
 // Package trace records structured simulation events for debugging and for
 // the ndsim tool's verbose output.
 //
-// Engines expose hook points (sim.SyncConfig.OnSlot / OnDeliver and
-// sim.AsyncConfig.OnDeliver); this package provides sinks to plug into them:
-// a bounded in-memory ring (for tests and post-mortem inspection) and a
-// line-oriented writer (for live output). Sinks compose with Multi.
+// Engines report through the sim.Observer seam; sim.TraceObserver adapts
+// any Sink from this package to it. Provided sinks: a bounded in-memory
+// ring (for tests and post-mortem inspection) and a line-oriented writer
+// (for live output). Sinks compose with Multi.
 package trace
 
 import (

@@ -2,6 +2,7 @@ package m2hew
 
 import (
 	"encoding/json"
+	"io"
 	"strings"
 	"testing"
 )
@@ -671,5 +672,73 @@ func TestRunAsyncWithLoss(t *testing.T) {
 	}
 	if !report.Complete {
 		t.Fatalf("lossy async run incomplete: %d/%d", report.LinksCovered, report.LinksTotal)
+	}
+}
+
+func TestRunTrials(t *testing.T) {
+	nw, err := BuildNetwork(NetworkConfig{Topology: TopologyClique, Nodes: 5, Universe: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := RunConfig{Algorithm: AlgorithmSyncUniform, Seed: 7}
+	reports, err := RunTrials(nw, cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 6 {
+		t.Fatalf("got %d reports, want 6", len(reports))
+	}
+	for i, rep := range reports {
+		if rep == nil || !rep.Complete {
+			t.Fatalf("trial %d incomplete: %+v", i, rep)
+		}
+	}
+	// Trial 0 is exactly the single-run result for the same seed.
+	single, err := Run(nw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports[0].Slots != single.Slots {
+		t.Fatalf("trial 0 slots %d != single run slots %d", reports[0].Slots, single.Slots)
+	}
+	// Deterministic across invocations.
+	again, err := RunTrials(nw, cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reports {
+		if reports[i].Slots != again[i].Slots {
+			t.Fatalf("trial %d not deterministic: %d vs %d", i, reports[i].Slots, again[i].Slots)
+		}
+	}
+	// Distinct trials use distinct seeds (overwhelmingly likely to differ in
+	// at least one completion time on this scale).
+	allEqual := true
+	for i := 1; i < len(reports); i++ {
+		if reports[i].Slots != reports[0].Slots {
+			allEqual = false
+		}
+	}
+	if allEqual {
+		t.Error("all trials identical; per-trial seeds not applied")
+	}
+}
+
+func TestRunTrialsValidation(t *testing.T) {
+	nw, err := BuildNetwork(NetworkConfig{Topology: TopologyClique, Nodes: 4, Universe: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunTrials(nil, RunConfig{Algorithm: AlgorithmSyncUniform}, 2); err == nil {
+		t.Error("nil network accepted")
+	}
+	if _, err := RunTrials(nw, RunConfig{Algorithm: AlgorithmSyncUniform}, 0); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := RunTrials(nw, RunConfig{Algorithm: AlgorithmSyncUniform, TraceWriter: io.Discard}, 2); err == nil {
+		t.Error("TraceWriter accepted")
+	}
+	if _, err := RunTrials(nw, RunConfig{Algorithm: "bogus"}, 2); err == nil {
+		t.Error("unknown algorithm accepted")
 	}
 }

@@ -7,9 +7,9 @@ import (
 
 	"m2hew/internal/analytic"
 	"m2hew/internal/baseline"
-	"m2hew/internal/channel"
 	"m2hew/internal/clock"
 	"m2hew/internal/core"
+	"m2hew/internal/harness"
 	"m2hew/internal/metrics"
 	"m2hew/internal/rng"
 	"m2hew/internal/sim"
@@ -178,6 +178,53 @@ func Run(n *Network, cfg RunConfig) (*Report, error) {
 	default:
 		return nil, fmt.Errorf("m2hew: unknown algorithm %q", cfg.Algorithm)
 	}
+}
+
+// RunTrials executes trials independent discovery runs of the same
+// configuration on the harness pool and returns their reports in trial
+// order. Trial t runs with a seed derived deterministically from cfg.Seed,
+// so the result is a pure function of (network, cfg, trials) regardless of
+// scheduling; trial 0 uses cfg.Seed itself, making RunTrials(n, cfg, 1)
+// report exactly what Run(n, cfg) does. A non-nil TraceWriter is rejected:
+// concurrent trials would interleave their traces (trace single runs via
+// Run instead).
+func RunTrials(n *Network, cfg RunConfig, trials int) ([]*Report, error) {
+	if n == nil {
+		return nil, fmt.Errorf("m2hew: nil network")
+	}
+	if trials < 1 {
+		return nil, fmt.Errorf("m2hew: trials %d < 1", trials)
+	}
+	if cfg.TraceWriter != nil {
+		return nil, fmt.Errorf("m2hew: RunTrials does not support TraceWriter; trace individual runs with Run")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	// Per-trial seeds come from a dedicated stream (splitmix via rng) drawn
+	// sequentially before the pool starts, so every trial is reproducible in
+	// isolation by passing its seed to Run.
+	seeds := make([]uint64, trials)
+	seeds[0] = cfg.Seed
+	seedSrc := rng.New(cfg.Seed)
+	for t := 1; t < trials; t++ {
+		seeds[t] = seedSrc.Uint64()
+	}
+	reports := make([]*Report, trials)
+	err := harness.Run(trials, func(t int) error {
+		trialCfg := cfg
+		trialCfg.Seed = seeds[t]
+		rep, err := Run(n, trialCfg)
+		if err != nil {
+			return fmt.Errorf("trial %d: %w", t, err)
+		}
+		reports[t] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("m2hew: %w", err)
+	}
+	return reports, nil
 }
 
 func runDefaults(n *Network, cfg RunConfig) (RunConfig, analytic.Scenario, error) {
@@ -351,15 +398,9 @@ func runSync(n *Network, cfg RunConfig, sc analytic.Scenario) (*Report, error) {
 			starts[u] = root.IntN(cfg.StartWindow)
 		}
 	}
-	var onDeliver func(slot int, from, to topology.NodeID, ch channel.ID)
+	var traceObs sim.Observer
 	if cfg.TraceWriter != nil {
-		sink := trace.NewWriter(cfg.TraceWriter)
-		onDeliver = func(slot int, from, to topology.NodeID, ch channel.ID) {
-			sink.Record(trace.Event{
-				Time: float64(slot), Kind: trace.KindDeliver,
-				From: from, To: to, Channel: ch,
-			})
-		}
+		traceObs = sim.TraceObserver(trace.NewWriter(cfg.TraceWriter))
 	}
 	meter, err := metrics.NewEnergyMeter(n.N())
 	if err != nil {
@@ -375,8 +416,7 @@ func runSync(n *Network, cfg RunConfig, sc analytic.Scenario) (*Report, error) {
 		// horizon.
 		RunToMaxSlots: cfg.TerminateAfterIdle > 0,
 		Loss:          loss,
-		OnDeliver:     onDeliver,
-		OnSlot:        meter.ObserveSlot,
+		Observer:      sim.MultiObserver(traceObs, sim.EnergyObserver(meter)),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("m2hew: %w", err)
@@ -469,15 +509,9 @@ func runAsync(n *Network, cfg RunConfig, sc analytic.Scenario) (*Report, error) 
 		nodes[u] = sim.AsyncNode{Protocol: proto, Start: start, Drift: drift}
 		hold = append(hold, table)
 	}
-	var onDeliver func(at float64, from, to topology.NodeID, ch channel.ID)
+	var traceObs sim.Observer
 	if cfg.TraceWriter != nil {
-		sink := trace.NewWriter(cfg.TraceWriter)
-		onDeliver = func(at float64, from, to topology.NodeID, ch channel.ID) {
-			sink.Record(trace.Event{
-				Time: at, Kind: trace.KindDeliver,
-				From: from, To: to, Channel: ch,
-			})
-		}
+		traceObs = sim.TraceObserver(trace.NewWriter(cfg.TraceWriter))
 	}
 	simCfg := sim.AsyncConfig{
 		Network:   n.inner,
@@ -485,7 +519,7 @@ func runAsync(n *Network, cfg RunConfig, sc analytic.Scenario) (*Report, error) 
 		FrameLen:  cfg.FrameLen,
 		MaxFrames: maxFrames,
 		Loss:      loss,
-		OnDeliver: onDeliver,
+		Observer:  traceObs,
 	}
 	var (
 		res *sim.AsyncResult
