@@ -37,9 +37,12 @@ ci: build vet fmt-check lint
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./internal/sim/... ./internal/harness/...
 	$(GO) test -race ./internal/harness/... ./internal/experiment/... ./internal/trace/... ./internal/sim/...
 
-# One full pass of every reproduction benchmark (one iteration each).
+# One full pass of every reproduction benchmark (one iteration each), then
+# the engine throughput snapshot: cmd/ndperf rewrites BENCH_3.json with
+# ns/slot, allocation and delivery-throughput figures for all three engines.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./...
+	$(GO) run ./cmd/ndperf -out BENCH_3.json
 
 # Regenerate the EXPERIMENTS.md tables (markdown on stdout).
 experiments:

@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -122,4 +124,43 @@ func TestMultipleExperiments(t *testing.T) {
 	if !strings.Contains(out, "E8") || !strings.Contains(out, "E16") {
 		t.Fatalf("multi-experiment output missing a table:\n%s", out)
 	}
+}
+
+// TestQuickSuiteGolden pins the whole quick-suite markdown output, byte for
+// byte, to a golden file generated before the engines grew their indexed
+// resolvers and reused buffers. The experiment tables are a pure function
+// of the seed, so any engine change that shifts a delivery, an RNG draw, or
+// a float accumulation — however plausible-looking — lands here as a diff.
+// Regenerate only after deliberately changing simulation semantics:
+//
+//	go run ./cmd/ndbench -all -markdown -quick -trials 3 -seed 11 \
+//	    > cmd/ndbench/testdata/all_quick_seed11.md
+func TestQuickSuiteGolden(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "all_quick_seed11.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-all", "-markdown", "-quick", "-trials", "3", "-seed", "11"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if got == string(want) {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("quick-suite output diverged from golden at line %d:\n got: %q\nwant: %q", i+1, g, w)
+		}
+	}
+	t.Fatal("quick-suite output diverged from golden (length mismatch only)")
 }

@@ -1,0 +1,201 @@
+// Command ndperf measures engine throughput on the canonical benchmark
+// scenario (the 30-node geometric network of internal/sim's benchmarks) and
+// writes a machine-readable snapshot to BENCH_3.json: ns per operation, ns
+// per resolved slot, allocations, and delivery throughput for the
+// synchronous and both asynchronous engines. `make bench` refreshes the
+// committed snapshot; CI runs it as a smoke and uploads the artifact, so a
+// hot-path regression shows up as a diff instead of an anecdote.
+//
+// The workloads mirror BenchmarkRunSync / BenchmarkRunAsync /
+// BenchmarkRunAsyncOnline exactly (same topology seed, protocol seeds, and
+// horizons) with one addition: a counting observer tallies deliveries so
+// throughput can be reported per second of engine time.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"m2hew/internal/clock"
+	"m2hew/internal/core"
+	"m2hew/internal/rng"
+	"m2hew/internal/sim"
+	"m2hew/internal/topology"
+)
+
+// benchRow is one engine's measurement. slots_per_op counts the slots the
+// engine resolved per run: global slots for the synchronous engine, local
+// slots per node (frames × slots-per-frame) for the asynchronous ones.
+type benchRow struct {
+	Name             string  `json:"name"`
+	NsPerOp          int64   `json:"ns_per_op"`
+	BytesPerOp       int64   `json:"bytes_per_op"`
+	AllocsPerOp      int64   `json:"allocs_per_op"`
+	SlotsPerOp       float64 `json:"slots_per_op"`
+	NsPerSlot        float64 `json:"ns_per_slot"`
+	DeliveriesPerOp  float64 `json:"deliveries_per_op"`
+	DeliveriesPerSec float64 `json:"deliveries_per_sec"`
+}
+
+// snapshot is the BENCH_3.json document.
+type snapshot struct {
+	Scenario   string     `json:"scenario"`
+	Notes      string     `json:"notes"`
+	Benchmarks []benchRow `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_3.json", "output path for the JSON snapshot")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "ndperf:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string) error {
+	nw, err := benchNetwork()
+	if err != nil {
+		return err
+	}
+	params := nw.ComputeParams()
+
+	rows := []benchRow{
+		benchSync(nw, params.Delta),
+		benchAsync("RunAsync", sim.RunAsync, nw, params.Delta),
+		benchAsync("RunAsyncOnline", sim.RunAsyncOnline, nw, params.Delta),
+	}
+	doc := snapshot{
+		Scenario:   "GeometricConnected(n=30, r=0.35, seed=1) + AssignUniformK(8,4); SyncUniform 2000 slots / Async 800 frames of 3 slots",
+		Notes:      "timings are machine-dependent; compare ratios across commits, not absolute values. slots_per_op is global slots (sync) or per-node local slots (async).",
+		Benchmarks: rows,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%-16s %12d ns/op %10.1f ns/slot %8d allocs/op %12.0f deliveries/s\n",
+			r.Name, r.NsPerOp, r.NsPerSlot, r.AllocsPerOp, r.DeliveriesPerSec)
+	}
+	fmt.Println("wrote", out)
+	return nil
+}
+
+// benchNetwork rebuilds the benchmark topology of internal/sim/bench_test.go.
+func benchNetwork() (*topology.Network, error) {
+	r := rng.New(1)
+	nw, err := topology.GeometricConnected(30, 0.35, r, 100)
+	if err != nil {
+		return nil, err
+	}
+	if err := topology.AssignUniformK(nw, 8, 4, r); err != nil {
+		return nil, err
+	}
+	return nw, nil
+}
+
+func benchSync(nw *topology.Network, deltaEst int) benchRow {
+	const maxSlots = 2000
+	var deliveries, slots int64
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		deliveries, slots = 0, 0
+		for i := 0; i < b.N; i++ {
+			root := rng.New(uint64(i) + 1)
+			protos := make([]sim.SyncProtocol, nw.N())
+			for u := 0; u < nw.N(); u++ {
+				p, err := core.NewSyncUniform(nw.Avail(topology.NodeID(u)), deltaEst, root.Split())
+				if err != nil {
+					b.Fatal(err)
+				}
+				protos[u] = p
+			}
+			r, err := sim.RunSync(sim.SyncConfig{
+				Network:       nw,
+				Protocols:     protos,
+				MaxSlots:      maxSlots,
+				RunToMaxSlots: true,
+				Observer: sim.ObserverFunc(func(e sim.Event) {
+					if e.Kind == sim.EventDeliver {
+						deliveries++
+					}
+				}),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			slots += int64(r.SlotsSimulated)
+		}
+	})
+	return row("RunSync", res, deliveries, float64(slots)/float64(res.N))
+}
+
+func benchAsync(name string, engine func(sim.AsyncConfig) (*sim.AsyncResult, error), nw *topology.Network, deltaEst int) benchRow {
+	const (
+		frameLen      = 3.0
+		maxFrames     = 800
+		slotsPerFrame = 3
+	)
+	var deliveries int64
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		deliveries = 0
+		for i := 0; i < b.N; i++ {
+			root := rng.New(uint64(i) + 1)
+			nodes := make([]sim.AsyncNode, nw.N())
+			for u := 0; u < nw.N(); u++ {
+				p, err := core.NewAsync(nw.Avail(topology.NodeID(u)), deltaEst, root.Split())
+				if err != nil {
+					b.Fatal(err)
+				}
+				drift, err := clock.NewRandomWalk(clock.MaxAsyncDrift, 0.02, root.Split())
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes[u] = sim.AsyncNode{Protocol: p, Start: root.Float64() * 10, Drift: drift}
+			}
+			if _, err := engine(sim.AsyncConfig{
+				Network:   nw,
+				Nodes:     nodes,
+				FrameLen:  frameLen,
+				MaxFrames: maxFrames,
+				Observer: sim.ObserverFunc(func(e sim.Event) {
+					if e.Kind == sim.EventDeliver {
+						deliveries++
+					}
+				}),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return row(name, res, deliveries, maxFrames*slotsPerFrame)
+}
+
+// row folds a benchmark result and its delivery tally into one record. The
+// delivery counter covers the final measured run of res.N iterations.
+func row(name string, res testing.BenchmarkResult, deliveries int64, slotsPerOp float64) benchRow {
+	perOp := float64(deliveries) / float64(res.N)
+	var perSec float64
+	if s := res.T.Seconds(); s > 0 {
+		perSec = float64(deliveries) / s
+	}
+	return benchRow{
+		Name:             name,
+		NsPerOp:          res.NsPerOp(),
+		BytesPerOp:       res.AllocedBytesPerOp(),
+		AllocsPerOp:      res.AllocsPerOp(),
+		SlotsPerOp:       slotsPerOp,
+		NsPerSlot:        float64(res.NsPerOp()) / slotsPerOp,
+		DeliveriesPerOp:  perOp,
+		DeliveriesPerSec: perSec,
+	}
+}

@@ -194,6 +194,26 @@ func (s Set) SubsetOf(t Set) bool {
 	return true
 }
 
+// IntersectionSubsetOf reports whether s ∩ t ⊆ w without materializing the
+// intersection. It lets receive paths detect that an arriving payload adds
+// nothing to already-recorded state without allocating per message.
+func (s Set) IntersectionSubsetOf(t, w Set) bool {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		var ww uint64
+		if i < len(w.words) {
+			ww = w.words[i]
+		}
+		if s.words[i]&t.words[i]&^ww != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Intersects reports whether s ∩ t is non-empty without allocating.
 func (s Set) Intersects(t Set) bool {
 	n := len(s.words)

@@ -173,6 +173,43 @@ func TestSubsetOf(t *testing.T) {
 	}
 }
 
+func TestIntersectionSubsetOf(t *testing.T) {
+	s := NewSet(1, 2, 65)
+	// s∩t = {2,65} ⊆ w.
+	if !s.IntersectionSubsetOf(NewSet(2, 3, 65), NewSet(2, 65, 100)) {
+		t.Fatal("s∩t ⊆ w not detected")
+	}
+	// s∩t = {2,65}, w misses the second-word element 65.
+	if s.IntersectionSubsetOf(NewSet(2, 3, 65), NewSet(2)) {
+		t.Fatal("missing second-word element not detected")
+	}
+	// Empty intersection is a subset of anything, including the empty set.
+	if !s.IntersectionSubsetOf(NewSet(7), Set{}) {
+		t.Fatal("empty intersection not subset of empty set")
+	}
+	// w with trailing words beyond s and t changes nothing.
+	wide := NewSet(2, 65, 500)
+	if !s.IntersectionSubsetOf(NewSet(2, 65), wide) {
+		t.Fatal("wider w rejected")
+	}
+	// t wider than s: only the common prefix can intersect.
+	if !NewSet(1).IntersectionSubsetOf(NewSet(1, 500), NewSet(1)) {
+		t.Fatal("t wider than s mishandled")
+	}
+}
+
+// Property: IntersectionSubsetOf agrees with the materialized
+// Intersect + SubsetOf it replaces on the delivery hot path.
+func TestIntersectionSubsetOfMatchesMaterialized(t *testing.T) {
+	err := quick.Check(func(sm, tm, wm uint16) bool {
+		s, u, w := setFromMask(sm), setFromMask(tm), setFromMask(wm)
+		return s.IntersectionSubsetOf(u, w) == s.Intersect(u).SubsetOf(w)
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestIntersects(t *testing.T) {
 	a := NewSet(1, 65)
 	b := NewSet(65)

@@ -57,6 +57,9 @@ func NewNeighborTable() *NeighborTable {
 // monotone under the unreliable-channel extension.
 func (t *NeighborTable) Record(v topology.NodeID, common channel.Set) {
 	if existing, ok := t.entries[v]; ok {
+		if common.SubsetOf(existing) {
+			return // nothing new: the union would rebuild an equal set
+		}
 		t.entries[v] = existing.Union(common)
 		return
 	}
@@ -107,8 +110,15 @@ func newNode(avail channel.Set, r *rng.Source) (node, error) {
 }
 
 // deliver implements the receive path common to all four algorithms:
-// "add ⟨v, A ∩ A(u)⟩ to the set of neighbors".
+// "add ⟨v, A ∩ A(u)⟩ to the set of neighbors". Repeat receptions whose
+// payload adds no channels — every repeat, in the paper's model — leave the
+// table untouched without materializing the intersection; engines deliver
+// the same link many times per run, so this path must not allocate.
 func (n *node) deliver(msg radio.Message) {
+	if existing, ok := n.table.Common(msg.From); ok &&
+		msg.Avail.IntersectionSubsetOf(n.avail, existing) {
+		return
+	}
 	n.table.Record(msg.From, msg.Avail.Intersect(n.avail))
 }
 

@@ -46,6 +46,28 @@ func TestNeighborTableRerecordUnions(t *testing.T) {
 	}
 }
 
+func TestNeighborTableRerecordSubsetNoOp(t *testing.T) {
+	tbl := NewNeighborTable()
+	tbl.Record(5, channel.NewSet(1, 2, 65))
+	// A subset re-record (the common case on repeat deliveries) must leave
+	// the entry unchanged — the fast path skips the union and clone.
+	tbl.Record(5, channel.NewSet(2))
+	tbl.Record(5, channel.NewSet(1, 65))
+	common, _ := tbl.Common(5)
+	if !common.Equal(channel.NewSet(1, 2, 65)) {
+		t.Fatalf("subset re-record changed entry: %v", common)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d after subset re-record", tbl.Len())
+	}
+	// A strict superset must still union in the new channels.
+	tbl.Record(5, channel.NewSet(2, 130))
+	common, _ = tbl.Common(5)
+	if !common.Equal(channel.NewSet(1, 2, 65, 130)) {
+		t.Fatalf("superset re-record = %v, want {1,2,65,130}", common)
+	}
+}
+
 func TestNeighborTableClonesInput(t *testing.T) {
 	tbl := NewNeighborTable()
 	s := channel.NewSet(1)

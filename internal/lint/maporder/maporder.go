@@ -32,10 +32,15 @@ import (
 )
 
 // fencedPackages lists the package trees whose output must be reproducible.
+// The engines (internal/sim) joined the fence when they grew reused
+// resolver buffers and shared per-sender state: their delivery order is the
+// experiment pipeline's input, so a map-ordered effect there corrupts
+// byte-identity at the source.
 var fencedPackages = []string{
 	"m2hew/internal/experiment",
 	"m2hew/internal/harness",
 	"m2hew/internal/metrics",
+	"m2hew/internal/sim",
 	"m2hew/cmd",
 }
 

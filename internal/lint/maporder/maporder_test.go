@@ -12,6 +12,6 @@ func TestMapOrder(t *testing.T) {
 		"m2hew/internal/metrics", // fenced: violations and legal idioms
 		"m2hew/internal/harness", // fenced: trial-result merge patterns
 		"m2hew/cmd/ndfake",       // fenced: command output paths
-		"m2hew/internal/sim",     // not fenced: same code, no findings
+		"m2hew/internal/sim",     // fenced: engine delivery-batch patterns
 	)
 }

@@ -1,13 +1,57 @@
-// Package sim is a fixture for a package outside maporder's fence: the
-// same order-dependent code draws no findings here (the engine has its own
-// determinism story; the fence covers the result-emitting pipeline).
+// Package sim is a fixture for the engine tree, which is inside maporder's
+// fence: delivery order is the experiment pipeline's input, so an effect
+// that leaks map iteration order out of an engine corrupts byte-identity at
+// the source. Order-sensitive effects are flagged; the collect-then-sort
+// idiom the real resolver uses for its delivery batches stays legal.
 package sim
 
-// Keys gathers map keys unsorted, legal outside the fence.
-func Keys(m map[string]int) []string {
-	var out []string
-	for k := range m {
-		out = append(out, k)
+import "sort"
+
+// delivery mirrors the engine's resolved-reception record.
+type delivery struct {
+	at       float64
+	from, to int
+}
+
+// FlushPending drains a per-frame pending map in iteration order — the bug
+// the fence exists to catch: the delivery batch would differ run to run.
+func FlushPending(pending map[int]delivery) []delivery {
+	var out []delivery
+	for _, d := range pending {
+		out = append(out, d) // want `append to out inside range over a map`
 	}
 	return out
+}
+
+// FlushSorted collects then sorts by delivery time: the engine's legal
+// idiom for turning unordered state into a deterministic batch.
+func FlushSorted(pending map[int]delivery) []delivery {
+	out := make([]delivery, 0, len(pending))
+	for _, d := range pending {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].at < out[j].at })
+	return out
+}
+
+// CountReceivers is an order-insensitive reduction; legal.
+func CountReceivers(pending map[int]delivery) int {
+	n := 0
+	for range pending {
+		n++
+	}
+	return n
+}
+
+// MeanArrival accumulates floating point in map order; the low bits depend
+// on iteration order, so seed-identical runs could diverge.
+func MeanArrival(pending map[int]delivery) float64 {
+	var sum float64
+	for _, d := range pending {
+		sum += d.at // want `floating-point accumulation into sum inside range over a map`
+	}
+	if len(pending) == 0 {
+		return 0
+	}
+	return sum / float64(len(pending))
 }

@@ -1,0 +1,52 @@
+// Loss-model-shaped fixtures: the engines thread one erasure RNG through a
+// run's reception resolver, drawing mid-resolution. Fanning trials out in
+// parallel must fork one stream per trial before any goroutine starts —
+// sharing the stream makes the draw order scheduling-dependent, which
+// silently changes which transmissions fade.
+package a
+
+import (
+	"sync"
+
+	"m2hew/internal/rng"
+)
+
+// lossModel mirrors the engine's erasure model: a probability plus the
+// stream the resolver consumes draw by draw.
+type lossModel struct {
+	prob float64
+	rng  *rng.Source
+}
+
+// resolveTrial stands in for one engine run consuming erasure draws.
+func resolveTrial(l lossModel) {
+	_ = l.rng.Uint64()
+}
+
+// LossTrialsShared rides one erasure stream into every parallel trial
+// through a composite literal — the resolvers' draws interleave.
+func LossTrialsShared(erasures *rng.Source, trials int) {
+	var wg sync.WaitGroup
+	for t := 0; t < trials; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resolveTrial(lossModel{prob: 0.2, rng: erasures}) // want `rng source erasures is shared with a new goroutine`
+		}()
+	}
+	wg.Wait()
+}
+
+// LossTrialsPreSplit forks one erasure stream per trial in the spawning
+// goroutine; each resolver owns its draw sequence regardless of scheduling.
+func LossTrialsPreSplit(erasures *rng.Source, trials int) {
+	var wg sync.WaitGroup
+	for t := 0; t < trials; t++ {
+		wg.Add(1)
+		go func(l lossModel) {
+			defer wg.Done()
+			resolveTrial(l)
+		}(lossModel{prob: 0.2, rng: erasures.Split()})
+	}
+	wg.Wait()
+}

@@ -22,6 +22,7 @@ type Coverage struct {
 	first     map[topology.Link]float64
 	target    map[topology.Link]bool
 	remaining int
+	nonTarget int // observations outside the target set (counted, never stored)
 }
 
 // NewCoverage returns a Coverage whose completion target is the given links
@@ -40,18 +41,28 @@ func NewCoverage(links []topology.Link) *Coverage {
 
 // Observe records that link l was covered at the given time. It returns true
 // if this is the first coverage of a target link. Observations of non-target
-// links are recorded but do not affect completion.
+// links are counted (see NonTargetObservations) but never stored: storing
+// them would let a mis-wired caller grow the map without bound, and the
+// engines cannot produce any — a delivery implies a discoverable link, and
+// the target is exactly the discoverable-link set.
 func (c *Coverage) Observe(l topology.Link, at float64) bool {
 	if _, seen := c.first[l]; seen {
 		return false
 	}
-	c.first[l] = at
-	if c.target[l] {
-		c.remaining--
-		return true
+	if !c.target[l] {
+		c.nonTarget++
+		return false
 	}
-	return false
+	c.first[l] = at
+	c.remaining--
+	return true
 }
+
+// NonTargetObservations returns how many observations fell outside the
+// target link set. A non-zero count flags mis-wired instrumentation: the
+// engines only observe links on which they delivered, which are always
+// discoverable.
+func (c *Coverage) NonTargetObservations() int { return c.nonTarget }
 
 // Complete reports whether every target link has been covered.
 func (c *Coverage) Complete() bool { return c.remaining == 0 }
@@ -71,7 +82,8 @@ func (c *Coverage) Progress() float64 {
 	return float64(len(c.target)-c.remaining) / float64(len(c.target))
 }
 
-// FirstCovered returns when link l was first covered.
+// FirstCovered returns when link l was first covered. Only target links are
+// ever recorded.
 func (c *Coverage) FirstCovered(l topology.Link) (float64, bool) {
 	at, ok := c.first[l]
 	return at, ok

@@ -13,9 +13,10 @@ import (
 // slots the transceiver was on. Attach it to a run with
 // sim.EnergyObserver.
 type EnergyMeter struct {
-	tx    []int
-	rx    []int
-	quiet []int
+	tx         []int
+	rx         []int
+	quiet      []int
+	mismatched int // actions dropped because the meter was sized too small
 }
 
 // NewEnergyMeter returns a meter for n nodes.
@@ -31,13 +32,18 @@ func NewEnergyMeter(n int) (*EnergyMeter, error) {
 }
 
 // ObserveSlot records one slot's actions; sim.EnergyObserver feeds it from
-// the engine's slot events.
+// the engine's slot events. A meter sized for fewer nodes than the run
+// cannot attribute the excess actions; instead of silently dropping them
+// (which made per-node tallies quietly wrong with no signal), it tallies
+// the drop count, which Mismatched exposes for audits.
 func (m *EnergyMeter) ObserveSlot(_ int, actions []radio.Action) {
-	for u, a := range actions {
-		if u >= len(m.tx) {
-			return // defensive: meter sized for fewer nodes than the run
-		}
-		switch a.Mode {
+	n := len(actions)
+	if n > len(m.tx) {
+		m.mismatched += n - len(m.tx)
+		n = len(m.tx)
+	}
+	for u := 0; u < n; u++ {
+		switch actions[u].Mode {
 		case radio.Transmit:
 			m.tx[u]++
 		case radio.Receive:
@@ -47,6 +53,11 @@ func (m *EnergyMeter) ObserveSlot(_ int, actions []radio.Action) {
 		}
 	}
 }
+
+// Mismatched returns the number of per-node actions ObserveSlot dropped
+// because the meter was built for fewer nodes than the run has. Zero in any
+// correctly wired run; non-zero pinpoints a meter/run size mismatch.
+func (m *EnergyMeter) Mismatched() int { return m.mismatched }
 
 // Tx returns node u's transmit-slot count.
 func (m *EnergyMeter) Tx(u int) int { return m.tx[u] }

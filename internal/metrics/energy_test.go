@@ -64,11 +64,27 @@ func TestEnergyMeterOversizedSlotIgnored(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Observation with more actions than nodes must not panic.
+	// Observation with more actions than nodes must not panic, must still
+	// account the nodes the meter does cover, and must surface the drop
+	// instead of losing it silently.
 	m.ObserveSlot(0, []radio.Action{
 		{Mode: radio.Transmit}, {Mode: radio.Receive},
 	})
 	if m.Tx(0) != 1 {
 		t.Fatalf("Tx(0) = %d", m.Tx(0))
+	}
+	if got := m.Mismatched(); got != 1 {
+		t.Fatalf("Mismatched = %d, want 1", got)
+	}
+	// The counter accumulates across slots; matched slots leave it alone.
+	m.ObserveSlot(1, []radio.Action{
+		{Mode: radio.Quiet}, {Mode: radio.Receive}, {Mode: radio.Transmit},
+	})
+	m.ObserveSlot(2, []radio.Action{{Mode: radio.Receive}})
+	if got := m.Mismatched(); got != 3 {
+		t.Fatalf("Mismatched = %d, want 3", got)
+	}
+	if m.Quiet(0) != 1 || m.Rx(0) != 1 {
+		t.Fatalf("quiet=%d rx=%d, want 1/1", m.Quiet(0), m.Rx(0))
 	}
 }

@@ -60,9 +60,21 @@ func TestCoverageNonTargetObservation(t *testing.T) {
 	if c.Complete() {
 		t.Fatal("non-target observation completed coverage")
 	}
-	// But it is remembered.
-	if _, ok := c.FirstCovered(topology.Link{From: 5, To: 6}); !ok {
-		t.Fatal("non-target observation not recorded")
+	// Counted, never stored: a mis-wired caller repeating junk links must
+	// not grow the coverage state.
+	if _, ok := c.FirstCovered(topology.Link{From: 5, To: 6}); ok {
+		t.Fatal("non-target observation was stored")
+	}
+	c.Observe(topology.Link{From: 5, To: 6}, 2)
+	if got := c.NonTargetObservations(); got != 2 {
+		t.Fatalf("NonTargetObservations = %d, want 2", got)
+	}
+	// Target coverage is unaffected by the junk.
+	if !c.Observe(topology.Link{From: 0, To: 1}, 3) {
+		t.Fatal("target observation not reported as first coverage")
+	}
+	if !c.Complete() {
+		t.Fatal("coverage incomplete after covering the whole target")
 	}
 }
 

@@ -88,12 +88,18 @@ func (a Action) String() string {
 // identity and its available channel set A(v). The engine constructs it at
 // delivery time; the receiving protocol stores ⟨v, A(v) ∩ A(u)⟩.
 type Message struct {
-	From  topology.NodeID
+	From topology.NodeID
+	// Avail is A(v), the sender's available channel set. It is a read-only
+	// view shared by every message from the same sender within a run;
+	// receivers must not modify it (Clone first to mutate). Deriving new
+	// sets from it (Intersect, Union, …) is safe.
 	Avail channel.Set
 	// Heard optionally piggybacks the sender's currently discovered
 	// in-neighbors — the acknowledgment extension for asymmetric graphs: a
 	// receiver finding its own ID here learns that its transmissions reach
 	// the sender. Nil when the sending protocol does not report a heard
-	// list (the paper's plain algorithms). The slice must not be modified.
+	// list (the paper's plain algorithms). Engines snapshot the sender's
+	// list at delivery time, so the slice is owned by this message and
+	// stays valid even as the sender keeps discovering.
 	Heard []topology.NodeID
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"m2hew/internal/channel"
 	"m2hew/internal/clock"
 	"m2hew/internal/metrics"
 	"m2hew/internal/radio"
@@ -73,6 +74,13 @@ type AsyncResult struct {
 	Coverage *metrics.Coverage
 	// Timelines holds each node's clock timeline, for bound auditing.
 	Timelines []*clock.Timeline
+	// FrameBudget is the per-node frame count the run executed
+	// (AsyncConfig.MaxFrames). FullFrames and MinFullFrames never count
+	// frames past it: a timeline extends lazily to any index, but frames
+	// beyond the budget were never simulated — no protocol decision
+	// exists for them. Zero means unknown (results not produced by an
+	// engine) and disables the clamp.
+	FrameBudget int
 }
 
 // asyncFrame is one generated frame of one node.
@@ -154,6 +162,7 @@ func RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
 	// Phase 2: resolve receptions.
 	env := &asyncEnv{
 		nw:            nw,
+		cands:         nw.InboundCandidates(),
 		frames:        frames,
 		starts:        starts,
 		timelines:     timelines,
@@ -179,10 +188,11 @@ func RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
 	})
 
 	coverage := metrics.NewCoverage(nw.DiscoverableLinks())
+	msgAvail := sharedMsgAvail(nw)
 	for _, d := range deliveries {
-		msg := radio.Message{From: d.from, Avail: nw.Avail(d.from).Clone()}
+		msg := radio.Message{From: d.from, Avail: msgAvail[d.from]}
 		if hr, ok := cfg.Nodes[d.from].Protocol.(HeardReporter); ok {
-			msg.Heard = hr.Heard()
+			msg.Heard = copyHeard(hr.Heard())
 		}
 		cfg.Nodes[d.to].Protocol.Deliver(msg)
 		coverage.Observe(topology.Link{From: d.from, To: d.to}, d.at)
@@ -194,7 +204,7 @@ func RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
 		}
 	}
 
-	result := &AsyncResult{Ts: ts, Coverage: coverage, Timelines: timelines}
+	result := &AsyncResult{Ts: ts, Coverage: coverage, Timelines: timelines, FrameBudget: cfg.MaxFrames}
 	if coverage.Complete() {
 		result.Complete = true
 		result.CompletionTime, _ = coverage.CompletionTime()
@@ -202,20 +212,33 @@ func RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
 	return result, nil
 }
 
+// sharedMsgAvail clones each node's available set once per run; every
+// message from the same sender shares the copy (see radio.Message for the
+// read-only contract). One clone per node replaces one clone per delivery.
+func sharedMsgAvail(nw *topology.Network) []channel.Set {
+	out := make([]channel.Set, nw.N())
+	for u := range out {
+		out[u] = nw.Avail(topology.NodeID(u)).Clone()
+	}
+	return out
+}
+
 // FullFrames returns the number of full frames of node u that lie entirely
 // within the real-time interval [from, to] — the quantity Theorem 9 counts
-// ("each node has executed at least M full frames since T_s").
+// ("each node has executed at least M full frames since T_s"). Counting
+// stops at the run's frame budget: an interval reaching past the horizon
+// counts only frames the engine actually executed, instead of walking the
+// lazily-extending timeline into frames no protocol ever decided.
 func (r *AsyncResult) FullFrames(u topology.NodeID, from, to float64) int {
 	tl := r.Timelines[u]
 	f := tl.FirstFullFrameAfter(from)
 	count := 0
-	for {
+	for ; r.FrameBudget == 0 || f < r.FrameBudget; f++ {
 		_, end := tl.FrameInterval(f)
 		if end > to {
 			break
 		}
 		count++
-		f++
 	}
 	return count
 }

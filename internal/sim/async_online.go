@@ -44,6 +44,7 @@ func RunAsyncOnline(cfg AsyncConfig) (*AsyncResult, error) {
 	timelines := make([]*clock.Timeline, n)
 	env := &asyncEnv{
 		nw:            nw,
+		cands:         nw.InboundCandidates(),
 		frames:        make([][]asyncFrame, n),
 		starts:        make([][]float64, n),
 		timelines:     timelines,
@@ -100,7 +101,8 @@ func RunAsyncOnline(cfg AsyncConfig) (*AsyncResult, error) {
 	}
 
 	coverage := metrics.NewCoverage(nw.DiscoverableLinks())
-	result := &AsyncResult{Ts: ts, Coverage: coverage, Timelines: timelines}
+	msgAvail := sharedMsgAvail(nw)
+	result := &AsyncResult{Ts: ts, Coverage: coverage, Timelines: timelines, FrameBudget: cfg.MaxFrames}
 
 	for {
 		// Pop the earliest unresolved frame end.
@@ -127,9 +129,9 @@ func RunAsyncOnline(cfg AsyncConfig) (*AsyncResult, error) {
 		// and frames never skip time, so coverage of [g.start, g.end) is
 		// complete.
 		for _, d := range env.resolveFrame(uid, g) {
-			msg := radio.Message{From: d.from, Avail: nw.Avail(d.from).Clone()}
+			msg := radio.Message{From: d.from, Avail: msgAvail[d.from]}
 			if hr, ok := cfg.Nodes[d.from].Protocol.(HeardReporter); ok {
-				msg.Heard = hr.Heard()
+				msg.Heard = copyHeard(hr.Heard())
 			}
 			cfg.Nodes[d.to].Protocol.Deliver(msg)
 			coverage.Observe(topology.Link{From: d.from, To: d.to}, d.at)

@@ -1,7 +1,8 @@
 package sim
 
 import (
-	"sort"
+	"math"
+	"slices"
 
 	"m2hew/internal/channel"
 	"m2hew/internal/clock"
@@ -16,17 +17,43 @@ type delivery struct {
 	ch       channel.ID
 }
 
-// asyncEnv bundles the state the frame-reception resolver reads. Both the
+// txSlot is one transmission slot overlapping the listening frame under
+// resolution.
+type txSlot struct {
+	start, end float64
+	from       topology.NodeID
+}
+
+// idxSlot is a txSlot carrying its collection-order index through the
+// sort-by-start sweep, so sweep verdicts can be written back to
+// collection-order flags.
+type idxSlot struct {
+	txSlot
+	idx int32
+}
+
+// asyncEnv bundles the state the frame-reception resolver reads, plus the
+// scratch buffers it reuses across frames (an env belongs to one run on one
+// goroutine; resolveFrame is called once per listening frame, so per-frame
+// allocations would dominate the engine's allocation profile). Both the
 // pre-generating engine (RunAsync) and the online engine (RunAsyncOnline)
 // resolve receptions through it, so the two implementations share the exact
 // reception semantics and can be differentially tested against each other.
 type asyncEnv struct {
 	nw            *topology.Network
+	cands         [][]topology.Candidate // per listener: decodable transmitters
 	frames        [][]asyncFrame
 	starts        [][]float64 // frame start times per node, for binary search
 	timelines     []*clock.Timeline
 	slotsPerFrame int
 	loss          *LossModel
+
+	// Scratch buffers, reused across resolveFrame calls:
+	txBuf    []txSlot   // collected candidate slots, in collection order
+	sweepBuf []idxSlot  // the same slots, sorted by start for the sweep
+	flagBuf  []bool     // per collected slot: overlapped by no other sender?
+	outBuf   []delivery // resolved deliveries (returned; valid until next call)
+	seenBuf  []bool     // per node: already delivered this frame (reset per frame)
 }
 
 // resolveFrame computes the clear receptions of node u during its listening
@@ -41,30 +68,83 @@ type asyncEnv struct {
 //   - at most one delivery per sender per frame is reported, at the end
 //     time of the earliest clear slot.
 //
+// The overlap test runs as a sort-by-start interval sweep (see clearFlags)
+// instead of the quadratic all-pairs scan resolveFrameNaive keeps as the
+// reference implementation; differential tests pin the two to identical
+// output, including loss-model draw order (all draws happen during
+// collection, which both share).
+//
 // Frames of neighbors must cover the real-time extent of g; the caller
 // guarantees this (RunAsync generates everything up front, RunAsyncOnline
-// maintains it as a scheduling invariant).
+// maintains it as a scheduling invariant). The returned slice is owned by
+// the env and is invalidated by the next resolveFrame call.
 func (env *asyncEnv) resolveFrame(uid topology.NodeID, g asyncFrame) []delivery {
 	if g.action.Mode != radio.Receive {
 		return nil
 	}
-	c := g.action.Channel
-	type txSlot struct {
-		start, end float64
-		from       topology.NodeID
+	slots := env.collectSlots(uid, g)
+	if len(slots) == 0 {
+		return nil
 	}
-	var slots []txSlot
-	for _, w := range env.nw.Neighbors(uid) {
-		if !env.nw.Reaches(w, uid) {
+	flags := env.clearFlags(slots)
+
+	if env.seenBuf == nil {
+		env.seenBuf = make([]bool, env.nw.N())
+	}
+	for _, s := range slots {
+		env.seenBuf[s.from] = false
+	}
+	out := env.outBuf[:0]
+	for i, cand := range slots {
+		if env.seenBuf[cand.from] {
 			continue
 		}
-		if !env.nw.Span(uid, w).Contains(c) {
+		if cand.start < g.start || cand.end > g.end {
+			continue // partially heard: cannot be decoded
+		}
+		if flags[i] {
+			env.seenBuf[cand.from] = true
+			out = append(out, delivery{at: cand.end, from: cand.from, to: uid, ch: g.action.Channel})
+		}
+	}
+	env.outBuf = out
+	return out
+}
+
+// collectSlots gathers, into the env's reused buffer, every transmission
+// slot on g's channel from a neighbor that reaches uid and overlaps g.
+// Collection order — ascending neighbor, then frame, then slot — is part of
+// the reproducibility contract: the loss model consumes exactly one erasure
+// draw per overlapping slot, in this order.
+func (env *asyncEnv) collectSlots(uid topology.NodeID, g asyncFrame) []txSlot {
+	c := g.action.Channel
+	slots := env.txBuf[:0]
+	// The candidate table walks the same ascending-neighbor order as
+	// Neighbors(uid) with the Reaches and non-empty-span filters resolved up
+	// front; both filters precede every loss draw, so the draw sequence is
+	// unchanged (a neighbor with an empty span fails the Contains check
+	// below before drawing anything).
+	for _, cand := range env.cands[uid] {
+		if !cand.Span.Contains(c) {
 			continue
 		}
+		w := cand.From
 		wf := env.frames[w]
 		// First frame of w possibly overlapping g: the one before the
-		// first frame starting at or after g.start.
-		idx := sort.SearchFloat64s(env.starts[w][:len(wf)], g.start)
+		// first frame starting at or after g.start. Hand-rolled lower
+		// bound — equivalent to sort.SearchFloat64s, minus the per-probe
+		// closure call that dominated the resolver's profile.
+		ws := env.starts[w][:len(wf)]
+		lo, hi := 0, len(ws)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if ws[mid] < g.start {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		idx := lo
 		if idx > 0 {
 			idx--
 		}
@@ -92,6 +172,134 @@ func (env *asyncEnv) resolveFrame(uid topology.NodeID, g asyncFrame) []delivery 
 			}
 		}
 	}
+	env.txBuf = slots
+	return slots
+}
+
+// cmpIdxSlotStart orders sweep slots by start time. Ties may sort either
+// way: clearFlags' strict-inequality queries flag both members of an
+// overlapping pair regardless of their relative order.
+func cmpIdxSlotStart(a, b idxSlot) int {
+	switch {
+	case a.start < b.start:
+		return -1
+	case a.start > b.start:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// clearFlags reports, for each collected slot, whether no slot of a
+// different sender overlaps it ("overlaps" with strict inequalities:
+// touching endpoints do not interfere). One sort plus two linear sweeps
+// replace the naive all-pairs scan:
+//
+//   - sorted by start, a pair (i before j) overlaps iff i.end > j.start
+//     (i.start ≤ j.start < j.end gives the other half for free, slot
+//     intervals being never empty);
+//   - the forward sweep flags j iff some earlier-sorted slot of a
+//     different sender ends after j.start — a running max-end query;
+//   - the backward sweep symmetrically flags i iff some later-sorted slot
+//     of a different sender starts before i.end — a running min-start
+//     query.
+//
+// Both queries exclude the probing slot's own sender with the two-leader
+// trick: maxEnd1 is the best end seen with its sender lead1, maxEnd2 the
+// best end among every other sender. The best end excluding sender f is
+// then maxEnd1 when lead1 ≠ f, else maxEnd2. Whenever the lead changes,
+// the old maxEnd1 — which dominates every earlier end and belongs to a
+// different sender than the new lead — becomes maxEnd2, preserving the
+// invariant. Results are written into the env's reused flag buffer,
+// indexed by collection order.
+func (env *asyncEnv) clearFlags(slots []txSlot) []bool {
+	k := len(slots)
+	if cap(env.flagBuf) < k {
+		env.flagBuf = make([]bool, k)
+	}
+	flags := env.flagBuf[:k]
+	for i := range flags {
+		flags[i] = true
+	}
+	if k < 2 {
+		return flags
+	}
+
+	sorted := env.sweepBuf[:0]
+	for i, s := range slots {
+		sorted = append(sorted, idxSlot{txSlot: s, idx: int32(i)})
+	}
+	env.sweepBuf = sorted
+	slices.SortFunc(sorted, cmpIdxSlotStart)
+
+	// Forward sweep: overlaps with earlier-sorted slots. The -Inf
+	// sentinels make the first queries vacuously false.
+	const none = topology.NodeID(-1)
+	lead1 := none
+	maxEnd1 := math.Inf(-1)
+	maxEnd2 := math.Inf(-1)
+	for _, s := range sorted {
+		other := maxEnd1
+		if s.from == lead1 {
+			other = maxEnd2
+		}
+		if other > s.start {
+			flags[s.idx] = false
+		}
+		switch {
+		case s.from == lead1:
+			if s.end > maxEnd1 {
+				maxEnd1 = s.end
+			}
+		case s.end > maxEnd1:
+			maxEnd2 = maxEnd1
+			lead1 = s.from
+			maxEnd1 = s.end
+		case s.end > maxEnd2:
+			maxEnd2 = s.end
+		}
+	}
+
+	// Backward sweep: overlaps with later-sorted slots.
+	lead1 = none
+	minStart1 := math.Inf(1)
+	minStart2 := math.Inf(1)
+	for i := len(sorted) - 1; i >= 0; i-- {
+		s := sorted[i]
+		other := minStart1
+		if s.from == lead1 {
+			other = minStart2
+		}
+		if other < s.end {
+			flags[s.idx] = false
+		}
+		switch {
+		case s.from == lead1:
+			if s.start < minStart1 {
+				minStart1 = s.start
+			}
+		case s.start < minStart1:
+			minStart2 = minStart1
+			lead1 = s.from
+			minStart1 = s.start
+		case s.start < minStart2:
+			minStart2 = s.start
+		}
+	}
+	return flags
+}
+
+// resolveFrameNaive is the reference resolver: the pre-optimization
+// quadratic clear-check kept verbatim, allocating fresh state per frame, so
+// differential tests can pin the sweep-based resolveFrame to it. The
+// loss-model draw order lives entirely in the shared collection phase, so
+// the two consume identical draw sequences. Production engines never call
+// this.
+func (env *asyncEnv) resolveFrameNaive(uid topology.NodeID, g asyncFrame) []delivery {
+	if g.action.Mode != radio.Receive {
+		return nil
+	}
+	slots := env.collectSlots(uid, g)
 	var out []delivery
 	delivered := make(map[topology.NodeID]bool)
 	for i, cand := range slots {
@@ -113,7 +321,7 @@ func (env *asyncEnv) resolveFrame(uid topology.NodeID, g asyncFrame) []delivery 
 		}
 		if clear {
 			delivered[cand.from] = true
-			out = append(out, delivery{at: cand.end, from: cand.from, to: uid, ch: c})
+			out = append(out, delivery{at: cand.end, from: cand.from, to: uid, ch: g.action.Channel})
 		}
 	}
 	return out

@@ -142,6 +142,21 @@ func EnergyObserver(m *metrics.EnergyMeter) Observer {
 	})
 }
 
+// copyHeard snapshots a protocol's reported heard-list at the engine
+// boundary. Message construction is the ownership seam: a reporting
+// protocol keeps mutating its list as it discovers more neighbors, so
+// handing the live slice to a receiver would retroactively rewrite
+// messages delivered earlier. Nil stays nil (the paper's plain algorithms
+// report no list).
+func copyHeard(heard []topology.NodeID) []topology.NodeID {
+	if len(heard) == 0 {
+		return nil
+	}
+	out := make([]topology.NodeID, len(heard))
+	copy(out, heard)
+	return out
+}
+
 // DeliverObserver adapts a delivery callback: f is invoked for every
 // EventDeliver with the event's time (slot index for synchronous runs,
 // real time for asynchronous runs) and link coordinates.

@@ -147,7 +147,11 @@ func TestSyncNilObserverNoAllocs(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	if allocs > 40 {
+	// The budget covers fixed per-run setup only (coverage map, candidate
+	// tables, shared per-sender message sets, channel index); it sits far
+	// below the 256-slot horizon, so even a single hidden per-slot or
+	// per-event allocation blows it.
+	if allocs > 100 {
 		t.Errorf("RunSync with nil observer allocated %.0f objects per run", allocs)
 	}
 }

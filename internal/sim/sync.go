@@ -24,6 +24,7 @@ package sim
 import (
 	"fmt"
 
+	"m2hew/internal/channel"
 	"m2hew/internal/metrics"
 	"m2hew/internal/radio"
 	"m2hew/internal/topology"
@@ -125,13 +126,29 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 	coverage := metrics.NewCoverage(nw.DiscoverableLinks())
 
 	actions := make([]radio.Action, n)
-	// txOn maps channel -> transmitting nodes this slot; reused across
-	// slots. Listener resolution walks the listener's neighbors rather than
-	// this map, but the map prunes slots with no transmitter on a channel.
+	// Reception-resolution state, built once per run and reused across
+	// slots:
+	//
+	//   - cands[u] lists the only transmitters listener u can ever decode
+	//     (adjacency, direction and link span resolved up front by the
+	//     topology layer), so Phase 2 walks a flat slice instead of
+	//     re-querying Neighbors/Reaches/Span per slot;
+	//   - txOn[c] counts the transmitters tuned to channel c this slot
+	//     (txTouched records which entries to reset), pruning listeners on
+	//     silent channels without scanning their candidate lists;
+	//   - msgAvail[v] is the one immutable copy of A(v) shared by every
+	//     message from v; see radio.Message for the ownership contract.
+	cands := nw.InboundCandidates()
+	var txOn []int
+	if maxID, ok := nw.Universe().Max(); ok {
+		txOn = make([]int, int(maxID)+1)
+	}
+	txTouched := make([]channel.ID, 0, 16)
+	msgAvail := sharedMsgAvail(nw)
 	result := &SyncResult{Coverage: coverage}
 
 	for slot := 0; slot < cfg.MaxSlots; slot++ {
-		// Phase 1: collect actions.
+		// Phase 1: collect actions and index transmitters by channel.
 		for u := 0; u < n; u++ {
 			start := 0
 			if cfg.StartSlots != nil {
@@ -146,6 +163,12 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 				return nil, fmt.Errorf("sim: node %d slot %d: %w", u, slot, err)
 			}
 			actions[u] = a
+			if a.Mode == radio.Transmit {
+				if txOn[a.Channel] == 0 {
+					txTouched = append(txTouched, a.Channel)
+				}
+				txOn[a.Channel]++
+			}
 		}
 		if cfg.Observer != nil {
 			cfg.Observer.OnEvent(Event{
@@ -154,24 +177,29 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 			})
 		}
 
-		// Phase 2: resolve receptions per listener.
+		// Phase 2: resolve receptions per listener. The loss-model draw
+		// order is part of the reproducibility contract: exactly one draw
+		// per candidate that transmits on the listener's channel over an
+		// operating link, consumed in ascending candidate order, stopping
+		// at the second surviving transmission (resolveSlotNaive in the
+		// differential tests re-states this order from first principles).
 		for u := 0; u < n; u++ {
 			if actions[u].Mode != radio.Receive {
 				continue
 			}
 			c := actions[u].Channel
+			if txOn[c] == 0 {
+				continue // nobody transmits on c: certain silence, no draws
+			}
 			var sender topology.NodeID
 			senders := 0
-			for _, v := range nw.Neighbors(topology.NodeID(u)) {
-				if actions[v].Mode != radio.Transmit || actions[v].Channel != c {
+			for _, cand := range cands[u] {
+				if actions[cand.From].Mode != radio.Transmit || actions[cand.From].Channel != c {
 					continue
 				}
-				// The transmission arrives only if the v→u direction exists
-				// (asymmetric graphs) and the link operates on c.
-				if !nw.Reaches(v, topology.NodeID(u)) {
-					continue
-				}
-				if !nw.Span(topology.NodeID(u), v).Contains(c) {
+				// The link must operate on c (span precomputed per candidate;
+				// adjacency and direction already hold for every candidate).
+				if !cand.Span.Contains(c) {
 					continue
 				}
 				// Unreliable channels: the transmission may fade at u.
@@ -179,7 +207,7 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 					continue
 				}
 				senders++
-				sender = v
+				sender = cand.From
 				if senders > 1 {
 					break // collision; no need to scan further
 				}
@@ -187,9 +215,9 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 			if senders != 1 {
 				continue // silence or collision: the node hears nothing useful
 			}
-			msg := radio.Message{From: sender, Avail: nw.Avail(sender).Clone()}
+			msg := radio.Message{From: sender, Avail: msgAvail[sender]}
 			if hr, ok := cfg.Protocols[sender].(HeardReporter); ok {
-				msg.Heard = hr.Heard()
+				msg.Heard = copyHeard(hr.Heard())
 			}
 			cfg.Protocols[u].Deliver(msg)
 			coverage.Observe(topology.Link{From: sender, To: topology.NodeID(u)}, float64(slot))
@@ -200,6 +228,12 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 				})
 			}
 		}
+
+		// Reset the per-slot channel index for the next slot.
+		for _, c := range txTouched {
+			txOn[c] = 0
+		}
+		txTouched = txTouched[:0]
 
 		result.SlotsSimulated = slot + 1
 		if coverage.Complete() && !cfg.RunToMaxSlots {

@@ -244,6 +244,49 @@ func (nw *Network) DiscoverableLinks() []Link {
 	return links
 }
 
+// Candidate is one potential transmitter toward a fixed receiver: a
+// neighbor From whose transmissions can arrive, paired with the link's
+// channel span resolved once at construction time. Engines iterate
+// candidate lists in their reception hot loops instead of re-querying
+// Neighbors/Reaches/Span (two binary searches plus a set allocation) per
+// slot.
+type Candidate struct {
+	// From is the potential transmitter.
+	From NodeID
+	// Span is span(receiver, From): the channels on which From's
+	// transmissions can be decoded by the receiver. Shared storage — do
+	// not modify.
+	Span channel.Set
+}
+
+// InboundCandidates returns, for every receiver u, the neighbors v with
+// Reaches(v, u) and a non-empty span, each with span(u,v) precomputed —
+// the only nodes whose transmissions can ever be decoded at u. Lists are
+// in ascending From order (the same order Neighbors reports), so a
+// resolver walking a candidate list visits transmitters exactly as one
+// walking Neighbors with per-slot Reaches/Span queries would. The table
+// snapshots the network: calls to RestrictSpan, DropDirection or SetAvail
+// after construction are not reflected.
+func (nw *Network) InboundCandidates() [][]Candidate {
+	table := make([][]Candidate, len(nw.nodes))
+	for u := range nw.nodes {
+		uid := NodeID(u)
+		var cands []Candidate
+		for _, v := range nw.adj[u] {
+			if !nw.Reaches(v, uid) {
+				continue
+			}
+			span := nw.Span(uid, v)
+			if span.IsEmpty() {
+				continue
+			}
+			cands = append(cands, Candidate{From: v, Span: span})
+		}
+		table[u] = cands
+	}
+	return table
+}
+
 // DegreeOn returns Δ(u,c): the number of neighbors whose transmissions can
 // arrive at u on channel c, i.e. nodes v with Reaches(v,u) and c ∈
 // span(u,v). This in-degree is the contention-relevant quantity: it counts
