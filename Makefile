@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench vet fmt fmt-check lint ci experiments examples clean
+.PHONY: all build test test-race bench profile vet fmt fmt-check lint ci experiments examples clean
 
 all: build vet lint test
 
@@ -34,8 +34,8 @@ test-race:
 # fast-package benchmark once so harness breakage surfaces before merge.
 ci: build vet fmt-check lint
 	$(GO) test -shuffle=on ./...
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./internal/sim/... ./internal/harness/...
-	$(GO) test -race ./internal/harness/... ./internal/experiment/... ./internal/trace/... ./internal/sim/...
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./internal/sim/... ./internal/harness/... ./internal/telemetry/...
+	$(GO) test -race ./internal/harness/... ./internal/experiment/... ./internal/trace/... ./internal/sim/... ./internal/telemetry/...
 
 # One full pass of every reproduction benchmark (one iteration each), then
 # the engine throughput snapshot: cmd/ndperf rewrites BENCH_3.json with
@@ -43,6 +43,11 @@ ci: build vet fmt-check lint
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./...
 	$(GO) run ./cmd/ndperf -out BENCH_3.json
+
+# CPU/heap profiles of the engine hot path, via cmd/ndperf's pprof flags.
+# Inspect with `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.
+profile:
+	$(GO) run ./cmd/ndperf -cpuprofile cpu.pprof -memprofile mem.pprof -out /dev/null
 
 # Regenerate the EXPERIMENTS.md tables (markdown on stdout).
 experiments:

@@ -7,6 +7,8 @@
 //	ndbench -exp E4 -trials 50         # one experiment, more trials
 //	ndbench -all -markdown             # emit EXPERIMENTS.md-style markdown
 //	ndbench -all -json                 # one JSON object per experiment (NDJSON)
+//	ndbench -all -metrics metrics.ndjson  # dump aggregated run telemetry
+//	ndbench -all -cpuprofile cpu.out   # profile the suite
 //	ndbench -list                      # list experiments
 package main
 
@@ -20,6 +22,7 @@ import (
 
 	"m2hew/internal/experiment"
 	"m2hew/internal/harness"
+	"m2hew/internal/telemetry"
 )
 
 func main() {
@@ -29,7 +32,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("ndbench", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -42,10 +45,22 @@ func run(args []string, out io.Writer) error {
 		quick    = fs.Bool("quick", false, "shrink workloads for a fast pass")
 		markdown = fs.Bool("markdown", false, "emit markdown tables")
 		asJSON   = fs.Bool("json", false, "emit one JSON object per experiment (NDJSON)")
+		metrics  = fs.String("metrics", "", "aggregate run telemetry across all trials and write it as NDJSON to this file (\"-\" = stdout, after the tables)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := telemetry.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
 
 	if *list {
 		for _, e := range experiment.All() {
@@ -80,6 +95,18 @@ func run(args []string, out io.Writer) error {
 		Seed:   *seed,
 		Eps:    *eps,
 		Quick:  *quick,
+	}
+	var (
+		reg *telemetry.Registry
+		agg *telemetry.Aggregate
+	)
+	if *metrics != "" {
+		// The aggregate rides the harness instrument seam, so every trial of
+		// every experiment feeds it without the experiments knowing.
+		reg = telemetry.NewRegistry()
+		agg = telemetry.NewAggregate(reg)
+		harness.SetInstrument(agg)
+		defer harness.SetInstrument(nil)
 	}
 	// Experiments are independent deterministic functions of opts, so they
 	// run on the harness pool; output is emitted afterwards in input order.
@@ -116,5 +143,27 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 	}
+	if agg != nil {
+		agg.UpdateDerived()
+		if err := writeMetrics(*metrics, out, reg); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeMetrics dumps the registry as NDJSON to path, or to out for "-".
+func writeMetrics(path string, out io.Writer, reg *telemetry.Registry) error {
+	if path == "-" {
+		return telemetry.WriteNDJSON(out, reg)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteNDJSON(f, reg); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -126,6 +126,83 @@ func TestMultipleExperiments(t *testing.T) {
 	}
 }
 
+// metricLine is one telemetry.MetricSnapshot NDJSON record.
+type metricLine struct {
+	Name   string `json:"name"`
+	Kind   string `json:"kind"`
+	Labels []struct {
+		Key   string `json:"key"`
+		Value string `json:"value"`
+	} `json:"labels,omitempty"`
+	Value     float64 `json:"value"`
+	Histogram *struct {
+		Count uint64  `json:"count"`
+		Sum   float64 `json:"sum"`
+	} `json:"histogram,omitempty"`
+}
+
+// TestMetricsOutput runs one experiment twice with a matched seed — bare
+// and with -metrics — and checks (a) the tables stay byte-identical with
+// telemetry attached, and (b) the NDJSON dump carries the headline series:
+// collisions, idle listens, per-channel utilization shares, and discovery
+// latency.
+func TestMetricsOutput(t *testing.T) {
+	base := []string{"-exp", "E1", "-quick", "-trials", "2", "-seed", "11", "-markdown"}
+	var bare strings.Builder
+	if err := run(base, &bare); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "metrics.ndjson")
+	var instrumented strings.Builder
+	if err := run(append(base, "-metrics", path), &instrumented); err != nil {
+		t.Fatal(err)
+	}
+	if bare.String() != instrumented.String() {
+		t.Error("markdown tables changed when -metrics was attached; telemetry must not perturb runs")
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string][]metricLine{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var m metricLine
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("invalid metrics line %q: %v", line, err)
+		}
+		byName[m.Name] = append(byName[m.Name], m)
+	}
+	for _, name := range []string{
+		"nd_trials_total", "nd_slots_total", "nd_transmissions_total",
+		"nd_collisions_total", "nd_idle_listens_total", "nd_deliveries_total",
+		"nd_trial_wall_seconds", "nd_trial_queue_seconds",
+	} {
+		ms, ok := byName[name]
+		if !ok {
+			t.Errorf("metrics dump missing %s", name)
+			continue
+		}
+		if m := ms[0]; m.Histogram == nil && m.Value == 0 {
+			t.Errorf("%s = 0; the E1 workload produces activity", name)
+		}
+	}
+	if lat, ok := byName["nd_discovery_latency"]; !ok || lat[0].Histogram == nil || lat[0].Histogram.Count == 0 {
+		t.Errorf("nd_discovery_latency missing or empty: %+v", lat)
+	}
+	shares := byName["nd_channel_tx_share"]
+	if len(shares) == 0 {
+		t.Fatal("metrics dump missing nd_channel_tx_share gauges")
+	}
+	var total float64
+	for _, m := range shares {
+		total += m.Value
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("channel tx shares sum to %v, want 1", total)
+	}
+}
+
 // TestQuickSuiteGolden pins the whole quick-suite markdown output, byte for
 // byte, to a golden file generated before the engines grew their indexed
 // resolvers and reused buffers. The experiment tables are a pure function

@@ -24,10 +24,13 @@ import (
 
 	"m2hew/internal/lint"
 	"m2hew/internal/lint/suite"
+	"m2hew/internal/telemetry"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: ndlint [-list] [packages]\n\nruns the m2hew determinism lint suite over the enclosing module\n\n")
 		flag.PrintDefaults()
@@ -41,7 +44,17 @@ func main() {
 		return
 	}
 
+	stopProfiles, err := telemetry.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ndlint: %v\n", err)
+		os.Exit(2)
+	}
 	diags, err := run()
+	// os.Exit skips defers, so the profiles are finished explicitly before
+	// any exit path.
+	if stopErr := stopProfiles(); stopErr != nil && err == nil {
+		err = stopErr
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ndlint: %v\n", err)
 		os.Exit(2)

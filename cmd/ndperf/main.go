@@ -23,6 +23,7 @@ import (
 	"m2hew/internal/core"
 	"m2hew/internal/rng"
 	"m2hew/internal/sim"
+	"m2hew/internal/telemetry"
 	"m2hew/internal/topology"
 )
 
@@ -49,24 +50,45 @@ type snapshot struct {
 
 func main() {
 	out := flag.String("out", "BENCH_3.json", "output path for the JSON snapshot")
+	metrics := flag.String("metrics", "", "also derive run telemetry during the benchmarks and write it as NDJSON to this file (skews allocs_per_op; not for committed snapshots)")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
-	if err := run(*out); err != nil {
+	if err := run(*out, *metrics, *cpuProf, *memProf); err != nil {
 		fmt.Fprintln(os.Stderr, "ndperf:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string) error {
+func run(out, metricsPath, cpuProf, memProf string) (retErr error) {
+	stopProfiles, err := telemetry.StartProfiles(cpuProf, memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
 	nw, err := benchNetwork()
 	if err != nil {
 		return err
 	}
 	params := nw.ComputeParams()
 
+	var (
+		reg *telemetry.Registry
+		agg *telemetry.Aggregate
+	)
+	if metricsPath != "" {
+		reg = telemetry.NewRegistry()
+		// The fixed 30-node scenario makes per-node latency series meaningful.
+		agg = telemetry.NewAggregate(reg, telemetry.PerNodeLatency(nw.N()))
+	}
 	rows := []benchRow{
-		benchSync(nw, params.Delta),
-		benchAsync("RunAsync", sim.RunAsync, nw, params.Delta),
-		benchAsync("RunAsyncOnline", sim.RunAsyncOnline, nw, params.Delta),
+		benchSync(nw, params.Delta, agg),
+		benchAsync("RunAsync", sim.RunAsync, nw, params.Delta, agg),
+		benchAsync("RunAsyncOnline", sim.RunAsyncOnline, nw, params.Delta, agg),
 	}
 	doc := snapshot{
 		Scenario:   "GeometricConnected(n=30, r=0.35, seed=1) + AssignUniformK(8,4); SyncUniform 2000 slots / Async 800 frames of 3 slots",
@@ -86,7 +108,36 @@ func run(out string) error {
 			r.Name, r.NsPerOp, r.NsPerSlot, r.AllocsPerOp, r.DeliveriesPerSec)
 	}
 	fmt.Println("wrote", out)
+	if agg != nil {
+		agg.UpdateDerived()
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.WriteNDJSON(f, reg); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", metricsPath)
+	}
 	return nil
+}
+
+// teleObserver hands out a fresh per-run telemetry observer, or nil when
+// -metrics is off so sim.MultiObserver collapses to the bare delivery
+// counter and the committed snapshot path is untouched.
+func teleObserver(agg *telemetry.Aggregate, nw *topology.Network) sim.Observer {
+	if agg == nil {
+		return nil
+	}
+	channels := 0
+	if maxC, ok := nw.Universe().Max(); ok {
+		channels = int(maxC) + 1
+	}
+	return agg.TrialObserver(nw.N(), channels)
 }
 
 // benchNetwork rebuilds the benchmark topology of internal/sim/bench_test.go.
@@ -102,7 +153,7 @@ func benchNetwork() (*topology.Network, error) {
 	return nw, nil
 }
 
-func benchSync(nw *topology.Network, deltaEst int) benchRow {
+func benchSync(nw *topology.Network, deltaEst int, agg *telemetry.Aggregate) benchRow {
 	const maxSlots = 2000
 	var deliveries, slots int64
 	res := testing.Benchmark(func(b *testing.B) {
@@ -118,19 +169,23 @@ func benchSync(nw *topology.Network, deltaEst int) benchRow {
 				}
 				protos[u] = p
 			}
+			tele := teleObserver(agg, nw)
 			r, err := sim.RunSync(sim.SyncConfig{
 				Network:       nw,
 				Protocols:     protos,
 				MaxSlots:      maxSlots,
 				RunToMaxSlots: true,
-				Observer: sim.ObserverFunc(func(e sim.Event) {
+				Observer: sim.MultiObserver(sim.ObserverFunc(func(e sim.Event) {
 					if e.Kind == sim.EventDeliver {
 						deliveries++
 					}
-				}),
+				}), tele),
 			})
 			if err != nil {
 				b.Fatal(err)
+			}
+			if agg != nil {
+				agg.TrialDone(tele)
 			}
 			slots += int64(r.SlotsSimulated)
 		}
@@ -138,7 +193,7 @@ func benchSync(nw *topology.Network, deltaEst int) benchRow {
 	return row("RunSync", res, deliveries, float64(slots)/float64(res.N))
 }
 
-func benchAsync(name string, engine func(sim.AsyncConfig) (*sim.AsyncResult, error), nw *topology.Network, deltaEst int) benchRow {
+func benchAsync(name string, engine func(sim.AsyncConfig) (*sim.AsyncResult, error), nw *topology.Network, deltaEst int, agg *telemetry.Aggregate) benchRow {
 	const (
 		frameLen      = 3.0
 		maxFrames     = 800
@@ -162,18 +217,22 @@ func benchAsync(name string, engine func(sim.AsyncConfig) (*sim.AsyncResult, err
 				}
 				nodes[u] = sim.AsyncNode{Protocol: p, Start: root.Float64() * 10, Drift: drift}
 			}
+			tele := teleObserver(agg, nw)
 			if _, err := engine(sim.AsyncConfig{
 				Network:   nw,
 				Nodes:     nodes,
 				FrameLen:  frameLen,
 				MaxFrames: maxFrames,
-				Observer: sim.ObserverFunc(func(e sim.Event) {
+				Observer: sim.MultiObserver(sim.ObserverFunc(func(e sim.Event) {
 					if e.Kind == sim.EventDeliver {
 						deliveries++
 					}
-				}),
+				}), tele),
 			}); err != nil {
 				b.Fatal(err)
+			}
+			if agg != nil {
+				agg.TrialDone(tele)
 			}
 		}
 	})

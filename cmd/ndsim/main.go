@@ -10,6 +10,8 @@
 //	ndsim -alg sync-uniform -loss 0.5 -terminate-idle 400
 //	ndsim -net saved.json -alg async -json
 //	ndsim -asym 0.3 -span-cap 2 -curve progress.csv
+//	ndsim -events run.ndjson                   # full event log for ndtrace
+//	ndsim -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"strings"
 
 	"m2hew"
+	"m2hew/internal/telemetry"
 )
 
 func main() {
@@ -32,7 +35,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("ndsim", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -71,10 +74,22 @@ func run(args []string, out io.Writer) error {
 		asJSON      = fs.Bool("json", false, "emit the full report as JSON instead of text")
 		curveFile   = fs.String("curve", "", "write the discovery progress curve as CSV to this file")
 		verbose     = fs.Bool("v", false, "trace every clear reception")
+		eventsFile  = fs.String("events", "", "write the full engine event stream as NDJSON to this file (inspect with ndtrace)")
+		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, profErr := telemetry.StartProfiles(*cpuProfile, *memProfile)
+	if profErr != nil {
+		return profErr
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
 
 	var (
 		nw  *m2hew.Network
@@ -134,6 +149,18 @@ func run(args []string, out io.Writer) error {
 	}
 	if *verbose {
 		cfg.TraceWriter = out
+	}
+	if *eventsFile != "" {
+		f, err := os.Create(*eventsFile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && retErr == nil {
+				retErr = cerr
+			}
+		}()
+		cfg.EventWriter = f
 	}
 	report, err := m2hew.Run(nw, cfg)
 	if err != nil {

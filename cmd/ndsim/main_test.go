@@ -3,10 +3,12 @@ package main
 import (
 	"encoding/json"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"m2hew"
+	"m2hew/internal/trace"
 )
 
 func TestSyncRunOutput(t *testing.T) {
@@ -52,6 +54,79 @@ func TestVerboseTrace(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "deliver") {
 		t.Errorf("verbose output has no reception trace:\n%s", sb.String())
+	}
+}
+
+// TestEventLog checks -events writes a parsable NDJSON log covering the
+// full event vocabulary of a synchronous run, and that writing it does not
+// change the report text.
+func TestEventLog(t *testing.T) {
+	args := []string{
+		"-topology", "clique", "-nodes", "4", "-universe", "2",
+		"-alg", "sync-uniform", "-seed", "3",
+	}
+	var bare strings.Builder
+	if err := run(args, &bare); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "events.ndjson")
+	var logged strings.Builder
+	if err := run(append(args, "-events", path), &logged); err != nil {
+		t.Fatal(err)
+	}
+	if bare.String() != logged.String() {
+		t.Error("-events changed the report output")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := trace.ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[trace.Kind]int{}
+	for _, e := range events {
+		counts[e.Kind]++
+	}
+	for _, kind := range []trace.Kind{trace.KindTx, trace.KindDeliver, trace.KindIdle} {
+		if counts[kind] == 0 {
+			t.Errorf("event log has no %v events", kind)
+		}
+	}
+	// 4-node clique: 12 directed links, each delivered at least once in a
+	// complete run.
+	if counts[trace.KindDeliver] < 12 {
+		t.Errorf("deliver events = %d, want >= 12", counts[trace.KindDeliver])
+	}
+
+	if err := run([]string{"-events", filepath.Join(t.TempDir(), "no", "dir", "x")}, &logged); err == nil {
+		t.Error("uncreatable events path accepted")
+	}
+}
+
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	var sb strings.Builder
+	err := run([]string{
+		"-topology", "clique", "-nodes", "4", "-universe", "2",
+		"-alg", "sync-uniform", "-cpuprofile", cpu, "-memprofile", mem,
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile %s: %v", p, err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
 	}
 }
 

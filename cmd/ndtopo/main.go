@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"m2hew"
+	"m2hew/internal/telemetry"
 )
 
 // dump is the JSON shape emitted by -json.
@@ -46,7 +47,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("ndtopo", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
@@ -70,10 +71,21 @@ func run(args []string, out io.Writer) error {
 		asDOT     = fs.Bool("dot", false, "emit the graph as Graphviz DOT")
 		sample    = fs.Int("sample", 0, "generate this many networks (seeds seed..seed+n-1) and print parameter statistics")
 		saveFile  = fs.String("save", "", "also save the network (full fidelity, reloadable by ndsim -net) to this file")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := telemetry.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
 	if *asJSON && *asDOT {
 		return fmt.Errorf("-json and -dot are mutually exclusive")
 	}

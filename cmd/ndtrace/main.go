@@ -1,0 +1,309 @@
+// Command ndtrace inspects an NDJSON engine event log (as written by
+// `ndsim -events FILE` or any trace.JSONWriter) and prints summaries: event
+// totals, a per-slot activity table for synchronous runs, a per-node frame
+// table for asynchronous runs, the top colliding links, and per-channel
+// utilization.
+//
+// Usage:
+//
+//	ndsim -alg sync-uniform -events run.ndjson
+//	ndtrace run.ndjson
+//	ndtrace -top 10 -slots 0 run.ndjson    # all slots, 10 collision links
+//	ndtrace -json run.ndjson | jq .channels
+//	ndsim -events /dev/stdout | ndtrace    # reads stdin without an argument
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"m2hew/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ndtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("ndtrace", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		top      = fs.Int("top", 5, "number of top collision links to print")
+		slotRows = fs.Int("slots", 20, "number of per-slot rows to print (0 = all)")
+		asJSON   = fs.Bool("json", false, "emit the full summary as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var r io.Reader
+	switch fs.NArg() {
+	case 0:
+		r = stdin
+	case 1:
+		if fs.Arg(0) == "-" {
+			r = stdin
+			break
+		}
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	default:
+		return fmt.Errorf("at most one event log, got %d arguments", fs.NArg())
+	}
+	events, err := trace.ReadEvents(r)
+	if err != nil {
+		return err
+	}
+	s := summarize(events, *top)
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(s)
+	}
+	return s.print(out, *slotRows)
+}
+
+// kindCounts tallies the log by event kind.
+type kindCounts struct {
+	Tx           int `json:"tx"`
+	Deliver      int `json:"deliver"`
+	Collision    int `json:"collision"`
+	Idle         int `json:"idle"`
+	FrameStart   int `json:"frameStart"`
+	FrameResolve int `json:"frameResolve"`
+	Note         int `json:"note"`
+}
+
+// slotRow is one synchronous slot's activity.
+type slotRow struct {
+	Slot      int `json:"slot"`
+	Tx        int `json:"tx"`
+	Deliver   int `json:"deliver"`
+	Collision int `json:"collision"`
+	Idle      int `json:"idle"`
+}
+
+// nodeRow is one node's asynchronous frame accounting: frames started by
+// mode, plus what its resolved listening frames heard and delivered.
+type nodeRow struct {
+	Node      int `json:"node"`
+	Frames    int `json:"frames"`
+	TxFrames  int `json:"txFrames"`
+	RxFrames  int `json:"rxFrames"`
+	Heard     int `json:"heard"`
+	Delivered int `json:"delivered"`
+}
+
+// linkRow is one directed link's collision count.
+type linkRow struct {
+	From  int `json:"from"`
+	To    int `json:"to"`
+	Count int `json:"count"`
+}
+
+// chanRow is one channel's activity; TxShare is its share of all
+// transmissions (the utilization split).
+type chanRow struct {
+	Channel   int     `json:"channel"`
+	Tx        int     `json:"tx"`
+	Deliver   int     `json:"deliver"`
+	Collision int     `json:"collision"`
+	Idle      int     `json:"idle"`
+	TxShare   float64 `json:"txShare"`
+}
+
+// summary is the full digest of one event log.
+type summary struct {
+	Events         int        `json:"events"`
+	Kinds          kindCounts `json:"kinds"`
+	Slots          []slotRow  `json:"slots,omitempty"`
+	Nodes          []nodeRow  `json:"nodes,omitempty"`
+	TopCollisions  []linkRow  `json:"topCollisionLinks,omitempty"`
+	CollisionLinks int        `json:"collisionLinks"`
+	Channels       []chanRow  `json:"channels,omitempty"`
+}
+
+// summarize digests the event stream. top bounds the collision-link list;
+// every other table is complete.
+func summarize(events []trace.Event, top int) *summary {
+	s := &summary{Events: len(events)}
+	var (
+		slots    []slotRow
+		nodes    = map[int]*nodeRow{}
+		links    = map[[2]int]int{}
+		channels = map[int]*chanRow{}
+	)
+	slotAt := func(t float64) *slotRow {
+		idx := int(t)
+		if idx < 0 {
+			idx = 0
+		}
+		for len(slots) <= idx {
+			slots = append(slots, slotRow{Slot: len(slots)})
+		}
+		return &slots[idx]
+	}
+	nodeAt := func(id int) *nodeRow {
+		n, ok := nodes[id]
+		if !ok {
+			n = &nodeRow{Node: id}
+			nodes[id] = n
+		}
+		return n
+	}
+	chanAt := func(id int) *chanRow {
+		c, ok := channels[id]
+		if !ok {
+			c = &chanRow{Channel: id}
+			channels[id] = c
+		}
+		return c
+	}
+	frames := false
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindTx:
+			s.Kinds.Tx++
+			slotAt(e.Time).Tx++
+			chanAt(int(e.Channel)).Tx++
+		case trace.KindDeliver:
+			s.Kinds.Deliver++
+			if !frames {
+				// Synchronous deliveries land on slot boundaries; asynchronous
+				// ones are mid-frame instants and stay out of the slot table.
+				slotAt(e.Time).Deliver++
+			}
+			chanAt(int(e.Channel)).Deliver++
+		case trace.KindCollision:
+			s.Kinds.Collision++
+			slotAt(e.Time).Collision++
+			chanAt(int(e.Channel)).Collision++
+			links[[2]int{int(e.From), int(e.To)}]++
+		case trace.KindIdle:
+			s.Kinds.Idle++
+			slotAt(e.Time).Idle++
+			chanAt(int(e.Channel)).Idle++
+		case trace.KindFrameStart:
+			s.Kinds.FrameStart++
+			frames = true
+			n := nodeAt(int(e.From))
+			n.Frames++
+			switch e.Note {
+			case "tx":
+				n.TxFrames++
+				chanAt(int(e.Channel)).Tx++
+			case "rx":
+				n.RxFrames++
+			}
+		case trace.KindFrameResolve:
+			s.Kinds.FrameResolve++
+			frames = true
+			n := nodeAt(int(e.From))
+			n.Heard += e.Collected
+			n.Delivered += e.Delivered
+		case trace.KindNote:
+			s.Kinds.Note++
+		}
+	}
+	// Asynchronous logs have no slot structure: a lone delivery table keyed
+	// by truncated frame time would read as slots, so drop it.
+	if frames {
+		slots = nil
+	}
+	s.Slots = slots
+
+	nodeRows := make([]nodeRow, 0, len(nodes))
+	for _, n := range nodes {
+		nodeRows = append(nodeRows, *n)
+	}
+	sort.Slice(nodeRows, func(i, j int) bool { return nodeRows[i].Node < nodeRows[j].Node })
+	s.Nodes = nodeRows
+
+	all := make([]linkRow, 0, len(links))
+	for k, n := range links {
+		all = append(all, linkRow{From: k[0], To: k[1], Count: n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Count != b.Count {
+			return a.Count > b.Count
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+	s.CollisionLinks = len(all)
+	if top >= 0 && len(all) > top {
+		all = all[:top]
+	}
+	s.TopCollisions = all
+
+	totalTx := 0
+	chanRows := make([]chanRow, 0, len(channels))
+	for _, c := range channels {
+		chanRows = append(chanRows, *c)
+		totalTx += c.Tx
+	}
+	sort.Slice(chanRows, func(i, j int) bool { return chanRows[i].Channel < chanRows[j].Channel })
+	if totalTx > 0 {
+		for i := range chanRows {
+			chanRows[i].TxShare = float64(chanRows[i].Tx) / float64(totalTx)
+		}
+	}
+	s.Channels = chanRows
+	return s
+}
+
+// print renders the text report. slotRows bounds the per-slot table
+// (0 = all rows).
+func (s *summary) print(out io.Writer, slotRows int) error {
+	k := s.Kinds
+	if _, err := fmt.Fprintf(out,
+		"events: %d (tx %d, deliver %d, collision %d, idle %d, frame-start %d, frame-resolve %d, note %d)\n",
+		s.Events, k.Tx, k.Deliver, k.Collision, k.Idle, k.FrameStart, k.FrameResolve, k.Note); err != nil {
+		return err
+	}
+	if len(s.Slots) > 0 {
+		shown := s.Slots
+		if slotRows > 0 && len(shown) > slotRows {
+			shown = shown[:slotRows]
+		}
+		fmt.Fprintf(out, "\nper-slot summary (%d of %d slots):\n", len(shown), len(s.Slots))
+		fmt.Fprintf(out, "  %6s %6s %8s %10s %6s\n", "slot", "tx", "deliver", "collision", "idle")
+		for _, r := range shown {
+			fmt.Fprintf(out, "  %6d %6d %8d %10d %6d\n", r.Slot, r.Tx, r.Deliver, r.Collision, r.Idle)
+		}
+	}
+	if len(s.Nodes) > 0 {
+		fmt.Fprintf(out, "\nper-node frame summary:\n")
+		fmt.Fprintf(out, "  %6s %7s %5s %5s %6s %10s\n", "node", "frames", "tx", "rx", "heard", "delivered")
+		for _, n := range s.Nodes {
+			fmt.Fprintf(out, "  %6d %7d %5d %5d %6d %10d\n", n.Node, n.Frames, n.TxFrames, n.RxFrames, n.Heard, n.Delivered)
+		}
+	}
+	if len(s.TopCollisions) > 0 {
+		fmt.Fprintf(out, "\ntop collision links (%d of %d):\n", len(s.TopCollisions), s.CollisionLinks)
+		for _, l := range s.TopCollisions {
+			fmt.Fprintf(out, "  %3d -> %-3d %6d\n", l.From, l.To, l.Count)
+		}
+	}
+	if len(s.Channels) > 0 {
+		fmt.Fprintf(out, "\nchannel utilization:\n")
+		fmt.Fprintf(out, "  %7s %6s %8s %10s %6s %7s\n", "channel", "tx", "deliver", "collision", "idle", "share")
+		for _, c := range s.Channels {
+			fmt.Fprintf(out, "  %7d %6d %8d %10d %6d %7.3f\n", c.Channel, c.Tx, c.Deliver, c.Collision, c.Idle, c.TxShare)
+		}
+	}
+	return nil
+}

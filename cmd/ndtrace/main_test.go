@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"m2hew"
+	"m2hew/internal/topology"
+	"m2hew/internal/trace"
+)
+
+// handLog is the hand-checked synchronous scenario of the engine event
+// tests: a 3-node line (0–1–2, one channel) where
+//
+//	slot 0: 0 and 2 transmit, 1 listens  → collision at 1 (first sender 0)
+//	slot 1: 0 transmits, 1 and 2 listen  → deliver 0→1, idle at 2
+//	slot 2: everyone listens             → idle at 0, 1, 2
+func handLog(t *testing.T) string {
+	t.Helper()
+	events := []trace.Event{
+		{Time: 0, Kind: trace.KindTx, From: 0, Channel: 0},
+		{Time: 0, Kind: trace.KindTx, From: 2, Channel: 0},
+		{Time: 0, Kind: trace.KindCollision, From: 0, To: 1, Channel: 0},
+		{Time: 1, Kind: trace.KindTx, From: 0, Channel: 0},
+		{Time: 1, Kind: trace.KindDeliver, From: 0, To: 1, Channel: 0},
+		{Time: 1, Kind: trace.KindIdle, To: 2, Channel: 0},
+		{Time: 2, Kind: trace.KindIdle, To: 0, Channel: 0},
+		{Time: 2, Kind: trace.KindIdle, To: 1, Channel: 0},
+		{Time: 2, Kind: trace.KindIdle, To: 2, Channel: 0},
+	}
+	var sb strings.Builder
+	w := trace.NewJSONWriter(&sb)
+	for _, e := range events {
+		w.Record(e)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestPerSlotCountsHandChecked(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-json"}, strings.NewReader(handLog(t)), &out); err != nil {
+		t.Fatal(err)
+	}
+	var s summary
+	if err := json.Unmarshal(out.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Events != 9 {
+		t.Errorf("events = %d, want 9", s.Events)
+	}
+	want := []slotRow{
+		{Slot: 0, Tx: 2, Deliver: 0, Collision: 1, Idle: 0},
+		{Slot: 1, Tx: 1, Deliver: 1, Collision: 0, Idle: 1},
+		{Slot: 2, Tx: 0, Deliver: 0, Collision: 0, Idle: 3},
+	}
+	if len(s.Slots) != len(want) {
+		t.Fatalf("slots = %+v, want %d rows", s.Slots, len(want))
+	}
+	for i, w := range want {
+		if s.Slots[i] != w {
+			t.Errorf("slot %d = %+v, want %+v", i, s.Slots[i], w)
+		}
+	}
+	if len(s.TopCollisions) != 1 || s.TopCollisions[0] != (linkRow{From: 0, To: 1, Count: 1}) {
+		t.Errorf("collision links = %+v, want one 0->1 count 1", s.TopCollisions)
+	}
+	if len(s.Channels) != 1 {
+		t.Fatalf("channels = %+v, want one row", s.Channels)
+	}
+	ch := s.Channels[0]
+	if ch != (chanRow{Channel: 0, Tx: 3, Deliver: 1, Collision: 1, Idle: 4, TxShare: 1}) {
+		t.Errorf("channel row = %+v", ch)
+	}
+}
+
+func TestTextReport(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(handLog(t)), &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"events: 9 (tx 3, deliver 1, collision 1, idle 4, frame-start 0, frame-resolve 0, note 0)",
+		"per-slot summary (3 of 3 slots)",
+		"top collision links (1 of 1)",
+		"channel utilization",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSlotRowBoundAndTopBound(t *testing.T) {
+	var sb strings.Builder
+	w := trace.NewJSONWriter(&sb)
+	for slot := 0; slot < 30; slot++ {
+		w.Record(trace.Event{Time: float64(slot), Kind: trace.KindCollision, From: topology.NodeID(slot % 4), To: topology.NodeID(slot%4 + 1)})
+	}
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-slots", "5", "-top", "2"}, strings.NewReader(sb.String()), &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "per-slot summary (5 of 30 slots)") {
+		t.Errorf("slot bound not applied:\n%s", text)
+	}
+	if !strings.Contains(text, "top collision links (2 of 4)") {
+		t.Errorf("top bound not applied:\n%s", text)
+	}
+}
+
+func TestReadsFileArgument(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ndjson")
+	if err := os.WriteFile(path, []byte(handLog(t)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{path}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "events: 9") {
+		t.Errorf("file input not read:\n%s", out.String())
+	}
+	if err := run([]string{"a", "b"}, nil, &out); err == nil {
+		t.Error("two arguments accepted")
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "missing")}, nil, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestAsyncEndToEnd drives a real asynchronous run through the public API's
+// EventWriter and checks the digest switches to frame accounting: slot
+// table suppressed, per-node frames matching the run horizon, and every
+// delivery counted.
+func TestAsyncEndToEnd(t *testing.T) {
+	nw, err := m2hew.BuildNetwork(m2hew.NetworkConfig{
+		Nodes:    4,
+		Topology: "clique",
+		Universe: 2,
+		Channels: "homogeneous",
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log bytes.Buffer
+	report, err := m2hew.Run(nw, m2hew.RunConfig{
+		Algorithm:   m2hew.AlgorithmAsync,
+		EventWriter: &log,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-json"}, bytes.NewReader(log.Bytes()), &out); err != nil {
+		t.Fatal(err)
+	}
+	var s summary
+	if err := json.Unmarshal(out.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Slots) != 0 {
+		t.Errorf("asynchronous log produced a slot table: %+v", s.Slots[:min(3, len(s.Slots))])
+	}
+	if len(s.Nodes) != 4 {
+		t.Fatalf("node rows = %+v, want 4", s.Nodes)
+	}
+	if s.Kinds.FrameStart == 0 || s.Kinds.Deliver == 0 {
+		t.Errorf("kinds = %+v, want frame starts and deliveries", s.Kinds)
+	}
+	// Every discoverable link delivers at least once in a complete run.
+	if report.Complete && s.Kinds.Deliver < report.LinksTotal {
+		t.Errorf("deliver count %d below covered links %d", s.Kinds.Deliver, report.LinksTotal)
+	}
+	delivered := 0
+	for _, n := range s.Nodes {
+		delivered += n.Delivered
+	}
+	if delivered != s.Kinds.Deliver {
+		t.Errorf("frame-resolve delivered sum %d != deliver events %d", delivered, s.Kinds.Deliver)
+	}
+}

@@ -13,7 +13,7 @@ import (
 func AsyncConfigs(cfgs []sim.AsyncConfig) ([]*sim.AsyncResult, error) {
 	results := make([]*sim.AsyncResult, len(cfgs))
 	err := Run(len(cfgs), func(i int) error {
-		res, err := sim.RunAsync(cfgs[i])
+		res, err := runAsyncInstrumented(cfgs[i])
 		if err != nil {
 			return err
 		}
@@ -26,6 +26,26 @@ func AsyncConfigs(cfgs []sim.AsyncConfig) ([]*sim.AsyncResult, error) {
 	return results, nil
 }
 
+// runAsyncInstrumented executes one asynchronous config, attaching the
+// process-wide instrument's observer (composed with any caller-supplied
+// one) when installed.
+func runAsyncInstrumented(cfg sim.AsyncConfig) (*sim.AsyncResult, error) {
+	ins := CurrentInstrument()
+	var obs sim.Observer
+	if ins != nil && cfg.Network != nil {
+		obs = ins.TrialObserver(cfg.Network.N(), channelSpace(cfg.Network))
+		cfg.Observer = sim.MultiObserver(cfg.Observer, obs)
+	}
+	res, err := sim.RunAsync(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if ins != nil {
+		ins.TrialDone(obs)
+	}
+	return res, nil
+}
+
 // AsyncTrials runs a two-phase asynchronous pipeline: build(trial) is
 // called sequentially in trial order (the place to draw offsets, drifts
 // and protocol randomness from a shared root source) and the resulting
@@ -33,6 +53,6 @@ func AsyncConfigs(cfgs []sim.AsyncConfig) ([]*sim.AsyncResult, error) {
 func AsyncTrials(trials int, build func(trial int) (sim.AsyncConfig, error)) ([]*sim.AsyncResult, error) {
 	return Trials(trials, build,
 		func(_ int, cfg sim.AsyncConfig) (*sim.AsyncResult, error) {
-			return sim.RunAsync(cfg)
+			return runAsyncInstrumented(cfg)
 		})
 }

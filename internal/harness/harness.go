@@ -32,10 +32,15 @@ import (
 // because indexes are dispensed monotonically, so the lowest failing index
 // is always dispatched before any later failure can trigger the skip.
 // All workers have exited by the time Run returns.
+//
+// When a process-wide Instrument is installed (SetInstrument), every item
+// additionally reports its queue delay and wall time; with none installed
+// the pipeline never reads the wall clock.
 func Run(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	fn = instrumented(fn)
 	errs := make([]error, n)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {

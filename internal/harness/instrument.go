@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"sync/atomic"
+	"time"
+
+	"m2hew/internal/sim"
+	"m2hew/internal/topology"
+)
+
+// Instrument is the harness's telemetry seam: one process-wide hook that
+// sees every trial the pipeline executes, without any of the 19
+// experiments knowing it exists. internal/telemetry.Aggregate implements
+// it; commands install it with SetInstrument before running a suite.
+//
+// Implementations must be safe for concurrent use — TrialObserver,
+// TrialDone and ObserveRun are called from the pool's worker goroutines.
+// The per-trial observers they hand out are only ever used from a single
+// worker, matching the sim.Observer contract.
+type Instrument interface {
+	// TrialObserver returns a fresh observer for one engine run on a
+	// network with the given node count and channel ID space (max channel
+	// ID + 1). Returning nil keeps the engine's no-observer fast path.
+	TrialObserver(nodes, channels int) sim.Observer
+	// TrialDone receives the observer back after its run succeeded, to
+	// merge whatever it tallied. It is not called for failed runs.
+	TrialDone(obs sim.Observer)
+	// ObserveRun records one pool work item: queueDelay is the time from
+	// Run's entry to a worker picking the index up, wall the work
+	// function's duration. Called for failed items too.
+	ObserveRun(index int, queueDelay, wall time.Duration)
+}
+
+// instrumentBox wraps the interface so a nil Instrument and "no
+// instrument" are both representable in the atomic pointer.
+type instrumentBox struct{ ins Instrument }
+
+var instrument atomic.Pointer[instrumentBox]
+
+// SetInstrument installs ins as the process-wide harness instrument
+// (nil uninstalls). Like expvar.Publish or the default metrics registry
+// in other ecosystems, this is deliberately global: the experiment suite
+// must stay telemetry-agnostic, so commands wire it at the edge. Install
+// before launching runs; swapping mid-run instruments only trials that
+// start afterwards.
+func SetInstrument(ins Instrument) {
+	if ins == nil {
+		instrument.Store(nil)
+		return
+	}
+	instrument.Store(&instrumentBox{ins: ins})
+}
+
+// CurrentInstrument returns the installed instrument, or nil.
+func CurrentInstrument() Instrument {
+	if b := instrument.Load(); b != nil {
+		return b.ins
+	}
+	return nil
+}
+
+// instrumented wraps fn with per-item timing when an instrument is
+// installed; with none installed it returns fn untouched, so the pipeline
+// never reads the wall clock in the default configuration.
+func instrumented(fn func(i int) error) func(i int) error {
+	ins := CurrentInstrument()
+	if ins == nil {
+		return fn
+	}
+	start := time.Now()
+	return func(i int) error {
+		picked := time.Now()
+		err := fn(i)
+		ins.ObserveRun(i, picked.Sub(start), time.Since(picked))
+		return err
+	}
+}
+
+// channelSpace returns the network's channel ID space (max ID + 1), the
+// sizing TrialObserver needs.
+func channelSpace(nw *topology.Network) int {
+	if maxID, ok := nw.Universe().Max(); ok {
+		return int(maxID) + 1
+	}
+	return 0
+}

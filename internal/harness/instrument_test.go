@@ -1,0 +1,200 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"m2hew/internal/radio"
+	"m2hew/internal/rng"
+	"m2hew/internal/sim"
+)
+
+// fakeInstrument records every seam call; safe for concurrent use like a
+// real instrument must be.
+type fakeInstrument struct {
+	mu        sync.Mutex
+	observers []*countingObserver
+	done      []sim.Observer
+	runs      int
+	badTiming int
+	returnNil bool
+}
+
+type countingObserver struct {
+	nodes, channels int
+	events          int
+}
+
+func (o *countingObserver) OnEvent(sim.Event) { o.events++ }
+
+func (f *fakeInstrument) TrialObserver(nodes, channels int) sim.Observer {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.returnNil {
+		return nil
+	}
+	o := &countingObserver{nodes: nodes, channels: channels}
+	f.observers = append(f.observers, o)
+	return o
+}
+
+func (f *fakeInstrument) TrialDone(obs sim.Observer) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.done = append(f.done, obs)
+}
+
+func (f *fakeInstrument) ObserveRun(index int, queueDelay, wall time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.runs++
+	if queueDelay < 0 || wall < 0 {
+		f.badTiming++
+	}
+}
+
+// install sets the instrument for one test and guarantees removal — the
+// seam is process-wide, so leaking one would instrument unrelated tests.
+func install(t *testing.T, ins Instrument) {
+	t.Helper()
+	SetInstrument(ins)
+	t.Cleanup(func() { SetInstrument(nil) })
+}
+
+func TestSetInstrument(t *testing.T) {
+	if CurrentInstrument() != nil {
+		t.Fatal("instrument installed at test start")
+	}
+	f := &fakeInstrument{}
+	install(t, f)
+	if CurrentInstrument() != Instrument(f) {
+		t.Fatal("CurrentInstrument did not return the installed instrument")
+	}
+	SetInstrument(nil)
+	if CurrentInstrument() != nil {
+		t.Fatal("SetInstrument(nil) did not uninstall")
+	}
+}
+
+func TestRunReportsTiming(t *testing.T) {
+	f := &fakeInstrument{}
+	install(t, f)
+	const n = 12
+	err := Run(n, func(i int) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.runs != n {
+		t.Fatalf("ObserveRun called %d times, want %d", f.runs, n)
+	}
+	if f.badTiming != 0 {
+		t.Fatalf("%d runs reported negative timing", f.badTiming)
+	}
+}
+
+func TestSyncTrialsInstrumented(t *testing.T) {
+	f := &fakeInstrument{}
+	install(t, f)
+	nw, factory := syncFixture(t)
+	const trials = 6
+	if _, err := SyncTrials(nw, factory, nil, 4000, trials, rng.New(3)); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.observers) != trials || len(f.done) != trials {
+		t.Fatalf("observers/done = %d/%d, want %d/%d", len(f.observers), len(f.done), trials, trials)
+	}
+	for i, o := range f.observers {
+		if o.nodes != nw.N() || o.channels != 4 {
+			t.Fatalf("observer %d sized %d nodes / %d channels, want %d/4", i, o.nodes, o.channels, nw.N())
+		}
+		if o.events == 0 {
+			t.Fatalf("observer %d saw no events", i)
+		}
+	}
+	if f.runs != trials {
+		t.Fatalf("ObserveRun called %d times, want %d", f.runs, trials)
+	}
+}
+
+// TestSyncTrialsInstrumentedDeterminism pins the acceptance criterion that
+// attaching telemetry does not change simulation results: the engine's
+// event emission must never consume randomness or reorder draws.
+func TestSyncTrialsInstrumentedDeterminism(t *testing.T) {
+	nw, factory := syncFixture(t)
+	const trials = 8
+	run := func() []float64 {
+		results, err := SyncTrials(nw, factory, nil, 4000, trials, rng.New(17))
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots, _ := CompletionSlots(results)
+		return slots
+	}
+	bare := run()
+	install(t, &fakeInstrument{})
+	instrumented := run()
+	if len(bare) != len(instrumented) {
+		t.Fatalf("completion counts differ: %d vs %d", len(bare), len(instrumented))
+	}
+	for i := range bare {
+		if bare[i] != instrumented[i] {
+			t.Fatalf("trial %d: completion %v bare vs %v instrumented", i, bare[i], instrumented[i])
+		}
+	}
+}
+
+func TestNilTrialObserverTolerated(t *testing.T) {
+	f := &fakeInstrument{returnNil: true}
+	install(t, f)
+	nw, factory := syncFixture(t)
+	if _, err := SyncTrials(nw, factory, nil, 4000, 3, rng.New(5)); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.done) != 3 {
+		t.Fatalf("TrialDone called %d times, want 3 (with nil observers)", len(f.done))
+	}
+	for i, obs := range f.done {
+		if obs != nil {
+			t.Fatalf("done[%d] = %v, want nil", i, obs)
+		}
+	}
+}
+
+func TestAsyncTrialsInstrumented(t *testing.T) {
+	f := &fakeInstrument{}
+	install(t, f)
+	nw, factory := syncFixture(t)
+	_ = factory
+	const trials = 4
+	_, err := AsyncTrials(trials, func(trial int) (sim.AsyncConfig, error) {
+		nodes := make([]sim.AsyncNode, nw.N())
+		for u := range nodes {
+			nodes[u] = sim.AsyncNode{Protocol: constAsyncProto{}}
+		}
+		return sim.AsyncConfig{Network: nw, Nodes: nodes, FrameLen: 1, MaxFrames: 8}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.observers) != trials || len(f.done) != trials {
+		t.Fatalf("observers/done = %d/%d, want %d/%d", len(f.observers), len(f.done), trials, trials)
+	}
+	for i, o := range f.observers {
+		if o.events == 0 {
+			t.Fatalf("observer %d saw no events", i)
+		}
+	}
+}
+
+// constAsyncProto listens on channel 0 forever.
+type constAsyncProto struct{}
+
+func (constAsyncProto) NextFrame(int) radio.Action {
+	return radio.Action{Mode: radio.Receive, Channel: 0}
+}
+
+func (constAsyncProto) Deliver(radio.Message) {}

@@ -31,12 +31,26 @@ func SyncTrials(nw *topology.Network, factory SyncFactory, starts []int, maxSlot
 			return protos, nil
 		},
 		func(_ int, protos []sim.SyncProtocol) (*sim.SyncResult, error) {
-			return sim.RunSync(sim.SyncConfig{
+			cfg := sim.SyncConfig{
 				Network:    nw,
 				Protocols:  protos,
 				StartSlots: starts,
 				MaxSlots:   maxSlots,
-			})
+			}
+			ins := CurrentInstrument()
+			var obs sim.Observer
+			if ins != nil {
+				obs = ins.TrialObserver(nw.N(), channelSpace(nw))
+				cfg.Observer = obs
+			}
+			res, err := sim.RunSync(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if ins != nil {
+				ins.TrialDone(obs)
+			}
+			return res, nil
 		})
 }
 

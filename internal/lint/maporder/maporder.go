@@ -41,6 +41,7 @@ var fencedPackages = []string{
 	"m2hew/internal/harness",
 	"m2hew/internal/metrics",
 	"m2hew/internal/sim",
+	"m2hew/internal/telemetry",
 	"m2hew/cmd",
 }
 

@@ -9,9 +9,10 @@ import (
 
 func TestMapOrder(t *testing.T) {
 	linttest.Run(t, "testdata", maporder.Analyzer,
-		"m2hew/internal/metrics", // fenced: violations and legal idioms
-		"m2hew/internal/harness", // fenced: trial-result merge patterns
-		"m2hew/cmd/ndfake",       // fenced: command output paths
-		"m2hew/internal/sim",     // fenced: engine delivery-batch patterns
+		"m2hew/internal/metrics",   // fenced: violations and legal idioms
+		"m2hew/internal/harness",   // fenced: trial-result merge patterns
+		"m2hew/cmd/ndfake",         // fenced: command output paths
+		"m2hew/internal/sim",       // fenced: engine delivery-batch patterns
+		"m2hew/internal/telemetry", // fenced: exporter/snapshot rendering
 	)
 }

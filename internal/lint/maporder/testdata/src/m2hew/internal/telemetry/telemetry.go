@@ -1,0 +1,63 @@
+// Package telemetry is a fixture exercising maporder inside the telemetry
+// fence: metric snapshots and exporters must render in deterministic order,
+// so map-ordered emission and label collection are flagged while the
+// sorted-snapshot idiom stays legal.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// metric is a stand-in for a registered series.
+type metric struct {
+	key   string
+	value float64
+}
+
+// Export writes metrics straight out of the registry map: scrape output
+// would differ between runs.
+func Export(w io.Writer, byKey map[string]metric) {
+	for _, m := range byKey {
+		fmt.Fprintf(w, "%s %g\n", m.key, m.value) // want `fmt.Fprintf inside range over a map`
+	}
+}
+
+// Snapshot collects the registry in map order without sorting.
+func Snapshot(byKey map[string]metric) []metric {
+	var out []metric
+	for _, m := range byKey {
+		out = append(out, m) // want `append to out inside range over a map`
+	}
+	return out
+}
+
+// SortedSnapshot collects then sorts: the registry's real snapshot idiom.
+func SortedSnapshot(byKey map[string]metric) []metric {
+	out := make([]metric, 0, len(byKey))
+	for _, m := range byKey {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// SumShare accumulates gauge values in map order; float addition is not
+// associative, so the derived share drifts between runs.
+func SumShare(byKey map[string]metric) float64 {
+	var total float64
+	for _, m := range byKey {
+		total += m.value // want `floating-point accumulation into total`
+	}
+	return total
+}
+
+// CountSeries is an order-insensitive integer reduction, legal.
+func CountSeries(byKey map[string]metric) int {
+	n := 0
+	for range byKey {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,56 @@
+// Telemetry-shaped fixtures: background exporters and samplers must not
+// borrow the trial pipeline's source, or the scrape goroutine's draws race
+// the trials and shift every seeded sequence after it.
+package a
+
+import (
+	"sync"
+
+	"m2hew/internal/rng"
+)
+
+// sampler downsamples a metric stream; it draws from its source on every
+// observation.
+type sampler struct {
+	src  *rng.Source
+	keep float64
+}
+
+func serve(*sampler) {}
+
+// ExportSampledShared starts the scrape goroutine on the pipeline's own
+// source — the exporter's draws interleave with trial draws.
+func ExportSampledShared(src *rng.Source) {
+	go serve(&sampler{src: src, keep: 0.1}) // want `rng source src is shared with a new goroutine`
+}
+
+// ExportSampledSplit forks the exporter its own stream before it starts;
+// trial draws stay untouched by scrape timing.
+func ExportSampledSplit(src *rng.Source) {
+	go serve(&sampler{src: src.Split(), keep: 0.1})
+}
+
+// FlushJitterShared jitters flush timing with the caller's source from
+// inside the flusher goroutine.
+func FlushJitterShared(src *rng.Source, flush func(delay uint64)) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		flush(src.Uint64() % 100) // want `rng source src is shared with a new goroutine`
+	}()
+	wg.Wait()
+}
+
+// FlushJitterOwned draws the jitter before spawning; the goroutine only
+// ever sees the resulting integer.
+func FlushJitterOwned(src *rng.Source, flush func(delay uint64)) {
+	delay := src.Uint64() % 100
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		flush(delay)
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantileSingleSample pins the degenerate-sample contract: every
+// quantile of a one-element sample is that element, with no interpolation
+// index arithmetic to go wrong at the edges.
+func TestQuantileSingleSample(t *testing.T) {
+	for _, q := range []float64{0, 0.25, 0.5, 0.95, 1} {
+		if got := Quantile([]float64{7.5}, q); got != 7.5 {
+			t.Errorf("Quantile(single, %v) = %v, want 7.5", q, got)
+		}
+	}
+}
+
+// TestQuantileAllEqual checks a constant sample: interpolation between
+// equal neighbors must return exactly the constant (no floating-point
+// drift from the lo/hi blend), at every quantile.
+func TestQuantileAllEqual(t *testing.T) {
+	sorted := []float64{3, 3, 3, 3, 3}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.95, 1} {
+		if got := Quantile(sorted, q); got != 3 {
+			t.Errorf("Quantile(const, %v) = %v, want exactly 3", q, got)
+		}
+	}
+}
+
+func TestQuantileNaNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Quantile(NaN) did not panic")
+		}
+	}()
+	Quantile([]float64{1, 2}, math.NaN())
+}
+
+// TestSummarizeAllEqual: a constant sample has zero spread; the variance
+// guard must clamp the catastrophic-cancellation residue to exactly 0.
+func TestSummarizeAllEqual(t *testing.T) {
+	s := Summarize([]float64{5, 5, 5, 5})
+	if s.Count != 4 || s.Mean != 5 || s.Stddev != 0 {
+		t.Errorf("Summarize(const) = %+v, want count 4 mean 5 stddev 0", s)
+	}
+	if s.Min != 5 || s.Median != 5 || s.P90 != 5 || s.P95 != 5 || s.Max != 5 {
+		t.Errorf("Summarize(const) order stats = %+v, want all 5", s)
+	}
+}

@@ -51,10 +51,15 @@ type AsyncConfig struct {
 	// Loss, if non-nil, erases arriving transmission slots per receiver
 	// listening frame with the model's probability (unreliable channels).
 	Loss *LossModel
-	// Observer, if non-nil, receives an EventDeliver for every clear
-	// reception. RunAsync emits them in chronological order;
-	// RunAsyncOnline emits them grouped by receiving frame (see its doc).
-	// Compose several consumers with MultiObserver.
+	// Observer, if non-nil, receives an EventFrameStart for every frame,
+	// an EventFrameResolve for every listening frame, and an EventDeliver
+	// for every clear reception. Emission order differs between engines:
+	// RunAsync emits frame events node-major during its resolution pass
+	// (ascending node, then frame index) and all deliveries afterwards in
+	// chronological order; RunAsyncOnline emits events grouped per frame
+	// in global frame-end order — EventFrameStart, that frame's
+	// deliveries, then EventFrameResolve. Compose several consumers with
+	// MultiObserver.
 	Observer Observer
 }
 
@@ -172,8 +177,22 @@ func RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
 	var deliveries []delivery
 	for u := 0; u < n; u++ {
 		uid := topology.NodeID(u)
-		for _, g := range frames[u] {
-			deliveries = append(deliveries, env.resolveFrame(uid, g)...)
+		for f, g := range frames[u] {
+			if cfg.Observer != nil {
+				cfg.Observer.OnEvent(Event{
+					Kind: EventFrameStart, Time: g.start, Slot: f,
+					Node: uid, Action: g.action,
+				})
+			}
+			ds := env.resolveFrame(uid, g)
+			deliveries = append(deliveries, ds...)
+			if cfg.Observer != nil && g.action.Mode == radio.Receive {
+				cfg.Observer.OnEvent(Event{
+					Kind: EventFrameResolve, Time: g.end, Slot: f,
+					Node: uid, Action: g.action,
+					Collected: env.lastCollected, Delivered: len(ds),
+				})
+			}
 		}
 	}
 

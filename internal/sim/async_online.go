@@ -128,6 +128,16 @@ func RunAsyncOnline(cfg AsyncConfig) (*AsyncResult, error) {
 		// always have a generated frame ending >= g.end by the pop order,
 		// and frames never skip time, so coverage of [g.start, g.end) is
 		// complete.
+		// Events for this frame are emitted at its resolution point (the
+		// frame's end); EventFrameStart still carries the frame's real
+		// start time.
+		if cfg.Observer != nil {
+			cfg.Observer.OnEvent(Event{
+				Kind: EventFrameStart, Time: g.start, Slot: frameIdx,
+				Node: uid, Action: g.action,
+			})
+		}
+		delivered := 0
 		for _, d := range env.resolveFrame(uid, g) {
 			msg := radio.Message{From: d.from, Avail: msgAvail[d.from]}
 			if hr, ok := cfg.Nodes[d.from].Protocol.(HeardReporter); ok {
@@ -135,12 +145,20 @@ func RunAsyncOnline(cfg AsyncConfig) (*AsyncResult, error) {
 			}
 			cfg.Nodes[d.to].Protocol.Deliver(msg)
 			coverage.Observe(topology.Link{From: d.from, To: d.to}, d.at)
+			delivered++
 			if cfg.Observer != nil {
 				cfg.Observer.OnEvent(Event{
 					Kind: EventDeliver, Time: d.at,
 					From: d.from, To: d.to, Channel: d.ch,
 				})
 			}
+		}
+		if cfg.Observer != nil && g.action.Mode == radio.Receive {
+			cfg.Observer.OnEvent(Event{
+				Kind: EventFrameResolve, Time: g.end, Slot: frameIdx,
+				Node: uid, Action: g.action,
+				Collected: env.lastCollected, Delivered: delivered,
+			})
 		}
 		pending[u]++
 

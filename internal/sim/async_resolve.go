@@ -54,6 +54,11 @@ type asyncEnv struct {
 	flagBuf  []bool     // per collected slot: overlapped by no other sender?
 	outBuf   []delivery // resolved deliveries (returned; valid until next call)
 	seenBuf  []bool     // per node: already delivered this frame (reset per frame)
+
+	// lastCollected is the number of candidate transmission slots the most
+	// recent resolveFrame call collected (0 for non-listening frames) —
+	// the engines' EventFrameResolve accounting.
+	lastCollected int
 }
 
 // resolveFrame computes the clear receptions of node u during its listening
@@ -79,10 +84,12 @@ type asyncEnv struct {
 // maintains it as a scheduling invariant). The returned slice is owned by
 // the env and is invalidated by the next resolveFrame call.
 func (env *asyncEnv) resolveFrame(uid topology.NodeID, g asyncFrame) []delivery {
+	env.lastCollected = 0
 	if g.action.Mode != radio.Receive {
 		return nil
 	}
 	slots := env.collectSlots(uid, g)
+	env.lastCollected = len(slots)
 	if len(slots) == 0 {
 		return nil
 	}

@@ -33,6 +33,29 @@ const (
 	// phase 1 (action collection) and before reception resolution.
 	// Synchronous engine only.
 	EventSlot
+	// EventCollision is a destroyed listening slot: two or more surviving
+	// transmissions reached the listener on its channel. To is the
+	// listener, From the first surviving transmitter in candidate order —
+	// the engine stops scanning at the second survivor (scanning further
+	// would consume extra loss-model draws), so the full transmitter set is
+	// not reported. Synchronous engine only.
+	EventCollision
+	// EventIdle is a listening slot that heard nothing: either no node
+	// transmitted on the listener's channel at all, or every candidate
+	// transmission was filtered by span or erased by the loss model. To is
+	// the listener. Synchronous engine only.
+	EventIdle
+	// EventFrameStart is one node-local frame beginning: Node is the frame
+	// owner, Slot its 0-based frame index on that node, Time the frame's
+	// real start time, and Action the whole-frame decision (transmit,
+	// receive, or quiet). Asynchronous engines only.
+	EventFrameStart
+	// EventFrameResolve reports a resolved listening frame: Node, Slot and
+	// Action identify the frame as in EventFrameStart, Time is the frame's
+	// real end time, Collected counts the candidate transmission slots that
+	// overlapped it, and Delivered the clear receptions it produced.
+	// Emitted for receive frames only. Asynchronous engines only.
+	EventFrameResolve
 )
 
 // String renders the kind.
@@ -42,6 +65,14 @@ func (k EventKind) String() string {
 		return "deliver"
 	case EventSlot:
 		return "slot"
+	case EventCollision:
+		return "collision"
+	case EventIdle:
+		return "idle"
+	case EventFrameStart:
+		return "frame-start"
+	case EventFrameResolve:
+		return "frame-resolve"
 	default:
 		return "EventKind(?)"
 	}
@@ -59,10 +90,23 @@ type Event struct {
 	// Slot is the integer slot index (synchronous engine only; 0 for
 	// asynchronous events).
 	Slot int
-	// From and To identify the delivered link (EventDeliver only).
+	// From and To identify the link: the delivered link (EventDeliver), or
+	// first-surviving-transmitter and listener (EventCollision); EventIdle
+	// sets only To (the listener).
 	From, To topology.NodeID
-	// Channel is the delivery channel (EventDeliver only).
+	// Channel is the reception channel (EventDeliver, EventCollision,
+	// EventIdle).
 	Channel channel.ID
+	// Node is the frame owner (EventFrameStart, EventFrameResolve); for
+	// those kinds Slot holds the node-local frame index.
+	Node topology.NodeID
+	// Action is the whole-frame radio decision (EventFrameStart,
+	// EventFrameResolve).
+	Action radio.Action
+	// Collected counts candidate transmission slots overlapping a resolved
+	// listening frame; Delivered counts the clear receptions it produced
+	// (EventFrameResolve only).
+	Collected, Delivered int
 	// Actions holds every node's action this slot, indexed by NodeID
 	// (EventSlot only). Borrowed: valid only during the OnEvent call.
 	Actions []radio.Action
@@ -125,6 +169,60 @@ func TraceObserver(sink trace.Sink) Observer {
 			Time: e.Time, Kind: trace.KindDeliver,
 			From: e.From, To: e.To, Channel: e.Channel,
 		})
+	})
+}
+
+// EventTraceObserver forwards the full event stream to a trace sink, one
+// trace event per observation — except EventSlot, which fans out to one
+// trace.KindTx per transmitting node (quiet and listening nodes are
+// implied by the idle/deliver/collision events). This is the NDJSON
+// event-log producer behind `ndsim -events`; TraceObserver remains the
+// deliveries-only view for human-oriented verbose output.
+func EventTraceObserver(sink trace.Sink) Observer {
+	if sink == nil {
+		return nil
+	}
+	return ObserverFunc(func(e Event) {
+		switch e.Kind {
+		case EventDeliver:
+			sink.Record(trace.Event{
+				Time: e.Time, Kind: trace.KindDeliver,
+				From: e.From, To: e.To, Channel: e.Channel,
+			})
+		case EventSlot:
+			for u, a := range e.Actions {
+				if a.Mode != radio.Transmit {
+					continue
+				}
+				sink.Record(trace.Event{
+					Time: e.Time, Kind: trace.KindTx,
+					From: topology.NodeID(u), Channel: a.Channel,
+				})
+			}
+		case EventCollision:
+			sink.Record(trace.Event{
+				Time: e.Time, Kind: trace.KindCollision,
+				From: e.From, To: e.To, Channel: e.Channel,
+			})
+		case EventIdle:
+			sink.Record(trace.Event{
+				Time: e.Time, Kind: trace.KindIdle,
+				To: e.To, Channel: e.Channel,
+			})
+		case EventFrameStart:
+			sink.Record(trace.Event{
+				Time: e.Time, Kind: trace.KindFrameStart,
+				From: e.Node, Frame: e.Slot,
+				Channel: e.Action.Channel, Note: e.Action.Mode.String(),
+			})
+		case EventFrameResolve:
+			sink.Record(trace.Event{
+				Time: e.Time, Kind: trace.KindFrameResolve,
+				From: e.Node, Frame: e.Slot,
+				Channel: e.Action.Channel, Note: e.Action.Mode.String(),
+				Collected: e.Collected, Delivered: e.Delivered,
+			})
+		}
 	})
 }
 

@@ -17,11 +17,32 @@ func TestEventKindString(t *testing.T) {
 	}{
 		{EventDeliver, "deliver"},
 		{EventSlot, "slot"},
+		{EventCollision, "collision"},
+		{EventIdle, "idle"},
+		{EventFrameStart, "frame-start"},
+		{EventFrameResolve, "frame-resolve"},
 		{EventKind(99), "EventKind(?)"},
 	}
 	for _, c := range cases {
 		if got := c.kind.String(); got != c.want {
 			t.Errorf("EventKind(%d).String() = %q, want %q", c.kind, got, c.want)
+		}
+	}
+	// Every defined kind must stringify — a new kind without a String case
+	// would render as the fallback and fail here. EventFrameResolve is the
+	// highest-numbered kind; extend the table when adding kinds past it.
+	for k := EventDeliver; k <= EventFrameResolve; k++ {
+		found := false
+		for _, c := range cases {
+			if c.kind == k && c.want != "EventKind(?)" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("EventKind(%d) missing from the string table", k)
+		}
+		if k.String() == "EventKind(?)" {
+			t.Errorf("EventKind(%d) has no String case", k)
 		}
 	}
 }
@@ -49,6 +70,28 @@ func TestMultiObserver(t *testing.T) {
 	both.OnEvent(Event{Kind: EventDeliver})
 	if a != 2 || b != 1 {
 		t.Errorf("fan-out counts a=%d b=%d, want a=2 b=1", a, b)
+	}
+}
+
+// TestMultiObserverOrdering pins fan-out order to argument order with nils
+// skipped — observers like a trace writer then a metrics tally rely on
+// seeing each event in a fixed sequence.
+func TestMultiObserverOrdering(t *testing.T) {
+	var order []string
+	mark := func(name string) Observer {
+		return ObserverFunc(func(Event) { order = append(order, name) })
+	}
+	obs := MultiObserver(nil, mark("first"), nil, mark("second"), mark("third"), nil)
+	obs.OnEvent(Event{Kind: EventSlot})
+	obs.OnEvent(Event{Kind: EventDeliver})
+	want := []string{"first", "second", "third", "first", "second", "third"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
 	}
 }
 

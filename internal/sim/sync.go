@@ -67,9 +67,10 @@ type SyncConfig struct {
 	// Loss, if non-nil, erases arriving transmissions per receiver with the
 	// model's probability (unreliable channels).
 	Loss *LossModel
-	// Observer, if non-nil, receives every engine event (EventSlot once
-	// per slot, EventDeliver per clear reception) in simulation order.
-	// Compose several consumers with MultiObserver.
+	// Observer, if non-nil, receives every engine event in simulation
+	// order: EventSlot once per slot, then per listener (ascending NodeID)
+	// exactly one of EventDeliver, EventCollision or EventIdle. Compose
+	// several consumers with MultiObserver.
 	Observer Observer
 }
 
@@ -189,9 +190,16 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 			}
 			c := actions[u].Channel
 			if txOn[c] == 0 {
-				continue // nobody transmits on c: certain silence, no draws
+				// Nobody transmits on c: certain silence, no draws.
+				if cfg.Observer != nil {
+					cfg.Observer.OnEvent(Event{
+						Kind: EventIdle, Time: float64(slot), Slot: slot,
+						To: topology.NodeID(u), Channel: c,
+					})
+				}
+				continue
 			}
-			var sender topology.NodeID
+			var sender, firstSender topology.NodeID
 			senders := 0
 			for _, cand := range cands[u] {
 				if actions[cand.From].Mode != radio.Transmit || actions[cand.From].Channel != c {
@@ -206,6 +214,9 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 				if cfg.Loss.erased() {
 					continue
 				}
+				if senders == 0 {
+					firstSender = cand.From
+				}
 				senders++
 				sender = cand.From
 				if senders > 1 {
@@ -213,7 +224,24 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 				}
 			}
 			if senders != 1 {
-				continue // silence or collision: the node hears nothing useful
+				// Silence or collision: the node hears nothing useful. The
+				// collision event reports only the first surviving transmitter
+				// — scanning past the second would consume extra loss draws
+				// and break the reproducibility contract above.
+				if cfg.Observer != nil {
+					if senders == 0 {
+						cfg.Observer.OnEvent(Event{
+							Kind: EventIdle, Time: float64(slot), Slot: slot,
+							To: topology.NodeID(u), Channel: c,
+						})
+					} else {
+						cfg.Observer.OnEvent(Event{
+							Kind: EventCollision, Time: float64(slot), Slot: slot,
+							From: firstSender, To: topology.NodeID(u), Channel: c,
+						})
+					}
+				}
+				continue
 			}
 			msg := radio.Message{From: sender, Avail: msgAvail[sender]}
 			if hr, ok := cfg.Protocols[sender].(HeardReporter); ok {

@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"testing"
+
+	"m2hew/internal/radio"
+	"m2hew/internal/sim"
+)
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h, err := NewHistogram(ExponentialBounds(1, 2, 14))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i & 1023))
+	}
+}
+
+func BenchmarkRunObserverOnEvent(b *testing.B) {
+	o := NewRunObserver(30, 8, nil)
+	actions := make([]radio.Action, 30)
+	for u := range actions {
+		switch u % 3 {
+		case 0:
+			actions[u] = radio.Action{Mode: radio.Transmit, Channel: 0}
+		case 1:
+			actions[u] = radio.Action{Mode: radio.Receive, Channel: 0}
+		default:
+			actions[u] = radio.Action{Mode: radio.Quiet}
+		}
+	}
+	events := []sim.Event{
+		{Kind: sim.EventSlot, Slot: 1, Actions: actions},
+		{Kind: sim.EventDeliver, Time: 1, From: 0, To: 1, Channel: 0},
+		{Kind: sim.EventCollision, Time: 1, From: 0, To: 4, Channel: 0},
+		{Kind: sim.EventIdle, Time: 1, To: 7, Channel: 3},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.OnEvent(events[i&3])
+	}
+}

@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders the registry snapshot in the Prometheus text
+// exposition format (one HELP/TYPE header per metric name, cumulative
+// _bucket/_sum/_count series for histograms). Output order follows
+// Registry.Snapshot — sorted, deterministic.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	var lastName string
+	for _, m := range r.Snapshot() {
+		if m.Name != lastName {
+			if m.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind); err != nil {
+				return err
+			}
+			lastName = m.Name
+		}
+		if m.Histogram == nil {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, promLabels(m.Labels, "", ""), promFloat(m.Value)); err != nil {
+				return err
+			}
+			continue
+		}
+		h := m.Histogram
+		var cum uint64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			le := promFloat(bound)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, promLabels(m.Labels, "le", le), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, promLabels(m.Labels, "le", "+Inf"), h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, promLabels(m.Labels, "", ""), promFloat(h.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, promLabels(m.Labels, "", ""), h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promLabels renders {k="v",…}, optionally appending one extra pair
+// (the histogram le bound); empty when there is nothing to render.
+func promLabels(labels []Label, extraKey, extraValue string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(promEscape(l.Value))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(promEscape(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promEscape escapes a label value per the text exposition format.
+func promEscape(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// promFloat formats a sample value: integers without an exponent, the
+// rest via %g.
+func promFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WriteNDJSON writes the registry snapshot as NDJSON, one MetricSnapshot
+// object per line, in the same deterministic order as WritePrometheus.
+// This is the `-metrics` file format consumed by jq and the analysis
+// notebooks.
+func WriteNDJSON(w io.Writer, r *Registry) error {
+	enc := json.NewEncoder(w)
+	for _, m := range r.Snapshot() {
+		if err := enc.Encode(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Var wraps a registry as an expvar.Var whose String() is the JSON
+// snapshot array — usable with expvar.Publish for /debug/vars scraping.
+type Var struct {
+	r *Registry
+}
+
+// NewVar wraps r for expvar publication.
+func NewVar(r *Registry) Var { return Var{r: r} }
+
+// String implements expvar.Var.
+func (v Var) String() string {
+	b, err := json.Marshal(v.r.Snapshot())
+	if err != nil {
+		// Snapshot marshals plain structs; this cannot fail in practice.
+		return "null"
+	}
+	return string(b)
+}
+
+// PublishExpvar publishes the registry under name in the process-wide
+// expvar namespace, replacing nothing: if the name is already taken
+// (tests re-wiring telemetry, double initialization) it is left as-is and
+// false is returned, since expvar.Publish panics on duplicates.
+func PublishExpvar(name string, r *Registry) bool {
+	if expvar.Get(name) != nil {
+		return false
+	}
+	expvar.Publish(name, NewVar(r))
+	return true
+}

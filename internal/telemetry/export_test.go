@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func exportRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	c := r.Counter("nd_demo_total", "a demo counter")
+	c.Add(3)
+	g := r.Gauge("nd_share", "a demo gauge", Label{Key: "channel", Value: "0"})
+	g.Set(0.25)
+	h := r.Histogram("nd_lat", "a demo histogram", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9)
+	return r
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, exportRegistry(t)); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP nd_demo_total a demo counter
+# TYPE nd_demo_total counter
+nd_demo_total 3
+# HELP nd_lat a demo histogram
+# TYPE nd_lat histogram
+nd_lat_bucket{le="1"} 1
+nd_lat_bucket{le="2"} 2
+nd_lat_bucket{le="+Inf"} 3
+nd_lat_sum 11
+nd_lat_count 3
+# HELP nd_share a demo gauge
+# TYPE nd_share gauge
+nd_share{channel="0"} 0.25
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("prometheus output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPromEscape(t *testing.T) {
+	if got := promEscape("a\"b\\c\nd"); got != `a\"b\\c\nd` {
+		t.Fatalf("escape = %q", got)
+	}
+	if got := promEscape("plain"); got != "plain" {
+		t.Fatalf("escape = %q", got)
+	}
+}
+
+func TestWriteNDJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteNDJSON(&sb, exportRegistry(t)); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), sb.String())
+	}
+	var m MetricSnapshot
+	if err := json.Unmarshal([]byte(lines[0]), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "nd_demo_total" || m.Kind != "counter" || m.Value != 3 {
+		t.Fatalf("first metric = %+v", m)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "nd_lat" || m.Histogram == nil || m.Histogram.Count != 3 {
+		t.Fatalf("second metric = %+v", m)
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	r := exportRegistry(t)
+	if !PublishExpvar("telemetry_test_metrics", r) {
+		t.Fatal("first publish refused")
+	}
+	if PublishExpvar("telemetry_test_metrics", r) {
+		t.Fatal("duplicate publish accepted")
+	}
+	s := NewVar(r).String()
+	if !strings.Contains(s, "nd_demo_total") {
+		t.Fatalf("expvar string missing metric: %s", s)
+	}
+	var snaps []MetricSnapshot
+	if err := json.Unmarshal([]byte(s), &snaps); err != nil {
+		t.Fatalf("expvar string is not valid JSON: %v", err)
+	}
+}

@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts CPU profiling into cpuPath and arranges a heap
+// profile into memPath, either path optionally empty. It returns a stop
+// function that must be called exactly once (typically deferred) to
+// finish both profiles; stop reports the first error encountered while
+// writing them. With both paths empty the returned stop is a cheap no-op,
+// so commands can call StartProfiles unconditionally from flag values.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("telemetry: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("telemetry: close cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			memFile, err := os.Create(memPath)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("telemetry: create mem profile: %w", err)
+				}
+				return firstErr
+			}
+			// Up-to-date allocation statistics, as `go test -memprofile` does.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(memFile); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("telemetry: write mem profile: %w", err)
+			}
+			if err := memFile.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("telemetry: close mem profile: %w", err)
+			}
+		}
+		return firstErr
+	}, nil
+}

@@ -1,0 +1,369 @@
+// Package telemetry is the run-telemetry layer: cheap always-on metrics
+// for everything the engines and the trial pipeline do, with on-demand
+// profiling and export.
+//
+// The package has three floors, mirroring DESIGN.md §telemetry:
+//
+//   - Registry (this file): a zero-allocation metrics registry of named
+//     counters, gauges and fixed-bucket histograms. Hot-path operations
+//     (Add, Set, Observe) are single atomic instructions that allocate
+//     nothing and are safe under the harness's concurrent trial pool;
+//     registration and snapshots are cold paths.
+//   - RunObserver / Aggregate (observer.go): a sim.Observer that derives
+//     per-run series (slots, transmissions, collisions, idle listens,
+//     clear deliveries, duplicate-suppressed records, per-channel
+//     utilization, per-node discovery-latency histograms) from the
+//     engines' event stream, and the concurrency-safe aggregate that
+//     merges those series across trials into a Registry.
+//   - Exporters (export.go): Prometheus text format, expvar, and NDJSON.
+//
+// Everything is stdlib-only and deliberately decoupled: the engines know
+// nothing about telemetry (they emit sim.Event), the harness knows only the
+// narrow Instrument seam, and commands wire the floors together.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count. The zero value is ready to
+// use; Add and Inc are lock-free and allocation-free.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be ≥ 0 for the Prometheus counter contract; negative
+// deltas are legal Go but lie to exporters).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 value that can go up and down. The zero value reads
+// 0; Set is lock-free and allocation-free.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets chosen at construction.
+// Observe is lock-free and allocation-free. Under concurrent writers a
+// Snapshot is a best-effort moment in time (bucket counts, total count and
+// sum are read independently); it is exact once writers quiesce, which the
+// harness guarantees by joining its pool before export.
+type Histogram struct {
+	bounds  []float64       // ascending upper bounds; immutable
+	buckets []atomic.Uint64 // len(bounds)+1; last bucket is +Inf overflow
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 accumulated by CAS
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// bounds (observation v lands in the first bucket with v ≤ bound, or the
+// implicit +Inf overflow bucket).
+func NewHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("telemetry: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			return nil, fmt.Errorf("telemetry: histogram bounds not strictly ascending at %d (%v after %v)",
+				i, bounds[i], bounds[i-1])
+		}
+	}
+	own := make([]float64, len(bounds))
+	copy(own, bounds)
+	return &Histogram{bounds: own, buckets: make([]atomic.Uint64, len(own)+1)}, nil
+}
+
+// ExponentialBounds returns n strictly ascending bounds start, start*factor,
+// start*factor², … — the usual latency bucket ladder.
+func ExponentialBounds(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	// Hand-rolled lower bound over the (short) fixed bounds slice; the
+	// overflow bucket catches everything past the last bound.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.buckets[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// observeN merges n observations that all fall in bucket index i with total
+// value sum — the flush path for RunObserver's plain per-run buckets.
+func (h *Histogram) observeBucket(i int, n uint64, sum float64) {
+	if n == 0 {
+		return
+	}
+	h.buckets[i].Add(n)
+	h.count.Add(n)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + sum)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra entry for
+	// the +Inf overflow bucket.
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds, // immutable; shared
+		Counts: make([]uint64, len(h.buckets)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts by
+// attributing each bucket's mass to its upper bound (the overflow bucket
+// reports the last finite bound). It returns 0 for an empty histogram —
+// histogram quantiles are summaries, not oracles, so unlike
+// metrics.Quantile this never panics.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Label is one fixed name=value pair attached to a metric at registration.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// metricKind discriminates registry entries.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota + 1
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("metricKind(%d)", int(k))
+	}
+}
+
+// metric is one registered instrument.
+type metric struct {
+	name   string
+	help   string
+	labels []Label
+	kind   metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// key builds the registry identity "name{k=v,…}".
+func metricKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Registry holds named metrics. Registration (the Counter/Gauge/Histogram
+// get-or-create methods) and Snapshot take a mutex; the returned instrument
+// pointers are then used lock-free. A Registry is safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	byKey   map[string]*metric
+	ordered []*metric // registration order; Snapshot sorts a copy
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*metric)}
+}
+
+// Counter returns the counter registered under name+labels, creating it on
+// first use. It panics if the key is already registered as a different
+// kind — that is a programming error, like an expvar name collision.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	m := r.getOrCreate(name, help, labels, kindCounter, nil)
+	return m.counter
+}
+
+// Gauge returns the gauge registered under name+labels, creating it on
+// first use. Same collision contract as Counter.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	m := r.getOrCreate(name, help, labels, kindGauge, nil)
+	return m.gauge
+}
+
+// Histogram returns the histogram registered under name+labels, creating
+// it with the given bounds on first use (bounds are ignored when the
+// histogram already exists). Same collision contract as Counter; invalid
+// bounds panic, as they are compile-time constants in practice.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	h, err := NewHistogram(bounds)
+	if err != nil {
+		panic(err)
+	}
+	m := r.getOrCreate(name, help, labels, kindHistogram, h)
+	return m.hist
+}
+
+func (r *Registry) getOrCreate(name, help string, labels []Label, kind metricKind, hist *Histogram) *metric {
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byKey[key]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("telemetry: %s already registered as %s, requested as %s", key, m.kind, kind))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, labels: append([]Label(nil), labels...), kind: kind}
+	switch kind {
+	case kindCounter:
+		m.counter = &Counter{}
+	case kindGauge:
+		m.gauge = &Gauge{}
+	default:
+		m.hist = hist
+	}
+	r.byKey[key] = m
+	r.ordered = append(r.ordered, m)
+	return m
+}
+
+// MetricSnapshot is one metric's point-in-time state, the exporters' input.
+type MetricSnapshot struct {
+	Name   string  `json:"name"`
+	Help   string  `json:"help,omitempty"`
+	Kind   string  `json:"kind"`
+	Labels []Label `json:"labels,omitempty"`
+	// Value holds the counter or gauge value (counters as float64 for a
+	// uniform shape); zero for histograms.
+	Value float64 `json:"value"`
+	// Histogram is set for histogram metrics only.
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// Snapshot copies every metric's current state, sorted by name then label
+// key (a deterministic order regardless of registration interleaving).
+func (r *Registry) Snapshot() []MetricSnapshot {
+	r.mu.Lock()
+	ms := make([]*metric, len(r.ordered))
+	copy(ms, r.ordered)
+	r.mu.Unlock()
+
+	sort.SliceStable(ms, func(i, j int) bool {
+		if ms[i].name != ms[j].name {
+			return ms[i].name < ms[j].name
+		}
+		return metricKey(ms[i].name, ms[i].labels) < metricKey(ms[j].name, ms[j].labels)
+	})
+	out := make([]MetricSnapshot, 0, len(ms))
+	for _, m := range ms {
+		s := MetricSnapshot{Name: m.name, Help: m.help, Kind: m.kind.String(), Labels: m.labels}
+		switch m.kind {
+		case kindCounter:
+			s.Value = float64(m.counter.Value())
+		case kindGauge:
+			s.Value = m.gauge.Value()
+		default:
+			hs := m.hist.Snapshot()
+			s.Histogram = &hs
+		}
+		out = append(out, s)
+	}
+	return out
+}

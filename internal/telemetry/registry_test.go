@@ -1,0 +1,218 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero counter = %d", c.Value())
+	}
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if g.Value() != 0 {
+		t.Fatalf("zero gauge = %v", g.Value())
+	}
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", g.Value())
+	}
+	g.Set(-1)
+	if g.Value() != -1 {
+		t.Fatalf("gauge = %v, want -1", g.Value())
+	}
+}
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(nil); err == nil {
+		t.Error("empty bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{1, 1}); err == nil {
+		t.Error("non-ascending bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{2, 1}); err == nil {
+		t.Error("descending bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{1, 2, 4}); err != nil {
+		t.Errorf("valid bounds rejected: %v", err)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 5} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// v lands in the first bucket with v ≤ bound: {0.5,1} → ≤1, {1.5,2} → ≤2,
+	// {3,4} → ≤4, {5} → overflow.
+	want := []uint64{2, 2, 2, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 7 {
+		t.Errorf("count = %d, want 7", s.Count)
+	}
+	if s.Sum != 17 {
+		t.Errorf("sum = %v, want 17", s.Sum)
+	}
+}
+
+func TestExponentialBounds(t *testing.T) {
+	got := ExponentialBounds(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	var empty HistogramSnapshot
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+
+	h, err := NewHistogram([]float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{1, 1, 2, 4, 8} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	cases := []struct{ q, want float64 }{
+		{0, 1},    // clamped to first observation's bucket bound
+		{0.2, 1},  // rank 1 of 5
+		{0.4, 1},  // rank 2
+		{0.6, 2},  // rank 3
+		{0.8, 4},  // rank 4
+		{1, 4},    // overflow attributed to last finite bound
+		{1.5, 4},  // out-of-range q clamps
+		{-0.5, 1}, // out-of-range q clamps
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "help")
+	c2 := r.Counter("x_total", "help")
+	if c1 != c2 {
+		t.Error("same key returned distinct counters")
+	}
+	cl := r.Counter("x_total", "help", Label{Key: "k", Value: "v"})
+	if cl == c1 {
+		t.Error("labeled counter aliased the unlabeled one")
+	}
+	h1 := r.Histogram("h", "help", []float64{1, 2})
+	h2 := r.Histogram("h", "help", []float64{8, 9}) // bounds ignored on reuse
+	if h1 != h2 {
+		t.Error("same key returned distinct histograms")
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("kind collision did not panic")
+			}
+		}()
+		r.Gauge("x_total", "help")
+	}()
+}
+
+func TestRegistrySnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "")
+	r.Gauge("aa", "")
+	r.Counter("mm_total", "", Label{Key: "k", Value: "2"})
+	r.Counter("mm_total", "", Label{Key: "k", Value: "1"})
+	snap := r.Snapshot()
+	var keys []string
+	for _, m := range snap {
+		keys = append(keys, metricKey(m.Name, m.Labels))
+	}
+	want := []string{"aa", "mm_total{k=1}", "mm_total{k=2}", "zz_total"}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("snapshot order = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared_total", "")
+			h := r.Histogram("shared_hist", "", []float64{1, 10})
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(float64(i % 20))
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total", "").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	s := r.Histogram("shared_hist", "", []float64{1, 10}).Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", s.Count, workers*perWorker)
+	}
+	var sum float64
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			sum += float64(i % 20)
+		}
+	}
+	if math.Abs(s.Sum-sum) > 1e-6 {
+		t.Fatalf("histogram sum = %v, want %v", s.Sum, sum)
+	}
+}
+
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", ExponentialBounds(1, 2, 10))
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1.5)
+		h.Observe(7)
+	}); n != 0 {
+		t.Fatalf("hot path allocates %v objects per run, want 0", n)
+	}
+}

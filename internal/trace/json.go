@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// kindNames maps every Kind to its wire name; the NDJSON schema uses the
+// same strings as Kind.String so logs stay greppable.
+var kindNames = map[Kind]string{
+	KindDeliver:      "deliver",
+	KindCollision:    "collision",
+	KindNote:         "note",
+	KindTx:           "tx",
+	KindIdle:         "idle",
+	KindFrameStart:   "frame-start",
+	KindFrameResolve: "frame-resolve",
+}
+
+// MarshalJSON renders the kind as its string name.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	name, ok := kindNames[k]
+	if !ok {
+		return nil, fmt.Errorf("trace: cannot marshal unknown kind %d", int(k))
+	}
+	return json.Marshal(name)
+}
+
+// UnmarshalJSON parses a kind from its string name.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return fmt.Errorf("trace: kind must be a string: %w", err)
+	}
+	for kind, n := range kindNames {
+		if n == name {
+			*k = kind
+			return nil
+		}
+	}
+	return fmt.Errorf("trace: unknown event kind %q", name)
+}
+
+// JSONWriter writes one JSON object per event (NDJSON), the machine-
+// readable event log consumed by cmd/ndtrace. Like Writer, it never
+// aborts a simulation on a broken sink: the first error sticks and Err
+// reports it after the run.
+type JSONWriter struct {
+	enc      *json.Encoder
+	failures int
+	err      error
+}
+
+// NewJSONWriter returns a Sink writing NDJSON to w.
+func NewJSONWriter(w io.Writer) *JSONWriter {
+	return &JSONWriter{enc: json.NewEncoder(w)}
+}
+
+// Record implements Sink.
+func (t *JSONWriter) Record(e Event) {
+	if err := t.enc.Encode(e); err != nil {
+		t.failures++
+		if t.err == nil {
+			t.err = err
+		}
+	}
+}
+
+// Err returns nil if every write succeeded, else an error wrapping the
+// first underlying write error and the total failure count.
+func (t *JSONWriter) Err() error {
+	if t.err == nil {
+		return nil
+	}
+	return fmt.Errorf("trace: %d events failed to encode (first error: %w)", t.failures, t.err)
+}
+
+// ReadEvents parses an NDJSON event log (as produced by JSONWriter),
+// skipping blank lines. A malformed line aborts with an error naming its
+// line number.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var events []Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("trace: event log line %d: %w", lineNo, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading event log: %w", err)
+	}
+	return events, nil
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	events := []Event{
+		{Time: 0, Kind: KindTx, From: 1, Channel: 2},
+		{Time: 0, Kind: KindDeliver, From: 1, To: 0, Channel: 2},
+		{Time: 1, Kind: KindCollision, From: 1, To: 2, Channel: 0},
+		{Time: 1, Kind: KindIdle, To: 3, Channel: 1},
+		{Time: 2.5, Kind: KindFrameStart, From: 2, Frame: 3, Note: "rx", Channel: 1},
+		{Time: 5.5, Kind: KindFrameResolve, From: 2, Frame: 3, Note: "rx", Channel: 1, Collected: 4, Delivered: 2},
+		{Time: 6, Kind: KindNote, Note: "done"},
+	}
+	var sb strings.Builder
+	w := NewJSONWriter(&sb)
+	for _, e := range events {
+		w.Record(e)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadEvents(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, events)
+	}
+}
+
+func TestJSONKindNames(t *testing.T) {
+	var sb strings.Builder
+	NewJSONWriter(&sb).Record(Event{Kind: KindFrameResolve})
+	if !strings.Contains(sb.String(), `"kind":"frame-resolve"`) {
+		t.Fatalf("NDJSON line %q does not use the string kind name", sb.String())
+	}
+}
+
+func TestReadEventsErrors(t *testing.T) {
+	if _, err := ReadEvents(strings.NewReader(`{"kind":"nope","t":0}`)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := ReadEvents(strings.NewReader("not json")); err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("malformed line error = %v, want line number", err)
+	}
+	got, err := ReadEvents(strings.NewReader("\n\n"))
+	if err != nil || len(got) != 0 {
+		t.Errorf("blank-line log = %v, %v; want empty, nil", got, err)
+	}
+}
+
+func TestJSONWriterSurfacesFirstError(t *testing.T) {
+	first := errors.New("pipe closed")
+	w := NewJSONWriter(&sequencedWriter{errs: []error{first}})
+	w.Record(Event{Kind: KindNote})
+	w.Record(Event{Kind: KindNote})
+	if err := w.Err(); err == nil || !errors.Is(err, first) {
+		t.Fatalf("Err = %v, want wrap of first error", err)
+	}
+}

@@ -28,6 +28,14 @@ const (
 	KindCollision
 	// KindNote is free-form annotation from the harness.
 	KindNote
+	// KindTx is one node transmitting for one synchronous slot.
+	KindTx
+	// KindIdle is a listening slot that heard nothing.
+	KindIdle
+	// KindFrameStart is one asynchronous node-local frame beginning.
+	KindFrameStart
+	// KindFrameResolve is a resolved asynchronous listening frame.
+	KindFrameResolve
 )
 
 // String renders the kind.
@@ -39,20 +47,37 @@ func (k Kind) String() string {
 		return "collision"
 	case KindNote:
 		return "note"
+	case KindTx:
+		return "tx"
+	case KindIdle:
+		return "idle"
+	case KindFrameStart:
+		return "frame-start"
+	case KindFrameResolve:
+		return "frame-resolve"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
 
 // Event is one recorded simulation event. Time carries the slot index for
-// synchronous runs and real time for asynchronous runs.
+// synchronous runs and real time for asynchronous runs. The JSON field
+// names are the NDJSON event-log schema read back by cmd/ndtrace.
 type Event struct {
-	Time    float64
-	Kind    Kind
-	From    topology.NodeID
-	To      topology.NodeID
-	Channel channel.ID
-	Note    string
+	Time    float64         `json:"t"`
+	Kind    Kind            `json:"kind"`
+	From    topology.NodeID `json:"from,omitempty"`
+	To      topology.NodeID `json:"to,omitempty"`
+	Channel channel.ID      `json:"ch,omitempty"`
+	Note    string          `json:"note,omitempty"`
+	// Frame is the node-local frame index (frame events only; From is the
+	// frame owner).
+	Frame int `json:"frame,omitempty"`
+	// Collected counts candidate transmission slots a resolved listening
+	// frame heard; Delivered the clear receptions it produced
+	// (KindFrameResolve only).
+	Collected int `json:"collected,omitempty"`
+	Delivered int `json:"delivered,omitempty"`
 }
 
 // String renders the event as one log line.
@@ -60,6 +85,14 @@ func (e Event) String() string {
 	switch e.Kind {
 	case KindDeliver, KindCollision:
 		return fmt.Sprintf("t=%-10.3f %-9s %d -> %d ch=%d", e.Time, e.Kind, e.From, e.To, e.Channel)
+	case KindTx:
+		return fmt.Sprintf("t=%-10.3f %-9s %d ch=%d", e.Time, e.Kind, e.From, e.Channel)
+	case KindIdle:
+		return fmt.Sprintf("t=%-10.3f %-9s -> %d ch=%d", e.Time, e.Kind, e.To, e.Channel)
+	case KindFrameStart:
+		return fmt.Sprintf("t=%-10.3f %-9s node=%d f=%d act=%s ch=%d", e.Time, e.Kind, e.From, e.Frame, e.Note, e.Channel)
+	case KindFrameResolve:
+		return fmt.Sprintf("t=%-10.3f %-9s node=%d f=%d heard=%d delivered=%d", e.Time, e.Kind, e.From, e.Frame, e.Collected, e.Delivered)
 	default:
 		return fmt.Sprintf("t=%-10.3f %-9s %s", e.Time, e.Kind, e.Note)
 	}
@@ -133,10 +166,13 @@ func (r *Ring) Len() int {
 
 // Writer writes one line per event to an io.Writer. Write errors are
 // counted rather than propagated — tracing must never abort a simulation —
-// and reported by Err.
+// but they are not swallowed either: the first underlying error sticks and
+// Err reports it, so callers can surface a broken sink (full disk, closed
+// pipe) after the run.
 type Writer struct {
 	w        io.Writer
 	failures int
+	err      error // first write error, sticky
 }
 
 // NewWriter returns a Sink writing lines to w.
@@ -148,15 +184,20 @@ func NewWriter(w io.Writer) *Writer {
 func (t *Writer) Record(e Event) {
 	if _, err := fmt.Fprintln(t.w, e.String()); err != nil {
 		t.failures++
+		if t.err == nil {
+			t.err = err
+		}
 	}
 }
 
-// Err returns a summary error if any writes failed, else nil.
+// Err returns nil if every write succeeded, else an error wrapping the
+// first underlying write error (inspectable with errors.Is/As) and the
+// total failure count.
 func (t *Writer) Err() error {
-	if t.failures == 0 {
+	if t.err == nil {
 		return nil
 	}
-	return fmt.Errorf("trace: %d events failed to write", t.failures)
+	return fmt.Errorf("trace: %d events failed to write (first error: %w)", t.failures, t.err)
 }
 
 // Multi fans events out to several sinks.

@@ -14,6 +14,10 @@ func TestKindString(t *testing.T) {
 		{KindDeliver, "deliver"},
 		{KindCollision, "collision"},
 		{KindNote, "note"},
+		{KindTx, "tx"},
+		{KindIdle, "idle"},
+		{KindFrameStart, "frame-start"},
+		{KindFrameResolve, "frame-resolve"},
 		{Kind(0), "Kind(0)"},
 	}
 	for _, tt := range cases {
@@ -34,6 +38,30 @@ func TestEventString(t *testing.T) {
 	n := Event{Kind: KindNote, Note: "hello"}
 	if !strings.Contains(n.String(), "hello") {
 		t.Errorf("note string %q", n.String())
+	}
+	txe := Event{Time: 2, Kind: KindTx, From: 5, Channel: 1}
+	for _, want := range []string{"tx", "5", "ch=1"} {
+		if !strings.Contains(txe.String(), want) {
+			t.Errorf("tx string %q missing %q", txe.String(), want)
+		}
+	}
+	idle := Event{Time: 2, Kind: KindIdle, To: 4, Channel: 2}
+	for _, want := range []string{"idle", "-> 4", "ch=2"} {
+		if !strings.Contains(idle.String(), want) {
+			t.Errorf("idle string %q missing %q", idle.String(), want)
+		}
+	}
+	fs := Event{Time: 1.5, Kind: KindFrameStart, From: 3, Frame: 7, Note: "rx", Channel: 0}
+	for _, want := range []string{"frame-start", "node=3", "f=7", "act=rx"} {
+		if !strings.Contains(fs.String(), want) {
+			t.Errorf("frame-start string %q missing %q", fs.String(), want)
+		}
+	}
+	fr := Event{Time: 4.5, Kind: KindFrameResolve, From: 3, Frame: 7, Collected: 6, Delivered: 2}
+	for _, want := range []string{"frame-resolve", "node=3", "f=7", "heard=6", "delivered=2"} {
+		if !strings.Contains(fr.String(), want) {
+			t.Errorf("frame-resolve string %q missing %q", fr.String(), want)
+		}
 	}
 }
 
@@ -115,6 +143,39 @@ func TestWriterCountsFailures(t *testing.T) {
 	if err := w.Err(); err == nil || !strings.Contains(err.Error(), "2") {
 		t.Fatalf("Err = %v, want 2 failures reported", err)
 	}
+}
+
+// TestWriterSurfacesFirstError pins the sticky-error contract: Err wraps
+// the first underlying write error rather than swallowing it, so callers
+// can identify the root cause (errors.Is) after the run.
+func TestWriterSurfacesFirstError(t *testing.T) {
+	first := errors.New("disk full")
+	w := NewWriter(&sequencedWriter{errs: []error{first, errors.New("later")}})
+	w.Record(Event{Kind: KindNote})
+	w.Record(Event{Kind: KindNote}) // also fails, must not displace the first
+	w.Record(Event{Kind: KindNote}) // succeeds
+	err := w.Err()
+	if err == nil {
+		t.Fatal("Err = nil after failed writes")
+	}
+	if !errors.Is(err, first) {
+		t.Fatalf("Err = %v, want it to wrap the first error", err)
+	}
+	if !strings.Contains(err.Error(), "2 events") {
+		t.Fatalf("Err = %v, want failure count 2", err)
+	}
+}
+
+// sequencedWriter fails with each queued error in turn, then succeeds.
+type sequencedWriter struct{ errs []error }
+
+func (w *sequencedWriter) Write(p []byte) (int, error) {
+	if len(w.errs) > 0 {
+		err := w.errs[0]
+		w.errs = w.errs[1:]
+		return 0, err
+	}
+	return len(p), nil
 }
 
 func TestMulti(t *testing.T) {

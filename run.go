@@ -101,6 +101,12 @@ type RunConfig struct {
 	// ("t=… deliver v -> u ch=c"). Intended for tooling; it does not affect
 	// the run.
 	TraceWriter io.Writer `json:"-"`
+	// EventWriter, if non-nil, receives the full engine event stream —
+	// deliveries, transmissions, collisions, idle listens, frame
+	// boundaries — as NDJSON (one trace.Event per line), the format
+	// consumed by cmd/ndtrace. It does not affect the run. Write failures
+	// surface as an error after the run completes.
+	EventWriter io.Writer `json:"-"`
 }
 
 // Discovery is one entry of a node's neighbor table.
@@ -197,6 +203,9 @@ func RunTrials(n *Network, cfg RunConfig, trials int) ([]*Report, error) {
 	}
 	if cfg.TraceWriter != nil {
 		return nil, fmt.Errorf("m2hew: RunTrials does not support TraceWriter; trace individual runs with Run")
+	}
+	if cfg.EventWriter != nil {
+		return nil, fmt.Errorf("m2hew: RunTrials does not support EventWriter; concurrent trials would interleave their event logs")
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
@@ -398,10 +407,7 @@ func runSync(n *Network, cfg RunConfig, sc analytic.Scenario) (*Report, error) {
 			starts[u] = root.IntN(cfg.StartWindow)
 		}
 	}
-	var traceObs sim.Observer
-	if cfg.TraceWriter != nil {
-		traceObs = sim.TraceObserver(trace.NewWriter(cfg.TraceWriter))
-	}
+	traceObs, finishTrace := runObservers(cfg)
 	meter, err := metrics.NewEnergyMeter(n.N())
 	if err != nil {
 		return nil, fmt.Errorf("m2hew: %w", err)
@@ -419,6 +425,9 @@ func runSync(n *Network, cfg RunConfig, sc analytic.Scenario) (*Report, error) {
 		Observer:      sim.MultiObserver(traceObs, sim.EnergyObserver(meter)),
 	})
 	if err != nil {
+		return nil, fmt.Errorf("m2hew: %w", err)
+	}
+	if err := finishTrace(); err != nil {
 		return nil, fmt.Errorf("m2hew: %w", err)
 	}
 	report := &Report{
@@ -509,10 +518,7 @@ func runAsync(n *Network, cfg RunConfig, sc analytic.Scenario) (*Report, error) 
 		nodes[u] = sim.AsyncNode{Protocol: proto, Start: start, Drift: drift}
 		hold = append(hold, table)
 	}
-	var traceObs sim.Observer
-	if cfg.TraceWriter != nil {
-		traceObs = sim.TraceObserver(trace.NewWriter(cfg.TraceWriter))
-	}
+	traceObs, finishTrace := runObservers(cfg)
 	simCfg := sim.AsyncConfig{
 		Network:   n.inner,
 		Nodes:     nodes,
@@ -533,6 +539,9 @@ func runAsync(n *Network, cfg RunConfig, sc analytic.Scenario) (*Report, error) 
 		res, err = sim.RunAsync(simCfg)
 	}
 	if err != nil {
+		return nil, fmt.Errorf("m2hew: %w", err)
+	}
+	if err := finishTrace(); err != nil {
 		return nil, fmt.Errorf("m2hew: %w", err)
 	}
 	report := &Report{
@@ -575,6 +584,35 @@ func tablesOf(n *Network, hold []interface{ Neighbors() *core.NeighborTable }) [
 	}
 	_ = n
 	return tables
+}
+
+// runObservers builds the optional trace observers of one run — the
+// human-readable reception trace (TraceWriter) and the full NDJSON event
+// log (EventWriter) — plus a finish function surfacing the writers' sticky
+// errors once the run is over.
+func runObservers(cfg RunConfig) (sim.Observer, func() error) {
+	var (
+		obs      sim.Observer
+		finalize []func() error
+	)
+	if cfg.TraceWriter != nil {
+		w := trace.NewWriter(cfg.TraceWriter)
+		obs = sim.MultiObserver(obs, sim.TraceObserver(w))
+		finalize = append(finalize, w.Err)
+	}
+	if cfg.EventWriter != nil {
+		jw := trace.NewJSONWriter(cfg.EventWriter)
+		obs = sim.MultiObserver(obs, sim.EventTraceObserver(jw))
+		finalize = append(finalize, jw.Err)
+	}
+	return obs, func() error {
+		for _, f := range finalize {
+			if err := f(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 }
 
 // nextPow2 returns the smallest power of two ≥ x (and ≥ 2).
