@@ -1,15 +1,18 @@
 // Command ndperf measures engine throughput on the canonical benchmark
-// scenario (the 30-node geometric network of internal/sim's benchmarks) and
+// scenarios (the geometric networks of internal/sim's benchmarks) and
 // writes a machine-readable snapshot to BENCH_3.json: ns per operation, ns
 // per resolved slot, allocations, and delivery throughput for the
-// synchronous and both asynchronous engines. `make bench` refreshes the
+// synchronous and both asynchronous engines, plus steady-state rows that
+// reuse one sim scratch across runs (the trial-loop configuration) and
+// large-n rows (200-node sync, 100-node async). `make bench` refreshes the
 // committed snapshot; CI runs it as a smoke and uploads the artifact, so a
 // hot-path regression shows up as a diff instead of an anecdote.
 //
 // The workloads mirror BenchmarkRunSync / BenchmarkRunAsync /
-// BenchmarkRunAsyncOnline exactly (same topology seed, protocol seeds, and
-// horizons) with one addition: a counting observer tallies deliveries so
-// throughput can be reported per second of engine time.
+// BenchmarkRunAsyncOnline and their Scratch / large-n variants exactly
+// (same topology seeds, protocol seeds, and horizons) with one addition: a
+// counting observer tallies deliveries so throughput can be reported per
+// second of engine time.
 package main
 
 import (
@@ -70,11 +73,19 @@ func run(out, metricsPath, cpuProf, memProf string) (retErr error) {
 			retErr = err
 		}
 	}()
-	nw, err := benchNetwork()
+	nw, err := benchNetworkN(30, 0.35)
 	if err != nil {
 		return err
 	}
 	params := nw.ComputeParams()
+	nw200, err := benchNetworkN(200, 0.12)
+	if err != nil {
+		return err
+	}
+	nw100, err := benchNetworkN(100, 0.16)
+	if err != nil {
+		return err
+	}
 
 	var (
 		reg *telemetry.Registry
@@ -85,13 +96,26 @@ func run(out, metricsPath, cpuProf, memProf string) (retErr error) {
 		// The fixed 30-node scenario makes per-node latency series meaningful.
 		agg = telemetry.NewAggregate(reg, telemetry.PerNodeLatency(nw.N()))
 	}
+	recycling := func() *sim.AsyncScratch {
+		sc := sim.NewAsyncScratch()
+		// Safe here: no row reads result Timelines after the next run.
+		sc.RecycleTimelines = true
+		return sc
+	}
 	rows := []benchRow{
-		benchSync(nw, params.Delta, agg),
-		benchAsync("RunAsync", sim.RunAsync, nw, params.Delta, agg),
-		benchAsync("RunAsyncOnline", sim.RunAsyncOnline, nw, params.Delta, agg),
+		benchSync("RunSync", nw, params.Delta, 2000, nil, agg),
+		benchAsync("RunAsync", sim.RunAsync, nw, params.Delta, 800, nil, agg),
+		benchAsync("RunAsyncOnline", sim.RunAsyncOnline, nw, params.Delta, 800, nil, agg),
+		// Steady state: one scratch reused across runs, the per-worker trial
+		// loop configuration. The gap to the rows above is the reuse saving.
+		benchSync("RunSyncScratch", nw, params.Delta, 2000, sim.NewSyncScratch(), agg),
+		benchAsync("RunAsyncScratch", sim.RunAsync, nw, params.Delta, 800, recycling(), agg),
+		// Large-n regime (shorter horizons keep wall time comparable).
+		benchSync("RunSyncN200", nw200, nw200.ComputeParams().Delta, 500, sim.NewSyncScratch(), nil),
+		benchAsync("RunAsyncN100", sim.RunAsync, nw100, nw100.ComputeParams().Delta, 200, recycling(), nil),
 	}
 	doc := snapshot{
-		Scenario:   "GeometricConnected(n=30, r=0.35, seed=1) + AssignUniformK(8,4); SyncUniform 2000 slots / Async 800 frames of 3 slots",
+		Scenario:   "GeometricConnected(seed=1) + AssignUniformK(8,4); base n=30 r=0.35 (SyncUniform 2000 slots / Async 800 frames of 3 slots); large-n rows n=200 r=0.12 (500 slots) and n=100 r=0.16 (200 frames); Scratch rows reuse one sim scratch across runs",
 		Notes:      "timings are machine-dependent; compare ratios across commits, not absolute values. slots_per_op is global slots (sync) or per-node local slots (async).",
 		Benchmarks: rows,
 	}
@@ -140,10 +164,11 @@ func teleObserver(agg *telemetry.Aggregate, nw *topology.Network) sim.Observer {
 	return agg.TrialObserver(nw.N(), channels)
 }
 
-// benchNetwork rebuilds the benchmark topology of internal/sim/bench_test.go.
-func benchNetwork() (*topology.Network, error) {
+// benchNetworkN rebuilds the benchmark topologies of
+// internal/sim/bench_test.go.
+func benchNetworkN(n int, radius float64) (*topology.Network, error) {
 	r := rng.New(1)
-	nw, err := topology.GeometricConnected(30, 0.35, r, 100)
+	nw, err := topology.GeometricConnected(n, radius, r, 100)
 	if err != nil {
 		return nil, err
 	}
@@ -153,8 +178,7 @@ func benchNetwork() (*topology.Network, error) {
 	return nw, nil
 }
 
-func benchSync(nw *topology.Network, deltaEst int, agg *telemetry.Aggregate) benchRow {
-	const maxSlots = 2000
+func benchSync(name string, nw *topology.Network, deltaEst, maxSlots int, scratch *sim.SyncScratch, agg *telemetry.Aggregate) benchRow {
 	var deliveries, slots int64
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -175,6 +199,7 @@ func benchSync(nw *topology.Network, deltaEst int, agg *telemetry.Aggregate) ben
 				Protocols:     protos,
 				MaxSlots:      maxSlots,
 				RunToMaxSlots: true,
+				Scratch:       scratch,
 				Observer: sim.MultiObserver(sim.ObserverFunc(func(e sim.Event) {
 					if e.Kind == sim.EventDeliver {
 						deliveries++
@@ -190,13 +215,12 @@ func benchSync(nw *topology.Network, deltaEst int, agg *telemetry.Aggregate) ben
 			slots += int64(r.SlotsSimulated)
 		}
 	})
-	return row("RunSync", res, deliveries, float64(slots)/float64(res.N))
+	return row(name, res, deliveries, float64(slots)/float64(res.N))
 }
 
-func benchAsync(name string, engine func(sim.AsyncConfig) (*sim.AsyncResult, error), nw *topology.Network, deltaEst int, agg *telemetry.Aggregate) benchRow {
+func benchAsync(name string, engine func(sim.AsyncConfig) (*sim.AsyncResult, error), nw *topology.Network, deltaEst, maxFrames int, scratch *sim.AsyncScratch, agg *telemetry.Aggregate) benchRow {
 	const (
 		frameLen      = 3.0
-		maxFrames     = 800
 		slotsPerFrame = 3
 	)
 	var deliveries int64
@@ -223,6 +247,7 @@ func benchAsync(name string, engine func(sim.AsyncConfig) (*sim.AsyncResult, err
 				Nodes:     nodes,
 				FrameLen:  frameLen,
 				MaxFrames: maxFrames,
+				Scratch:   scratch,
 				Observer: sim.MultiObserver(sim.ObserverFunc(func(e sim.Event) {
 					if e.Kind == sim.EventDeliver {
 						deliveries++
@@ -236,7 +261,7 @@ func benchAsync(name string, engine func(sim.AsyncConfig) (*sim.AsyncResult, err
 			}
 		}
 	})
-	return row(name, res, deliveries, maxFrames*slotsPerFrame)
+	return row(name, res, deliveries, float64(maxFrames*slotsPerFrame))
 }
 
 // row folds a benchmark result and its delivery tally into one record. The

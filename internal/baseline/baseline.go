@@ -98,7 +98,7 @@ func (p *UniversalBirthday) Step(localSlot int) radio.Action {
 
 // Deliver records a clear message.
 func (p *UniversalBirthday) Deliver(msg radio.Message) {
-	p.table.Record(msg.From, msg.Avail.Intersect(p.avail))
+	p.table.RecordIntersect(msg.From, msg.Avail, p.avail)
 }
 
 // Neighbors returns the discovery output.
@@ -163,7 +163,7 @@ func (p *DeterministicRoundRobin) Step(localSlot int) radio.Action {
 
 // Deliver records a clear message.
 func (p *DeterministicRoundRobin) Deliver(msg radio.Message) {
-	p.table.Record(msg.From, msg.Avail.Intersect(p.avail))
+	p.table.RecordIntersect(msg.From, msg.Avail, p.avail)
 }
 
 // Neighbors returns the discovery output.

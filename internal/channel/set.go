@@ -14,7 +14,6 @@ package channel
 import (
 	"fmt"
 	"math/bits"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -56,10 +55,27 @@ func (s *Set) Add(c ID) {
 		panic(fmt.Sprintf("channel: Add(%d): negative channel id", c))
 	}
 	w := int(c) / 64
-	for len(s.words) <= w {
-		s.words = append(s.words, 0)
+	if w >= len(s.words) {
+		s.words = growWords(s.words, w+1)
 	}
 	s.words[w] |= 1 << (uint(c) % 64)
+}
+
+// growWords extends words to length n (n > len(words)), reusing capacity when
+// available and growing once — never one element per append — otherwise. The
+// extension is always zeroed: reused capacity may hold stale words from a
+// previous, larger use of the same backing array.
+func growWords(words []uint64, n int) []uint64 {
+	if cap(words) >= n {
+		ext := words[:n]
+		for i := len(words); i < n; i++ {
+			ext[i] = 0
+		}
+		return ext
+	}
+	grown := make([]uint64, n)
+	copy(grown, words)
+	return grown
 }
 
 // Remove deletes channel c if present.
@@ -214,6 +230,69 @@ func (s Set) IntersectionSubsetOf(t, w Set) bool {
 	return true
 }
 
+// IntersectInto returns s ∩ t, storing the result in dst's backing array —
+// an in-place Intersect for receive paths that must not allocate at steady
+// state. The backing array is grown once if too small; dst may alias s or t
+// (every word is written exactly once, element-wise). Use as with append:
+//
+//	buf = a.IntersectInto(b, buf)
+func (s Set) IntersectInto(t, dst Set) Set {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	words := dst.words
+	if cap(words) < n {
+		words = make([]uint64, n)
+	}
+	words = words[:n]
+	for i := 0; i < n; i++ {
+		words[i] = s.words[i] & t.words[i]
+	}
+	return Set{words: words}
+}
+
+// UnionInto returns s ∪ t, storing the result in dst's backing array (grown
+// once if too small). dst may alias s or t. Use as with append:
+//
+//	buf = a.UnionInto(b, buf)
+func (s Set) UnionInto(t, dst Set) Set {
+	n := len(s.words)
+	if len(t.words) > n {
+		n = len(t.words)
+	}
+	words := dst.words
+	if cap(words) < n {
+		words = make([]uint64, n)
+	}
+	words = words[:n]
+	for i := range words {
+		var sw, tw uint64
+		if i < len(s.words) {
+			sw = s.words[i]
+		}
+		if i < len(t.words) {
+			tw = t.words[i]
+		}
+		words[i] = sw | tw
+	}
+	return Set{words: words}
+}
+
+// CopyInto returns a copy of s stored in dst's backing array (grown once if
+// too small) — Clone without the per-call allocation. Use as with append:
+//
+//	buf = s.CopyInto(buf)
+func (s Set) CopyInto(dst Set) Set {
+	words := dst.words
+	if cap(words) < len(s.words) {
+		words = make([]uint64, len(s.words))
+	}
+	words = words[:len(s.words)]
+	copy(words, s.words)
+	return Set{words: words}
+}
+
 // Intersects reports whether s ∩ t is non-empty without allocating.
 func (s Set) Intersects(t Set) bool {
 	n := len(s.words)
@@ -330,7 +409,8 @@ func RandomSubset(universe Set, k int, r *rng.Source) (Set, error) {
 		return Set{}, fmt.Errorf("channel: subset of size %d from universe of %d", k, len(ids))
 	}
 	r.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
-	sub := ids[:k]
-	sort.Slice(sub, func(i, j int) bool { return sub[i] < sub[j] })
-	return NewSet(sub...), nil
+	// No sort: NewSet is order-insensitive, so ordering the chosen IDs first
+	// was dead work (and drew no randomness, so dropping it leaves the rng
+	// stream — and therefore every seeded network — unchanged).
+	return NewSet(ids[:k]...), nil
 }

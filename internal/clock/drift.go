@@ -104,6 +104,44 @@ func (w *RandomWalk) Rate(k int) float64 {
 // Bound implements DriftProcess.
 func (w *RandomWalk) Bound() float64 { return w.Delta }
 
+// ReserveSlots pre-sizes the rate memo for at least n slots so the lazy walk
+// in Rate appends into existing capacity instead of growing by doubling.
+// Already-materialized rates are preserved, so the process still returns the
+// same value for every previously-queried slot. Engines that know their frame
+// budget discover this method via a type assertion.
+func (w *RandomWalk) ReserveSlots(n int) {
+	if cap(w.rates) >= n {
+		return
+	}
+	rates := make([]float64, len(w.rates), n)
+	copy(rates, w.rates)
+	w.rates = rates
+}
+
+// AdoptRateBuf hands the walk a recycled backing array for its rate memo.
+// Materialized rates (if any) are copied over, so the process keeps
+// returning the same value for every previously-queried slot; a buffer no
+// larger than the current capacity is ignored. Engine scratch that pools
+// rate buffers across trials discovers this method via a type assertion.
+func (w *RandomWalk) AdoptRateBuf(buf []float64) {
+	if cap(buf) <= cap(w.rates) {
+		return
+	}
+	w.rates = append(buf[:0], w.rates...)
+}
+
+// ReleaseRateBuf detaches and returns the rate memo's backing array so a
+// pool can hand it to the next trial's walk. The walk must not be queried
+// afterwards: the memo is gone but the rng stream has advanced, so a later
+// Rate call would materialize different values. Engines call this at the
+// end of a run under the same caller contract that permits timeline
+// recycling (no reads of a prior run's drifts after the next run starts).
+func (w *RandomWalk) ReleaseRateBuf() []float64 {
+	buf := w.rates
+	w.rates = nil
+	return buf
+}
+
 // Sinusoidal is a drift process oscillating as δ·sin(2πk/Period + Phase),
 // modeling slow periodic drift such as thermal cycling.
 type Sinusoidal struct {

@@ -51,6 +51,50 @@ func NewTimeline(start, frameLen float64, slotsPerFrame int, drift DriftProcess)
 	}, nil
 }
 
+// Reset re-initializes the timeline in place with new parameters, keeping the
+// boundary cache's backing array — NewTimeline without the per-trial
+// allocations, for engine scratch that recycles timelines across trials. The
+// same validation as NewTimeline applies.
+func (t *Timeline) Reset(start, frameLen float64, slotsPerFrame int, drift DriftProcess) error {
+	if frameLen <= 0 {
+		return fmt.Errorf("clock: frame length %v must be positive", frameLen)
+	}
+	if slotsPerFrame <= 0 {
+		return fmt.Errorf("clock: %d slots per frame must be positive", slotsPerFrame)
+	}
+	if drift == nil {
+		drift = Ideal
+	}
+	if err := validateBound(drift.Bound()); err != nil {
+		return err
+	}
+	t.start = start
+	t.frameLen = frameLen
+	t.slotsPerFrame = slotsPerFrame
+	t.drift = drift
+	if cap(t.bounds) == 0 {
+		t.bounds = []float64{start}
+	} else {
+		t.bounds = t.bounds[:1]
+		t.bounds[0] = start
+	}
+	return nil
+}
+
+// Reserve pre-sizes the boundary cache for at least slots slot boundaries, so
+// subsequent lazy extension appends into existing capacity instead of growing
+// the array by doubling. Engines that know their frame budget call this once
+// per run.
+func (t *Timeline) Reserve(slots int) {
+	need := slots + 1 // bounds holds slot starts plus the final end boundary
+	if cap(t.bounds) >= need {
+		return
+	}
+	bounds := make([]float64, len(t.bounds), need)
+	copy(bounds, t.bounds)
+	t.bounds = bounds
+}
+
 // Start returns the real time at which the timeline begins.
 func (t *Timeline) Start() float64 { return t.start }
 

@@ -42,13 +42,62 @@ import (
 
 // NeighborTable is the output of neighbor discovery at one node: for every
 // discovered neighbor, the channels shared with it (A(v) ∩ A(u)).
+//
+// Node IDs are dense indexes (topology guarantees 0..N-1), so the table is a
+// slice indexed by NodeID plus a discovered-ID list instead of a map: Record
+// and the engines' delivery hot path touch one slot by index, re-recording a
+// known neighbor allocates nothing, and no map iteration order can leak into
+// results.
 type NeighborTable struct {
-	entries map[topology.NodeID]channel.Set
+	common []channel.Set // indexed by NodeID; meaningful iff has[v]
+	has    []bool
+	ids    []topology.NodeID // discovered IDs in discovery order
 }
 
 // NewNeighborTable returns an empty table.
 func NewNeighborTable() *NeighborTable {
-	return &NeighborTable{entries: make(map[topology.NodeID]channel.Set)}
+	return &NeighborTable{}
+}
+
+// grow extends the dense storage to cover v. Negative IDs are rejected with
+// a panic because node IDs are dense non-negative by construction; a
+// negative ID is a bug, never a data condition.
+func (t *NeighborTable) grow(v topology.NodeID) {
+	if v < 0 {
+		panic(fmt.Sprintf("core: NeighborTable: negative node id %d", v))
+	}
+	need := int(v) + 1
+	if need <= len(t.has) {
+		return
+	}
+	// Grow both slices once to the target length (amortized via append-style
+	// doubling so sequential discoveries don't reallocate per neighbor). The
+	// extension is zeroed: the slices never shrink, so spare capacity has
+	// never held live entries.
+	if cap(t.has) < need {
+		has := make([]bool, need, growCap(need, cap(t.has)))
+		copy(has, t.has)
+		t.has = has
+		common := make([]channel.Set, need, cap(t.has))
+		copy(common, t.common)
+		t.common = common
+		return
+	}
+	t.has = t.has[:need]
+	t.common = t.common[:need]
+}
+
+// growCap doubles the current capacity until it covers need, floored at a
+// small minimum so the first discovery doesn't trigger a resize cascade.
+func growCap(need, cur int) int {
+	c := cur
+	if c < 8 {
+		c = 8
+	}
+	for c < need {
+		c *= 2
+	}
+	return c
 }
 
 // Record stores neighbor v with the given common channel set. Re-recording a
@@ -56,38 +105,59 @@ func NewNeighborTable() *NeighborTable {
 // carry identical sets, so the union is a no-op there, but it keeps the table
 // monotone under the unreliable-channel extension.
 func (t *NeighborTable) Record(v topology.NodeID, common channel.Set) {
-	if existing, ok := t.entries[v]; ok {
-		if common.SubsetOf(existing) {
+	t.grow(v)
+	if t.has[v] {
+		if common.SubsetOf(t.common[v]) {
 			return // nothing new: the union would rebuild an equal set
 		}
-		t.entries[v] = existing.Union(common)
+		t.common[v] = t.common[v].UnionInto(common, t.common[v])
 		return
 	}
-	t.entries[v] = common.Clone()
+	t.has[v] = true
+	t.ids = append(t.ids, v)
+	t.common[v] = common.CopyInto(t.common[v])
+}
+
+// RecordIntersect records neighbor v with a ∩ b, computing the intersection
+// directly into the table's entry storage — the zero-allocation (at steady
+// state) form of Record(v, a.Intersect(b)) used by the delivery hot path.
+func (t *NeighborTable) RecordIntersect(v topology.NodeID, a, b channel.Set) {
+	t.grow(v)
+	if t.has[v] {
+		if a.IntersectionSubsetOf(b, t.common[v]) {
+			return // nothing new
+		}
+		// Rare monotone-extension path (a payload adding channels); keep the
+		// simple allocating union rather than a third in-place primitive.
+		t.common[v] = t.common[v].Union(a.Intersect(b))
+		return
+	}
+	t.has[v] = true
+	t.ids = append(t.ids, v)
+	t.common[v] = a.IntersectInto(b, t.common[v])
 }
 
 // Common returns the recorded common channel set with v and whether v has
 // been discovered.
 func (t *NeighborTable) Common(v topology.NodeID) (channel.Set, bool) {
-	s, ok := t.entries[v]
-	return s, ok
+	if v < 0 || int(v) >= len(t.has) || !t.has[v] {
+		return channel.Set{}, false
+	}
+	return t.common[v], true
 }
 
 // Has reports whether v has been discovered.
 func (t *NeighborTable) Has(v topology.NodeID) bool {
-	_, ok := t.entries[v]
-	return ok
+	return v >= 0 && int(v) < len(t.has) && t.has[v]
 }
 
 // Len returns the number of discovered neighbors.
-func (t *NeighborTable) Len() int { return len(t.entries) }
+func (t *NeighborTable) Len() int { return len(t.ids) }
 
 // Neighbors returns the discovered neighbor IDs in ascending order.
 func (t *NeighborTable) Neighbors() []topology.NodeID {
-	ids := make([]topology.NodeID, 0, len(t.entries))
-	for v := range t.entries {
-		ids = append(ids, v)
-	}
+	ids := make([]topology.NodeID, len(t.ids))
+	copy(ids, t.ids)
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
@@ -115,11 +185,7 @@ func newNode(avail channel.Set, r *rng.Source) (node, error) {
 // table untouched without materializing the intersection; engines deliver
 // the same link many times per run, so this path must not allocate.
 func (n *node) deliver(msg radio.Message) {
-	if existing, ok := n.table.Common(msg.From); ok &&
-		msg.Avail.IntersectionSubsetOf(n.avail, existing) {
-		return
-	}
-	n.table.Record(msg.From, msg.Avail.Intersect(n.avail))
+	n.table.RecordIntersect(msg.From, msg.Avail, n.avail)
 }
 
 // chooseAction draws the slot/frame action used by every algorithm: a

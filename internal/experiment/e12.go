@@ -51,7 +51,7 @@ func E12(opts Options) (*Table, error) {
 		// Each trial's protocols and loss model draw from root in the
 		// sequential setup phase, in trial order; the lossy engine runs —
 		// which consume only the per-trial loss source — parallelize.
-		slots, err := harness.Trials(opts.Trials,
+		slots, err := harness.TrialsScratch(opts.Trials,
 			func(int) (sim.SyncConfig, error) {
 				protos := make([]sim.SyncProtocol, nw.N())
 				for u := 0; u < nw.N(); u++ {
@@ -76,7 +76,8 @@ func E12(opts Options) (*Table, error) {
 					Loss:      loss,
 				}, nil
 			},
-			func(_ int, cfg sim.SyncConfig) (float64, error) {
+			func(_ int, cfg sim.SyncConfig, sc *harness.Scratch) (float64, error) {
+				cfg.Scratch = sc.Sync()
 				res, err := sim.RunSync(cfg)
 				if err != nil {
 					return 0, err

@@ -55,7 +55,7 @@ func E14(opts Options) (*Table, error) {
 		type trialStats struct {
 			recall, active, stopped float64
 		}
-		stats, err := harness.Trials(opts.Trials,
+		stats, err := harness.TrialsScratch(opts.Trials,
 			func(int) ([]*core.SyncTerminating, error) {
 				wrappers := make([]*core.SyncTerminating, nw.N())
 				for u := 0; u < nw.N(); u++ {
@@ -71,7 +71,7 @@ func E14(opts Options) (*Table, error) {
 				}
 				return wrappers, nil
 			},
-			func(_ int, wrappers []*core.SyncTerminating) (trialStats, error) {
+			func(_ int, wrappers []*core.SyncTerminating, sc *harness.Scratch) (trialStats, error) {
 				protos := make([]sim.SyncProtocol, len(wrappers))
 				for u, w := range wrappers {
 					protos[u] = w
@@ -81,6 +81,7 @@ func E14(opts Options) (*Table, error) {
 					Protocols:     protos,
 					MaxSlots:      horizon,
 					RunToMaxSlots: true, // completion isn't the stop signal here
+					Scratch:       sc.Sync(),
 				})
 				if err != nil {
 					return trialStats{}, err

@@ -66,8 +66,9 @@ func E17(opts Options) (*Table, error) {
 
 	// Each variant is split into a build phase (all root-stream splits,
 	// executed sequentially per trial by the harness) and the returned run
-	// closure (engine execution, parallel on the pool).
-	type preparedRun = func() ([]metrics.CurvePoint, bool, error)
+	// closure (engine execution, parallel on the pool, on the worker's
+	// scratch).
+	type preparedRun = func(sc *harness.Scratch) ([]metrics.CurvePoint, bool, error)
 	type variant struct {
 		label string
 		build func(seed *rng.Source) (preparedRun, error)
@@ -81,8 +82,8 @@ func E17(opts Options) (*Table, error) {
 			}
 			protos[u] = p
 		}
-		return func() ([]metrics.CurvePoint, bool, error) {
-			res, err := sim.RunSync(sim.SyncConfig{Network: nw, Protocols: protos, MaxSlots: 100000})
+		return func(sc *harness.Scratch) ([]metrics.CurvePoint, bool, error) {
+			res, err := sim.RunSync(sim.SyncConfig{Network: nw, Protocols: protos, MaxSlots: 100000, Scratch: sc.Sync()})
 			if err != nil {
 				return nil, false, err
 			}
@@ -118,9 +119,10 @@ func E17(opts Options) (*Table, error) {
 				}
 				nodes[u] = sim.AsyncNode{Protocol: p, Drift: drift}
 			}
-			return func() ([]metrics.CurvePoint, bool, error) {
+			return func(sc *harness.Scratch) ([]metrics.CurvePoint, bool, error) {
 				res, err := sim.RunAsync(sim.AsyncConfig{
 					Network: nw, Nodes: nodes, FrameLen: e4FrameLen, MaxFrames: 30000,
+					Scratch: sc.Async(),
 				})
 				if err != nil {
 					return nil, false, err
@@ -137,12 +139,12 @@ func E17(opts Options) (*Table, error) {
 	}
 
 	for _, v := range variants {
-		trialQuants, err := harness.Trials(opts.Trials,
+		trialQuants, err := harness.TrialsScratch(opts.Trials,
 			func(int) (preparedRun, error) {
 				return v.build(root)
 			},
-			func(trial int, job preparedRun) ([4]float64, error) {
-				curve, complete, err := job()
+			func(trial int, job preparedRun, sc *harness.Scratch) ([4]float64, error) {
+				curve, complete, err := job(sc)
 				if err != nil {
 					return [4]float64{}, err
 				}

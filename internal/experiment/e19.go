@@ -74,7 +74,7 @@ func E19(opts Options) (*Table, error) {
 		// the harness: built sequentially (root splits in trial order), run
 		// and inspected on the pool.
 		type ackTimes struct{ tIn, tAck float64 }
-		times, err := harness.Trials(opts.Trials,
+		times, err := harness.TrialsScratch(opts.Trials,
 			func(int) ([]*core.Acknowledging, error) {
 				wrappers := make([]*core.Acknowledging, nw.N())
 				for u := 0; u < nw.N(); u++ {
@@ -90,7 +90,7 @@ func E19(opts Options) (*Table, error) {
 				}
 				return wrappers, nil
 			},
-			func(_ int, wrappers []*core.Acknowledging) (ackTimes, error) {
+			func(_ int, wrappers []*core.Acknowledging, sc *harness.Scratch) (ackTimes, error) {
 				protos := make([]sim.SyncProtocol, len(wrappers))
 				for u, w := range wrappers {
 					protos[u] = w
@@ -104,6 +104,7 @@ func E19(opts Options) (*Table, error) {
 					Protocols:     protos,
 					MaxSlots:      maxSlots,
 					RunToMaxSlots: true,
+					Scratch:       sc.Sync(),
 					Observer: sim.DeliverObserver(func(at float64, from, to topology.NodeID, _ channel.ID) {
 						// The receiver `to` may have just confirmed its
 						// out-link to `from`.

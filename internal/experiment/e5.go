@@ -77,10 +77,10 @@ func E5(opts Options) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("E5 async: %w", err)
 		}
-		jobs := []func() (float64, error){syncJob, asyncJob}
+		jobs := []func(*harness.Scratch) (float64, error){syncJob, asyncJob}
 		freqs := make([]float64, len(jobs))
-		if err := harness.Run(len(jobs), func(i int) error {
-			f, err := jobs[i]()
+		if err := harness.RunScratch(len(jobs), func(i int, sc *harness.Scratch) error {
+			f, err := jobs[i](sc)
 			if err != nil {
 				return err
 			}
@@ -106,7 +106,7 @@ func E5(opts Options) (*Table, error) {
 // e5SyncJob prepares a run measuring the fraction of Algorithm 1 stages in
 // which the link (1 → hub 0) is covered. Protocol construction (and hence
 // all root-stream consumption) happens before the returned job runs.
-func e5SyncJob(nw *topology.Network, deltaEst, stages int, root *rng.Source) (func() (float64, error), error) {
+func e5SyncJob(nw *topology.Network, deltaEst, stages int, root *rng.Source) (func(*harness.Scratch) (float64, error), error) {
 	stageLen := core.StageLen(deltaEst)
 	protos := make([]sim.SyncProtocol, nw.N())
 	for u := 0; u < nw.N(); u++ {
@@ -116,13 +116,14 @@ func e5SyncJob(nw *topology.Network, deltaEst, stages int, root *rng.Source) (fu
 		}
 		protos[u] = p
 	}
-	return func() (float64, error) {
+	return func(sc *harness.Scratch) (float64, error) {
 		covered := make(map[int]bool, stages)
 		_, err := sim.RunSync(sim.SyncConfig{
 			Network:       nw,
 			Protocols:     protos,
 			MaxSlots:      stages * stageLen,
 			RunToMaxSlots: true,
+			Scratch:       sc.Sync(),
 			Observer: sim.DeliverObserver(func(at float64, from, to topology.NodeID, _ channel.ID) {
 				if from == 1 && to == 0 {
 					covered[int(at)/stageLen] = true
@@ -143,7 +144,7 @@ func e5SyncJob(nw *topology.Network, deltaEst, stages int, root *rng.Source) (fu
 // probability the Lemma 5 bound addresses. (Drifting clocks change which
 // pair is aligned but not the per-frame counting; the ideal-clock variant
 // keeps the estimator exact.)
-func e5AsyncJob(nw *topology.Network, deltaEst, frames int, root *rng.Source) (func() (float64, error), error) {
+func e5AsyncJob(nw *topology.Network, deltaEst, frames int, root *rng.Source) (func(*harness.Scratch) (float64, error), error) {
 	nodes := make([]sim.AsyncNode, nw.N())
 	for u := 0; u < nw.N(); u++ {
 		p, err := core.NewAsync(nw.Avail(topology.NodeID(u)), deltaEst, root.Split())
@@ -152,13 +153,14 @@ func e5AsyncJob(nw *topology.Network, deltaEst, frames int, root *rng.Source) (f
 		}
 		nodes[u] = sim.AsyncNode{Protocol: p, Drift: clock.Ideal}
 	}
-	return func() (float64, error) {
+	return func(sc *harness.Scratch) (float64, error) {
 		covered := make(map[int]bool, frames)
 		_, err := sim.RunAsync(sim.AsyncConfig{
 			Network:   nw,
 			Nodes:     nodes,
 			FrameLen:  e4FrameLen,
 			MaxFrames: frames,
+			Scratch:   sc.Async(),
 			Observer: sim.DeliverObserver(func(at float64, from, to topology.NodeID, _ channel.ID) {
 				if from == 1 && to == 0 {
 					covered[int(at/e4FrameLen)] = true

@@ -12,8 +12,8 @@ import (
 // with loss models must not share rng sources.
 func AsyncConfigs(cfgs []sim.AsyncConfig) ([]*sim.AsyncResult, error) {
 	results := make([]*sim.AsyncResult, len(cfgs))
-	err := Run(len(cfgs), func(i int) error {
-		res, err := runAsyncInstrumented(cfgs[i])
+	err := RunScratch(len(cfgs), func(i int, sc *Scratch) error {
+		res, err := runAsyncInstrumented(cfgs[i], sc)
 		if err != nil {
 			return err
 		}
@@ -26,10 +26,15 @@ func AsyncConfigs(cfgs []sim.AsyncConfig) ([]*sim.AsyncResult, error) {
 	return results, nil
 }
 
-// runAsyncInstrumented executes one asynchronous config, attaching the
-// process-wide instrument's observer (composed with any caller-supplied
-// one) when installed.
-func runAsyncInstrumented(cfg sim.AsyncConfig) (*sim.AsyncResult, error) {
+// runAsyncInstrumented executes one asynchronous config on the worker's
+// scratch, attaching the process-wide instrument's observer (composed with
+// any caller-supplied one) when installed. A caller-supplied Scratch in the
+// config wins — it carries the caller's reuse contract (e.g. timeline
+// recycling decisions).
+func runAsyncInstrumented(cfg sim.AsyncConfig, sc *Scratch) (*sim.AsyncResult, error) {
+	if cfg.Scratch == nil {
+		cfg.Scratch = sc.Async()
+	}
 	ins := CurrentInstrument()
 	var obs sim.Observer
 	if ins != nil && cfg.Network != nil {
@@ -51,8 +56,8 @@ func runAsyncInstrumented(cfg sim.AsyncConfig) (*sim.AsyncResult, error) {
 // and protocol randomness from a shared root source) and the resulting
 // configs execute on the worker pool. Results are in trial order.
 func AsyncTrials(trials int, build func(trial int) (sim.AsyncConfig, error)) ([]*sim.AsyncResult, error) {
-	return Trials(trials, build,
-		func(_ int, cfg sim.AsyncConfig) (*sim.AsyncResult, error) {
-			return runAsyncInstrumented(cfg)
+	return TrialsScratch(trials, build,
+		func(_ int, cfg sim.AsyncConfig, sc *Scratch) (*sim.AsyncResult, error) {
+			return runAsyncInstrumented(cfg, sc)
 		})
 }

@@ -37,6 +37,17 @@ import (
 // additionally reports its queue delay and wall time; with none installed
 // the pipeline never reads the wall clock.
 func Run(n int, fn func(i int) error) error {
+	return RunScratch(n, func(i int, _ *Scratch) error { return fn(i) })
+}
+
+// RunScratch is Run with a per-worker engine scratch: each worker goroutine
+// creates one Scratch and hands it to every item it executes, so consecutive
+// trials on the same worker reuse engine buffers instead of re-allocating
+// them. The scratch never crosses goroutines and lives only for this call —
+// the split-then-fork contract already gives each worker exclusive state, so
+// reuse cannot perturb rng streams, trial order, or results (engines are
+// byte-identical with or without scratch).
+func RunScratch(n int, fn func(i int, sc *Scratch) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -55,6 +66,7 @@ func Run(n int, fn func(i int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := new(Scratch) // worker-private; never escapes this goroutine
 			for {
 				// The stop check precedes the index grab so that every
 				// dispensed index is executed: indexes are dispensed
@@ -68,7 +80,7 @@ func Run(n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := fn(i, sc); err != nil {
 					errs[i] = err
 					stop.Store(true)
 					return
@@ -92,6 +104,15 @@ func Run(n int, fn func(i int) error) error {
 // error the lowest-indexed failure is returned (from either phase; a setup
 // error aborts before any worker starts).
 func Trials[J, R any](trials int, setup func(trial int) (J, error), run func(trial int, job J) (R, error)) ([]R, error) {
+	return TrialsScratch(trials, setup,
+		func(trial int, job J, _ *Scratch) (R, error) { return run(trial, job) })
+}
+
+// TrialsScratch is Trials with the per-worker engine scratch threaded into
+// the run phase (see RunScratch). Experiments whose run function calls an
+// engine directly pass the scratch into the engine config; everything about
+// ordering, determinism and error reporting is identical to Trials.
+func TrialsScratch[J, R any](trials int, setup func(trial int) (J, error), run func(trial int, job J, sc *Scratch) (R, error)) ([]R, error) {
 	jobs := make([]J, trials)
 	for trial := 0; trial < trials; trial++ {
 		j, err := setup(trial)
@@ -101,8 +122,8 @@ func Trials[J, R any](trials int, setup func(trial int) (J, error), run func(tri
 		jobs[trial] = j
 	}
 	results := make([]R, trials)
-	err := Run(trials, func(i int) error {
-		r, err := run(i, jobs[i])
+	err := RunScratch(trials, func(i int, sc *Scratch) error {
+		r, err := run(i, jobs[i], sc)
 		if err != nil {
 			return err
 		}

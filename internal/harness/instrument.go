@@ -62,15 +62,15 @@ func CurrentInstrument() Instrument {
 // instrumented wraps fn with per-item timing when an instrument is
 // installed; with none installed it returns fn untouched, so the pipeline
 // never reads the wall clock in the default configuration.
-func instrumented(fn func(i int) error) func(i int) error {
+func instrumented(fn func(i int, sc *Scratch) error) func(i int, sc *Scratch) error {
 	ins := CurrentInstrument()
 	if ins == nil {
 		return fn
 	}
 	start := time.Now()
-	return func(i int) error {
+	return func(i int, sc *Scratch) error {
 		picked := time.Now()
-		err := fn(i)
+		err := fn(i, sc)
 		ins.ObserveRun(i, picked.Sub(start), time.Since(picked))
 		return err
 	}

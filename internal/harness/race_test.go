@@ -115,6 +115,78 @@ func TestAsyncConfigsWorkStealingRace(t *testing.T) {
 	}
 }
 
+// TestScratchSeamWorkStealingRace stresses the per-worker scratch seam
+// directly: far more trials than workers, each worker's Scratch reused
+// across every trial it steals, alternating between both engines so the
+// lazily-built sync and async scratches coexist on one Scratch. Under
+// split-then-fork the scratch must be invisible: a rerun at the same seed
+// must reproduce every completion figure exactly, whatever the
+// interleaving.
+func TestScratchSeamWorkStealingRace(t *testing.T) {
+	nw, factory := syncFixture(t)
+	const trials = 48
+	run := func(seed uint64) []float64 {
+		t.Helper()
+		root := rng.New(seed)
+		syncProtos := make([][]sim.SyncProtocol, trials)
+		asyncNodes := make([][]sim.AsyncNode, trials)
+		for i := 0; i < trials; i++ {
+			if i%2 == 0 {
+				protos := make([]sim.SyncProtocol, nw.N())
+				for u := 0; u < nw.N(); u++ {
+					p, err := factory(topology.NodeID(u), root.Split())
+					if err != nil {
+						t.Fatalf("building protocol: %v", err)
+					}
+					protos[u] = p
+				}
+				syncProtos[i] = protos
+			} else {
+				nodes := make([]sim.AsyncNode, nw.N())
+				for u := 0; u < nw.N(); u++ {
+					p, err := core.NewAsync(nw.Avail(topology.NodeID(u)), 8, root.Split())
+					if err != nil {
+						t.Fatalf("building protocol: %v", err)
+					}
+					nodes[u] = sim.AsyncNode{Protocol: p, Start: float64(u) * 0.1}
+				}
+				asyncNodes[i] = nodes
+			}
+		}
+		out := make([]float64, trials)
+		if err := RunScratch(trials, func(i int, sc *Scratch) error {
+			if i%2 == 0 {
+				res, err := sim.RunSync(sim.SyncConfig{
+					Network: nw, Protocols: syncProtos[i], MaxSlots: 4000, Scratch: sc.Sync(),
+				})
+				if err != nil {
+					return err
+				}
+				out[i] = float64(res.CompletionSlot)
+				return nil
+			}
+			res, err := sim.RunAsync(sim.AsyncConfig{
+				Network: nw, Nodes: asyncNodes[i], FrameLen: 1, MaxFrames: 600, Scratch: sc.Async(),
+			})
+			if err != nil {
+				return err
+			}
+			out[i] = res.CompletionTime
+			return nil
+		}); err != nil {
+			t.Fatalf("RunScratch: %v", err)
+		}
+		return out
+	}
+	got := run(33)
+	again := run(33)
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("trial %d: completion %v vs %v across reruns", i, got[i], again[i])
+		}
+	}
+}
+
 func TestAsyncTrialsMatchesAsyncConfigs(t *testing.T) {
 	nw, err := topology.Clique(5)
 	if err != nil {

@@ -17,7 +17,7 @@ type SyncFactory func(u topology.NodeID, r *rng.Source) (sim.SyncProtocol, error
 // Network must be read-only during simulation, which all topology
 // generators guarantee after construction.
 func SyncTrials(nw *topology.Network, factory SyncFactory, starts []int, maxSlots, trials int, root *rng.Source) ([]*sim.SyncResult, error) {
-	return Trials(trials,
+	return TrialsScratch(trials,
 		func(int) ([]sim.SyncProtocol, error) {
 			sources := root.SplitN(nw.N())
 			protos := make([]sim.SyncProtocol, nw.N())
@@ -30,12 +30,13 @@ func SyncTrials(nw *topology.Network, factory SyncFactory, starts []int, maxSlot
 			}
 			return protos, nil
 		},
-		func(_ int, protos []sim.SyncProtocol) (*sim.SyncResult, error) {
+		func(_ int, protos []sim.SyncProtocol, sc *Scratch) (*sim.SyncResult, error) {
 			cfg := sim.SyncConfig{
 				Network:    nw,
 				Protocols:  protos,
 				StartSlots: starts,
 				MaxSlots:   maxSlots,
+				Scratch:    sc.Sync(),
 			}
 			ins := CurrentInstrument()
 			var obs sim.Observer

@@ -34,6 +34,43 @@ func FlushSorted(pending map[int]delivery) []delivery {
 	return out
 }
 
+// scratch mirrors the engine's trial-scoped reuse buffers: a delivery
+// slice retained across runs and resliced to zero length at acquisition.
+type scratch struct {
+	deliveries []delivery
+}
+
+// FlushIntoScratch drains into the reused buffer in map order. Reuse does
+// not launder the order leak — the batch still varies run to run.
+func (sc *scratch) FlushIntoScratch(pending map[int]delivery) []delivery {
+	out := sc.deliveries[:0]
+	for _, d := range pending {
+		out = append(out, d) // want `append to out inside range over a map`
+	}
+	sc.deliveries = out[:0]
+	return out
+}
+
+// FlushScratchSorted is the engine's actual idiom: collect into the reused
+// buffer, sort by a total key, store the capacity back. Legal.
+func (sc *scratch) FlushScratchSorted(pending map[int]delivery) []delivery {
+	out := sc.deliveries[:0]
+	for _, d := range pending {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].at < out[j].at })
+	sc.deliveries = out[:0]
+	return out
+}
+
+// FlushFieldAppend appends straight to the scratch field in map order; no
+// later sort can be proven against a field, so it is flagged outright.
+func (sc *scratch) FlushFieldAppend(pending map[int]delivery) {
+	for _, d := range pending {
+		sc.deliveries = append(sc.deliveries, d) // want `append inside range over a map`
+	}
+}
+
 // CountReceivers is an order-insensitive reduction; legal.
 func CountReceivers(pending map[int]delivery) int {
 	n := 0

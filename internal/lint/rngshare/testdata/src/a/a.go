@@ -58,6 +58,37 @@ func PreSplit(src *rng.Source, workers int) {
 	wg.Wait()
 }
 
+// scratch mirrors a worker's reusable buffer bundle; a source riding
+// inside it crosses the goroutine boundary like any other field.
+type scratch struct {
+	buf []float64
+	src *rng.Source
+}
+
+func spin(*scratch) {}
+
+// ScratchShared smuggles the parent source into the worker through its
+// scratch — reuse plumbing does not make sharing safe.
+func ScratchShared(src *rng.Source) {
+	go spin(&scratch{src: src}) // want `rng source src is shared with a new goroutine`
+}
+
+// ScratchPreSplit is the harness's per-worker scratch seam: each worker
+// gets a private scratch (no source inside — reading a source-typed field
+// in the goroutine would be flagged) plus its own pre-goroutine fork.
+func ScratchPreSplit(src *rng.Source, workers int) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(sc *scratch, mine *rng.Source) {
+			defer wg.Done()
+			_ = mine.Uint64()
+			sc.buf = sc.buf[:0]
+		}(&scratch{}, src.Split())
+	}
+	wg.Wait()
+}
+
 // LocalSource builds a goroutine-private source inside the closure.
 func LocalSource() {
 	go func() {

@@ -61,6 +61,13 @@ type AsyncConfig struct {
 	// deliveries, then EventFrameResolve. Compose several consumers with
 	// MultiObserver.
 	Observer Observer
+	// Scratch, if non-nil, supplies reusable per-run state — frame tables,
+	// resolver buffers, delivery list, optionally pooled timelines — so
+	// repeated runs on one goroutine stop re-allocating it (see
+	// AsyncScratch for the ownership and network-mutation contract). Nil
+	// means the run allocates a private scratch; results are identical
+	// either way.
+	Scratch *AsyncScratch
 }
 
 // AsyncResult reports an asynchronous run.
@@ -136,45 +143,53 @@ func RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
 		slotsPerFrame = 3
 	}
 
-	// Phase 1: generate frames.
-	timelines := make([]*clock.Timeline, n)
-	frames := make([][]asyncFrame, n)
-	starts := make([][]float64, n) // frame start times for binary search
+	sc := cfg.Scratch
+	if sc == nil {
+		sc = NewAsyncScratch()
+	}
+
+	// Phase 1: generate frames. Timelines and drift memos are pre-sized to
+	// the slot budget so the lazy boundary/rate caches grow once instead of
+	// doubling their way up (values are unchanged — only capacity moves).
+	slotBudget := cfg.MaxFrames * slotsPerFrame
+	timelines := sc.timelineSlice(n)
+	frames, starts := sc.frameTables(n, cfg.MaxFrames, cfg.MaxFrames)
 	ts := 0.0
 	for u := 0; u < n; u++ {
 		nc := cfg.Nodes[u]
 		if nc.Start > ts {
 			ts = nc.Start
 		}
-		tl, err := clock.NewTimeline(nc.Start, cfg.FrameLen, slotsPerFrame, nc.Drift)
+		tl, err := sc.timelineFor(u, nc.Start, cfg.FrameLen, slotsPerFrame, nc.Drift)
 		if err != nil {
 			return nil, fmt.Errorf("sim: node %d clock: %w", u, err)
 		}
+		tl.Reserve(slotBudget)
+		if sc.RecycleTimelines {
+			// Same caller contract as timeline recycling: a prior trial's
+			// drift is never queried again, so its memo's backing array can
+			// seed this trial's walk (capacity only — the rates this walk
+			// returns are generated from its own rng as usual).
+			sc.adoptRateBuf(nc.Drift)
+		}
+		reserveDrift(nc.Drift, slotBudget)
 		timelines[u] = tl
-		frames[u] = make([]asyncFrame, cfg.MaxFrames)
-		starts[u] = make([]float64, cfg.MaxFrames)
+		fu, su := frames[u], starts[u]
 		for f := 0; f < cfg.MaxFrames; f++ {
 			a := nc.Protocol.NextFrame(f)
 			if err := a.Validate(nw.Avail(topology.NodeID(u))); err != nil {
 				return nil, fmt.Errorf("sim: node %d frame %d: %w", u, f, err)
 			}
 			fs, fe := tl.FrameInterval(f)
-			frames[u][f] = asyncFrame{start: fs, end: fe, action: a}
-			starts[u][f] = fs
+			fu[f] = asyncFrame{start: fs, end: fe, action: a}
+			su[f] = fs
 		}
 	}
 
 	// Phase 2: resolve receptions.
-	env := &asyncEnv{
-		nw:            nw,
-		cands:         nw.InboundCandidates(),
-		frames:        frames,
-		starts:        starts,
-		timelines:     timelines,
-		slotsPerFrame: slotsPerFrame,
-		loss:          cfg.Loss,
-	}
-	var deliveries []delivery
+	cands, msgAvail := sc.networkTables(nw)
+	env := sc.envFor(nw, cands, frames, starts, timelines, slotsPerFrame, cfg.Loss)
+	deliveries := sc.deliveryBuf()
 	for u := 0; u < n; u++ {
 		uid := topology.NodeID(u)
 		for f, g := range frames[u] {
@@ -206,8 +221,9 @@ func RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
 		return deliveries[i].from < deliveries[j].from
 	})
 
+	sc.deliveries = deliveries[:0] // keep any capacity the run grew
+
 	coverage := metrics.NewCoverage(nw.DiscoverableLinks())
-	msgAvail := sharedMsgAvail(nw)
 	for _, d := range deliveries {
 		msg := radio.Message{From: d.from, Avail: msgAvail[d.from]}
 		if hr, ok := cfg.Nodes[d.from].Protocol.(HeardReporter); ok {
@@ -221,6 +237,12 @@ func RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
 				From: d.from, To: d.to, Channel: d.ch,
 			})
 		}
+	}
+
+	if sc.RecycleTimelines {
+		// All timeline (and hence drift) reads for this run are done; pull
+		// the rate memos' backing arrays back for the next trial.
+		sc.reclaimRateBufs(cfg.Nodes)
 	}
 
 	result := &AsyncResult{Ts: ts, Coverage: coverage, Timelines: timelines, FrameBudget: cfg.MaxFrames}

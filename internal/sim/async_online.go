@@ -3,7 +3,6 @@ package sim
 import (
 	"fmt"
 
-	"m2hew/internal/clock"
 	"m2hew/internal/metrics"
 	"m2hew/internal/radio"
 	"m2hew/internal/topology"
@@ -41,29 +40,28 @@ func RunAsyncOnline(cfg AsyncConfig) (*AsyncResult, error) {
 		slotsPerFrame = 3
 	}
 
-	timelines := make([]*clock.Timeline, n)
-	env := &asyncEnv{
-		nw:            nw,
-		cands:         nw.InboundCandidates(),
-		frames:        make([][]asyncFrame, n),
-		starts:        make([][]float64, n),
-		timelines:     timelines,
-		slotsPerFrame: slotsPerFrame,
-		loss:          cfg.Loss,
+	sc := cfg.Scratch
+	if sc == nil {
+		sc = NewAsyncScratch()
 	}
+	slotBudget := cfg.MaxFrames * slotsPerFrame
+	timelines := sc.timelineSlice(n)
+	frames, starts := sc.frameTables(n, cfg.MaxFrames, 0) // appended to as frames generate
+	cands, msgAvail := sc.networkTables(nw)
+	env := sc.envFor(nw, cands, frames, starts, timelines, slotsPerFrame, cfg.Loss)
 	ts := 0.0
 	for u := 0; u < n; u++ {
 		nc := cfg.Nodes[u]
 		if nc.Start > ts {
 			ts = nc.Start
 		}
-		tl, err := clock.NewTimeline(nc.Start, cfg.FrameLen, slotsPerFrame, nc.Drift)
+		tl, err := sc.timelineFor(u, nc.Start, cfg.FrameLen, slotsPerFrame, nc.Drift)
 		if err != nil {
 			return nil, fmt.Errorf("sim: node %d clock: %w", u, err)
 		}
+		tl.Reserve(slotBudget)
+		reserveDrift(nc.Drift, slotBudget)
 		timelines[u] = tl
-		env.frames[u] = make([]asyncFrame, 0, cfg.MaxFrames)
-		env.starts[u] = make([]float64, 0, cfg.MaxFrames)
 	}
 
 	// generate appends node u's next frame, asking its protocol for the
@@ -86,8 +84,7 @@ func RunAsyncOnline(cfg AsyncConfig) (*AsyncResult, error) {
 	// Prime every node with its first frame. nextEnd[u] is the end time of
 	// u's oldest unresolved frame; +Inf once exhausted.
 	const inf = 1e308
-	nextEnd := make([]float64, n)
-	pending := make([]int, n) // index of the oldest unresolved frame
+	nextEnd, pending := sc.onlineBufs(n) // pending: index of the oldest unresolved frame
 	for u := 0; u < n; u++ {
 		end, ok, err := generate(u)
 		if err != nil {
@@ -101,7 +98,6 @@ func RunAsyncOnline(cfg AsyncConfig) (*AsyncResult, error) {
 	}
 
 	coverage := metrics.NewCoverage(nw.DiscoverableLinks())
-	msgAvail := sharedMsgAvail(nw)
 	result := &AsyncResult{Ts: ts, Coverage: coverage, Timelines: timelines, FrameBudget: cfg.MaxFrames}
 
 	for {

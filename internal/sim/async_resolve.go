@@ -95,7 +95,10 @@ func (env *asyncEnv) resolveFrame(uid topology.NodeID, g asyncFrame) []delivery 
 	}
 	flags := env.clearFlags(slots)
 
-	if env.seenBuf == nil {
+	// Length check, not nil check: a scratch-held env outlives one run and
+	// the next network may be larger. Stale values don't matter — the loop
+	// below resets exactly the entries the delivery pass reads.
+	if len(env.seenBuf) < env.nw.N() {
 		env.seenBuf = make([]bool, env.nw.N())
 	}
 	for _, s := range slots {

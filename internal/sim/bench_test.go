@@ -13,8 +13,17 @@ import (
 // benchmarks.
 func benchNetwork(b *testing.B) *topology.Network {
 	b.Helper()
+	return benchNetworkN(b, 30, 0.35)
+}
+
+// benchNetworkN builds an n-node connected geometric network with the same
+// channel assignment as the canonical 30-node scenario. The large-n
+// benchmarks use it to exercise the regime where per-run table construction
+// and timeline growth dominate.
+func benchNetworkN(b *testing.B, n int, radius float64) *topology.Network {
+	b.Helper()
 	r := rng.New(1)
-	nw, err := topology.GeometricConnected(30, 0.35, r, 100)
+	nw, err := topology.GeometricConnected(n, radius, r, 100)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -102,6 +111,110 @@ func BenchmarkRunAsyncOnline(b *testing.B) {
 			b.Fatal(err)
 		}
 		_ = res
+	}
+}
+
+// BenchmarkRunSyncScratch is BenchmarkRunSync at steady state: one scratch
+// reused across iterations, so per-run buffers and the network-keyed tables
+// amortize away. The gap to BenchmarkRunSync is the trial-loop saving.
+func BenchmarkRunSyncScratch(b *testing.B) {
+	nw := benchNetwork(b)
+	params := nw.ComputeParams()
+	scratch := NewSyncScratch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root := rng.New(uint64(i) + 1)
+		protos := make([]SyncProtocol, nw.N())
+		for u := 0; u < nw.N(); u++ {
+			p, err := core.NewSyncUniform(nw.Avail(topology.NodeID(u)), params.Delta, root.Split())
+			if err != nil {
+				b.Fatal(err)
+			}
+			protos[u] = p
+		}
+		if _, err := RunSync(SyncConfig{
+			Network:       nw,
+			Protocols:     protos,
+			MaxSlots:      2000,
+			RunToMaxSlots: true,
+			Scratch:       scratch,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunAsyncScratch is BenchmarkRunAsync at steady state: one scratch
+// with timeline recycling reused across iterations (the bench never reads
+// result Timelines, so recycling is safe). This is the configuration the
+// m2hew trial loop runs per worker.
+func BenchmarkRunAsyncScratch(b *testing.B) {
+	nw := benchNetwork(b)
+	params := nw.ComputeParams()
+	scratch := NewAsyncScratch()
+	scratch.RecycleTimelines = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunAsync(AsyncConfig{
+			Network:   nw,
+			Nodes:     benchAsyncNodes(b, nw, params.Delta, uint64(i)+1),
+			FrameLen:  3,
+			MaxFrames: 800,
+			Scratch:   scratch,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunSyncN200 exercises the synchronous engine in the large-n
+// regime (200 nodes), where the grid-bucket topology scan and the dense
+// neighbor table matter most.
+func BenchmarkRunSyncN200(b *testing.B) {
+	nw := benchNetworkN(b, 200, 0.12)
+	params := nw.ComputeParams()
+	scratch := NewSyncScratch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root := rng.New(uint64(i) + 1)
+		protos := make([]SyncProtocol, nw.N())
+		for u := 0; u < nw.N(); u++ {
+			p, err := core.NewSyncUniform(nw.Avail(topology.NodeID(u)), params.Delta, root.Split())
+			if err != nil {
+				b.Fatal(err)
+			}
+			protos[u] = p
+		}
+		if _, err := RunSync(SyncConfig{
+			Network:       nw,
+			Protocols:     protos,
+			MaxSlots:      500,
+			RunToMaxSlots: true,
+			Scratch:       scratch,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunAsyncN100 exercises the asynchronous engine in the large-n
+// regime (100 nodes) at steady state.
+func BenchmarkRunAsyncN100(b *testing.B) {
+	nw := benchNetworkN(b, 100, 0.16)
+	params := nw.ComputeParams()
+	scratch := NewAsyncScratch()
+	scratch.RecycleTimelines = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunAsync(AsyncConfig{
+			Network:   nw,
+			Nodes:     benchAsyncNodes(b, nw, params.Delta, uint64(i)+1),
+			FrameLen:  3,
+			MaxFrames: 200,
+			Scratch:   scratch,
+		}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,295 @@
+package sim
+
+import (
+	"m2hew/internal/channel"
+	"m2hew/internal/clock"
+	"m2hew/internal/radio"
+	"m2hew/internal/topology"
+)
+
+// SyncScratch holds the per-run state of RunSync for reuse across runs, so a
+// worker executing thousands of trials stops rebuilding the same tables every
+// trial. A scratch belongs to one goroutine at a time; runs borrow it for
+// their whole duration. The zero value is not ready — use NewSyncScratch.
+//
+// Reuse is invisible in results: every buffer is either fully overwritten
+// before it is read (actions, candidate tables) or re-zeroed on acquisition
+// (the per-channel transmitter index), and no scratch state feeds an rng
+// draw. The derived network tables (inbound candidates, shared message
+// availability sets) are cached keyed by network pointer; a caller that
+// mutates a network in place between runs must call Reset (or use a fresh
+// scratch) so the tables are rebuilt.
+type SyncScratch struct {
+	nwKey    *topology.Network
+	cands    [][]topology.Candidate
+	msgAvail []channel.Set
+
+	actions   []radio.Action
+	txOn      []int
+	txTouched []channel.ID
+}
+
+// NewSyncScratch returns an empty scratch ready for use.
+func NewSyncScratch() *SyncScratch {
+	return &SyncScratch{}
+}
+
+// Reset invalidates the network-derived caches. Buffer capacity is kept.
+func (sc *SyncScratch) Reset() {
+	sc.nwKey = nil
+	sc.cands = nil
+	sc.msgAvail = nil
+}
+
+// networkTables returns the inbound-candidate table and shared message
+// availability sets for nw, rebuilding them only when the network changed
+// since the last run.
+func (sc *SyncScratch) networkTables(nw *topology.Network) ([][]topology.Candidate, []channel.Set) {
+	if sc.nwKey != nw {
+		sc.nwKey = nw
+		sc.cands = nw.InboundCandidates()
+		sc.msgAvail = sharedMsgAvail(nw)
+	}
+	return sc.cands, sc.msgAvail
+}
+
+// actionBuf returns the per-node action buffer, grown to n. Entries are
+// fully overwritten each slot before being read.
+func (sc *SyncScratch) actionBuf(n int) []radio.Action {
+	if cap(sc.actions) < n {
+		sc.actions = make([]radio.Action, n)
+	}
+	return sc.actions[:n]
+}
+
+// txIndex returns the per-channel transmitter-count index sized for channel
+// IDs up to maxID, zeroed: an errored previous run may have returned
+// mid-slot with live counts still in place.
+func (sc *SyncScratch) txIndex(maxID channel.ID) ([]int, []channel.ID) {
+	need := int(maxID) + 1
+	if cap(sc.txOn) < need {
+		sc.txOn = make([]int, need)
+	}
+	txOn := sc.txOn[:need]
+	for i := range txOn {
+		txOn[i] = 0
+	}
+	if sc.txTouched == nil {
+		sc.txTouched = make([]channel.ID, 0, 16)
+	}
+	return txOn, sc.txTouched[:0]
+}
+
+// AsyncScratch holds the per-run state of RunAsync and RunAsyncOnline for
+// reuse across runs: the phase-1 frame/start tables, the reception
+// resolver's buffers, the delivery list, and (opt-in) the clock timelines.
+// A scratch belongs to one goroutine at a time; runs borrow it for their
+// whole duration. The zero value is not ready — use NewAsyncScratch.
+//
+// Reuse is invisible in results: frame tables are fully overwritten (or
+// re-sliced empty) before resolution reads them, resolver buffers already
+// carried per-frame reuse semantics within a run, and no scratch state feeds
+// an rng draw. The derived network tables are cached keyed by network
+// pointer; a caller that mutates a network in place between runs must call
+// Reset (or use a fresh scratch).
+type AsyncScratch struct {
+	// RecycleTimelines additionally pools the per-node clock.Timeline
+	// objects, resetting them in place each run instead of allocating fresh
+	// ones. Timelines escape the engine through AsyncResult.Timelines, so
+	// this is safe only when the caller does not use a result's Timelines
+	// (FullFrames, MinFullFrames, drift audits) after starting the next run
+	// with the same scratch. Paths that audit timelines after a whole batch
+	// (e.g. harness.AsyncConfigs consumers) must leave this off.
+	RecycleTimelines bool
+
+	nwKey    *topology.Network
+	cands    [][]topology.Candidate
+	msgAvail []channel.Set
+
+	timelines  []*clock.Timeline
+	rateBufs   [][]float64
+	frames     [][]asyncFrame
+	starts     [][]float64
+	deliveries []delivery
+	env        asyncEnv
+
+	// Online-engine per-run buffers.
+	nextEnd []float64
+	pending []int
+}
+
+// NewAsyncScratch returns an empty scratch ready for use.
+func NewAsyncScratch() *AsyncScratch {
+	return &AsyncScratch{}
+}
+
+// Reset invalidates the network-derived caches. Buffer capacity is kept.
+func (sc *AsyncScratch) Reset() {
+	sc.nwKey = nil
+	sc.cands = nil
+	sc.msgAvail = nil
+}
+
+// networkTables mirrors SyncScratch.networkTables.
+func (sc *AsyncScratch) networkTables(nw *topology.Network) ([][]topology.Candidate, []channel.Set) {
+	if sc.nwKey != nw {
+		sc.nwKey = nw
+		sc.cands = nw.InboundCandidates()
+		sc.msgAvail = sharedMsgAvail(nw)
+	}
+	return sc.cands, sc.msgAvail
+}
+
+// timelineFor returns the timeline for node u initialized with the given
+// parameters. With RecycleTimelines it resets a pooled timeline in place;
+// otherwise it allocates fresh (the object escapes through the result).
+func (sc *AsyncScratch) timelineFor(u int, start, frameLen float64, slotsPerFrame int, drift clock.DriftProcess) (*clock.Timeline, error) {
+	if !sc.RecycleTimelines {
+		return clock.NewTimeline(start, frameLen, slotsPerFrame, drift)
+	}
+	for len(sc.timelines) <= u {
+		sc.timelines = append(sc.timelines, nil)
+	}
+	if tl := sc.timelines[u]; tl != nil {
+		if err := tl.Reset(start, frameLen, slotsPerFrame, drift); err != nil {
+			return nil, err
+		}
+		return tl, nil
+	}
+	tl, err := clock.NewTimeline(start, frameLen, slotsPerFrame, drift)
+	if err != nil {
+		return nil, err
+	}
+	sc.timelines[u] = tl
+	return tl, nil
+}
+
+// timelineSlice returns the n-length timeline slice handed to the result.
+// With RecycleTimelines the slice itself is pooled too; otherwise it is
+// fresh, since AsyncResult.Timelines escapes.
+func (sc *AsyncScratch) timelineSlice(n int) []*clock.Timeline {
+	if !sc.RecycleTimelines {
+		return make([]*clock.Timeline, n)
+	}
+	for len(sc.timelines) < n {
+		sc.timelines = append(sc.timelines, nil)
+	}
+	return sc.timelines[:n]
+}
+
+// frameTables returns the per-node frame and frame-start tables, each inner
+// slice re-sliced to length frames (fully overwritten by the pre-generating
+// engine) or 0 (appended to by the online engine) with capacity for
+// maxFrames entries.
+func (sc *AsyncScratch) frameTables(n, maxFrames, frames int) ([][]asyncFrame, [][]float64) {
+	if cap(sc.frames) < n {
+		fr := make([][]asyncFrame, n)
+		copy(fr, sc.frames)
+		sc.frames = fr
+		st := make([][]float64, n)
+		copy(st, sc.starts)
+		sc.starts = st
+	}
+	sc.frames = sc.frames[:n]
+	sc.starts = sc.starts[:n]
+	for u := 0; u < n; u++ {
+		if cap(sc.frames[u]) < maxFrames {
+			sc.frames[u] = make([]asyncFrame, maxFrames)
+			sc.starts[u] = make([]float64, maxFrames)
+		}
+		sc.frames[u] = sc.frames[u][:frames]
+		sc.starts[u] = sc.starts[u][:frames]
+	}
+	return sc.frames, sc.starts
+}
+
+// envFor primes the embedded resolver env for a run. The env's internal
+// buffers (txBuf, sweepBuf, flagBuf, outBuf, seenBuf) persist across runs by
+// design: resolveFrame already reuses them frame-to-frame and overwrites
+// before reading.
+func (sc *AsyncScratch) envFor(nw *topology.Network, cands [][]topology.Candidate, frames [][]asyncFrame, starts [][]float64, timelines []*clock.Timeline, slotsPerFrame int, loss *LossModel) *asyncEnv {
+	env := &sc.env
+	env.nw = nw
+	env.cands = cands
+	env.frames = frames
+	env.starts = starts
+	env.timelines = timelines
+	env.slotsPerFrame = slotsPerFrame
+	env.loss = loss
+	env.lastCollected = 0
+	return env
+}
+
+// deliveryBuf returns the empty delivery accumulator.
+func (sc *AsyncScratch) deliveryBuf() []delivery {
+	return sc.deliveries[:0]
+}
+
+// onlineBufs returns the online engine's frame-end / pending-index buffers,
+// grown to n. nextEnd is fully initialized by the engine's priming loop;
+// pending is zeroed here because the engine relies on all-zero initial
+// indexes.
+func (sc *AsyncScratch) onlineBufs(n int) ([]float64, []int) {
+	if cap(sc.nextEnd) < n {
+		sc.nextEnd = make([]float64, n)
+		sc.pending = make([]int, n)
+	}
+	pending := sc.pending[:n]
+	for i := range pending {
+		pending[i] = 0
+	}
+	return sc.nextEnd[:n], pending
+}
+
+// slotReserver is implemented by drift processes that can pre-size their
+// per-slot memo (clock.RandomWalk). Engines that know the frame budget use
+// it to avoid append-doubling churn in the rate memo; reserving never
+// changes the rates returned.
+type slotReserver interface {
+	ReserveSlots(n int)
+}
+
+func reserveDrift(d clock.DriftProcess, slots int) {
+	if r, ok := d.(slotReserver); ok {
+		r.ReserveSlots(slots)
+	}
+}
+
+// rateBufPooler is implemented by drift processes (clock.RandomWalk) whose
+// rate-memo backing array can be recycled across trials. Adopting changes
+// capacity only, never values; releasing leaves the process unqueryable, so
+// the pool operates only under the RecycleTimelines contract (the caller
+// never touches a prior run's drifts once the next run starts).
+type rateBufPooler interface {
+	AdoptRateBuf(buf []float64)
+	ReleaseRateBuf() []float64
+}
+
+// adoptRateBuf seeds a fresh trial's drift with a pooled backing array.
+func (sc *AsyncScratch) adoptRateBuf(d clock.DriftProcess) {
+	p, ok := d.(rateBufPooler)
+	if !ok {
+		return
+	}
+	if n := len(sc.rateBufs); n > 0 {
+		buf := sc.rateBufs[n-1]
+		sc.rateBufs[n-1] = nil
+		sc.rateBufs = sc.rateBufs[:n-1]
+		p.AdoptRateBuf(buf)
+	}
+}
+
+// reclaimRateBufs takes every node drift's rate buffer back into the pool
+// at the end of a run. A drift shared between nodes releases once (later
+// releases return nil); nil or tiny buffers are dropped.
+func (sc *AsyncScratch) reclaimRateBufs(nodes []AsyncNode) {
+	for i := range nodes {
+		p, ok := nodes[i].Drift.(rateBufPooler)
+		if !ok {
+			continue
+		}
+		if buf := p.ReleaseRateBuf(); cap(buf) > 0 {
+			sc.rateBufs = append(sc.rateBufs, buf)
+		}
+	}
+}

@@ -72,6 +72,11 @@ type SyncConfig struct {
 	// exactly one of EventDeliver, EventCollision or EventIdle. Compose
 	// several consumers with MultiObserver.
 	Observer Observer
+	// Scratch, if non-nil, supplies reusable per-run buffers so repeated
+	// runs on one goroutine stop re-allocating them (see SyncScratch for
+	// the ownership and network-mutation contract). Nil means the run
+	// allocates a private scratch; results are identical either way.
+	Scratch *SyncScratch
 }
 
 // SyncResult reports a synchronous run.
@@ -126,9 +131,8 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 	n := nw.N()
 	coverage := metrics.NewCoverage(nw.DiscoverableLinks())
 
-	actions := make([]radio.Action, n)
-	// Reception-resolution state, built once per run and reused across
-	// slots:
+	// Reception-resolution state, built (or borrowed from the scratch) once
+	// per run and reused across slots:
 	//
 	//   - cands[u] lists the only transmitters listener u can ever decode
 	//     (adjacency, direction and link span resolved up front by the
@@ -139,13 +143,17 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 	//     silent channels without scanning their candidate lists;
 	//   - msgAvail[v] is the one immutable copy of A(v) shared by every
 	//     message from v; see radio.Message for the ownership contract.
-	cands := nw.InboundCandidates()
-	var txOn []int
-	if maxID, ok := nw.Universe().Max(); ok {
-		txOn = make([]int, int(maxID)+1)
+	sc := cfg.Scratch
+	if sc == nil {
+		sc = NewSyncScratch()
 	}
-	txTouched := make([]channel.ID, 0, 16)
-	msgAvail := sharedMsgAvail(nw)
+	cands, msgAvail := sc.networkTables(nw)
+	actions := sc.actionBuf(n)
+	maxID := channel.ID(-1)
+	if id, ok := nw.Universe().Max(); ok {
+		maxID = id
+	}
+	txOn, txTouched := sc.txIndex(maxID)
 	result := &SyncResult{Coverage: coverage}
 
 	for slot := 0; slot < cfg.MaxSlots; slot++ {
@@ -268,6 +276,7 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 			break
 		}
 	}
+	sc.txTouched = txTouched[:0] // keep any capacity the run grew
 
 	if coverage.Complete() {
 		result.Complete = true

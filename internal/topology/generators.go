@@ -3,6 +3,7 @@ package topology
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"m2hew/internal/rng"
 )
@@ -11,6 +12,11 @@ import (
 // unit square, with an edge between every pair at Euclidean distance at most
 // radius. This is the standard model for wireless ad hoc deployments and the
 // default topology of the experiment suite.
+//
+// The pair scan runs over a spatial grid-bucket index (expected O(n) work
+// for the radii the suite uses) instead of all pairs; edge order and the rng
+// draw sequence are identical to the all-pairs scan, so seeded networks are
+// unchanged (geometricEdgesNaive is kept as the differential-test reference).
 func Geometric(n int, radius float64, r *rng.Source) (*Network, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("topology: geometric with %d nodes: %w", n, ErrNoNodes)
@@ -22,16 +28,89 @@ func Geometric(n int, radius float64, r *rng.Source) (*Network, error) {
 	for i := range nodes {
 		nodes[i] = Node{ID: NodeID(i), X: r.Float64(), Y: r.Float64()}
 	}
+	return newNetwork(nodes, geometricEdges(nodes, radius))
+}
+
+// geometricEdges lists every pair of nodes within radius, ordered by
+// ascending first index then ascending second — exactly the order of the
+// all-pairs scan it replaces. Nodes are bucketed into a cols×cols grid with
+// cell side ≥ radius, so all partners of a node lie in its 3×3 cell
+// neighborhood; cols is also capped at ⌈√n⌉ to bound the cell count by O(n)
+// when the radius is tiny.
+func geometricEdges(nodes []Node, radius float64) [][2]NodeID {
+	n := len(nodes)
+	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	if radius > 0 {
+		if byRadius := int(1 / radius); byRadius < cols {
+			cols = byRadius
+		}
+	}
+	if cols < 1 {
+		cols = 1 // radius ≥ 1: one cell, the scan degenerates to all pairs
+	}
+	cellOf := func(coord float64) int {
+		c := int(coord * float64(cols))
+		if c < 0 {
+			c = 0
+		}
+		if c >= cols {
+			c = cols - 1
+		}
+		return c
+	}
+	buckets := make([][]int32, cols*cols)
+	for i, nd := range nodes {
+		c := cellOf(nd.Y)*cols + cellOf(nd.X)
+		buckets[c] = append(buckets[c], int32(i))
+	}
 	var edges [][2]NodeID
+	var cand []int32
 	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
+		cx, cy := cellOf(nodes[i].X), cellOf(nodes[i].Y)
+		cand = cand[:0]
+		for dy := -1; dy <= 1; dy++ {
+			y := cy + dy
+			if y < 0 || y >= cols {
+				continue
+			}
+			for dx := -1; dx <= 1; dx++ {
+				x := cx + dx
+				if x < 0 || x >= cols {
+					continue
+				}
+				for _, j := range buckets[y*cols+x] {
+					if int(j) > i {
+						cand = append(cand, j)
+					}
+				}
+			}
+		}
+		// Bucket visit order is spatial; restore ascending-j emission order.
+		sort.Slice(cand, func(a, b int) bool { return cand[a] < cand[b] })
+		for _, j := range cand {
 			dx, dy := nodes[i].X-nodes[j].X, nodes[i].Y-nodes[j].Y
 			if math.Hypot(dx, dy) <= radius {
 				edges = append(edges, [2]NodeID{NodeID(i), NodeID(j)})
 			}
 		}
 	}
-	return newNetwork(nodes, edges)
+	return edges
+}
+
+// geometricEdgesNaive is the reference all-pairs scan, kept verbatim so
+// differential tests can pin geometricEdges to it. Production code never
+// calls this.
+func geometricEdgesNaive(nodes []Node, radius float64) [][2]NodeID {
+	var edges [][2]NodeID
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			dx, dy := nodes[i].X-nodes[j].X, nodes[i].Y-nodes[j].Y
+			if math.Hypot(dx, dy) <= radius {
+				edges = append(edges, [2]NodeID{NodeID(i), NodeID(j)})
+			}
+		}
+	}
+	return edges
 }
 
 // ErdosRenyi builds a G(n, p) random graph: each of the n·(n−1)/2 possible

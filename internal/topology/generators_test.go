@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -251,6 +252,76 @@ func TestConnected(t *testing.T) {
 	}
 	if !single.Connected() {
 		t.Fatal("single node reported disconnected")
+	}
+}
+
+// TestGeometricEdgesMatchNaive pins the grid-bucket pair scan to the
+// all-pairs reference: same positions must yield the same edge list in the
+// same order, so seeded networks are unchanged by the index. The sweep
+// covers radii above and below the ⌈√n⌉ cell cap, the one-cell degenerate
+// case (radius ≥ 1), radius 0, and boundary coordinates.
+func TestGeometricEdgesMatchNaive(t *testing.T) {
+	r := rng.New(7)
+	cases := []struct {
+		n      int
+		radius float64
+	}{
+		{1, 0.3}, {2, 0.5}, {10, 0}, {10, 1.5}, {10, 0.9},
+		{30, 0.3}, {50, 0.15}, {100, 0.08}, {200, 0.05}, {300, 0.12},
+		{64, 0.01}, {25, 0.5},
+	}
+	for _, c := range cases {
+		nodes := make([]Node, c.n)
+		for i := range nodes {
+			nodes[i] = Node{ID: NodeID(i), X: r.Float64(), Y: r.Float64()}
+		}
+		got := geometricEdges(nodes, c.radius)
+		want := geometricEdgesNaive(nodes, c.radius)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d radius=%v: %d edges, naive has %d", c.n, c.radius, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d radius=%v: edge %d is %v, naive has %v", c.n, c.radius, i, got[i], want[i])
+			}
+		}
+	}
+	// Hand-placed boundary coordinates: exact cell edges and corners.
+	nodes := []Node{
+		{ID: 0, X: 0, Y: 0}, {ID: 1, X: 0.25, Y: 0.25}, {ID: 2, X: 0.5, Y: 0.5},
+		{ID: 3, X: 0.75, Y: 0.75}, {ID: 4, X: 0.999999, Y: 0.999999},
+		{ID: 5, X: 0.25, Y: 0.75}, {ID: 6, X: 0.5, Y: 0},
+	}
+	for _, radius := range []float64{0.2, 0.25, 0.354, 0.5} {
+		got := geometricEdges(nodes, radius)
+		want := geometricEdgesNaive(nodes, radius)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("boundary radius=%v: %v, naive has %v", radius, got, want)
+		}
+	}
+}
+
+// BenchmarkGeometric measures graph construction across sizes; with the
+// grid-bucket scan the per-node cost should stay near-flat as n grows (the
+// radius shrinks with n to hold expected degree roughly constant).
+func BenchmarkGeometric(b *testing.B) {
+	cases := []struct {
+		name   string
+		n      int
+		radius float64
+	}{
+		{"n200", 200, 0.12},
+		{"n1000", 1000, 0.055},
+		{"n5000", 5000, 0.025},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Geometric(c.n, c.radius, rng.New(uint64(i)+1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -168,6 +168,14 @@ type ProgressPoint struct {
 
 // Run executes a discovery run on the network.
 func Run(n *Network, cfg RunConfig) (*Report, error) {
+	return runWithScratch(n, cfg, nil)
+}
+
+// runWithScratch is Run with an optional per-worker engine scratch (nil
+// means the engines allocate private state). RunTrials threads the harness
+// pool's scratch through here so consecutive trials on one worker reuse
+// engine buffers.
+func runWithScratch(n *Network, cfg RunConfig, scratch *harness.Scratch) (*Report, error) {
 	if n == nil {
 		return nil, fmt.Errorf("m2hew: nil network")
 	}
@@ -178,9 +186,9 @@ func Run(n *Network, cfg RunConfig) (*Report, error) {
 	switch cfg.Algorithm {
 	case AlgorithmSyncStaged, AlgorithmSyncGrowing, AlgorithmSyncUniform,
 		AlgorithmBaselineUniversal, AlgorithmBaselineRoundRobin:
-		return runSync(n, cfg, sc)
+		return runSync(n, cfg, sc, scratch)
 	case AlgorithmAsync:
-		return runAsync(n, cfg, sc)
+		return runAsync(n, cfg, sc, scratch)
 	default:
 		return nil, fmt.Errorf("m2hew: unknown algorithm %q", cfg.Algorithm)
 	}
@@ -220,10 +228,10 @@ func RunTrials(n *Network, cfg RunConfig, trials int) ([]*Report, error) {
 		seeds[t] = seedSrc.Uint64()
 	}
 	reports := make([]*Report, trials)
-	err := harness.Run(trials, func(t int) error {
+	err := harness.RunScratch(trials, func(t int, sc *harness.Scratch) error {
 		trialCfg := cfg
 		trialCfg.Seed = seeds[t]
-		rep, err := Run(n, trialCfg)
+		rep, err := runWithScratch(n, trialCfg, sc)
 		if err != nil {
 			return fmt.Errorf("trial %d: %w", t, err)
 		}
@@ -300,7 +308,7 @@ func runDefaults(n *Network, cfg RunConfig) (RunConfig, analytic.Scenario, error
 	return cfg, sc, nil
 }
 
-func runSync(n *Network, cfg RunConfig, sc analytic.Scenario) (*Report, error) {
+func runSync(n *Network, cfg RunConfig, sc analytic.Scenario, scratch *harness.Scratch) (*Report, error) {
 	universeSize := cfg.UniverseSize
 	if universeSize == 0 {
 		if maxC, ok := n.inner.Universe().Max(); ok {
@@ -412,7 +420,7 @@ func runSync(n *Network, cfg RunConfig, sc analytic.Scenario) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("m2hew: %w", err)
 	}
-	res, err := sim.RunSync(sim.SyncConfig{
+	syncCfg := sim.SyncConfig{
 		Network:    n.inner,
 		Protocols:  protos,
 		StartSlots: starts,
@@ -423,7 +431,11 @@ func runSync(n *Network, cfg RunConfig, sc analytic.Scenario) (*Report, error) {
 		RunToMaxSlots: cfg.TerminateAfterIdle > 0,
 		Loss:          loss,
 		Observer:      sim.MultiObserver(traceObs, sim.EnergyObserver(meter)),
-	})
+	}
+	if scratch != nil {
+		syncCfg.Scratch = scratch.Sync()
+	}
+	res, err := sim.RunSync(syncCfg)
 	if err != nil {
 		return nil, fmt.Errorf("m2hew: %w", err)
 	}
@@ -455,7 +467,7 @@ func runSync(n *Network, cfg RunConfig, sc analytic.Scenario) (*Report, error) {
 	return report, nil
 }
 
-func runAsync(n *Network, cfg RunConfig, sc analytic.Scenario) (*Report, error) {
+func runAsync(n *Network, cfg RunConfig, sc analytic.Scenario, scratch *harness.Scratch) (*Report, error) {
 	bound := sc.Theorem10Span(cfg.FrameLen, cfg.DriftBound)
 	maxFrames := cfg.MaxFrames
 	if maxFrames == 0 {
@@ -526,6 +538,13 @@ func runAsync(n *Network, cfg RunConfig, sc analytic.Scenario) (*Report, error) 
 		MaxFrames: maxFrames,
 		Loss:      loss,
 		Observer:  traceObs,
+	}
+	if scratch != nil {
+		// The Report never reads result Timelines, so this path can also
+		// pool the timeline objects across a worker's trials.
+		asc := scratch.Async()
+		asc.RecycleTimelines = true
+		simCfg.Scratch = asc
 	}
 	var (
 		res *sim.AsyncResult

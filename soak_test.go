@@ -71,6 +71,47 @@ func TestSoakLargeNetwork(t *testing.T) {
 	verifyTables(t, asyncNW, report)
 }
 
+// TestSoakScale300 pushes the synchronous path to 300 nodes — the regime
+// the grid-bucket generator, dense neighbor tables, and trial-scoped
+// scratch reuse target. Three trials run through RunTrials so the
+// per-worker scratch seam is exercised across consecutive runs, with full
+// table verification on each report. Skipped under -short.
+func TestSoakScale300(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	nw, err := BuildNetwork(NetworkConfig{
+		Nodes:            300,
+		Topology:         TopologyGeometric,
+		Radius:           0.11,
+		RequireConnected: true,
+		Universe:         12,
+		Channels:         ChannelsPrimaryUsers,
+		Primaries:        18,
+		Seed:             2028,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := nw.Stats()
+	if s.Nodes != 300 || s.DiscoverableLinks == 0 {
+		t.Fatalf("unexpected network: %+v", s)
+	}
+	reports, err := RunTrials(nw, RunConfig{Algorithm: AlgorithmSyncUniform, Seed: 406}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, report := range reports {
+		if !report.Complete {
+			t.Fatalf("trial %d incomplete on 300 nodes: %d/%d", i, report.LinksCovered, report.LinksTotal)
+		}
+		if float64(report.Slots) > report.Bound {
+			t.Fatalf("trial %d exceeded its bound: %d > %v", i, report.Slots, report.Bound)
+		}
+		verifyTables(t, nw, report)
+	}
+}
+
 // verifyTables checks every node's discovered table exactly matches the
 // ground truth graph and spans.
 func verifyTables(t *testing.T, nw *Network, report *Report) {
