@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench profile vet fmt fmt-check lint ci experiments examples clean
+.PHONY: all build test test-race bench profile vet fmt fmt-check lint lint-json ci experiments examples clean
 
 all: build vet lint test
 
@@ -19,9 +19,15 @@ fmt:
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# Custom determinism/concurrency analyzers; see CONTRIBUTING.md.
+# Custom determinism/concurrency analyzers; see CONTRIBUTING.md. The gate
+# covers _test.go files too and fails on //ndlint:ignore directives that no
+# longer suppress anything.
 lint:
-	$(GO) run ./cmd/ndlint ./...
+	$(GO) run ./cmd/ndlint -tests -verify-suppressions ./...
+
+# Same gate, NDJSON to stdout — for editors and tooling that ingest findings.
+lint-json:
+	$(GO) run ./cmd/ndlint -json -tests -verify-suppressions ./...
 
 test:
 	$(GO) test ./...

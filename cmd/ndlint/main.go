@@ -8,31 +8,56 @@
 // ndlint always analyzes every package of the enclosing module (package
 // pattern arguments are accepted for familiarity and ignored); it exits 0
 // when the tree is clean, 1 when it found violations, and 2 on an internal
-// error. Findings print one per line as file:line:col: message (analyzer).
+// error. Findings print in deterministic (file, line, column, analyzer)
+// order, one per line as file:line:col: message (analyzer); -json switches
+// to NDJSON objects and -github to GitHub Actions ::error annotations.
 // A verified false positive can be suppressed in source with a comment:
 //
 //	//ndlint:ignore <analyzer> <reason>
 //
-// on the offending line or the line above it. See CONTRIBUTING.md for what
+// on the offending line or the line above it. -verify-suppressions
+// additionally reports directives that no longer suppress anything, so
+// stale ignores die with the code they excused. -tests widens the load to
+// _test.go files (in-package tests merge into their package; external test
+// packages analyze as <path>_test), and -tags adds build tags so
+// constraint-gated files are analyzed too. See CONTRIBUTING.md for what
 // each analyzer enforces and why.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"m2hew/internal/lint"
 	"m2hew/internal/lint/suite"
 	"m2hew/internal/telemetry"
 )
 
+// options bundles everything run needs, so tests drive it without flags.
+type options struct {
+	// Tests widens loading to _test.go files.
+	Tests bool
+	// Tags are extra build tags honored during loading.
+	Tags []string
+	// VerifySuppressions reports stale //ndlint:ignore directives as
+	// findings.
+	VerifySuppressions bool
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit NDJSON diagnostics (one object per line)")
+	githubOut := flag.Bool("github", false, "emit GitHub Actions ::error annotations")
+	tests := flag.Bool("tests", false, "also analyze _test.go files (in-package and external test packages)")
+	tags := flag.String("tags", "", "comma-separated extra build tags honored when loading")
+	verifySup := flag.Bool("verify-suppressions", false, "fail on //ndlint:ignore directives that no longer suppress anything")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: ndlint [-list] [packages]\n\nruns the m2hew determinism lint suite over the enclosing module\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ndlint [-list] [-json|-github] [-tests] [-tags t1,t2] [-verify-suppressions] [packages]\n\nruns the m2hew determinism lint suite over the enclosing module\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -43,13 +68,26 @@ func main() {
 		}
 		return
 	}
+	if *jsonOut && *githubOut {
+		fmt.Fprintln(os.Stderr, "ndlint: -json and -github are mutually exclusive")
+		os.Exit(2)
+	}
 
 	stopProfiles, err := telemetry.StartProfiles(*cpuProf, *memProf)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ndlint: %v\n", err)
 		os.Exit(2)
 	}
-	diags, err := run()
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ndlint: %v\n", err)
+		os.Exit(2)
+	}
+	opts := options{Tests: *tests, VerifySuppressions: *verifySup}
+	if *tags != "" {
+		opts.Tags = strings.Split(*tags, ",")
+	}
+	diags, err := run(wd, opts)
 	// os.Exit skips defers, so the profiles are finished explicitly before
 	// any exit path.
 	if stopErr := stopProfiles(); stopErr != nil && err == nil {
@@ -59,37 +97,77 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ndlint: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	format := formatDefault
+	switch {
+	case *jsonOut:
+		format = formatJSON
+	case *githubOut:
+		format = formatGitHub
 	}
+	report(os.Stdout, diags, format)
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "ndlint: %d violation(s)\n", len(diags))
 		os.Exit(1)
 	}
 }
 
-// run loads every module package and applies the suite.
-func run() ([]lint.Diagnostic, error) {
-	wd, err := os.Getwd()
+// output formats for report.
+const (
+	formatDefault = iota
+	formatJSON
+	formatGitHub
+)
+
+// report prints diags to w in the selected format.
+func report(w io.Writer, diags []lint.Diagnostic, format int) {
+	for _, d := range diags {
+		switch format {
+		case formatJSON:
+			fmt.Fprintln(w, d.JSON())
+		case formatGitHub:
+			fmt.Fprintln(w, d.GitHub())
+		default:
+			fmt.Fprintln(w, d)
+		}
+	}
+}
+
+// run loads the module enclosing dir and applies the suite, returning the
+// surviving diagnostics in deterministic (file, line, column, analyzer)
+// order across all packages.
+func run(dir string, opts options) ([]lint.Diagnostic, error) {
+	root, err := lint.FindModuleRoot(dir)
 	if err != nil {
 		return nil, err
 	}
-	root, err := lint.FindModuleRoot(wd)
-	if err != nil {
-		return nil, err
-	}
-	pkgs, err := lint.LoadRepo(root)
+	pkgs, err := lint.LoadRepoWith(root, lint.LoadOptions{
+		IncludeTests: opts.Tests,
+		Tags:         opts.Tags,
+	})
 	if err != nil {
 		return nil, err
 	}
 	analyzers := suite.Analyzers()
 	var all []lint.Diagnostic
 	for _, pkg := range pkgs {
-		diags, err := lint.RunAnalyzers(pkg, analyzers)
+		diags, directives, err := lint.RunAnalyzersDirectives(pkg, analyzers)
 		if err != nil {
 			return nil, err
 		}
 		all = append(all, diags...)
+		if opts.VerifySuppressions {
+			for _, dir := range directives {
+				if dir.Used {
+					continue
+				}
+				all = append(all, lint.Diagnostic{
+					Analyzer: "suppressions",
+					Pos:      dir.Pos,
+					Message:  fmt.Sprintf("stale %s %s: it no longer suppresses anything; delete it", lint.IgnoreDirective, dir.Analyzer),
+				})
+			}
+		}
 	}
+	lint.SortDiagnostics(all)
 	return all, nil
 }

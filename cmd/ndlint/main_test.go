@@ -1,15 +1,23 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"m2hew/internal/lint"
 )
 
 // TestRun lints the enclosing repository through the command's own entry
 // path; the tree must be clean (the suite self-test asserts the same
-// invariant package by package).
+// invariant package by package), including under -verify-suppressions —
+// every //ndlint:ignore in the tree must still be earning its keep.
 func TestRun(t *testing.T) {
-	diags, err := run()
+	diags, err := run(".", options{VerifySuppressions: true})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -20,4 +28,181 @@ func TestRun(t *testing.T) {
 	if len(diags) != 0 {
 		t.Fatalf("repository has lint violations:\n%s", strings.Join(lines, "\n"))
 	}
+}
+
+// TestRunOrdering checks that a multi-package run reports findings in
+// deterministic (file, line) order.
+func TestRunOrdering(t *testing.T) {
+	diags, err := run("testdata/badmod", options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (a/a.go and b/b.go):\n%s", len(diags), render(diags))
+	}
+	if !strings.HasSuffix(diags[0].Pos.Filename, filepath.Join("a", "a.go")) {
+		t.Errorf("first diagnostic is %s, want a/a.go", diags[0].Pos.Filename)
+	}
+	if !strings.HasSuffix(diags[1].Pos.Filename, filepath.Join("b", "b.go")) {
+		t.Errorf("second diagnostic is %s, want b/b.go", diags[1].Pos.Filename)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "norand" {
+			t.Errorf("unexpected analyzer %q in %s", d.Analyzer, d)
+		}
+	}
+	// The same run must be byte-for-byte repeatable.
+	again, err := run("testdata/badmod", options{})
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if render(diags) != render(again) {
+		t.Errorf("two identical runs disagree:\n%s\nvs\n%s", render(diags), render(again))
+	}
+}
+
+// TestRunTests checks that -tests pulls in in-package and external test
+// files.
+func TestRunTests(t *testing.T) {
+	diags, err := run("testdata/badmod", options{Tests: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// a/a.go, a/a_test.go (merged into a), b/b.go, b/ext_test.go (badmod/b_test).
+	if len(diags) != 4 {
+		t.Fatalf("got %d diagnostics with -tests, want 4:\n%s", len(diags), render(diags))
+	}
+	wantFiles := []string{
+		filepath.Join("a", "a.go"),
+		filepath.Join("a", "a_test.go"),
+		filepath.Join("b", "b.go"),
+		filepath.Join("b", "ext_test.go"),
+	}
+	for i, w := range wantFiles {
+		if !strings.HasSuffix(diags[i].Pos.Filename, w) {
+			t.Errorf("diagnostic %d is %s, want %s", i, diags[i].Pos.Filename, w)
+		}
+	}
+}
+
+// TestRunTags checks that -tags analyzes constraint-gated files.
+func TestRunTags(t *testing.T) {
+	diags, err := run("testdata/badmod", options{Tags: []string{"extra"}})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	found := false
+	for _, d := range diags {
+		if strings.HasSuffix(d.Pos.Filename, "tagged.go") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no diagnostic from the build-tagged file with -tags extra:\n%s", render(diags))
+	}
+	if len(diags) != 3 {
+		t.Errorf("got %d diagnostics with -tags extra, want 3:\n%s", len(diags), render(diags))
+	}
+}
+
+// TestRunVerifySuppressions checks that stale ignore directives surface as
+// findings.
+func TestRunVerifySuppressions(t *testing.T) {
+	diags, err := run("testdata/badmod", options{VerifySuppressions: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var stale []lint.Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == "suppressions" {
+			stale = append(stale, d)
+		}
+	}
+	if len(stale) != 1 || !strings.HasSuffix(stale[0].Pos.Filename, filepath.Join("c", "c.go")) {
+		t.Fatalf("want exactly one stale-suppression finding in c/c.go, got:\n%s", render(diags))
+	}
+	if !strings.Contains(stale[0].Message, "no longer suppresses anything") {
+		t.Errorf("stale finding message %q lacks the explanation", stale[0].Message)
+	}
+}
+
+// TestReportFormats checks the three output formats over one diagnostic.
+func TestReportFormats(t *testing.T) {
+	d := lint.Diagnostic{Analyzer: "norand", Message: "bad, very:bad\nline"}
+	d.Pos.Filename = "x/y.go"
+	d.Pos.Line = 7
+	d.Pos.Column = 3
+
+	var buf bytes.Buffer
+	report(&buf, []lint.Diagnostic{d}, formatDefault)
+	if got := buf.String(); !strings.HasPrefix(got, "x/y.go:7:3:") || !strings.Contains(got, "(norand)") {
+		t.Errorf("default format: %q", got)
+	}
+
+	buf.Reset()
+	report(&buf, []lint.Diagnostic{d}, formatJSON)
+	var obj struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &obj); err != nil {
+		t.Fatalf("json format is not valid JSON: %v (%q)", err, buf.String())
+	}
+	if obj.Analyzer != "norand" || obj.File != "x/y.go" || obj.Line != 7 || obj.Col != 3 || obj.Message != d.Message {
+		t.Errorf("json round-trip mismatch: %+v", obj)
+	}
+
+	buf.Reset()
+	report(&buf, []lint.Diagnostic{d}, formatGitHub)
+	got := strings.TrimSuffix(buf.String(), "\n")
+	want := "::error file=x/y.go,line=7,col=3,title=ndlint/norand::bad, very:bad%0Aline"
+	if got != want {
+		t.Errorf("github format:\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestExitCodes builds the command once and checks the documented exit
+// contract: 0 on a clean module, 1 when unsuppressed findings exist.
+func TestExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary build in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "ndlint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building ndlint: %v\n%s", err, out)
+	}
+	for _, tc := range []struct {
+		dir  string
+		want int
+	}{
+		{"testdata/goodmod", 0},
+		{"testdata/badmod", 1},
+	} {
+		cmd := exec.Command(bin)
+		cmd.Dir = tc.dir
+		cmd.Env = os.Environ()
+		out, err := cmd.CombinedOutput()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("running ndlint in %s: %v\n%s", tc.dir, err, out)
+		}
+		if code != tc.want {
+			t.Errorf("ndlint in %s exited %d, want %d\n%s", tc.dir, code, tc.want, out)
+		}
+	}
+}
+
+// render joins diagnostics for failure messages.
+func render(diags []lint.Diagnostic) string {
+	var lines []string
+	for _, d := range diags {
+		lines = append(lines, d.String())
+	}
+	return strings.Join(lines, "\n")
 }

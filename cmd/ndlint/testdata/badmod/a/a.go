@@ -1,0 +1,8 @@
+// Package a violates norand twice: once unconditionally, once behind a
+// build tag (tagged.go), plus once in its in-package test file.
+package a
+
+import "math/rand"
+
+// Roll draws from process-global state no seed controls.
+func Roll() int { return rand.Int() }

@@ -1,0 +1,12 @@
+package a
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRoll(t *testing.T) {
+	if Roll() < 0 && rand.Int() < 0 {
+		t.Fatal("negative")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build extra
+
+package a
+
+import "math/rand"
+
+// TaggedRoll only exists under the extra build tag.
+func TaggedRoll() int { return rand.Int() }

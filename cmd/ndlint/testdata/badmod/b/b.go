@@ -1,0 +1,8 @@
+// Package b violates norand in its non-test source and in an external test
+// package.
+package b
+
+import "math/rand"
+
+// Draw draws from process-global state no seed controls.
+func Draw() float64 { return rand.Float64() }

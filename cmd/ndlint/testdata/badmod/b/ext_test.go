@@ -1,0 +1,14 @@
+package b_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"badmod/b"
+)
+
+func TestDraw(t *testing.T) {
+	if b.Draw() < 0 || rand.Float64() < 0 {
+		t.Fatal("negative")
+	}
+}

@@ -1,0 +1,6 @@
+// Package c is clean but carries a stale suppression: the directive below
+// excuses a violation that no longer exists.
+package c
+
+//ndlint:ignore norand legacy excuse for a rand import deleted long ago
+func Clean() int { return 4 }

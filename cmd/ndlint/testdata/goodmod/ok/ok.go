@@ -1,0 +1,5 @@
+// Package ok is clean: the exit-0 fixture.
+package ok
+
+// Four is deterministic.
+func Four() int { return 4 }

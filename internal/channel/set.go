@@ -50,6 +50,8 @@ func Range(n int) Set {
 
 // Add inserts channel c. Negative IDs are rejected with a panic because they
 // indicate a construction bug, never a data condition.
+//
+//nd:hotpath
 func (s *Set) Add(c ID) {
 	if c < 0 {
 		panic(fmt.Sprintf("channel: Add(%d): negative channel id", c))
@@ -90,6 +92,8 @@ func (s *Set) Remove(c ID) {
 }
 
 // Contains reports whether channel c is in the set.
+//
+//nd:hotpath
 func (s Set) Contains(c ID) bool {
 	if c < 0 {
 		return false
@@ -197,6 +201,8 @@ func (s Set) Equal(t Set) bool {
 }
 
 // SubsetOf reports whether every channel of s is in t.
+//
+//nd:hotpath
 func (s Set) SubsetOf(t Set) bool {
 	for i, w := range s.words {
 		var tw uint64
@@ -213,6 +219,8 @@ func (s Set) SubsetOf(t Set) bool {
 // IntersectionSubsetOf reports whether s ∩ t ⊆ w without materializing the
 // intersection. It lets receive paths detect that an arriving payload adds
 // nothing to already-recorded state without allocating per message.
+//
+//nd:hotpath
 func (s Set) IntersectionSubsetOf(t, w Set) bool {
 	n := len(s.words)
 	if len(t.words) < n {
@@ -236,6 +244,8 @@ func (s Set) IntersectionSubsetOf(t, w Set) bool {
 // (every word is written exactly once, element-wise). Use as with append:
 //
 //	buf = a.IntersectInto(b, buf)
+//
+//nd:hotpath
 func (s Set) IntersectInto(t, dst Set) Set {
 	n := len(s.words)
 	if len(t.words) < n {
@@ -256,6 +266,8 @@ func (s Set) IntersectInto(t, dst Set) Set {
 // once if too small). dst may alias s or t. Use as with append:
 //
 //	buf = a.UnionInto(b, buf)
+//
+//nd:hotpath
 func (s Set) UnionInto(t, dst Set) Set {
 	n := len(s.words)
 	if len(t.words) > n {
@@ -283,6 +295,8 @@ func (s Set) UnionInto(t, dst Set) Set {
 // too small) — Clone without the per-call allocation. Use as with append:
 //
 //	buf = s.CopyInto(buf)
+//
+//nd:hotpath
 func (s Set) CopyInto(dst Set) Set {
 	words := dst.words
 	if cap(words) < len(s.words) {
@@ -294,6 +308,8 @@ func (s Set) CopyInto(dst Set) Set {
 }
 
 // Intersects reports whether s ∩ t is non-empty without allocating.
+//
+//nd:hotpath
 func (s Set) Intersects(t Set) bool {
 	n := len(s.words)
 	if len(t.words) < n {
@@ -334,6 +350,8 @@ func (s Set) Max() (ID, bool) {
 // Pick returns a channel selected uniformly at random from the set, exactly
 // the "channel selected uniformly at random from A(u)" step of every
 // algorithm in the paper. It returns an error if the set is empty.
+//
+//nd:hotpath
 func (s Set) Pick(r *rng.Source) (ID, error) {
 	n := s.Size()
 	if n == 0 {

@@ -104,6 +104,8 @@ func growCap(need, cur int) int {
 // neighbor unions the channel sets; in the paper's model repeat receptions
 // carry identical sets, so the union is a no-op there, but it keeps the table
 // monotone under the unreliable-channel extension.
+//
+//nd:hotpath
 func (t *NeighborTable) Record(v topology.NodeID, common channel.Set) {
 	t.grow(v)
 	if t.has[v] {
@@ -121,6 +123,8 @@ func (t *NeighborTable) Record(v topology.NodeID, common channel.Set) {
 // RecordIntersect records neighbor v with a ∩ b, computing the intersection
 // directly into the table's entry storage — the zero-allocation (at steady
 // state) form of Record(v, a.Intersect(b)) used by the delivery hot path.
+//
+//nd:hotpath
 func (t *NeighborTable) RecordIntersect(v topology.NodeID, a, b channel.Set) {
 	t.grow(v)
 	if t.has[v] {
@@ -184,12 +188,16 @@ func newNode(avail channel.Set, r *rng.Source) (node, error) {
 // payload adds no channels — every repeat, in the paper's model — leave the
 // table untouched without materializing the intersection; engines deliver
 // the same link many times per run, so this path must not allocate.
+//
+//nd:hotpath
 func (n *node) deliver(msg radio.Message) {
 	n.table.RecordIntersect(msg.From, msg.Avail, n.avail)
 }
 
 // chooseAction draws the slot/frame action used by every algorithm: a
 // channel uniform over A(u), transmit with probability p, else receive.
+//
+//nd:hotpath
 func (n *node) chooseAction(p float64) radio.Action {
 	c, err := n.avail.Pick(n.rng)
 	if err != nil {

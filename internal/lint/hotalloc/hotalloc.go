@@ -1,0 +1,219 @@
+// Package hotalloc enforces the zero-allocation contract of functions
+// annotated //nd:hotpath.
+//
+// The engines' per-slot and per-delivery code runs millions of times per
+// experiment; PR 5's scratch seam got it to zero heap allocations per run,
+// guarded dynamically by testing.AllocsPerRun. Those guards only cover the
+// configurations the tests happen to execute. This analyzer makes the
+// contract static: any syntactic allocation inside an annotated function is
+// a finding, so a future edit cannot quietly re-introduce per-slot garbage
+// on a path the alloc tests miss.
+//
+// Two idioms the scratch layer depends on are allowed:
+//
+//   - grow-once make: a make guarded by an if whose condition inspects
+//     cap(...) or len(...) (the "grow scratch when too small" idiom) — it
+//     allocates O(1) times per buffer lifetime, not per slot;
+//   - self-append: x = append(x, ...) with the first argument structurally
+//     identical to the assignment target — amortized reuse of a buffer that
+//     the AllocsPerRun guards verify reaches steady state.
+//
+// Everything else — unguarded make, new, &T{...}, slice/map composite
+// literals, map literals, closures (func literals), growing appends — is
+// reported. Deliberate per-run allocations inside an annotated function
+// carry an //ndlint:ignore hotalloc suppression with a reason.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"m2hew/internal/lint"
+)
+
+// Analyzer reports heap allocations inside //nd:hotpath functions.
+var Analyzer = &lint.Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid allocations (make/new/&T{}/slice/map literals/closures/growing append) in //nd:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !lint.FuncHasDirective(fn, lint.HotpathDirective) {
+				continue
+			}
+			checkBody(pass, fn)
+		}
+	}
+	return nil
+}
+
+// checkBody walks one annotated function and reports each allocation.
+func checkBody(pass *lint.Pass, fn *ast.FuncDecl) {
+	guards := growGuards(fn.Body)
+	selfAppends := collectSelfAppends(fn.Body)
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch callee(pass, n) {
+			case "make":
+				if !inGuard(guards, n.Pos()) {
+					pass.Reportf(n.Pos(), "make in //nd:hotpath function %s: guard it with a cap/len growth check or hoist the buffer to scratch", fn.Name.Name)
+				}
+			case "new":
+				pass.Reportf(n.Pos(), "new in //nd:hotpath function %s: hoist the allocation out of the hot path", fn.Name.Name)
+			case "append":
+				if !selfAppends[n] {
+					pass.Reportf(n.Pos(), "growing append in //nd:hotpath function %s: only self-append (x = append(x, ...)) reuses a buffer; this call retains or grows a new one", fn.Name.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			if allocatingLiteral(pass, n) {
+				pass.Reportf(n.Pos(), "slice/map literal allocates in //nd:hotpath function %s: build into a scratch buffer instead", fn.Name.Name)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal allocates in //nd:hotpath function %s: hoist it out of the hot path", fn.Name.Name)
+				}
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "func literal in //nd:hotpath function %s: closures allocate; use a named function or method value hoisted out of the hot path", fn.Name.Name)
+		}
+		return true
+	})
+}
+
+// callee returns the builtin name n calls, or "" when n is not a direct
+// call of a universe-scope builtin.
+func callee(pass *lint.Pass, n *ast.CallExpr) string {
+	id, ok := n.Fun.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil || obj.Pkg() != nil { // builtins live in the universe scope
+		return ""
+	}
+	return obj.Name()
+}
+
+// growGuards collects the body ranges of if statements whose condition
+// mentions cap() or len() — the grow-once idiom's shape. A make inside such
+// a body is a deliberate, amortized growth.
+type span struct{ lo, hi token.Pos }
+
+func growGuards(body *ast.BlockStmt) []span {
+	var out []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		usesCapLen := false
+		ast.Inspect(ifStmt.Cond, func(c ast.Node) bool {
+			call, ok := c.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+				usesCapLen = true
+			}
+			return true
+		})
+		if usesCapLen {
+			out = append(out, span{ifStmt.Body.Pos(), ifStmt.Body.End()})
+		}
+		return true
+	})
+	return out
+}
+
+func inGuard(guards []span, pos token.Pos) bool {
+	for _, g := range guards {
+		if g.lo <= pos && pos < g.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// collectSelfAppends marks append calls of the shape x = append(x, ...)
+// where the assignment target is structurally identical to the first
+// argument — buffer reuse, not a fresh allocation once at steady state.
+func collectSelfAppends(body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	out := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+				continue
+			}
+			if exprEqual(as.Lhs[i], call.Args[0]) {
+				out[call] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// exprEqual reports structural equality for the expression shapes that
+// appear as append targets: identifiers, selectors, index expressions and
+// pointer derefs.
+func exprEqual(a, b ast.Expr) bool {
+	switch a := a.(type) {
+	case *ast.Ident:
+		b, ok := b.(*ast.Ident)
+		return ok && a.Name == b.Name
+	case *ast.SelectorExpr:
+		b, ok := b.(*ast.SelectorExpr)
+		return ok && a.Sel.Name == b.Sel.Name && exprEqual(a.X, b.X)
+	case *ast.IndexExpr:
+		b, ok := b.(*ast.IndexExpr)
+		return ok && exprEqual(a.X, b.X) && exprEqual(a.Index, b.Index)
+	case *ast.StarExpr:
+		b, ok := b.(*ast.StarExpr)
+		return ok && exprEqual(a.X, b.X)
+	case *ast.ParenExpr:
+		return exprEqual(a.X, b)
+	case *ast.BasicLit:
+		b, ok := b.(*ast.BasicLit)
+		return ok && a.Kind == b.Kind && a.Value == b.Value
+	}
+	if p, ok := b.(*ast.ParenExpr); ok {
+		return exprEqual(a, p.X)
+	}
+	return false
+}
+
+// allocatingLiteral reports whether composite literal n heap-allocates:
+// slice and map literals do; plain struct and array values do not (they
+// live wherever the enclosing value lives). Literals under & are handled by
+// the UnaryExpr case.
+func allocatingLiteral(pass *lint.Pass, n *ast.CompositeLit) bool {
+	tv, ok := pass.Info.Types[n]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"m2hew/internal/lint/hotalloc"
+	"m2hew/internal/lint/linttest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, "testdata", hotalloc.Analyzer,
+		"a", // violations, allowed idioms, suppression, unannotated code
+	)
+}

@@ -1,0 +1,68 @@
+// Package a exercises the hotalloc analyzer: positive findings, the two
+// allowed idioms, suppressed findings, and unannotated functions.
+package a
+
+type item struct {
+	id   int
+	data []byte
+}
+
+type env struct {
+	buf     []int
+	seenBuf []bool
+	pairs   map[int]int
+}
+
+// hot is annotated and full of violations.
+//
+//nd:hotpath
+func hot(e *env, n int) []int {
+	s := make([]int, n)          // want "make in //nd:hotpath function hot"
+	p := new(item)               // want "new in //nd:hotpath function hot"
+	q := &item{id: n}            // want "&composite literal allocates in //nd:hotpath function hot"
+	lit := []int{1, 2, 3}        // want "slice/map literal allocates in //nd:hotpath function hot"
+	m := map[int]int{n: n}       // want "slice/map literal allocates in //nd:hotpath function hot"
+	f := func() int { return n } // want "func literal in //nd:hotpath function hot"
+	s = append(lit, f())         // want "growing append in //nd:hotpath function hot"
+	_ = p
+	_ = q
+	_ = m
+	return s
+}
+
+// hotClean is annotated and uses only the allowed idioms.
+//
+//nd:hotpath
+func hotClean(e *env, n int) {
+	if cap(e.buf) < n {
+		e.buf = make([]int, 0, n) // guarded grow-once make: allowed
+	}
+	e.buf = e.buf[:0]
+	for i := 0; i < n; i++ {
+		e.buf = append(e.buf, i) // self-append: allowed
+	}
+	if len(e.seenBuf) < n {
+		e.seenBuf = make([]bool, n) // guarded by len: allowed
+	}
+	v := item{id: n} // plain struct value literal: allowed
+	_ = v
+}
+
+// hotSuppressed is annotated; its one deliberate per-run allocation is
+// documented.
+//
+//nd:hotpath
+func hotSuppressed(n int) *item {
+	//ndlint:ignore hotalloc per-run result allocation, not per-slot
+	return &item{id: n}
+}
+
+// cold has no annotation: anything goes.
+func cold(n int) []int {
+	out := make([]int, 0, n)
+	h := func(i int) int { return i * 2 }
+	for i := 0; i < n; i++ {
+		out = append(out, h(i))
+	}
+	return out
+}

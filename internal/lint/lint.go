@@ -18,6 +18,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -77,34 +78,50 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
 }
 
-// IgnoreDirective is the comment prefix that suppresses findings. A comment
-//
-//	//ndlint:ignore <name> [reason...]
-//
-// suppresses diagnostics of analyzer <name> (or of every analyzer, when
-// <name> is "all") on the directive's own line and on the line immediately
-// below it, so it works both as a trailing comment and as a lead-in line.
-const IgnoreDirective = "//ndlint:ignore"
-
-// RunAnalyzers applies the analyzers to pkg and returns the surviving
-// diagnostics sorted by position. Findings suppressed by ignore directives
-// are dropped.
-func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			diags:    &diags,
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("lint: analyzer %s on %s: %w", a.Name, pkg.Path, err)
-		}
+// JSON renders the diagnostic as one NDJSON object — the machine-readable
+// shape `ndlint -json` emits, one object per line, stable field order.
+func (d Diagnostic) JSON() string {
+	b, err := json.Marshal(struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Message  string `json:"message"`
+	}{d.Analyzer, d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message})
+	if err != nil {
+		// All fields are plain strings/ints; Marshal cannot fail on them.
+		panic(fmt.Sprintf("lint: marshal diagnostic: %v", err))
 	}
-	diags = suppress(pkg, diags)
+	return string(b)
+}
+
+// GitHub renders the diagnostic as a GitHub Actions workflow command
+// (::error …) so CI surfaces findings as inline annotations. Values are
+// escaped per the workflow-command rules: %, CR and LF everywhere, plus
+// ',' and ':' inside properties.
+func (d Diagnostic) GitHub() string {
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=%s::%s",
+		githubEscapeProperty(d.Pos.Filename), d.Pos.Line, d.Pos.Column,
+		githubEscapeProperty("ndlint/"+d.Analyzer), githubEscapeData(d.Message))
+}
+
+func githubEscapeData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+func githubEscapeProperty(s string) string {
+	s = githubEscapeData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
+}
+
+// SortDiagnostics orders diagnostics by (file, line, column, analyzer) —
+// the deterministic report order of multi-package runs.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -118,22 +135,66 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
 }
 
-// suppress drops diagnostics covered by ignore directives in pkg's files.
-func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
-	// covered[file][line] holds the analyzer names suppressed at that line.
-	covered := make(map[string]map[int]map[string]bool)
-	addLine := func(file string, line int, name string) {
-		if covered[file] == nil {
-			covered[file] = make(map[int]map[string]bool)
+// IgnoreDirective is the comment prefix that suppresses findings. A comment
+//
+//	//ndlint:ignore <name> [reason...]
+//
+// suppresses diagnostics of analyzer <name> (or of every analyzer, when
+// <name> is "all") on the directive's own line and on the line immediately
+// below it, so it works both as a trailing comment and as a lead-in line.
+const IgnoreDirective = "//ndlint:ignore"
+
+// A Directive is one parsed //ndlint:ignore comment. Used reports whether
+// it suppressed at least one diagnostic during the analyzer run that
+// collected it — a directive that suppresses nothing is stale and should be
+// deleted (`ndlint -verify-suppressions` enforces this).
+type Directive struct {
+	// Pos is the directive comment's position.
+	Pos token.Position
+	// Analyzer is the suppressed analyzer name (or "all").
+	Analyzer string
+	// Used is true when the directive dropped at least one diagnostic.
+	Used bool
+}
+
+// RunAnalyzers applies the analyzers to pkg and returns the surviving
+// diagnostics sorted by position. Findings suppressed by ignore directives
+// are dropped.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunAnalyzersDirectives(pkg, analyzers)
+	return diags, err
+}
+
+// RunAnalyzersDirectives is RunAnalyzers plus the package's parsed ignore
+// directives with their usage marked, so callers can report stale
+// suppressions.
+func RunAnalyzersDirectives(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, []Directive, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
 		}
-		if covered[file][line] == nil {
-			covered[file][line] = make(map[string]bool)
+		if err := a.Run(pass); err != nil {
+			return nil, nil, fmt.Errorf("lint: analyzer %s on %s: %w", a.Name, pkg.Path, err)
 		}
-		covered[file][line][name] = true
 	}
+	directives := Directives(pkg)
+	diags = suppress(directives, diags)
+	SortDiagnostics(diags)
+	return diags, directives, nil
+}
+
+// Directives parses every //ndlint:ignore comment of pkg's files, in file
+// order. Malformed directives (no analyzer name) are skipped.
+func Directives(pkg *Package) []Directive {
+	var out []Directive
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -145,29 +206,95 @@ func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
 				if len(fields) == 0 {
 					continue // malformed: no analyzer name
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				addLine(pos.Filename, pos.Line, fields[0])
-				addLine(pos.Filename, pos.Line+1, fields[0])
+				out = append(out, Directive{
+					Pos:      pkg.Fset.Position(c.Pos()),
+					Analyzer: fields[0],
+				})
 			}
 		}
 	}
-	if len(covered) == 0 {
+	return out
+}
+
+// suppress drops diagnostics covered by ignore directives, marking each
+// directive that fired. A directive covers its own line and the line below;
+// the first covering directive (in source order) takes the credit.
+func suppress(directives []Directive, diags []Diagnostic) []Diagnostic {
+	if len(directives) == 0 {
 		return diags
 	}
 	kept := diags[:0]
 	for _, d := range diags {
-		names := covered[d.Pos.Filename][d.Pos.Line]
-		if names[d.Analyzer] || names["all"] {
-			continue
+		suppressed := false
+		for i := range directives {
+			dir := &directives[i]
+			if dir.Analyzer != d.Analyzer && dir.Analyzer != "all" {
+				continue
+			}
+			if dir.Pos.Filename != d.Pos.Filename {
+				continue
+			}
+			if dir.Pos.Line != d.Pos.Line && dir.Pos.Line+1 != d.Pos.Line {
+				continue
+			}
+			dir.Used = true
+			suppressed = true
+			break
 		}
-		kept = append(kept, d)
+		if !suppressed {
+			kept = append(kept, d)
+		}
 	}
 	return kept
+}
+
+// HotpathDirective marks a function whose body must stay allocation-free
+// and lock-free: the hotalloc and lockorder analyzers enforce it. It goes
+// in the function's doc comment:
+//
+//	// deliver hands one clear message to the protocol.
+//	//
+//	//nd:hotpath
+//	func (nd *node) deliver(msg radio.Message) { ... }
+//
+// The contract is per-slot / per-delivery code: anything executed O(slots)
+// or O(deliveries) times inside a trial. Per-run setup does not qualify.
+const HotpathDirective = "//nd:hotpath"
+
+// ScratchOwnerDirective documents a function that adopts a scratch buffer
+// (AdoptRateBuf) without releasing it, because release happens elsewhere by
+// contract. The scratchalias analyzer accepts the annotation in place of an
+// in-function ReleaseRateBuf call:
+//
+//	//nd:scratch-owner buffers are reclaimed by reclaimRateBufs at run end
+const ScratchOwnerDirective = "//nd:scratch-owner"
+
+// FuncHasDirective reports whether fn's doc comment contains a line whose
+// directive prefix is exactly directive (an //nd:... machine comment, per
+// the go doc-comment directive convention).
+func FuncHasDirective(fn *ast.FuncDecl, directive string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		text := c.Text
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
 }
 
 // RNGPath is the import path of the repository's seeded random source; the
 // only package allowed to touch math/rand, and the type analyzers key on.
 const RNGPath = "m2hew/internal/rng"
+
+// SimPath and RadioPath locate the engine seam packages the observer-purity
+// analyzer keys on (matched by path so test fixtures can supply stubs).
+const (
+	SimPath   = "m2hew/internal/sim"
+	RadioPath = "m2hew/internal/radio"
+)
 
 // IsRNGSource reports whether t is rng.Source or *rng.Source (matched by
 // package path and name so test fixtures can supply a stub).

@@ -33,20 +33,53 @@ type want struct {
 // diagnostics and the fixtures' want annotations as a test error.
 func Run(t *testing.T, testdata string, a *lint.Analyzer, pkgPaths ...string) {
 	t.Helper()
+	run(t, testdata, a, false, pkgPaths)
+}
+
+// RunWithTests is Run with each fixture package's _test.go files merged in
+// (and, when present, its external test package checked as <path>_test),
+// for analyzers whose behavior differs in test files.
+func RunWithTests(t *testing.T, testdata string, a *lint.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	run(t, testdata, a, true, pkgPaths)
+}
+
+func run(t *testing.T, testdata string, a *lint.Analyzer, withTests bool, pkgPaths []string) {
+	t.Helper()
 	loader := lint.NewLoader()
+	loader.IncludeTests = withTests
 	if err := loader.AddTree("", filepath.Join(testdata, "src")); err != nil {
 		t.Fatalf("registering fixture tree: %v", err)
 	}
 	for _, p := range pkgPaths {
-		pkg, err := loader.Load(p)
-		if err != nil {
-			t.Fatalf("loading fixture package %s: %v", p, err)
+		pkgs := make([]*lint.Package, 0, 2)
+		if withTests {
+			pkg, err := loader.LoadWithTests(p)
+			if err != nil {
+				t.Fatalf("loading fixture package %s with tests: %v", p, err)
+			}
+			pkgs = append(pkgs, pkg)
+			xt, err := loader.LoadTest(p)
+			if err != nil {
+				t.Fatalf("loading external test package of %s: %v", p, err)
+			}
+			if xt != nil {
+				pkgs = append(pkgs, xt)
+			}
+		} else {
+			pkg, err := loader.Load(p)
+			if err != nil {
+				t.Fatalf("loading fixture package %s: %v", p, err)
+			}
+			pkgs = append(pkgs, pkg)
 		}
-		diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{a})
-		if err != nil {
-			t.Fatalf("running %s on %s: %v", a.Name, p, err)
+		for _, pkg := range pkgs {
+			diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{a})
+			if err != nil {
+				t.Fatalf("running %s on %s: %v", a.Name, pkg.Path, err)
+			}
+			check(t, pkg, diags)
 		}
-		check(t, pkg, diags)
 	}
 }
 

@@ -39,22 +39,38 @@ type Package struct {
 // offline from GOROOT sources. Loading is memoized, so a Loader is cheap to
 // reuse across many packages but is not safe for concurrent use.
 type Loader struct {
-	fset    *token.FileSet
-	dirs    map[string]string // import path -> source directory
-	std     types.Importer
-	pkgs    map[string]*Package
-	loading map[string]bool
+	// IncludeTests widens AddTree to register directories that hold only
+	// _test.go files. Set it before AddTree; the merged and external test
+	// packages themselves load through LoadWithTests and LoadTest.
+	IncludeTests bool
+	// Tags are extra build tags honored when selecting files, on top of the
+	// default context's (GOOS/GOARCH and release tags). Set before loading.
+	Tags []string
+
+	fset     *token.FileSet
+	dirs     map[string]string // import path -> source directory
+	std      types.Importer
+	pkgs     map[string]*Package // plain packages (no test files)
+	testPkgs map[string]*Package // packages with in-package tests merged
+	xPkgs    map[string]*Package // external test packages, keyed by base path
+	variants map[string]*Package // deps re-checked against a merged base, keyed base+"\x00"+dep
+	imports  map[string][]string // memoized direct imports per registered path
+	loading  map[string]bool
 }
 
 // NewLoader returns an empty loader.
 func NewLoader() *Loader {
 	fset := token.NewFileSet()
 	return &Loader{
-		fset:    fset,
-		dirs:    make(map[string]string),
-		std:     importer.ForCompiler(fset, "source", nil),
-		pkgs:    make(map[string]*Package),
-		loading: make(map[string]bool),
+		fset:     fset,
+		dirs:     make(map[string]string),
+		std:      importer.ForCompiler(fset, "source", nil),
+		pkgs:     make(map[string]*Package),
+		testPkgs: make(map[string]*Package),
+		xPkgs:    make(map[string]*Package),
+		variants: make(map[string]*Package),
+		imports:  make(map[string][]string),
+		loading:  make(map[string]bool),
 	}
 }
 
@@ -64,10 +80,11 @@ func (l *Loader) Map(importPath, dir string) {
 }
 
 // AddTree walks root and registers every directory containing non-test Go
-// files. A directory at relative path rel is registered under
-// path.Join(prefix, rel); root itself is registered as prefix. Directories
-// named testdata, hidden directories and underscore-prefixed directories
-// are skipped, matching the go tool's convention.
+// files (any Go files, when IncludeTests is set). A directory at relative
+// path rel is registered under path.Join(prefix, rel); root itself is
+// registered as prefix. Directories named testdata, hidden directories and
+// underscore-prefixed directories are skipped, matching the go tool's
+// convention.
 func (l *Loader) AddTree(prefix, root string) error {
 	return filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
 		if err != nil {
@@ -87,10 +104,14 @@ func (l *Loader) AddTree(prefix, root string) error {
 		hasGo := false
 		for _, e := range entries {
 			n := e.Name()
-			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
-				hasGo = true
-				break
+			if e.IsDir() || !strings.HasSuffix(n, ".go") {
+				continue
 			}
+			if strings.HasSuffix(n, "_test.go") && !l.IncludeTests {
+				continue
+			}
+			hasGo = true
+			break
 		}
 		if !hasGo {
 			return nil
@@ -137,9 +158,217 @@ func (l *Loader) Load(importPath string) (*Package, error) {
 	l.loading[importPath] = true
 	defer delete(l.loading, importPath)
 
-	files, err := l.parseDir(dir)
+	bpkg, err := l.importDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("lint: %s: %w", importPath, err)
+	}
+	pkg, err := l.check(importPath, dir, bpkg.GoFiles, importerFunc(l.importDep))
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// LoadWithTests is Load with the package's in-package _test.go files merged
+// in — the shape the go tool compiles for `go test`. Dependencies still
+// resolve to plain (test-free) packages, so a test file importing a helper
+// package that itself imports the tested package does not create a false
+// import cycle.
+func (l *Loader) LoadWithTests(importPath string) (*Package, error) {
+	if pkg, ok := l.testPkgs[importPath]; ok {
+		return pkg, nil
+	}
+	dir, ok := l.dirs[importPath]
+	if !ok {
+		return nil, fmt.Errorf("lint: package %q is not registered with this loader", importPath)
+	}
+	bpkg, err := l.importDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", importPath, err)
+	}
+	if len(bpkg.TestGoFiles) == 0 {
+		// No in-package tests: the merged package is the plain one.
+		pkg, err := l.Load(importPath)
+		if err != nil {
+			return nil, err
+		}
+		l.testPkgs[importPath] = pkg
+		return pkg, nil
+	}
+	names := make([]string, 0, len(bpkg.GoFiles)+len(bpkg.TestGoFiles))
+	names = append(names, bpkg.GoFiles...)
+	names = append(names, bpkg.TestGoFiles...)
+	pkg, err := l.check(importPath, dir, names, importerFunc(l.importDep))
+	if err != nil {
+		return nil, err
+	}
+	l.testPkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// LoadTest type-checks the external test package (package <name>_test built
+// from the directory's _test.go files with the foreign package clause) of
+// the directory registered under importPath. It returns (nil, nil) when the
+// directory has no external test files. The external package's import of
+// importPath resolves to the merged LoadWithTests package, so exported
+// hooks defined in export_test.go-style files are visible; dependencies
+// that themselves import importPath (test helper packages) are re-checked
+// against the merged package the way the go tool recompiles them, so their
+// signatures mention the same types the test sees.
+func (l *Loader) LoadTest(importPath string) (*Package, error) {
+	if pkg, ok := l.xPkgs[importPath]; ok {
+		return pkg, nil
+	}
+	dir, ok := l.dirs[importPath]
+	if !ok {
+		return nil, fmt.Errorf("lint: package %q is not registered with this loader", importPath)
+	}
+	bpkg, err := l.importDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", importPath, err)
+	}
+	if len(bpkg.XTestGoFiles) == 0 {
+		return nil, nil
+	}
+	var under *types.Package
+	if len(bpkg.GoFiles)+len(bpkg.TestGoFiles) > 0 {
+		up, err := l.LoadWithTests(importPath)
+		if err != nil {
+			return nil, err
+		}
+		under = up.Types
+	}
+	imp := importerFunc(func(p string) (*types.Package, error) {
+		return l.importTestDep(p, importPath, under)
+	})
+	pkg, err := l.check(importPath+"_test", dir, bpkg.XTestGoFiles, imp)
+	if err != nil {
+		return nil, err
+	}
+	l.xPkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// importTestDep resolves one import while checking base's external test
+// package (or a dependency variant of it): base itself resolves to the
+// merged under package, registered dependencies that transitively import
+// base are re-checked against it (loadVariant), and everything else gets
+// the ordinary plain resolution.
+func (l *Loader) importTestDep(p, base string, under *types.Package) (*types.Package, error) {
+	if p == base && under != nil {
+		return under, nil
+	}
+	if _, ok := l.dirs[p]; ok {
+		reaches, err := l.dependsOn(p, base)
+		if err != nil {
+			return nil, err
+		}
+		if reaches {
+			pkg, err := l.loadVariant(p, base, under)
+			if err != nil {
+				return nil, err
+			}
+			return pkg.Types, nil
+		}
+	}
+	return l.importDep(p)
+}
+
+// loadVariant re-checks registered package p (its plain, non-test files)
+// with imports of base resolving to the merged under package — the analogue
+// of the go tool recompiling a test helper against the test-augmented
+// package it imports. Variants are memoized per (base, p).
+func (l *Loader) loadVariant(p, base string, under *types.Package) (*Package, error) {
+	key := base + "\x00" + p
+	if pkg, ok := l.variants[key]; ok {
+		return pkg, nil
+	}
+	if l.loading[key] {
+		return nil, fmt.Errorf("lint: import cycle through %q", p)
+	}
+	l.loading[key] = true
+	defer delete(l.loading, key)
+	dir := l.dirs[p]
+	bpkg, err := l.importDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", p, err)
+	}
+	imp := importerFunc(func(q string) (*types.Package, error) {
+		return l.importTestDep(q, base, under)
+	})
+	pkg, err := l.check(p, dir, bpkg.GoFiles, imp)
+	if err != nil {
+		return nil, err
+	}
+	l.variants[key] = pkg
+	return pkg, nil
+}
+
+// dependsOn reports whether registered package p transitively imports base
+// through registered packages only.
+func (l *Loader) dependsOn(p, base string) (bool, error) {
+	seen := make(map[string]bool)
+	var walk func(q string) (bool, error)
+	walk = func(q string) (bool, error) {
+		if q == base {
+			return true, nil
+		}
+		if seen[q] {
+			return false, nil
+		}
+		seen[q] = true
+		imps, err := l.directImports(q)
+		if err != nil {
+			return false, err
+		}
+		for _, imp := range imps {
+			if _, ok := l.dirs[imp]; !ok {
+				continue // unregistered (stdlib) imports cannot reach base
+			}
+			hit, err := walk(imp)
+			if err != nil || hit {
+				return hit, err
+			}
+		}
+		return false, nil
+	}
+	return walk(p)
+}
+
+// directImports memoizes the direct imports of registered package p's plain
+// files.
+func (l *Loader) directImports(p string) ([]string, error) {
+	if imps, ok := l.imports[p]; ok {
+		return imps, nil
+	}
+	bpkg, err := l.importDir(l.dirs[p])
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", p, err)
+	}
+	l.imports[p] = bpkg.Imports
+	return bpkg.Imports, nil
+}
+
+// importDir resolves dir's buildable files through go/build, honoring the
+// loader's extra build tags.
+func (l *Loader) importDir(dir string) (*build.Package, error) {
+	ctx := build.Default
+	if len(l.Tags) > 0 {
+		ctx.BuildTags = append(append([]string(nil), ctx.BuildTags...), l.Tags...)
+	}
+	return ctx.ImportDir(dir, 0)
+}
+
+// check parses the named files of dir and type-checks them as importPath.
+func (l *Loader) check(importPath, dir string, names []string, imp types.Importer) (*Package, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", importPath, err)
+		}
+		files = append(files, f)
 	}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
@@ -149,40 +378,19 @@ func (l *Loader) Load(importPath string) (*Package, error) {
 		Implicits:  make(map[ast.Node]types.Object),
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
-	conf := types.Config{Importer: importerFunc(l.importDep)}
+	conf := types.Config{Importer: imp}
 	tpkg, err := conf.Check(importPath, l.fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
 	}
-	pkg := &Package{
+	return &Package{
 		Path:  importPath,
 		Dir:   dir,
 		Fset:  l.fset,
 		Files: files,
 		Types: tpkg,
 		Info:  info,
-	}
-	l.pkgs[importPath] = pkg
-	return pkg, nil
-}
-
-// parseDir parses the buildable non-test Go files of dir, honoring build
-// constraints via go/build.
-func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
-	ctx := build.Default
-	bpkg, err := ctx.ImportDir(dir, 0)
-	if err != nil {
-		return nil, err
-	}
-	files := make([]*ast.File, 0, len(bpkg.GoFiles))
-	for _, name := range bpkg.GoFiles {
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
-		if err != nil {
-			return nil, err
-		}
-		files = append(files, f)
-	}
-	return files, nil
+	}, nil
 }
 
 // importDep resolves one import during type-checking: registered paths load
@@ -240,25 +448,60 @@ func ModulePath(root string) (string, error) {
 	return "", fmt.Errorf("lint: no module directive in %s/go.mod", root)
 }
 
+// LoadOptions widens LoadRepoWith beyond the default non-test load.
+type LoadOptions struct {
+	// IncludeTests merges in-package _test.go files into each package and
+	// additionally loads each directory's external test package (package
+	// <name>_test) as a separate "<path>_test" entry right after its base
+	// package.
+	IncludeTests bool
+	// Tags are extra build tags honored when selecting files.
+	Tags []string
+}
+
 // LoadRepo loads every package of the module rooted at root, in sorted
 // import-path order.
 func LoadRepo(root string) ([]*Package, error) {
+	return LoadRepoWith(root, LoadOptions{})
+}
+
+// LoadRepoWith loads every package of the module rooted at root per opts,
+// in sorted import-path order (external test packages directly after their
+// base package).
+func LoadRepoWith(root string, opts LoadOptions) ([]*Package, error) {
 	modPath, err := ModulePath(root)
 	if err != nil {
 		return nil, err
 	}
 	l := NewLoader()
+	l.IncludeTests = opts.IncludeTests
+	l.Tags = opts.Tags
 	if err := l.AddTree(modPath, root); err != nil {
 		return nil, err
 	}
 	paths := l.Paths()
 	pkgs := make([]*Package, 0, len(paths))
 	for _, p := range paths {
-		pkg, err := l.Load(p)
+		if !opts.IncludeTests {
+			pkg, err := l.Load(p)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, pkg)
+			continue
+		}
+		pkg, err := l.LoadWithTests(p)
 		if err != nil {
 			return nil, err
 		}
 		pkgs = append(pkgs, pkg)
+		xt, err := l.LoadTest(p)
+		if err != nil {
+			return nil, err
+		}
+		if xt != nil {
+			pkgs = append(pkgs, xt)
+		}
 	}
 	return pkgs, nil
 }

@@ -1,0 +1,241 @@
+// Package lockorder enforces the mutex-and-atomics discipline of the
+// telemetry and harness layers.
+//
+// The repository's concurrency design is deliberately two-tier: hot paths
+// (the engine inner loops and the telemetry update methods, annotated
+// //nd:hotpath) synchronize with single atomic instructions only, while
+// registration, snapshot and aggregation cold paths take mutexes. Two
+// mistakes break the tiering silently:
+//
+//   - acquiring a mutex inside a hot path, which serializes the harness's
+//     concurrent trial pool and shows up only as a mysterious scaling
+//     regression;
+//   - copying a struct that contains a lock (or an atomic value), which
+//     forks the lock state so two goroutines each hold "the" mutex — go
+//     vet's copylocks catches some shapes of this, but not the ones routed
+//     through this repository's scratch and snapshot seams.
+//
+// Rule A: no sync.Mutex/RWMutex Lock/RLock/TryLock/TryRLock call inside a
+// //nd:hotpath function. Rule B (whole package, annotated or not): no
+// by-value copy — assignment, by-value parameter or receiver, range value —
+// of a type that recursively contains a sync lock, sync.WaitGroup/Once/
+// Cond/Pool/Map, or a sync/atomic value type.
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"m2hew/internal/lint"
+)
+
+// Analyzer reports mutex use in hot paths and copies of lock-bearing values.
+var Analyzer = &lint.Analyzer{
+	Name: "lockorder",
+	Doc:  "forbid mutex acquisition in //nd:hotpath functions and by-value copies of lock-bearing structs",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if lint.FuncHasDirective(fn, lint.HotpathDirective) {
+				checkNoLocks(pass, fn)
+			}
+			checkSignature(pass, fn.Recv, fn.Type)
+		}
+		// Rule B also applies to function literals' signatures and to
+		// copy-shaped statements anywhere in the file.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				checkSignature(pass, nil, n.Type)
+			case *ast.AssignStmt:
+				checkAssignCopies(pass, n)
+			case *ast.RangeStmt:
+				checkRangeCopies(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkNoLocks enforces rule A inside one annotated function.
+func checkNoLocks(pass *lint.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+		default:
+			return true
+		}
+		obj := pass.Info.Uses[sel.Sel]
+		meth, ok := obj.(*types.Func)
+		if !ok {
+			return true
+		}
+		sig, ok := meth.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return true
+		}
+		recv := sig.Recv().Type()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok {
+			o := named.Obj()
+			if o.Pkg() != nil && o.Pkg().Path() == "sync" &&
+				(o.Name() == "Mutex" || o.Name() == "RWMutex") {
+				pass.Reportf(call.Pos(), "%s acquires a mutex in //nd:hotpath function %s: hot paths synchronize with atomics only", sel.Sel.Name, fn.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkSignature enforces rule B on parameters, results and the receiver.
+func checkSignature(pass *lint.Pass, recv *ast.FieldList, ft *ast.FuncType) {
+	report := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := pass.Info.Types[field.Type]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if name := lockInside(tv.Type); name != "" {
+				pass.Reportf(field.Type.Pos(), "by-value %s copies %s: pass a pointer", what, name)
+			}
+		}
+	}
+	report(recv, "receiver")
+	report(ft.Params, "parameter")
+	report(ft.Results, "result")
+}
+
+// checkAssignCopies flags x := y / x = y where y is a plain variable
+// reference of a lock-bearing type (calls and composite literals construct
+// fresh values and are someone else's problem).
+func checkAssignCopies(pass *lint.Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		// Assigning to _ discards the copy immediately; no lock state forks.
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		if !isVarRef(rhs) {
+			continue
+		}
+		tv, ok := pass.Info.Types[rhs]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if name := lockInside(tv.Type); name != "" {
+			pass.Reportf(rhs.Pos(), "assignment copies %s: use a pointer", name)
+		}
+	}
+}
+
+// checkRangeCopies flags range value variables that copy lock-bearing
+// elements.
+func checkRangeCopies(pass *lint.Pass, rs *ast.RangeStmt) {
+	if rs.Value == nil {
+		return
+	}
+	var t types.Type
+	if id, ok := rs.Value.(*ast.Ident); ok {
+		// := range defines the value variable; = range uses an existing one.
+		if obj := pass.Info.Defs[id]; obj != nil {
+			t = obj.Type()
+		} else if obj := pass.Info.Uses[id]; obj != nil {
+			t = obj.Type()
+		}
+	}
+	if t == nil {
+		tv, ok := pass.Info.Types[rs.Value]
+		if !ok {
+			return
+		}
+		t = tv.Type
+	}
+	if t == nil {
+		return
+	}
+	if name := lockInside(t); name != "" {
+		pass.Reportf(rs.Value.Pos(), "range value copies %s: range over indexes or pointers", name)
+	}
+}
+
+// isVarRef reports whether e reads an existing value (identifier, field
+// selector, deref, index) as opposed to constructing a new one.
+func isVarRef(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name != "nil"
+	case *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	case *ast.ParenExpr:
+		return isVarRef(e.X)
+	}
+	return false
+}
+
+// lockInside returns the name of a lock-bearing type reachable from t by
+// value (fields, array elements, embedding), or "" when t is copy-safe.
+// Pointers, slices, maps and channels stop the search: copying a pointer to
+// a lock is fine.
+func lockInside(t types.Type) string {
+	return lockInsideSeen(t, make(map[types.Type]bool))
+}
+
+func lockInsideSeen(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		o := named.Obj()
+		if o.Pkg() != nil {
+			switch o.Pkg().Path() {
+			case "sync":
+				switch o.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+					return "sync." + o.Name()
+				}
+			case "sync/atomic":
+				// Every exported sync/atomic struct type (Int64, Uint64,
+				// Bool, Pointer, Value, ...) embeds noCopy.
+				if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+					return "sync/atomic." + o.Name()
+				}
+			}
+		}
+		return lockInsideSeen(named.Underlying(), seen)
+	}
+	switch t := t.(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if name := lockInsideSeen(t.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return lockInsideSeen(t.Elem(), seen)
+	}
+	return ""
+}

@@ -1,0 +1,14 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"m2hew/internal/lint/linttest"
+	"m2hew/internal/lint/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, "testdata", lockorder.Analyzer,
+		"a", // hot-path locking, by-value copies, suppression, clean shapes
+	)
+}

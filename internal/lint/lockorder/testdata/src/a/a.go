@@ -1,0 +1,84 @@
+// Package a exercises the lockorder analyzer: mutex acquisition in hot
+// paths, lock-bearing copies through signatures, assignments and ranges,
+// plus the suppressed and clean shapes.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	v atomic.Int64
+}
+
+type guarded struct {
+	mu   sync.Mutex
+	vals []int
+}
+
+// hot is a //nd:hotpath function that wrongly takes locks.
+//
+//nd:hotpath
+func hot(g *guarded, c *counter) {
+	g.mu.Lock() // want "Lock acquires a mutex in //nd:hotpath function hot"
+	g.vals = g.vals[:0]
+	g.mu.Unlock()
+	c.v.Add(1) // atomics are the hot-path tool: allowed
+}
+
+type embedsMutex struct {
+	sync.Mutex
+	n int
+}
+
+// hotPromoted locks through an embedded (promoted) mutex method.
+//
+//nd:hotpath
+func hotPromoted(e *embedsMutex) {
+	e.Lock() // want "Lock acquires a mutex in //nd:hotpath function hotPromoted"
+	e.n++
+	e.Unlock()
+}
+
+// cold may lock freely: no annotation.
+func cold(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.vals)
+}
+
+// byValueParam copies the mutex inside guarded.
+func byValueParam(g guarded) int { // want "by-value parameter copies sync.Mutex"
+	return len(g.vals)
+}
+
+// byValueReceiver copies the atomic counter.
+func (c counter) read() int64 { // want "by-value receiver copies sync/atomic.Int64"
+	return c.v.Load()
+}
+
+// byValueResult returns a lock-bearing value.
+func byValueResult() guarded { // want "by-value result copies sync.Mutex"
+	return guarded{}
+}
+
+func copies(gs []guarded, one *guarded) {
+	g := *one // want "assignment copies sync.Mutex"
+	_ = g
+	for _, v := range gs { // want "range value copies sync.Mutex"
+		_ = v
+	}
+	for i := range gs { // ranging by index: allowed
+		_ = gs[i].vals
+	}
+	p := one // copying a pointer to a lock: allowed
+	_ = p
+}
+
+// suppressed documents a deliberate copy (e.g. a one-time snapshot before
+// any goroutine runs).
+func suppressed(one *guarded) {
+	g := *one //ndlint:ignore lockorder pre-start snapshot, no concurrent holders
+	_ = g
+}

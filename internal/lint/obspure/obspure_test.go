@@ -1,0 +1,16 @@
+package obspure_test
+
+import (
+	"testing"
+
+	"m2hew/internal/lint/linttest"
+	"m2hew/internal/lint/obspure"
+)
+
+func TestObsPure(t *testing.T) {
+	linttest.Run(t, "testdata", obspure.Analyzer,
+		"a",                    // violations, boundary copies, suppression
+		"m2hew/internal/sim",   // the stub seam itself is clean
+		"m2hew/internal/radio", // likewise
+	)
+}

@@ -1,0 +1,15 @@
+// Package radio is a stub of the real m2hew/internal/radio for obspure
+// fixtures: the analyzer matches Message by package path and name.
+package radio
+
+// Action is one node's radio decision for a slot.
+type Action struct {
+	Mode    int
+	Channel int
+}
+
+// Message is a received transmission; Heard is a borrowed sender buffer.
+type Message struct {
+	From  int
+	Heard []int
+}

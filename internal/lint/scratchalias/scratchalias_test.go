@@ -1,0 +1,14 @@
+package scratchalias_test
+
+import (
+	"testing"
+
+	"m2hew/internal/lint/linttest"
+	"m2hew/internal/lint/scratchalias"
+)
+
+func TestScratchAlias(t *testing.T) {
+	linttest.Run(t, "testdata", scratchalias.Analyzer,
+		"a", // pairing, use-after-handoff, aliasing, sanctioned shapes
+	)
+}

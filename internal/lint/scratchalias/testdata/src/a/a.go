@@ -1,0 +1,95 @@
+// Package a exercises the scratchalias analyzer: adopt-without-release,
+// use-after-handoff, scratch slice aliasing, and the sanctioned shapes.
+package a
+
+// pool mimics clock.DriftProcess's rate-buf pooling surface.
+type pool struct{ buf []float64 }
+
+func (p *pool) AdoptRateBuf(buf []float64) { p.buf = buf }
+func (p *pool) ReleaseRateBuf() []float64  { b := p.buf; p.buf = nil; return b }
+
+// runScratch mimics sim's trial-scoped scratch.
+type runScratch struct {
+	rateBufs [][]float64
+	actions  []int
+}
+
+func (sc *runScratch) actionBuf(n int) []int { return sc.actions[:0] }
+
+// event mimics the engines' observability payload.
+type event struct{ actions []int }
+
+type result struct{ actions []int }
+
+func emit(e event) {}
+
+// adoptNoRelease lends a buffer and never takes it back.
+func adoptNoRelease(p *pool, buf []float64) {
+	p.AdoptRateBuf(buf) // want "AdoptRateBuf without a matching ReleaseRateBuf in adoptNoRelease"
+}
+
+// adoptDocumented carries the owner directive: release happens at run end.
+//
+//nd:scratch-owner reclaimAll takes the buffers back when the run ends
+func adoptDocumented(p *pool, buf []float64) {
+	p.AdoptRateBuf(buf)
+}
+
+// adoptPaired releases in the same function.
+func adoptPaired(p *pool, buf []float64) []float64 {
+	p.AdoptRateBuf(buf)
+	return p.ReleaseRateBuf()
+}
+
+// reclaimAll is the sanctioned reclamation shape: release, pool, stop.
+func reclaimAll(sc *runScratch, ps []*pool) {
+	for _, p := range ps {
+		buf := p.ReleaseRateBuf()
+		if buf != nil {
+			sc.rateBufs = append(sc.rateBufs, buf)
+		}
+	}
+}
+
+// useAfterHandoff reads a released buffer after pooling it.
+func useAfterHandoff(sc *runScratch, p *pool) float64 {
+	buf := p.ReleaseRateBuf()
+	sc.rateBufs = append(sc.rateBufs, buf)
+	return buf[0] // want "use of buf after the released buffer was handed back to a pool"
+}
+
+// readoptThenUse hands the buffer to a new borrower and keeps reading it.
+func readoptThenUse(p, q *pool) float64 {
+	buf := p.ReleaseRateBuf()
+	q.AdoptRateBuf(buf)
+	return buf[0] // want "use of buf after the released buffer was handed back to a pool"
+}
+
+// aliasField stores a scratch-owned slice into a struct field.
+func aliasField(sc *runScratch, r *result, n int) {
+	acts := sc.actionBuf(n)
+	r.actions = acts // want "scratch-owned slice acts stored into a struct field"
+}
+
+// aliasLiteral builds an escaping struct around a scratch-owned slice.
+func aliasLiteral(sc *runScratch, n int) *result {
+	acts := sc.actionBuf(n)
+	out := &result{actions: acts} // want "scratch-owned slice acts aliased into a composite literal"
+	return out
+}
+
+// aliasSuppressed documents a deliberate ownership transfer.
+func aliasSuppressed(sc *runScratch, n int) *result {
+	acts := sc.actionBuf(n)
+	//ndlint:ignore scratchalias caller recycles via RecycleActions, ownership transfers
+	return &result{actions: acts}
+}
+
+// inlineEmit passes the literal straight to a callee: borrow, not escape.
+func inlineEmit(sc *runScratch, n int) {
+	acts := sc.actionBuf(n)
+	for i := 0; i < n; i++ {
+		acts = append(acts, i)
+		emit(event{actions: acts})
+	}
+}

@@ -13,7 +13,10 @@
 //
 // Methods are exempt: a method drawing from a source stored in its receiver
 // is the sanctioned pattern — the seed was injected when the receiver was
-// constructed, and the constructor is what this analyzer checks.
+// constructed, and the constructor is what this analyzer checks. Test
+// entry points (TestXxx, BenchmarkXxx, FuzzXxx, ExampleXxx in _test.go
+// files) are exempt too: the testing framework fixes their signatures, so
+// they cannot take a seed — they pin their seeds in-body instead.
 package seedparam
 
 import (
@@ -105,12 +108,55 @@ func run(pass *lint.Pass) error {
 		if !f.usesRand || fd.Recv != nil || !fd.Name.IsExported() {
 			continue
 		}
+		if isTestEntry(pass, fd) {
+			continue
+		}
 		if signatureCarriesSeed(pass, fd) {
 			continue
 		}
 		pass.Reportf(fd.Name.Pos(), "exported %s transitively uses randomness but accepts no seed or rng.Source parameter; callers cannot make it reproducible", fd.Name.Name)
 	}
 	return nil
+}
+
+// isTestEntry reports whether fd is a go-test entry point declared in a
+// _test.go file: TestXxx/BenchmarkXxx/FuzzXxx taking exactly one
+// *testing.T/B/F parameter, or ExampleXxx. The framework dictates these
+// signatures, so requiring a seed parameter is impossible; such functions
+// pin their seeds in-body (which the repo's tests do).
+func isTestEntry(pass *lint.Pass, fd *ast.FuncDecl) bool {
+	if !strings.HasSuffix(pass.Fset.Position(fd.Pos()).Filename, "_test.go") {
+		return false
+	}
+	name := fd.Name.Name
+	if strings.HasPrefix(name, "Example") {
+		return true
+	}
+	var want string
+	switch {
+	case strings.HasPrefix(name, "Test"):
+		want = "T"
+	case strings.HasPrefix(name, "Benchmark"):
+		want = "B"
+	case strings.HasPrefix(name, "Fuzz"):
+		want = "F"
+	default:
+		return false
+	}
+	params := fd.Type.Params.List
+	if len(params) != 1 || len(params[0].Names) > 1 {
+		return false
+	}
+	ptr, ok := pass.Info.TypeOf(params[0].Type).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == want && obj.Pkg() != nil && obj.Pkg().Path() == "testing"
 }
 
 // usesRandDirectly reports whether body references the rng package or any

@@ -13,3 +13,11 @@ func TestSeedParam(t *testing.T) {
 		"m2hew/pkg/outside",  // not fenced: no findings
 	)
 }
+
+// TestSeedParamTestFiles merges sim_test.go in: test entry points are
+// exempt, lookalike helpers are not.
+func TestSeedParamTestFiles(t *testing.T) {
+	linttest.RunWithTests(t, "testdata", seedparam.Analyzer,
+		"m2hew/internal/sim",
+	)
+}

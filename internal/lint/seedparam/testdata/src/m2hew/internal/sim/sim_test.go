@@ -1,0 +1,35 @@
+package sim
+
+import (
+	"testing"
+
+	"m2hew/internal/rng"
+)
+
+// TestJitterSeeded is a test entry point: the framework fixes its
+// signature, so the analyzer must not demand a seed parameter even though
+// it draws randomness (from an in-body pinned seed).
+func TestJitterSeeded(t *testing.T) {
+	if rng.New(1).Uint64() == rng.New(2).Uint64() {
+		t.Fail()
+	}
+}
+
+// BenchmarkJitter is likewise exempt.
+func BenchmarkJitter(b *testing.B) {
+	r := rng.New(7)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+// ExampleJitterSeeded is likewise exempt.
+func ExampleJitterSeeded() {
+	_ = JitterSeeded(3)
+}
+
+// TestHelperRoll only looks like a test entry point — the extra parameter
+// means the framework will never call it, so the seed contract applies.
+func TestHelperRoll(t *testing.T, n int) uint64 { // want `exported TestHelperRoll transitively uses randomness`
+	return rng.New(uint64(n)).Uint64()
+}

@@ -4,20 +4,28 @@ package suite
 
 import (
 	"m2hew/internal/lint"
+	"m2hew/internal/lint/hotalloc"
+	"m2hew/internal/lint/lockorder"
 	"m2hew/internal/lint/maporder"
 	"m2hew/internal/lint/norand"
 	"m2hew/internal/lint/nowallclock"
+	"m2hew/internal/lint/obspure"
 	"m2hew/internal/lint/rngshare"
+	"m2hew/internal/lint/scratchalias"
 	"m2hew/internal/lint/seedparam"
 )
 
 // Analyzers returns the full determinism/concurrency suite in stable order.
 func Analyzers() []*lint.Analyzer {
 	return []*lint.Analyzer{
+		hotalloc.Analyzer,
+		lockorder.Analyzer,
 		maporder.Analyzer,
 		norand.Analyzer,
 		nowallclock.Analyzer,
+		obspure.Analyzer,
 		rngshare.Analyzer,
+		scratchalias.Analyzer,
 		seedparam.Analyzer,
 	}
 }

@@ -23,8 +23,8 @@ func TestRepositoryIsLintClean(t *testing.T) {
 		t.Fatalf("LoadRepo found only %d packages; the module walk looks broken", len(pkgs))
 	}
 	analyzers := suite.Analyzers()
-	if len(analyzers) < 5 {
-		t.Fatalf("suite has %d analyzers, want at least 5", len(analyzers))
+	if len(analyzers) < 9 {
+		t.Fatalf("suite has %d analyzers, want at least 9", len(analyzers))
 	}
 	for _, pkg := range pkgs {
 		diags, err := lint.RunAnalyzers(pkg, analyzers)

@@ -1,0 +1,6 @@
+//go:build extra
+
+package tagged
+
+// Extra is built only under the "extra" tag.
+func Extra() int { return 2 }

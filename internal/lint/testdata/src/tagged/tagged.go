@@ -1,0 +1,5 @@
+// Package tagged exercises build-constraint handling in the loader.
+package tagged
+
+// Base is always built.
+func Base() int { return 1 }

@@ -1,0 +1,7 @@
+// Package testonly holds nothing but an in-package test file; the loader
+// must register the directory only when IncludeTests is set.
+package testonly
+
+import "testing"
+
+func TestNothing(t *testing.T) {}

@@ -1,0 +1,5 @@
+// Package withtests exercises in-package test merging in the loader.
+package withtests
+
+// answer is unexported so only an in-package test can reach it.
+func answer() int { return 42 }

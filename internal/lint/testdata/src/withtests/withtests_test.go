@@ -1,0 +1,9 @@
+package withtests
+
+import "testing"
+
+func TestAnswer(t *testing.T) {
+	if answer() != 42 {
+		t.Fatal("wrong answer")
+	}
+}

@@ -1,0 +1,10 @@
+// Package xhelper is a test helper whose API mentions xtested's types; the
+// loader must re-check it against the merged xtested package when the
+// external test package imports both, or the two copies of xtested.Val
+// would not be identical.
+package xhelper
+
+import "xtested"
+
+// Sum adds a Val's field to x.
+func Sum(v xtested.Val, x int) int { return v.N + x }

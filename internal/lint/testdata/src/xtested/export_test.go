@@ -1,0 +1,6 @@
+package xtested
+
+// Hidden exposes hidden to the external test package, the export_test.go
+// idiom the loader must support: the external package's import of the base
+// path has to resolve to the merged (tests-included) package.
+var Hidden = hidden

@@ -1,0 +1,26 @@
+package xtested_test
+
+import (
+	"testing"
+
+	"xhelper"
+	"xtested"
+)
+
+func TestDouble(t *testing.T) {
+	if xtested.Double(3) != 6 {
+		t.Fatal("wrong double")
+	}
+	if xtested.Hidden() != 7 {
+		t.Fatal("wrong hidden")
+	}
+}
+
+func TestHelper(t *testing.T) {
+	// xhelper's signature names xtested.Val; this compiles only if the
+	// helper was checked against the same xtested package this file
+	// imports (the merged one, because export_test.go exists).
+	if xhelper.Sum(xtested.Val{N: 5}, 2) != 7 {
+		t.Fatal("wrong sum")
+	}
+}

@@ -1,0 +1,11 @@
+// Package xtested exercises external test-package loading in the loader.
+package xtested
+
+// Double is exported for the external test package.
+func Double(x int) int { return 2 * x }
+
+// hidden is reachable only through the export hook below.
+func hidden() int { return 7 }
+
+// Val is referenced by the xhelper test helper package.
+type Val struct{ N int }

@@ -45,6 +45,8 @@ func NewCoverage(links []topology.Link) *Coverage {
 // them would let a mis-wired caller grow the map without bound, and the
 // engines cannot produce any — a delivery implies a discoverable link, and
 // the target is exactly the discoverable-link set.
+//
+//nd:hotpath
 func (c *Coverage) Observe(l topology.Link, at float64) bool {
 	if _, seen := c.first[l]; seen {
 		return false

@@ -36,6 +36,8 @@ func NewEnergyMeter(n int) (*EnergyMeter, error) {
 // cannot attribute the excess actions; instead of silently dropping them
 // (which made per-node tallies quietly wrong with no signal), it tallies
 // the drop count, which Mismatched exposes for audits.
+//
+//nd:hotpath
 func (m *EnergyMeter) ObserveSlot(_ int, actions []radio.Action) {
 	n := len(actions)
 	if n > len(m.tx) {

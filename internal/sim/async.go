@@ -2,7 +2,7 @@ package sim
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"m2hew/internal/channel"
 	"m2hew/internal/clock"
@@ -132,6 +132,8 @@ func (c *AsyncConfig) validate() error {
 // is sound because the paper's protocols are oblivious: their transmission
 // schedule is a function of their private randomness only, never of received
 // messages. Deliveries are applied in chronological order.
+//
+//nd:hotpath
 func RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -211,15 +213,7 @@ func RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
 		}
 	}
 
-	sort.Slice(deliveries, func(i, j int) bool {
-		if deliveries[i].at != deliveries[j].at {
-			return deliveries[i].at < deliveries[j].at
-		}
-		if deliveries[i].to != deliveries[j].to {
-			return deliveries[i].to < deliveries[j].to
-		}
-		return deliveries[i].from < deliveries[j].from
-	})
+	slices.SortFunc(deliveries, cmpDelivery)
 
 	sc.deliveries = deliveries[:0] // keep any capacity the run grew
 
@@ -245,12 +239,41 @@ func RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
 		sc.reclaimRateBufs(cfg.Nodes)
 	}
 
-	result := &AsyncResult{Ts: ts, Coverage: coverage, Timelines: timelines, FrameBudget: cfg.MaxFrames}
+	// The result escapes by design: one allocation per run, and Timelines
+	// hands the scratch-pooled timelines to the caller under the
+	// RecycleTimelines ownership contract (AsyncScratch documents it).
+	//ndlint:ignore hotalloc one result allocation per run, not per frame
+	result := &AsyncResult{Ts: ts, Coverage: coverage, Timelines: timelines, FrameBudget: cfg.MaxFrames} //ndlint:ignore scratchalias Timelines ownership transfers per the RecycleTimelines contract
 	if coverage.Complete() {
 		result.Complete = true
 		result.CompletionTime, _ = coverage.CompletionTime()
 	}
 	return result, nil
+}
+
+// cmpDelivery orders deliveries chronologically, ties broken by receiver
+// then sender. Distinct deliveries never compare equal — a sender delivers
+// at most once per receiver frame and its slot end times are distinct — so
+// the unstable sort is deterministic (the asynchronous engines' byte-for-
+// byte reproducibility rests on this). A named comparator keeps the sort
+// closure-free on the hot path.
+func cmpDelivery(a, b delivery) int {
+	switch {
+	case a.at < b.at:
+		return -1
+	case a.at > b.at:
+		return 1
+	case a.to < b.to:
+		return -1
+	case a.to > b.to:
+		return 1
+	case a.from < b.from:
+		return -1
+	case a.from > b.from:
+		return 1
+	default:
+		return 0
+	}
 }
 
 // sharedMsgAvail clones each node's available set once per run; every

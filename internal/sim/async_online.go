@@ -98,7 +98,7 @@ func RunAsyncOnline(cfg AsyncConfig) (*AsyncResult, error) {
 	}
 
 	coverage := metrics.NewCoverage(nw.DiscoverableLinks())
-	result := &AsyncResult{Ts: ts, Coverage: coverage, Timelines: timelines, FrameBudget: cfg.MaxFrames}
+	result := &AsyncResult{Ts: ts, Coverage: coverage, Timelines: timelines, FrameBudget: cfg.MaxFrames} //ndlint:ignore scratchalias Timelines ownership transfers per the RecycleTimelines contract
 
 	for {
 		// Pop the earliest unresolved frame end.

@@ -83,6 +83,8 @@ type asyncEnv struct {
 // guarantees this (RunAsync generates everything up front, RunAsyncOnline
 // maintains it as a scheduling invariant). The returned slice is owned by
 // the env and is invalidated by the next resolveFrame call.
+//
+//nd:hotpath
 func (env *asyncEnv) resolveFrame(uid topology.NodeID, g asyncFrame) []delivery {
 	env.lastCollected = 0
 	if g.action.Mode != radio.Receive {
@@ -126,6 +128,8 @@ func (env *asyncEnv) resolveFrame(uid topology.NodeID, g asyncFrame) []delivery 
 // Collection order — ascending neighbor, then frame, then slot — is part of
 // the reproducibility contract: the loss model consumes exactly one erasure
 // draw per overlapping slot, in this order.
+//
+//nd:hotpath
 func (env *asyncEnv) collectSlots(uid topology.NodeID, g asyncFrame) []txSlot {
 	c := g.action.Channel
 	slots := env.txBuf[:0]
@@ -222,6 +226,8 @@ func cmpIdxSlotStart(a, b idxSlot) int {
 // different sender than the new lead — becomes maxEnd2, preserving the
 // invariant. Results are written into the env's reused flag buffer,
 // indexed by collection order.
+//
+//nd:hotpath
 func (env *asyncEnv) clearFlags(slots []txSlot) []bool {
 	k := len(slots)
 	if cap(env.flagBuf) < k {

@@ -266,6 +266,8 @@ type rateBufPooler interface {
 }
 
 // adoptRateBuf seeds a fresh trial's drift with a pooled backing array.
+//
+//nd:scratch-owner reclaimRateBufs releases every adopted buffer at run end
 func (sc *AsyncScratch) adoptRateBuf(d clock.DriftProcess) {
 	p, ok := d.(rateBufPooler)
 	if !ok {

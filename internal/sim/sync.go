@@ -123,6 +123,8 @@ func (c *SyncConfig) validate() error {
 // RunSync executes a synchronous simulation. It returns an error for
 // configuration mistakes and for protocol actions that violate the radio
 // model (e.g. tuning outside the node's available set).
+//
+//nd:hotpath
 func RunSync(cfg SyncConfig) (*SyncResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -154,6 +156,7 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 		maxID = id
 	}
 	txOn, txTouched := sc.txIndex(maxID)
+	//ndlint:ignore hotalloc one result allocation per run, not per slot
 	result := &SyncResult{Coverage: coverage}
 
 	for slot := 0; slot < cfg.MaxSlots; slot++ {

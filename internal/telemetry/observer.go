@@ -78,6 +78,8 @@ func NewRunObserver(nodes, channels int, latencyBounds []float64) *RunObserver {
 }
 
 // OnEvent implements sim.Observer.
+//
+//nd:hotpath
 func (o *RunObserver) OnEvent(e sim.Event) {
 	switch e.Kind {
 	case sim.EventSlot:
@@ -120,6 +122,7 @@ func (o *RunObserver) OnEvent(e sim.Event) {
 	}
 }
 
+//nd:hotpath
 func (o *RunObserver) countTx(ch int) {
 	o.transmissions++
 	if ch < 0 || ch >= len(o.channelTx) {
@@ -129,6 +132,7 @@ func (o *RunObserver) countTx(ch int) {
 	o.channelTx[ch]++
 }
 
+//nd:hotpath
 func (o *RunObserver) observeLatency(node int, t float64) {
 	b := o.latBuckets[node]
 	lo, hi := 0, len(o.latBounds)
@@ -385,6 +389,8 @@ func (a *Aggregate) UpdateDerived() {
 
 // merge folds per-run plain buckets into an atomic histogram. The buckets
 // must have been built against the same bounds.
+//
+//nd:hotpath
 func (h *Histogram) merge(counts []uint64, sum float64) {
 	if len(counts) != len(h.buckets) {
 		// Mis-sized merge would silently misattribute latency mass;

@@ -38,10 +38,14 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//nd:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n (n must be ≥ 0 for the Prometheus counter contract; negative
 // deltas are legal Go but lie to exporters).
+//
+//nd:hotpath
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -54,6 +58,8 @@ type Gauge struct {
 }
 
 // Set replaces the value.
+//
+//nd:hotpath
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Value returns the current value.
@@ -102,6 +108,8 @@ func ExponentialBounds(start, factor float64, n int) []float64 {
 }
 
 // Observe records one observation.
+//
+//nd:hotpath
 func (h *Histogram) Observe(v float64) {
 	// Hand-rolled lower bound over the (short) fixed bounds slice; the
 	// overflow bucket catches everything past the last bound.
@@ -127,6 +135,8 @@ func (h *Histogram) Observe(v float64) {
 
 // observeN merges n observations that all fall in bucket index i with total
 // value sum — the flush path for RunObserver's plain per-run buckets.
+//
+//nd:hotpath
 func (h *Histogram) observeBucket(i int, n uint64, sum float64) {
 	if n == 0 {
 		return
