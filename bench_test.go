@@ -250,3 +250,23 @@ func BenchmarkE19Acknowledgment(b *testing.B) {
 		"ack-over-in-sym": "asym=0.0|T_ack/T_in",
 	})
 }
+
+// BenchmarkE20DynamicChurn reproduces E20: discovery latency from link
+// birth under node churn (late joins, permanent leaves).
+func BenchmarkE20DynamicChurn(b *testing.B) {
+	runExperiment(b, "E20", map[string]string{
+		"lat-mean-static": "static|mean lat",
+		"lat-mean-churn":  "join 0.3, leave 0.15|mean lat",
+		"covered-churn":   "join 0.3, leave 0.15|covered %",
+	})
+}
+
+// BenchmarkE21MobilityPrimary reproduces E21: discovery on a live network
+// under waypoint mobility and primary-user spectrum dynamics.
+func BenchmarkE21MobilityPrimary(b *testing.B) {
+	runExperiment(b, "E21", map[string]string{
+		"lat-mean-fixed":  "fixed|mean lat",
+		"lat-mean-mobile": "speed 0.02 + pu|mean lat",
+		"covered-mobile":  "speed 0.02 + pu|covered %",
+	})
+}

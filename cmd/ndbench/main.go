@@ -1,4 +1,4 @@
-// Command ndbench runs the reproduction experiment suite (E1–E19, see
+// Command ndbench runs the reproduction experiment suite (E1–E21, see
 // DESIGN.md §5) and prints claim-versus-measurement tables.
 //
 // Usage:

@@ -3,8 +3,10 @@
 // writes a machine-readable snapshot to BENCH_3.json: ns per operation, ns
 // per resolved slot, allocations, and delivery throughput for the
 // synchronous and both asynchronous engines, plus steady-state rows that
-// reuse one sim scratch across runs (the trial-loop configuration) and
-// large-n rows (200-node sync, 100-node async). `make bench` refreshes the
+// reuse one sim scratch across runs (the trial-loop configuration),
+// large-n rows (200-node sync, 100-node async), and dynamic rows that run
+// the same large-n scenarios on a churn / mobility world so the epoch
+// boundary-crossing cost stays measured. `make bench` refreshes the
 // committed snapshot; CI runs it as a smoke and uploads the artifact, so a
 // hot-path regression shows up as a diff instead of an anecdote.
 //
@@ -24,6 +26,7 @@ import (
 
 	"m2hew/internal/clock"
 	"m2hew/internal/core"
+	"m2hew/internal/dynamics"
 	"m2hew/internal/rng"
 	"m2hew/internal/sim"
 	"m2hew/internal/telemetry"
@@ -102,20 +105,50 @@ func run(out, metricsPath, cpuProf, memProf string) (retErr error) {
 		sc.RecycleTimelines = true
 		return sc
 	}
+	// Dynamic worlds for the large-n rows: churn (with a primary user) on
+	// the 200-node sync scenario, mobility on the 100-node async one. Each
+	// run gets a fresh world from a fixed seed so the per-epoch rebuild
+	// cost is inside the measurement, like the protocol construction is.
+	churnWorld := func() *dynamics.World {
+		w, err := dynamics.NewWorld(nw200, dynamics.Spec{
+			EpochLen: 100,
+			Churn:    &dynamics.Churn{JoinFraction: 0.3, JoinWindow: 8, LeaveFraction: 0.2, LeaveWindow: 6},
+			Primary:  &dynamics.Primary{Events: 3, Duration: 4, Radius: 0.2},
+		}, 5, rng.New(7))
+		if err != nil {
+			panic(err)
+		}
+		return w
+	}
+	mobilityWorld := func() *dynamics.World {
+		w, err := dynamics.NewWorld(nw100, dynamics.Spec{
+			EpochLen: 50,
+			Mobility: &dynamics.Mobility{Speed: 0.01, Radius: 0.16, Pause: 1},
+		}, 14, rng.New(7))
+		if err != nil {
+			panic(err)
+		}
+		return w
+	}
 	rows := []benchRow{
-		benchSync("RunSync", nw, params.Delta, 2000, nil, agg),
-		benchAsync("RunAsync", sim.RunAsync, nw, params.Delta, 800, nil, agg),
-		benchAsync("RunAsyncOnline", sim.RunAsyncOnline, nw, params.Delta, 800, nil, agg),
+		benchSync("RunSync", nw, params.Delta, 2000, nil, nil, agg),
+		benchAsync("RunAsync", sim.RunAsync, nw, params.Delta, 800, nil, nil, agg),
+		benchAsync("RunAsyncOnline", sim.RunAsyncOnline, nw, params.Delta, 800, nil, nil, agg),
 		// Steady state: one scratch reused across runs, the per-worker trial
 		// loop configuration. The gap to the rows above is the reuse saving.
-		benchSync("RunSyncScratch", nw, params.Delta, 2000, sim.NewSyncScratch(), agg),
-		benchAsync("RunAsyncScratch", sim.RunAsync, nw, params.Delta, 800, recycling(), agg),
+		benchSync("RunSyncScratch", nw, params.Delta, 2000, sim.NewSyncScratch(), nil, agg),
+		benchAsync("RunAsyncScratch", sim.RunAsync, nw, params.Delta, 800, recycling(), nil, agg),
 		// Large-n regime (shorter horizons keep wall time comparable).
-		benchSync("RunSyncN200", nw200, nw200.ComputeParams().Delta, 500, sim.NewSyncScratch(), nil),
-		benchAsync("RunAsyncN100", sim.RunAsync, nw100, nw100.ComputeParams().Delta, 200, recycling(), nil),
+		benchSync("RunSyncN200", nw200, nw200.ComputeParams().Delta, 500, sim.NewSyncScratch(), nil, nil),
+		benchAsync("RunAsyncN100", sim.RunAsync, nw100, nw100.ComputeParams().Delta, 200, recycling(), nil, nil),
+		// Dynamic regime: same large-n scenarios on a time-varying world.
+		// The gap to the static rows above is the dynamics overhead (epoch
+		// snapshots, activity gating, growable coverage).
+		benchSync("RunSyncChurn", nw200, nw200.ComputeParams().Delta, 500, sim.NewSyncScratch(), churnWorld, nil),
+		benchAsync("RunAsyncMobility", sim.RunAsync, nw100, nw100.ComputeParams().Delta, 200, recycling(), mobilityWorld, nil),
 	}
 	doc := snapshot{
-		Scenario:   "GeometricConnected(seed=1) + AssignUniformK(8,4); base n=30 r=0.35 (SyncUniform 2000 slots / Async 800 frames of 3 slots); large-n rows n=200 r=0.12 (500 slots) and n=100 r=0.16 (200 frames); Scratch rows reuse one sim scratch across runs",
+		Scenario:   "GeometricConnected(seed=1) + AssignUniformK(8,4); base n=30 r=0.35 (SyncUniform 2000 slots / Async 800 frames of 3 slots); large-n rows n=200 r=0.12 (500 slots) and n=100 r=0.16 (200 frames); Scratch rows reuse one sim scratch across runs; Churn/Mobility rows run the large-n scenarios on a dynamics.World (seed 7)",
 		Notes:      "timings are machine-dependent; compare ratios across commits, not absolute values. slots_per_op is global slots (sync) or per-node local slots (async).",
 		Benchmarks: rows,
 	}
@@ -178,7 +211,7 @@ func benchNetworkN(n int, radius float64) (*topology.Network, error) {
 	return nw, nil
 }
 
-func benchSync(name string, nw *topology.Network, deltaEst, maxSlots int, scratch *sim.SyncScratch, agg *telemetry.Aggregate) benchRow {
+func benchSync(name string, nw *topology.Network, deltaEst, maxSlots int, scratch *sim.SyncScratch, world func() *dynamics.World, agg *telemetry.Aggregate) benchRow {
 	var deliveries, slots int64
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -194,7 +227,7 @@ func benchSync(name string, nw *topology.Network, deltaEst, maxSlots int, scratc
 				protos[u] = p
 			}
 			tele := teleObserver(agg, nw)
-			r, err := sim.RunSync(sim.SyncConfig{
+			cfg := sim.SyncConfig{
 				Network:       nw,
 				Protocols:     protos,
 				MaxSlots:      maxSlots,
@@ -205,7 +238,11 @@ func benchSync(name string, nw *topology.Network, deltaEst, maxSlots int, scratc
 						deliveries++
 					}
 				}), tele),
-			})
+			}
+			if world != nil {
+				cfg.Dynamics = world()
+			}
+			r, err := sim.RunSync(cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -218,7 +255,7 @@ func benchSync(name string, nw *topology.Network, deltaEst, maxSlots int, scratc
 	return row(name, res, deliveries, float64(slots)/float64(res.N))
 }
 
-func benchAsync(name string, engine func(sim.AsyncConfig) (*sim.AsyncResult, error), nw *topology.Network, deltaEst, maxFrames int, scratch *sim.AsyncScratch, agg *telemetry.Aggregate) benchRow {
+func benchAsync(name string, engine func(sim.AsyncConfig) (*sim.AsyncResult, error), nw *topology.Network, deltaEst, maxFrames int, scratch *sim.AsyncScratch, world func() *dynamics.World, agg *telemetry.Aggregate) benchRow {
 	const (
 		frameLen      = 3.0
 		slotsPerFrame = 3
@@ -242,7 +279,7 @@ func benchAsync(name string, engine func(sim.AsyncConfig) (*sim.AsyncResult, err
 				nodes[u] = sim.AsyncNode{Protocol: p, Start: root.Float64() * 10, Drift: drift}
 			}
 			tele := teleObserver(agg, nw)
-			if _, err := engine(sim.AsyncConfig{
+			cfg := sim.AsyncConfig{
 				Network:   nw,
 				Nodes:     nodes,
 				FrameLen:  frameLen,
@@ -253,7 +290,11 @@ func benchAsync(name string, engine func(sim.AsyncConfig) (*sim.AsyncResult, err
 						deliveries++
 					}
 				}), tele),
-			}); err != nil {
+			}
+			if world != nil {
+				cfg.Dynamics = world()
+			}
+			if _, err := engine(cfg); err != nil {
 				b.Fatal(err)
 			}
 			if agg != nil {

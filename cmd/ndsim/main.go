@@ -8,6 +8,8 @@
 //	ndsim -alg async -drift 0.14 -spread 30 -tables
 //	ndsim -alg sync-uniform -start-window 200 -v
 //	ndsim -alg sync-uniform -loss 0.5 -terminate-idle 400
+//	ndsim -epoch-len 200 -churn-join 0.4 -churn-leave 0.2    # dynamic network
+//	ndsim -alg async -epoch-len 50 -mobility-speed 0.02 -pu-events 3
 //	ndsim -net saved.json -alg async -json
 //	ndsim -asym 0.3 -span-cap 2 -curve progress.csv
 //	ndsim -events run.ndjson                   # full event log for ndtrace
@@ -69,6 +71,16 @@ func run(args []string, out io.Writer) (retErr error) {
 		drift       = fs.Float64("drift", 0, "async clock drift bound δ (paper needs ≤ 1/7)")
 		loss        = fs.Float64("loss", 0, "per-reception erasure probability (unreliable channels)")
 		termIdle    = fs.Int("terminate-idle", 0, "quiescence rule: stop after this many idle slots/frames (0 = run forever)")
+		epochLen    = fs.Float64("epoch-len", 0, "dynamics epoch length in slots (sync) or time units (async); 0 = static network")
+		churnJoin   = fs.Float64("churn-join", 0, "fraction of nodes joining late, uniformly within -churn-window epochs")
+		churnLeave  = fs.Float64("churn-leave", 0, "fraction of nodes leaving permanently within -churn-window epochs of joining")
+		churnWindow = fs.Int("churn-window", 20, "churn join/leave window in epochs")
+		mobSpeed    = fs.Float64("mobility-speed", 0, "random-waypoint speed in unit lengths per epoch (0 = immobile)")
+		mobRadius   = fs.Float64("mobility-radius", 0.4, "communication radius for per-epoch edge re-derivation under mobility")
+		mobPause    = fs.Int("mobility-pause", 0, "epochs paused at each waypoint")
+		puEvents    = fs.Int("pu-events", 0, "primary-user appearances scheduled over the run (0 = none)")
+		puDuration  = fs.Int("pu-duration", 10, "epochs each primary user stays active")
+		puRadius    = fs.Float64("pu-radius", 0.3, "primary-user exclusion radius")
 		runSeed     = fs.Uint64("seed", 1, "run seed")
 		tables      = fs.Bool("tables", false, "print per-node neighbor tables")
 		asJSON      = fs.Bool("json", false, "emit the full report as JSON instead of text")
@@ -147,6 +159,23 @@ func run(args []string, out io.Writer) (retErr error) {
 		TerminateAfterIdle: *termIdle,
 		Seed:               *runSeed,
 	}
+	if *epochLen > 0 {
+		cfg.Dynamics = &m2hew.DynamicsConfig{
+			EpochLen:           *epochLen,
+			ChurnJoinFraction:  *churnJoin,
+			ChurnJoinWindow:    *churnWindow,
+			ChurnLeaveFraction: *churnLeave,
+			ChurnLeaveWindow:   *churnWindow,
+			MobilitySpeed:      *mobSpeed,
+			MobilityRadius:     *mobRadius,
+			MobilityPause:      *mobPause,
+			PrimaryEvents:      *puEvents,
+			PrimaryDuration:    *puDuration,
+			PrimaryRadius:      *puRadius,
+		}
+	} else if *churnJoin > 0 || *churnLeave > 0 || *mobSpeed > 0 || *puEvents > 0 {
+		return fmt.Errorf("dynamics flags need -epoch-len > 0")
+	}
 	if *verbose {
 		cfg.TraceWriter = out
 	}
@@ -190,6 +219,10 @@ func run(args []string, out io.Writer) (retErr error) {
 	if *termIdle > 0 {
 		fmt.Fprintf(out, "termination: %d/%d nodes stopped; mean active units %.0f\n",
 			report.TerminatedNodes, nw.N(), report.MeanActiveUnits)
+	}
+	if report.Epochs > 0 {
+		fmt.Fprintf(out, "dynamics: %d epochs; mean discovery latency %.2f\n",
+			report.Epochs, report.MeanDiscoveryLatency)
 	}
 
 	if *tables {

@@ -82,6 +82,10 @@ type kindCounts struct {
 	FrameStart   int `json:"frameStart"`
 	FrameResolve int `json:"frameResolve"`
 	Note         int `json:"note"`
+	Epoch        int `json:"epoch,omitempty"`
+	Join         int `json:"join,omitempty"`
+	Leave        int `json:"leave,omitempty"`
+	ChannelLoss  int `json:"channelLoss,omitempty"`
 }
 
 // slotRow is one synchronous slot's activity.
@@ -122,6 +126,16 @@ type chanRow struct {
 	TxShare   float64 `json:"txShare"`
 }
 
+// epochRow is one dynamic-run epoch boundary's membership and spectrum
+// flips.
+type epochRow struct {
+	Epoch         int     `json:"epoch"`
+	Time          float64 `json:"time"`
+	Joins         int     `json:"joins"`
+	Leaves        int     `json:"leaves"`
+	ChannelLosses int     `json:"channelLosses"`
+}
+
 // summary is the full digest of one event log.
 type summary struct {
 	Events         int        `json:"events"`
@@ -131,6 +145,21 @@ type summary struct {
 	TopCollisions  []linkRow  `json:"topCollisionLinks,omitempty"`
 	CollisionLinks int        `json:"collisionLinks"`
 	Channels       []chanRow  `json:"channels,omitempty"`
+	Epochs         []epochRow `json:"epochs,omitempty"`
+}
+
+// epochAt finds (or, for logs whose boundary event was filtered out,
+// creates) the epoch row a join/leave/channel-loss event belongs to. The
+// engines emit the EventEpoch boundary immediately before its flips, so the
+// common case is the last row.
+func epochAt(rows *[]epochRow, epoch int, t float64) *epochRow {
+	for i := len(*rows) - 1; i >= 0; i-- {
+		if (*rows)[i].Epoch == epoch {
+			return &(*rows)[i]
+		}
+	}
+	*rows = append(*rows, epochRow{Epoch: epoch, Time: t})
+	return &(*rows)[len(*rows)-1]
 }
 
 // summarize digests the event stream. top bounds the collision-link list;
@@ -213,6 +242,24 @@ func summarize(events []trace.Event, top int) *summary {
 			n.Delivered += e.Delivered
 		case trace.KindNote:
 			s.Kinds.Note++
+		case trace.KindEpoch:
+			s.Kinds.Epoch++
+			s.Epochs = append(s.Epochs, epochRow{Epoch: e.Epoch, Time: e.Time})
+		case trace.KindJoin:
+			s.Kinds.Join++
+			if r := epochAt(&s.Epochs, e.Epoch, e.Time); r != nil {
+				r.Joins++
+			}
+		case trace.KindLeave:
+			s.Kinds.Leave++
+			if r := epochAt(&s.Epochs, e.Epoch, e.Time); r != nil {
+				r.Leaves++
+			}
+		case trace.KindChannelLoss:
+			s.Kinds.ChannelLoss++
+			if r := epochAt(&s.Epochs, e.Epoch, e.Time); r != nil {
+				r.ChannelLosses++
+			}
 		}
 	}
 	// Asynchronous logs have no slot structure: a lone delivery table keyed
@@ -274,6 +321,10 @@ func (s *summary) print(out io.Writer, slotRows int) error {
 		s.Events, k.Tx, k.Deliver, k.Collision, k.Idle, k.FrameStart, k.FrameResolve, k.Note); err != nil {
 		return err
 	}
+	if k.Epoch+k.Join+k.Leave+k.ChannelLoss > 0 {
+		fmt.Fprintf(out, "dynamics: %d epochs (join %d, leave %d, channel-loss %d)\n",
+			k.Epoch, k.Join, k.Leave, k.ChannelLoss)
+	}
 	if len(s.Slots) > 0 {
 		shown := s.Slots
 		if slotRows > 0 && len(shown) > slotRows {
@@ -303,6 +354,13 @@ func (s *summary) print(out io.Writer, slotRows int) error {
 		fmt.Fprintf(out, "  %7s %6s %8s %10s %6s %7s\n", "channel", "tx", "deliver", "collision", "idle", "share")
 		for _, c := range s.Channels {
 			fmt.Fprintf(out, "  %7d %6d %8d %10d %6d %7.3f\n", c.Channel, c.Tx, c.Deliver, c.Collision, c.Idle, c.TxShare)
+		}
+	}
+	if len(s.Epochs) > 0 {
+		fmt.Fprintf(out, "\nepoch boundaries:\n")
+		fmt.Fprintf(out, "  %6s %10s %6s %7s %13s\n", "epoch", "t", "joins", "leaves", "channel-loss")
+		for _, r := range s.Epochs {
+			fmt.Fprintf(out, "  %6d %10.1f %6d %7d %13d\n", r.Epoch, r.Time, r.Joins, r.Leaves, r.ChannelLosses)
 		}
 	}
 	return nil

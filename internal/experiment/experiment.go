@@ -1,4 +1,4 @@
-// Package experiment implements the reproduction experiment suite E1–E19
+// Package experiment implements the reproduction experiment suite E1–E21
 // defined in DESIGN.md.
 //
 // The paper proves probabilistic running-time bounds instead of reporting

@@ -166,8 +166,8 @@ func TestTableFormatEmpty(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 19 {
-		t.Fatalf("registry has %d entries, want 19", len(all))
+	if len(all) != 21 {
+		t.Fatalf("registry has %d entries, want 21", len(all))
 	}
 	seen := make(map[string]bool)
 	for _, e := range all {

@@ -36,6 +36,8 @@ var registry = []Entry{
 	{"E17", "Progress profile: time to 50/90/99/100% coverage", E17},
 	{"E18", "Spectrum churn: primary arrival, vacated channel, re-discovery", E18},
 	{"E19", "Acknowledgment extension: out-link confirmation (asymmetric graphs)", E19},
+	{"E20", "Dynamic networks: discovery latency under node churn", E20},
+	{"E21", "Dynamic networks: mobility + primary-user spectrum dynamics", E21},
 }
 
 // All returns the registered experiments in suite order.

@@ -1,0 +1,90 @@
+package harness
+
+// Churn soak: a 300-node dynamic scenario pushed through the trial
+// pipeline, sized to contend the worker pool under -race. Asserts the two
+// properties a dynamic run must not lose at scale: same seed → identical
+// results across independent runs (worlds, protocol streams and scratch
+// reuse all included), and the pipeline strands no goroutines.
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"m2hew/internal/core"
+	"m2hew/internal/dynamics"
+	"m2hew/internal/metrics"
+	"m2hew/internal/rng"
+	"m2hew/internal/sim"
+	"m2hew/internal/topology"
+)
+
+func TestSyncDynamicsChurnSoak(t *testing.T) {
+	const (
+		n          = 300
+		epochSlots = 100
+		maxSlots   = 1500
+		trials     = 8
+		seed       = 17
+	)
+	r := rng.New(3)
+	nw, err := topology.GeometricConnected(n, 0.2, r, 100)
+	if err != nil {
+		t.Fatalf("network: %v", err)
+	}
+	if err := topology.AssignBernoulli(nw, 8, 0.7, r); err != nil {
+		t.Fatalf("channels: %v", err)
+	}
+	factory := func(u topology.NodeID, src *rng.Source) (sim.SyncProtocol, error) {
+		return core.NewSyncUniform(nw.Avail(u), 64, src)
+	}
+	spec := dynamics.Spec{
+		EpochLen: epochSlots,
+		Churn:    &dynamics.Churn{JoinFraction: 0.3, JoinWindow: 8, LeaveFraction: 0.2, LeaveWindow: 6},
+		Primary:  &dynamics.Primary{Events: 3, Duration: 4, Radius: 0.2},
+	}
+
+	before := runtime.NumGoroutine()
+	run := func() ([]float64, int, int) {
+		t.Helper()
+		results, err := SyncDynamicsTrials(nw, factory, spec, maxSlots/epochSlots, maxSlots, trials, rng.New(seed))
+		if err != nil {
+			t.Fatalf("SyncDynamicsTrials: %v", err)
+		}
+		covs := make([]*metrics.Coverage, len(results))
+		for i, res := range results {
+			covs[i] = res.Coverage
+		}
+		lat, covered, targeted := PooledLatencies(covs)
+		return lat, covered, targeted
+	}
+
+	lat1, cov1, tgt1 := run()
+	lat2, cov2, tgt2 := run()
+	if cov1 != cov2 || tgt1 != tgt2 || len(lat1) != len(lat2) {
+		t.Fatalf("same-seed runs disagree: %d/%d (%d latencies) vs %d/%d (%d)",
+			cov1, tgt1, len(lat1), cov2, tgt2, len(lat2))
+	}
+	for i := range lat1 {
+		if lat1[i] != lat2[i] {
+			t.Fatalf("latency[%d]: %v vs %v", i, lat1[i], lat2[i])
+		}
+	}
+	if tgt1 == 0 || cov1 == 0 {
+		t.Fatalf("soak covered nothing (%d/%d); fixture broken", cov1, tgt1)
+	}
+
+	// The pool must have joined all its workers; give the runtime a moment
+	// to retire exiting goroutines before declaring a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before soak, %d after", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}

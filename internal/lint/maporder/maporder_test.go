@@ -14,5 +14,6 @@ func TestMapOrder(t *testing.T) {
 		"m2hew/cmd/ndfake",         // fenced: command output paths
 		"m2hew/internal/sim",       // fenced: engine delivery-batch patterns
 		"m2hew/internal/telemetry", // fenced: exporter/snapshot rendering
+		"m2hew/internal/dynamics",  // fenced: epoch-rebuild table patterns
 	)
 }

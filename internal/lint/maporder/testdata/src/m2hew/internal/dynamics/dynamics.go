@@ -1,0 +1,80 @@
+// Package dynamics is a fixture for the epoch-schedule tree, which joined
+// maporder's fence when worlds began rebuilding candidate and loss tables
+// per epoch: those tables feed the engines directly, so a rebuild that
+// walks a map leaks iteration order into every latency the run records.
+// The real package rebuilds by ascending node index and sorts its event
+// lists; the fixture pins both the violation and the sanctioned shapes.
+package dynamics
+
+import "sort"
+
+// span mirrors a blocked-interval record keyed by node and channel.
+type span struct {
+	node, channel int
+	start, end    int
+}
+
+// RebuildLosses drains the per-epoch blocked map in iteration order — the
+// rebuild bug the fence exists to catch: the loss-event sequence handed to
+// the observer would differ run to run at the same seed.
+func RebuildLosses(blocked map[int][]int, epoch int) []span {
+	var losses []span
+	for node, chans := range blocked {
+		for _, c := range chans {
+			losses = append(losses, span{node: node, channel: c, start: epoch}) // want `append to losses inside range over a map`
+		}
+	}
+	return losses
+}
+
+// RebuildLossesSorted collects then sorts by (node, channel): the
+// collect-then-sort idiom the real epoch rebuild uses. Legal.
+func RebuildLossesSorted(blocked map[int][]int, epoch int) []span {
+	losses := make([]span, 0, len(blocked))
+	for node, chans := range blocked {
+		for _, c := range chans {
+			losses = append(losses, span{node: node, channel: c, start: epoch})
+		}
+	}
+	sort.Slice(losses, func(i, j int) bool {
+		if losses[i].node != losses[j].node {
+			return losses[i].node < losses[j].node
+		}
+		return losses[i].channel < losses[j].channel
+	})
+	return losses
+}
+
+// RebuildByIndex iterates active nodes in ascending index and only probes
+// the map for membership — the real package's primary idiom. Legal.
+func RebuildByIndex(n int, blocked map[int][]int, epoch int) []span {
+	losses := make([]span, 0, n)
+	for node := 0; node < n; node++ {
+		for _, c := range blocked[node] {
+			losses = append(losses, span{node: node, channel: c, start: epoch})
+		}
+	}
+	return losses
+}
+
+// MeanOutage accumulates floating point in map order; low bits of the
+// reported outage would depend on iteration order.
+func MeanOutage(durations map[int]float64) float64 {
+	var sum float64
+	for _, d := range durations {
+		sum += d // want `floating-point accumulation into sum inside range over a map`
+	}
+	if len(durations) == 0 {
+		return 0
+	}
+	return sum / float64(len(durations))
+}
+
+// CountBlocked is an order-insensitive reduction; legal.
+func CountBlocked(blocked map[int][]int) int {
+	n := 0
+	for _, chans := range blocked {
+		n += len(chans)
+	}
+	return n
+}

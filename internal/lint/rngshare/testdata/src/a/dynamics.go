@@ -1,0 +1,71 @@
+// Waypoint-draw patterns from the dynamics world builder: mobility
+// schedules draw one waypoint sequence per node, which is tempting to
+// parallelize — and the schedule source is single-goroutine state, so the
+// parallel version must fork per-node streams before any worker starts.
+package a
+
+import (
+	"sync"
+
+	"m2hew/internal/rng"
+)
+
+// waypoint mirrors a mobility schedule entry.
+type waypoint struct {
+	x, y float64
+}
+
+// drawPath draws one node's waypoint sequence from its stream.
+func drawPath(src *rng.Source, n int) []waypoint {
+	path := make([]waypoint, n)
+	for i := range path {
+		path[i] = waypoint{x: float64(src.Uint64() % 100), y: float64(src.Uint64() % 100)}
+	}
+	return path
+}
+
+// ParallelWaypoints fans the schedule draw out per node while every worker
+// pulls from the same source — the data race the analyzer exists to catch,
+// and a determinism bug even if it never trips the race detector.
+func ParallelWaypoints(src *rng.Source, nodes, hops int) [][]waypoint {
+	paths := make([][]waypoint, nodes)
+	var wg sync.WaitGroup
+	for u := 0; u < nodes; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			paths[u] = drawPath(src, hops) // want `rng source src is shared with a new goroutine`
+		}(u)
+	}
+	wg.Wait()
+	return paths
+}
+
+// PreSplitWaypoints forks one child stream per node before any worker
+// starts — the sanctioned shape: per-node streams make the draw order
+// independent of goroutine scheduling.
+func PreSplitWaypoints(src *rng.Source, nodes, hops int) [][]waypoint {
+	streams := src.SplitN(nodes)
+	paths := make([][]waypoint, nodes)
+	var wg sync.WaitGroup
+	for u := 0; u < nodes; u++ {
+		wg.Add(1)
+		go func(u int, mine *rng.Source) {
+			defer wg.Done()
+			paths[u] = drawPath(mine, hops)
+		}(u, streams[u])
+	}
+	wg.Wait()
+	return paths
+}
+
+// SequentialWaypoints draws every schedule in the constructing goroutine —
+// the real world builder's actual shape (all draws at construction, in a
+// fixed order). No goroutine, no finding.
+func SequentialWaypoints(src *rng.Source, nodes, hops int) [][]waypoint {
+	paths := make([][]waypoint, nodes)
+	for u := 0; u < nodes; u++ {
+		paths[u] = drawPath(src, hops)
+	}
+	return paths
+}

@@ -35,6 +35,7 @@ var fencedPackages = []string{
 	"m2hew/internal/clock",
 	"m2hew/internal/baseline",
 	"m2hew/internal/topology",
+	"m2hew/internal/dynamics",
 }
 
 // Analyzer reports exported seed-less functions that use randomness.

@@ -9,8 +9,9 @@ import (
 
 func TestSeedParam(t *testing.T) {
 	linttest.Run(t, "testdata", seedparam.Analyzer,
-		"m2hew/internal/sim", // fenced: seeded and unseeded APIs
-		"m2hew/pkg/outside",  // not fenced: no findings
+		"m2hew/internal/sim",      // fenced: seeded and unseeded APIs
+		"m2hew/internal/dynamics", // fenced: world-builder seeding
+		"m2hew/pkg/outside",       // not fenced: no findings
 	)
 }
 

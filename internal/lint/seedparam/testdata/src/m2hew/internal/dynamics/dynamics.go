@@ -1,0 +1,73 @@
+// Package dynamics is a fixture exercising seedparam inside the
+// epoch-schedule fence: world builders draw every churn flip, waypoint and
+// primary-user event at construction, so a builder the caller cannot seed
+// makes every dynamic experiment irreproducible at once.
+package dynamics
+
+import "m2hew/internal/rng"
+
+// Spec mirrors the dynamic-scenario parameters; it carries no randomness.
+type Spec struct {
+	EpochLen float64
+	Events   int
+}
+
+// World holds schedules drawn at construction from an injected source.
+type World struct {
+	src   *rng.Source
+	flips []int
+}
+
+// NewWorld threads the schedule source explicitly — the real constructor's
+// signature. Legal.
+func NewWorld(spec Spec, horizon int, src *rng.Source) *World {
+	w := &World{src: src, flips: make([]int, 0, horizon)}
+	for e := 0; e < horizon; e++ {
+		if src.Bernoulli(0.5) {
+			w.flips = append(w.flips, e)
+		}
+	}
+	return w
+}
+
+// NewWorldSeeded derives the schedule stream from an explicit seed. Legal.
+func NewWorldSeeded(spec Spec, horizon int, seed uint64) *World {
+	return NewWorld(spec, horizon, rng.New(seed))
+}
+
+// DefaultWorld conjures its schedule stream from hidden state — the
+// seedless-builder bug the fence exists to catch: no caller can ever
+// replay the churn pattern it draws.
+func DefaultWorld(spec Spec, horizon int) *World { // want `exported DefaultWorld transitively uses randomness`
+	return NewWorld(spec, horizon, rng.New(0))
+}
+
+// JitterEpochs launders its randomness through an unexported helper; the
+// transitive walk still finds it.
+func JitterEpochs(spec Spec, horizon int) []int { // want `exported JitterEpochs transitively uses randomness`
+	return jitter(horizon)
+}
+
+func jitter(horizon int) []int {
+	r := rng.New(uint64(horizon))
+	out := make([]int, horizon)
+	for i := range out {
+		out[i] = int(r.Uint64() % 7)
+	}
+	return out
+}
+
+// Flips reads a schedule drawn at construction; methods are exempt because
+// the seed was injected by the constructor.
+func (w *World) Flips() []int { return w.flips }
+
+// Redraw draws from the receiver's source; exempt for the same reason.
+func (w *World) Redraw() bool { return w.src.Bernoulli(0.5) }
+
+// EpochOf uses no randomness at all: legal.
+func EpochOf(spec Spec, t float64) int {
+	if spec.EpochLen <= 0 {
+		return 0
+	}
+	return int(t / spec.EpochLen)
+}

@@ -18,9 +18,16 @@ import (
 // Coverage tracks first-coverage times for a target set of directed links.
 // Times are unitless float64s: slot indexes for synchronous runs, real time
 // for asynchronous runs.
+//
+// The target is fixed at construction for static runs; time-varying runs
+// grow it with AddTarget as links come into existence (churn, mobility,
+// spectrum dynamics), recording each link's birth time so discovery latency
+// — first coverage minus birth — stays well-defined for links that did not
+// exist at time zero.
 type Coverage struct {
 	first     map[topology.Link]float64
 	target    map[topology.Link]bool
+	born      map[topology.Link]float64 // lazily allocated; absent link ⇒ born at 0
 	remaining int
 	nonTarget int // observations outside the target set (counted, never stored)
 }
@@ -58,6 +65,49 @@ func (c *Coverage) Observe(l topology.Link, at float64) bool {
 	c.first[l] = at
 	c.remaining--
 	return true
+}
+
+// AddTarget grows the target set with link l, recording at as the link's
+// birth time. It reports whether the link was new; re-adding a link already
+// in the target (a link persisting across epochs) is a no-op, so the first
+// epoch in which a link appears fixes its birth. Links added after being
+// covered cannot occur in engine use — an engine only observes links it was
+// already told exist — and are rejected as no-ops too.
+func (c *Coverage) AddTarget(l topology.Link, at float64) bool {
+	if c.target[l] {
+		return false
+	}
+	c.target[l] = true
+	c.remaining++
+	if at != 0 {
+		if c.born == nil {
+			c.born = make(map[topology.Link]float64)
+		}
+		c.born[l] = at
+	}
+	return true
+}
+
+// BirthTime returns when link l entered the target set: the AddTarget time,
+// or 0 for links in the initial (constructor) target. ok is false for links
+// outside the target.
+func (c *Coverage) BirthTime(l topology.Link) (float64, bool) {
+	if !c.target[l] {
+		return 0, false
+	}
+	return c.born[l], true
+}
+
+// Latencies returns the discovery latency — first-coverage time minus birth
+// time — of every covered target link, sorted ascending. For static runs
+// (all links born at 0) this is simply the sorted first-coverage times.
+func (c *Coverage) Latencies() []float64 {
+	out := make([]float64, 0, len(c.first))
+	for l, at := range c.first {
+		out = append(out, at-c.born[l])
+	}
+	sort.Float64s(out)
+	return out
 }
 
 // NonTargetObservations returns how many observations fell outside the

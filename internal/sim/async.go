@@ -6,6 +6,7 @@ import (
 
 	"m2hew/internal/channel"
 	"m2hew/internal/clock"
+	"m2hew/internal/dynamics"
 	"m2hew/internal/metrics"
 	"m2hew/internal/radio"
 	"m2hew/internal/topology"
@@ -68,6 +69,23 @@ type AsyncConfig struct {
 	// means the run allocates a private scratch; results are identical
 	// either way.
 	Scratch *AsyncScratch
+	// Stepper optionally overrides where frame decisions come from. Nil —
+	// the default — pulls each decision lazily from Nodes' protocols; a
+	// PregenStepper replays a pre-generated schedule instead (differential
+	// reference, sound for oblivious protocols only). Nodes remain required
+	// either way: they carry clocks and are the Deliver targets.
+	Stepper Stepper
+	// Dynamics, if non-nil, runs the simulation on a time-varying world:
+	// each listening frame resolves against the reception structure of the
+	// epoch containing the frame's start (see internal/dynamics; EpochLen is
+	// in the run's real-time units). Asynchronous churn semantics differ
+	// from synchronous: frame schedules never pause — clocks keep ticking —
+	// but an inactive node appears in no epoch's candidate table, so it
+	// neither delivers nor receives while out of the network. The coverage
+	// target grows with each epoch's link set (births at the epoch start
+	// time). RunAsync resolves node-major and emits no dynamics events;
+	// RunAsyncOnline processes chronologically and does.
+	Dynamics *dynamics.World
 }
 
 // AsyncResult reports an asynchronous run.
@@ -122,16 +140,27 @@ func (c *AsyncConfig) validate() error {
 	if c.MaxFrames <= 0 {
 		return fmt.Errorf("sim: max frames %d must be positive", c.MaxFrames)
 	}
+	if c.Dynamics != nil && c.Dynamics.N() != c.Network.N() {
+		return fmt.Errorf("sim: dynamics world has %d nodes, network %d", c.Dynamics.N(), c.Network.N())
+	}
 	return nil
 }
 
 // RunAsync executes an asynchronous simulation.
 //
-// The engine first generates every node's frame decisions and real-time
-// intervals for the whole horizon, then resolves receptions. Pre-generation
-// is sound because the paper's protocols are oblivious: their transmission
-// schedule is a function of their private randomness only, never of received
-// messages. Deliveries are applied in chronological order.
+// Frame decisions are pulled incrementally through the stepper seam: a
+// node's next frame is generated when the resolution pass first needs it —
+// either because the pass reached the frame itself, or because the frame
+// might overlap a neighbor's listening frame under resolution. Each node's
+// decisions are still pulled in ascending frame order from its own private
+// rng stream, so the cross-node interleaving (which differs from the old
+// generate-everything-first pass) is invisible in results; every node ends
+// the run having generated exactly MaxFrames decisions. Resolution walks
+// frames node-major; deliveries are applied in chronological order
+// afterwards, so protocols see messages only after all decisions are made —
+// behaviorally equivalent for oblivious protocols, which is why the
+// differential tests can pin this engine to RunAsyncOnline and to
+// PregenStepper replays. Adaptive protocols need RunAsyncOnline.
 //
 //nd:hotpath
 func RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
@@ -149,13 +178,19 @@ func RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
 	if sc == nil {
 		sc = NewAsyncScratch()
 	}
+	st := cfg.Stepper
+	if st == nil {
+		st = asyncStepper{nodes: cfg.Nodes}
+	}
 
-	// Phase 1: generate frames. Timelines and drift memos are pre-sized to
-	// the slot budget so the lazy boundary/rate caches grow once instead of
-	// doubling their way up (values are unchanged — only capacity moves).
+	// Phase 1: clocks. Timelines and drift memos are pre-sized to the slot
+	// budget so the lazy boundary/rate caches grow once instead of doubling
+	// their way up (values are unchanged — only capacity moves). Drift
+	// draws still happen lazily, in ascending slot order per node's own
+	// drift rng, exactly as they did when frames were generated eagerly.
 	slotBudget := cfg.MaxFrames * slotsPerFrame
 	timelines := sc.timelineSlice(n)
-	frames, starts := sc.frameTables(n, cfg.MaxFrames, cfg.MaxFrames)
+	frames, starts := sc.frameTables(n, cfg.MaxFrames, 0) // appended to as frames generate
 	ts := 0.0
 	for u := 0; u < n; u++ {
 		nc := cfg.Nodes[u]
@@ -176,30 +211,48 @@ func RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
 		}
 		reserveDrift(nc.Drift, slotBudget)
 		timelines[u] = tl
-		fu, su := frames[u], starts[u]
-		for f := 0; f < cfg.MaxFrames; f++ {
-			a := nc.Protocol.NextFrame(f)
-			if err := a.Validate(nw.Avail(topology.NodeID(u))); err != nil {
-				return nil, fmt.Errorf("sim: node %d frame %d: %w", u, f, err)
-			}
-			fs, fe := tl.FrameInterval(f)
-			fu[f] = asyncFrame{start: fs, end: fe, action: a}
-			su[f] = fs
-		}
 	}
 
-	// Phase 2: resolve receptions.
+	// Phase 2: resolve receptions, generating frames on demand. gen appends
+	// node v's next frame (frameTables reserved MaxFrames capacity per
+	// node, so appends never reallocate); before a listening frame
+	// resolves, every candidate transmitter is generated out to the frame's
+	// end, which is exactly the coverage collectSlots needs.
 	cands, msgAvail := sc.networkTables(nw)
 	env := sc.envFor(nw, cands, frames, starts, timelines, slotsPerFrame, cfg.Loss)
+	env.world = cfg.Dynamics
 	deliveries := sc.deliveryBuf()
+	maxEnd := 0.0
 	for u := 0; u < n; u++ {
 		uid := topology.NodeID(u)
-		for f, g := range frames[u] {
+		for f := 0; f < cfg.MaxFrames; f++ {
+			if len(env.frames[u]) <= f {
+				if err := env.generate(u, st); err != nil {
+					return nil, err
+				}
+			}
+			g := env.frames[u][f]
+			if g.end > maxEnd {
+				maxEnd = g.end
+			}
 			if cfg.Observer != nil {
 				cfg.Observer.OnEvent(Event{
 					Kind: EventFrameStart, Time: g.start, Slot: f,
 					Node: uid, Action: g.action,
 				})
+			}
+			if g.action.Mode == radio.Receive {
+				for _, cand := range env.candsFor(uid, g) {
+					w := int(cand.From)
+					for len(env.frames[w]) < cfg.MaxFrames {
+						if last := len(env.frames[w]); last > 0 && env.frames[w][last-1].end >= g.end {
+							break
+						}
+						if err := env.generate(w, st); err != nil {
+							return nil, err
+						}
+					}
+				}
 			}
 			ds := env.resolveFrame(uid, g)
 			deliveries = append(deliveries, ds...)
@@ -217,7 +270,7 @@ func RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
 
 	sc.deliveries = deliveries[:0] // keep any capacity the run grew
 
-	coverage := metrics.NewCoverage(nw.DiscoverableLinks())
+	coverage := asyncCoverage(nw, cfg.Dynamics, maxEnd)
 	for _, d := range deliveries {
 		msg := radio.Message{From: d.from, Avail: msgAvail[d.from]}
 		if hr, ok := cfg.Nodes[d.from].Protocol.(HeardReporter); ok {
@@ -274,6 +327,45 @@ func cmpDelivery(a, b delivery) int {
 	default:
 		return 0
 	}
+}
+
+// generate pulls node v's next frame decision from the stepper, validates
+// it, and appends the frame to the env's tables (capacity was reserved for
+// the whole budget, so appends never reallocate). Both asynchronous engines
+// generate exclusively through it, always in ascending frame order per
+// node.
+//
+//nd:hotpath
+func (env *asyncEnv) generate(v int, st Stepper) error {
+	f := len(env.frames[v])
+	a := st.Next(topology.NodeID(v), f)
+	if err := a.Validate(env.nw.Avail(topology.NodeID(v))); err != nil {
+		return fmt.Errorf("sim: node %d frame %d: %w", v, f, err)
+	}
+	fs, fe := env.timelines[v].FrameInterval(f)
+	env.frames[v] = append(env.frames[v], asyncFrame{start: fs, end: fe, action: a})
+	env.starts[v] = append(env.starts[v], fs)
+	return nil
+}
+
+// asyncCoverage builds an asynchronous run's coverage target: the static
+// network's discoverable links, or — for dynamic runs — the union of epoch
+// link sets through the epoch containing horizon (a real time), each link
+// born at the start time of its first epoch.
+func asyncCoverage(nw *topology.Network, world *dynamics.World, horizon float64) *metrics.Coverage {
+	if world == nil {
+		return metrics.NewCoverage(nw.DiscoverableLinks())
+	}
+	coverage := metrics.NewCoverage(nil)
+	last := world.EpochOf(horizon)
+	for e := 0; e <= last; e++ {
+		ep := world.At(e)
+		birth := float64(e) * world.EpochLen()
+		for _, l := range ep.Links {
+			coverage.AddTarget(l, birth)
+		}
+	}
+	return coverage
 }
 
 // sharedMsgAvail clones each node's available set once per run; every

@@ -3,7 +3,6 @@ package sim
 import (
 	"fmt"
 
-	"m2hew/internal/metrics"
 	"m2hew/internal/radio"
 	"m2hew/internal/topology"
 )
@@ -13,13 +12,16 @@ import (
 // is delivered to its receiver's protocol before that protocol makes its
 // next frame decision.
 //
-// RunAsync pre-generates all frames, which is sound only for oblivious
-// protocols (the paper's algorithms). Adaptive protocols — notably the
-// termination-detection wrapper core.AsyncTerminating, whose behaviour
-// depends on what it has received — require this engine. For oblivious
-// protocols both engines produce identical coverage results (asserted by
-// differential tests), except when a loss model is active, whose erasure
-// draws are consumed in a different order.
+// Both asynchronous engines now pull decisions incrementally through the
+// stepper seam; what distinguishes this one is delivery timing. RunAsync
+// resolves node-major and applies all deliveries after every decision is
+// made — fine for oblivious protocols, whose schedules ignore what they
+// receive. Adaptive protocols — notably the termination-detection wrapper
+// core.AsyncTerminating, whose behaviour depends on what it has received —
+// require this engine, which interleaves delivery with generation in global
+// frame-end order. For oblivious protocols both engines produce identical
+// coverage results (asserted by differential tests), except when a loss
+// model is active, whose erasure draws are consumed in a different order.
 //
 // Scheduling invariant: node events (frame ends) are processed in global
 // time order; when the earliest unprocessed frame end belongs to node u,
@@ -44,11 +46,16 @@ func RunAsyncOnline(cfg AsyncConfig) (*AsyncResult, error) {
 	if sc == nil {
 		sc = NewAsyncScratch()
 	}
+	st := cfg.Stepper
+	if st == nil {
+		st = asyncStepper{nodes: cfg.Nodes}
+	}
 	slotBudget := cfg.MaxFrames * slotsPerFrame
 	timelines := sc.timelineSlice(n)
 	frames, starts := sc.frameTables(n, cfg.MaxFrames, 0) // appended to as frames generate
 	cands, msgAvail := sc.networkTables(nw)
 	env := sc.envFor(nw, cands, frames, starts, timelines, slotsPerFrame, cfg.Loss)
+	env.world = cfg.Dynamics
 	ts := 0.0
 	for u := 0; u < n; u++ {
 		nc := cfg.Nodes[u]
@@ -64,21 +71,17 @@ func RunAsyncOnline(cfg AsyncConfig) (*AsyncResult, error) {
 		timelines[u] = tl
 	}
 
-	// generate appends node u's next frame, asking its protocol for the
-	// decision. Returns false once the node hit its frame budget.
+	// generate appends node u's next frame through the shared stepper pull
+	// (env.generate). Returns false once the node hit its frame budget.
 	generate := func(u int) (float64, bool, error) {
 		f := len(env.frames[u])
 		if f >= cfg.MaxFrames {
 			return 0, false, nil
 		}
-		a := cfg.Nodes[u].Protocol.NextFrame(f)
-		if err := a.Validate(nw.Avail(topology.NodeID(u))); err != nil {
-			return 0, false, fmt.Errorf("sim: node %d frame %d: %w", u, f, err)
+		if err := env.generate(u, st); err != nil {
+			return 0, false, err
 		}
-		fs, fe := timelines[u].FrameInterval(f)
-		env.frames[u] = append(env.frames[u], asyncFrame{start: fs, end: fe, action: a})
-		env.starts[u] = append(env.starts[u], fs)
-		return fe, true, nil
+		return env.frames[u][f].end, true, nil
 	}
 
 	// Prime every node with its first frame. nextEnd[u] is the end time of
@@ -97,8 +100,38 @@ func RunAsyncOnline(cfg AsyncConfig) (*AsyncResult, error) {
 		nextEnd[u] = end
 	}
 
-	coverage := metrics.NewCoverage(nw.DiscoverableLinks())
+	// Dynamic runs start the coverage target at epoch 0's links and grow it
+	// as the chronological pass crosses epoch boundaries (announceEpoch),
+	// so every delivery finds its link already targeted: a delivered link
+	// existed in the epoch of its listening frame's start, which the
+	// advance below reaches before that frame resolves.
+	world := cfg.Dynamics
+	coverage := asyncCoverage(nw, world, 0)
 	result := &AsyncResult{Ts: ts, Coverage: coverage, Timelines: timelines, FrameBudget: cfg.MaxFrames} //ndlint:ignore scratchalias Timelines ownership transfers per the RecycleTimelines contract
+
+	announceEpoch := func(e int) {
+		ep := world.At(e)
+		at := float64(e) * world.EpochLen()
+		if cfg.Observer != nil {
+			cfg.Observer.OnEvent(Event{Kind: EventEpoch, Time: at, Epoch: e})
+			for _, v := range ep.Joined {
+				cfg.Observer.OnEvent(Event{Kind: EventJoin, Time: at, Node: v, Epoch: e})
+			}
+			for _, v := range ep.Left {
+				cfg.Observer.OnEvent(Event{Kind: EventLeave, Time: at, Node: v, Epoch: e})
+			}
+			for _, l := range ep.Losses {
+				cfg.Observer.OnEvent(Event{Kind: EventChannelLoss, Time: at, Node: l.Node, Channel: l.Channel, Epoch: e})
+			}
+		}
+		for _, l := range ep.Links {
+			coverage.AddTarget(l, at)
+		}
+	}
+	nextEpoch := 1
+	if world != nil {
+		announceEpoch(0) // target links already added by asyncCoverage; re-adds are no-ops
+	}
 
 	for {
 		// Pop the earliest unresolved frame end.
@@ -115,6 +148,16 @@ func RunAsyncOnline(cfg AsyncConfig) (*AsyncResult, error) {
 		uid := topology.NodeID(u)
 		frameIdx := pending[u]
 		g := env.frames[u][frameIdx]
+
+		// Cross epoch boundaries up to this frame's end before resolving it:
+		// frame ends are popped in ascending order, so the advance is
+		// monotone, and any link this frame delivers on was born in an epoch
+		// at or before the one containing its start.
+		if world != nil {
+			for target := world.EpochOf(g.end); nextEpoch <= target; nextEpoch++ {
+				announceEpoch(nextEpoch)
+			}
+		}
 
 		// Before resolving u's frame we must know every transmission
 		// overlapping it. All other nodes have an unresolved frame ending

@@ -6,6 +6,7 @@ import (
 
 	"m2hew/internal/channel"
 	"m2hew/internal/clock"
+	"m2hew/internal/dynamics"
 	"m2hew/internal/radio"
 	"m2hew/internal/topology"
 )
@@ -42,6 +43,7 @@ type idxSlot struct {
 type asyncEnv struct {
 	nw            *topology.Network
 	cands         [][]topology.Candidate // per listener: decodable transmitters
+	world         *dynamics.World        // nil for static runs
 	frames        [][]asyncFrame
 	starts        [][]float64 // frame start times per node, for binary search
 	timelines     []*clock.Timeline
@@ -59,6 +61,23 @@ type asyncEnv struct {
 	// recent resolveFrame call collected (0 for non-listening frames) —
 	// the engines' EventFrameResolve accounting.
 	lastCollected int
+}
+
+// candsFor returns the candidate table row the resolver should use for
+// listener uid's frame g: the static network table, or — for dynamic runs —
+// the table of the epoch containing the frame's start. A listener inactive
+// in that epoch has no candidates (and an inactive transmitter appears in
+// no row), so churn gates reception in both directions through the table
+// alone. Sampling at the frame start pins each frame to exactly one epoch;
+// a transmission straddling the boundary counts iff the listening frame it
+// lands in started while the link existed.
+//
+//nd:hotpath
+func (env *asyncEnv) candsFor(uid topology.NodeID, g asyncFrame) []topology.Candidate {
+	if env.world == nil {
+		return env.cands[uid]
+	}
+	return env.world.At(env.world.EpochOf(g.start)).Cands[uid]
 }
 
 // resolveFrame computes the clear receptions of node u during its listening
@@ -138,7 +157,7 @@ func (env *asyncEnv) collectSlots(uid topology.NodeID, g asyncFrame) []txSlot {
 	// front; both filters precede every loss draw, so the draw sequence is
 	// unchanged (a neighbor with an empty span fails the Contains check
 	// below before drawing anything).
-	for _, cand := range env.cands[uid] {
+	for _, cand := range env.candsFor(uid, g) {
 		if !cand.Span.Contains(c) {
 			continue
 		}

@@ -56,6 +56,24 @@ const (
 	// overlapped it, and Delivered the clear receptions it produced.
 	// Emitted for receive frames only. Asynchronous engines only.
 	EventFrameResolve
+	// EventEpoch is a dynamic-run epoch boundary: Epoch is the new epoch's
+	// index, Time the boundary instant (slot index or real time). Emitted
+	// before the boundary's join/leave/channel-loss events. Synchronous
+	// engine and online asynchronous engine; the batch asynchronous engine
+	// resolves node-major rather than chronologically and emits no dynamics
+	// events.
+	EventEpoch
+	// EventJoin is a node joining the network at an epoch boundary: Node is
+	// the joiner, Epoch the epoch it becomes active in.
+	EventJoin
+	// EventLeave is a node leaving the network (permanently) at an epoch
+	// boundary: Node is the leaver, Epoch the first epoch it is inactive in.
+	EventLeave
+	// EventChannelLoss is a node losing a channel to a primary user at an
+	// epoch boundary: Node is the affected node, Channel the vacated
+	// channel, Epoch the epoch the occupation starts in. Channels returning
+	// to service carry no event.
+	EventChannelLoss
 )
 
 // String renders the kind.
@@ -73,6 +91,14 @@ func (k EventKind) String() string {
 		return "frame-start"
 	case EventFrameResolve:
 		return "frame-resolve"
+	case EventEpoch:
+		return "epoch"
+	case EventJoin:
+		return "join"
+	case EventLeave:
+		return "leave"
+	case EventChannelLoss:
+		return "channel-loss"
 	default:
 		return "EventKind(?)"
 	}
@@ -110,6 +136,10 @@ type Event struct {
 	// Actions holds every node's action this slot, indexed by NodeID
 	// (EventSlot only). Borrowed: valid only during the OnEvent call.
 	Actions []radio.Action
+	// Epoch is the dynamic-run epoch index (EventEpoch, EventJoin,
+	// EventLeave, EventChannelLoss; Node is the affected node for the
+	// latter three, Channel the vacated channel for EventChannelLoss).
+	Epoch int
 }
 
 // Observer consumes engine events. Implementations are called from the
@@ -221,6 +251,25 @@ func EventTraceObserver(sink trace.Sink) Observer {
 				From: e.Node, Frame: e.Slot,
 				Channel: e.Action.Channel, Note: e.Action.Mode.String(),
 				Collected: e.Collected, Delivered: e.Delivered,
+			})
+		case EventEpoch:
+			sink.Record(trace.Event{
+				Time: e.Time, Kind: trace.KindEpoch, Epoch: e.Epoch,
+			})
+		case EventJoin:
+			sink.Record(trace.Event{
+				Time: e.Time, Kind: trace.KindJoin,
+				From: e.Node, Epoch: e.Epoch,
+			})
+		case EventLeave:
+			sink.Record(trace.Event{
+				Time: e.Time, Kind: trace.KindLeave,
+				From: e.Node, Epoch: e.Epoch,
+			})
+		case EventChannelLoss:
+			sink.Record(trace.Event{
+				Time: e.Time, Kind: trace.KindChannelLoss,
+				From: e.Node, Channel: e.Channel, Epoch: e.Epoch,
 			})
 		}
 	})

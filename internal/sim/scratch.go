@@ -27,6 +27,7 @@ type SyncScratch struct {
 	actions   []radio.Action
 	txOn      []int
 	txTouched []channel.ID
+	locals    []int
 }
 
 // NewSyncScratch returns an empty scratch ready for use.
@@ -78,6 +79,20 @@ func (sc *SyncScratch) txIndex(maxID channel.ID) ([]int, []channel.ID) {
 		sc.txTouched = make([]channel.ID, 0, 16)
 	}
 	return txOn, sc.txTouched[:0]
+}
+
+// localSlotBuf returns the per-node local-slot counters of a dynamic run,
+// zeroed: a node's decision index is its count of active slots so far, and
+// every run starts that count at zero.
+func (sc *SyncScratch) localSlotBuf(n int) []int {
+	if cap(sc.locals) < n {
+		sc.locals = make([]int, n)
+	}
+	locals := sc.locals[:n]
+	for i := range locals {
+		locals[i] = 0
+	}
+	return locals
 }
 
 // AsyncScratch holds the per-run state of RunAsync and RunAsyncOnline for
@@ -216,6 +231,7 @@ func (sc *AsyncScratch) envFor(nw *topology.Network, cands [][]topology.Candidat
 	env.timelines = timelines
 	env.slotsPerFrame = slotsPerFrame
 	env.loss = loss
+	env.world = nil // engines running on a dynamic world set it after
 	env.lastCollected = 0
 	return env
 }

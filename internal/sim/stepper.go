@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"fmt"
+
+	"m2hew/internal/radio"
+	"m2hew/internal/topology"
+)
+
+// Stepper is the engines' decision seam: the single source both engines pull
+// protocol decisions through. Next returns node u's k-th decision — its k-th
+// active slot for the synchronous engine, its k-th local frame for the
+// asynchronous engines. Engines call Next with strictly increasing k per
+// node (starting at 0, no gaps), never re-query a (u, k) pair, and validate
+// every returned action against the node's available set exactly as they
+// would a direct protocol call.
+//
+// The default steppers (built automatically from SyncConfig.Protocols /
+// AsyncConfig.Nodes when the Stepper field is nil) pull each decision
+// lazily, at the moment the engine first needs it. Because every protocol
+// draws only from its own per-node rng.Source, the cross-node interleaving
+// of Next calls is invisible in results: a node's decision sequence is a
+// function of its private stream alone, so lazy pulling, eager
+// pre-generation, and any engine-chosen interleaving produce byte-identical
+// runs for the paper's protocols. PregenStepper materializes that claim as
+// a differential reference implementation.
+//
+// Laziness is what makes time-varying runs possible at all: a dynamics-
+// driven engine does not know in advance how many decisions a node will
+// make (churned nodes are quiet while inactive and consume no decisions),
+// so a pre-generated schedule indexed by global slot would desynchronize
+// from the node's private stream. The stepper indexes by node-local
+// activation count instead, which is well-defined under both static and
+// dynamic execution.
+type Stepper interface {
+	Next(u topology.NodeID, k int) radio.Action
+}
+
+// syncStepper is the synchronous engine's default incremental stepper: each
+// decision is pulled from the node's protocol when the engine reaches the
+// node's k-th active slot.
+type syncStepper struct{ protos []SyncProtocol }
+
+func (s syncStepper) Next(u topology.NodeID, k int) radio.Action {
+	return s.protos[u].Step(k)
+}
+
+// asyncStepper is the asynchronous engines' default incremental stepper:
+// each decision is pulled from the node's protocol when the engine first
+// needs the node's k-th frame.
+type asyncStepper struct{ nodes []AsyncNode }
+
+func (s asyncStepper) Next(u topology.NodeID, k int) radio.Action {
+	return s.nodes[u].Protocol.NextFrame(k)
+}
+
+// PregenStepper is the pre-generating reference implementation of the
+// stepper seam: it pulls every node's full decision schedule up front (node-
+// major: all of node 0's decisions, then node 1's, …) and replays it on
+// demand. This is exactly the decision-generation order the engines used
+// before they became incremental, retained so differential tests can pin
+// the lazy path to it.
+//
+// Pre-generation is sound only for oblivious protocols — those whose
+// decisions are a function of their private randomness alone, never of
+// received messages — because every decision is drawn before any Deliver
+// call. The paper's algorithms are oblivious; adaptive wrappers (e.g.
+// termination detection) are not and must use the default incremental
+// stepper. Decisions are not validated at construction; the engine
+// validates each decision it pulls, exactly as with the incremental
+// stepper, so a protocol misbehaving beyond the slots a run actually
+// executes fails under PregenStepper runs that reach those slots and
+// nowhere else.
+type PregenStepper struct {
+	decisions [][]radio.Action
+}
+
+// Next implements Stepper by replaying the pre-generated schedule. It
+// panics if k is outside the pre-generated horizon — the differential
+// harness always sizes the horizon to the run's budget.
+func (p *PregenStepper) Next(u topology.NodeID, k int) radio.Action {
+	return p.decisions[u][k]
+}
+
+// Horizon returns the number of decisions pre-generated per node.
+func (p *PregenStepper) Horizon() int {
+	if len(p.decisions) == 0 {
+		return 0
+	}
+	return len(p.decisions[0])
+}
+
+// NewSyncPregen pre-generates horizon decisions from every synchronous
+// protocol, in the node-major order the pre-incremental engine used.
+func NewSyncPregen(protos []SyncProtocol, horizon int) (*PregenStepper, error) {
+	if horizon <= 0 {
+		return nil, fmt.Errorf("sim: pregen horizon %d must be positive", horizon)
+	}
+	decisions := make([][]radio.Action, len(protos))
+	for u, p := range protos {
+		if p == nil {
+			return nil, fmt.Errorf("sim: pregen protocol for node %d is nil", u)
+		}
+		row := make([]radio.Action, horizon)
+		for k := 0; k < horizon; k++ {
+			row[k] = p.Step(k)
+		}
+		decisions[u] = row
+	}
+	return &PregenStepper{decisions: decisions}, nil
+}
+
+// NewAsyncPregen pre-generates horizon frame decisions from every
+// asynchronous node's protocol, in the node-major order the
+// pre-incremental engine used.
+func NewAsyncPregen(nodes []AsyncNode, horizon int) (*PregenStepper, error) {
+	if horizon <= 0 {
+		return nil, fmt.Errorf("sim: pregen horizon %d must be positive", horizon)
+	}
+	decisions := make([][]radio.Action, len(nodes))
+	for u := range nodes {
+		p := nodes[u].Protocol
+		if p == nil {
+			return nil, fmt.Errorf("sim: pregen protocol for node %d is nil", u)
+		}
+		row := make([]radio.Action, horizon)
+		for k := 0; k < horizon; k++ {
+			row[k] = p.NextFrame(k)
+		}
+		decisions[u] = row
+	}
+	return &PregenStepper{decisions: decisions}, nil
+}

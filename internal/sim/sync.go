@@ -15,16 +15,25 @@
 // AsyncProtocol), report results through metrics.Coverage, and expose what
 // happened through one typed observability seam: an Observer attached to
 // the run configuration receives Event values (see observe.go); the trace,
-// metrics and experiment layers plug in through its adapters. Because the
-// paper's protocols never adapt their transmission schedule to what they
-// receive, the asynchronous engine may pre-generate all frame decisions and
-// then resolve receptions chronologically; this is noted where relied upon.
+// metrics and experiment layers plug in through its adapters.
+//
+// Decision generation is incremental: both engines pull each node's next
+// decision through the Stepper seam (see stepper.go) at the moment the
+// simulation first needs it, which is what lets time-varying runs (the
+// Dynamics config fields) pause churned-out nodes without desynchronizing
+// their private rng streams. Because every protocol draws only from its own
+// per-node stream, the pull order across nodes is invisible in results;
+// PregenStepper — the pre-generation strategy the engines themselves used
+// before they became incremental — remains valid for oblivious protocols
+// (the paper's algorithms) and is retained as the differential reference
+// the tests pin the lazy path against.
 package sim
 
 import (
 	"fmt"
 
 	"m2hew/internal/channel"
+	"m2hew/internal/dynamics"
 	"m2hew/internal/metrics"
 	"m2hew/internal/radio"
 	"m2hew/internal/topology"
@@ -77,6 +86,25 @@ type SyncConfig struct {
 	// the ownership and network-mutation contract). Nil means the run
 	// allocates a private scratch; results are identical either way.
 	Scratch *SyncScratch
+	// Stepper optionally overrides where decisions come from. Nil — the
+	// default — pulls each decision lazily from Protocols; a PregenStepper
+	// replays a pre-generated schedule instead (differential reference,
+	// sound for oblivious protocols only). Protocols remain required either
+	// way: they are the Deliver targets.
+	Stepper Stepper
+	// Dynamics, if non-nil, runs the simulation on a time-varying world:
+	// reception structure, activity and channel availability follow the
+	// world's epoch schedule (see internal/dynamics). Nodes inactive in an
+	// epoch are quiet without consuming a decision — their local slot
+	// counter, and hence their private rng stream, pauses with them.
+	// Protocol actions still validate against the static A(u): primary-user
+	// blocking shrinks link spans, not the protocol's decision space. The
+	// coverage target starts empty and grows with each epoch's link set
+	// (births at the epoch's first slot), so Complete is reachable only
+	// when links stop appearing; discovery latency comes from
+	// Coverage.Latencies. Mutually exclusive with StartSlots — churn
+	// schedules subsume staggered starts.
+	Dynamics *dynamics.World
 }
 
 // SyncResult reports a synchronous run.
@@ -117,6 +145,17 @@ func (c *SyncConfig) validate() error {
 	if c.MaxSlots <= 0 {
 		return fmt.Errorf("sim: max slots %d must be positive", c.MaxSlots)
 	}
+	if c.Dynamics != nil {
+		if c.StartSlots != nil {
+			return fmt.Errorf("sim: dynamics and start slots are mutually exclusive (churn schedules subsume staggered starts)")
+		}
+		if c.Dynamics.N() != n {
+			return fmt.Errorf("sim: dynamics world has %d nodes, network %d", c.Dynamics.N(), n)
+		}
+		if _, err := c.Dynamics.EpochSlots(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -131,7 +170,19 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 	}
 	nw := cfg.Network
 	n := nw.N()
-	coverage := metrics.NewCoverage(nw.DiscoverableLinks())
+	world := cfg.Dynamics
+	var coverage *metrics.Coverage
+	epochSlots := 0
+	if world != nil {
+		epochSlots, _ = world.EpochSlots()  // error ruled out by validate
+		coverage = metrics.NewCoverage(nil) // grows at epoch boundaries below
+	} else {
+		coverage = metrics.NewCoverage(nw.DiscoverableLinks())
+	}
+	st := cfg.Stepper
+	if st == nil {
+		st = syncStepper{protos: cfg.Protocols}
+	}
 
 	// Reception-resolution state, built (or borrowed from the scratch) once
 	// per run and reused across slots:
@@ -159,18 +210,77 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 	//ndlint:ignore hotalloc one result allocation per run, not per slot
 	result := &SyncResult{Coverage: coverage}
 
+	// Dynamic-run state: the current epoch snapshot, its candidate table
+	// (curCands shadows the static table so Phase 2 reads one variable on
+	// both paths), and per-node local-slot counters — a node's decision
+	// index is its count of active slots, not the global slot, so a churned
+	// node's private rng stream pauses while it is out of the network.
+	var cur *dynamics.Epoch
+	curCands := cands
+	var locals []int
+	if world != nil {
+		locals = sc.localSlotBuf(n)
+	}
+
 	for slot := 0; slot < cfg.MaxSlots; slot++ {
+		// Epoch boundary: swap in the new snapshot, announce the boundary
+		// and its flips (epoch, joins, leaves, channel losses — each list
+		// ascending), and grow the coverage target by the epoch's links
+		// (born this slot; links persisting across epochs keep their
+		// original birth).
+		if world != nil {
+			if e := slot / epochSlots; cur == nil || (e != cur.Index && e < world.Horizon()) {
+				cur = world.At(e)
+				curCands = cur.Cands
+				if cfg.Observer != nil {
+					cfg.Observer.OnEvent(Event{
+						Kind: EventEpoch, Time: float64(slot), Slot: slot, Epoch: cur.Index,
+					})
+					for _, v := range cur.Joined {
+						cfg.Observer.OnEvent(Event{
+							Kind: EventJoin, Time: float64(slot), Slot: slot, Node: v, Epoch: cur.Index,
+						})
+					}
+					for _, v := range cur.Left {
+						cfg.Observer.OnEvent(Event{
+							Kind: EventLeave, Time: float64(slot), Slot: slot, Node: v, Epoch: cur.Index,
+						})
+					}
+					for _, l := range cur.Losses {
+						cfg.Observer.OnEvent(Event{
+							Kind: EventChannelLoss, Time: float64(slot), Slot: slot,
+							Node: l.Node, Channel: l.Channel, Epoch: cur.Index,
+						})
+					}
+				}
+				for _, l := range cur.Links {
+					coverage.AddTarget(l, float64(slot))
+				}
+			}
+		}
+
 		// Phase 1: collect actions and index transmitters by channel.
 		for u := 0; u < n; u++ {
-			start := 0
-			if cfg.StartSlots != nil {
-				start = cfg.StartSlots[u]
+			var local int
+			if cur != nil {
+				if !cur.Active[u] {
+					actions[u] = radio.Action{Mode: radio.Quiet}
+					continue
+				}
+				local = locals[u]
+				locals[u]++
+			} else {
+				start := 0
+				if cfg.StartSlots != nil {
+					start = cfg.StartSlots[u]
+				}
+				if slot < start {
+					actions[u] = radio.Action{Mode: radio.Quiet}
+					continue
+				}
+				local = slot - start
 			}
-			if slot < start {
-				actions[u] = radio.Action{Mode: radio.Quiet}
-				continue
-			}
-			a := cfg.Protocols[u].Step(slot - start)
+			a := st.Next(topology.NodeID(u), local)
 			if err := a.Validate(nw.Avail(topology.NodeID(u))); err != nil {
 				return nil, fmt.Errorf("sim: node %d slot %d: %w", u, slot, err)
 			}
@@ -212,7 +322,7 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 			}
 			var sender, firstSender topology.NodeID
 			senders := 0
-			for _, cand := range cands[u] {
+			for _, cand := range curCands[u] {
 				if actions[cand.From].Mode != radio.Transmit || actions[cand.From].Channel != c {
 					continue
 				}
@@ -275,7 +385,10 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 		txTouched = txTouched[:0]
 
 		result.SlotsSimulated = slot + 1
-		if coverage.Complete() && !cfg.RunToMaxSlots {
+		// Early stop requires a quiescent world: a dynamic run may grow new
+		// target links at a later epoch, so full coverage now is not final
+		// unless no structural change remains.
+		if coverage.Complete() && !cfg.RunToMaxSlots && (cur == nil || cur.Quiescent) {
 			break
 		}
 	}

@@ -40,6 +40,10 @@ type RunObserver struct {
 	frameTxSlots  int64 // transmission slots heard by resolved listening frames
 	frameResolved int64 // deliveries resolved by listening frames
 	mismatched    int64 // events with out-of-range node or channel IDs
+	epochs        int64 // dynamic-run epoch boundaries
+	joins         int64 // nodes joining at epoch boundaries
+	leaves        int64 // nodes leaving at epoch boundaries
+	channelLosses int64 // channels lost to primary users at epoch boundaries
 
 	channelTx []int64 // transmissions per channel ID
 
@@ -119,6 +123,14 @@ func (o *RunObserver) OnEvent(e sim.Event) {
 	case sim.EventFrameResolve:
 		o.frameTxSlots += int64(e.Collected)
 		o.frameResolved += int64(e.Delivered)
+	case sim.EventEpoch:
+		o.epochs++
+	case sim.EventJoin:
+		o.joins++
+	case sim.EventLeave:
+		o.leaves++
+	case sim.EventChannelLoss:
+		o.channelLosses++
 	}
 }
 
@@ -175,6 +187,13 @@ type RunStats struct {
 	// observer's sizing — always 0 when the observer was sized from the
 	// run's own network.
 	Mismatched int64 `json:"mismatched"`
+	// Epochs, Joins, Leaves and ChannelLosses tally a dynamic run's epoch
+	// boundaries and their membership/spectrum flips; all zero for static
+	// runs.
+	Epochs        int64 `json:"epochs,omitempty"`
+	Joins         int64 `json:"joins,omitempty"`
+	Leaves        int64 `json:"leaves,omitempty"`
+	ChannelLosses int64 `json:"channelLosses,omitempty"`
 	// ChannelTx is Transmissions split by channel ID.
 	ChannelTx []int64 `json:"channelTx"`
 	// NodeLatency holds one discovery-latency histogram per receiving
@@ -211,6 +230,10 @@ func (o *RunObserver) Stats() RunStats {
 		FrameTxSlots:    o.frameTxSlots,
 		FrameDeliveries: o.frameResolved,
 		Mismatched:      o.mismatched,
+		Epochs:          o.epochs,
+		Joins:           o.joins,
+		Leaves:          o.leaves,
+		ChannelLosses:   o.channelLosses,
 		ChannelTx:       append([]int64(nil), o.channelTx...),
 		NodeLatency:     make([]HistogramSnapshot, o.nodes),
 	}
@@ -248,6 +271,10 @@ type Aggregate struct {
 	frameTxSlots    *Counter
 	frameDeliveries *Counter
 	mismatched      *Counter
+	epochs          *Counter
+	joins           *Counter
+	leaves          *Counter
+	channelLosses   *Counter
 	latency         *Histogram
 
 	queueDelay *Histogram
@@ -296,6 +323,10 @@ func NewAggregate(reg *Registry, opts ...AggregateOption) *Aggregate {
 	a.frameTxSlots = reg.Counter("nd_frame_tx_slots_total", "transmission slots heard by resolved listening frames")
 	a.frameDeliveries = reg.Counter("nd_frame_deliveries_total", "deliveries resolved by listening frames")
 	a.mismatched = reg.Counter("nd_mismatched_events_total", "events with out-of-range node or channel IDs")
+	a.epochs = reg.Counter("nd_epochs_total", "dynamic-run epoch boundaries crossed")
+	a.joins = reg.Counter("nd_joins_total", "nodes joining the network at epoch boundaries")
+	a.leaves = reg.Counter("nd_leaves_total", "nodes leaving the network at epoch boundaries")
+	a.channelLosses = reg.Counter("nd_channel_losses_total", "channels vacated to primary users at epoch boundaries")
 	a.latency = reg.Histogram("nd_discovery_latency", "first-coverage instants of discoverable links (slots or real time)", a.latBounds)
 	a.queueDelay = reg.Histogram("nd_trial_queue_seconds", "delay between harness run start and trial pickup", DefaultTimingBounds)
 	a.wall = reg.Histogram("nd_trial_wall_seconds", "per-trial wall time on the harness pool", DefaultTimingBounds)
@@ -328,6 +359,10 @@ func (a *Aggregate) TrialDone(obs sim.Observer) {
 	a.frameTxSlots.Add(o.frameTxSlots)
 	a.frameDeliveries.Add(o.frameResolved)
 	a.mismatched.Add(o.mismatched)
+	a.epochs.Add(o.epochs)
+	a.joins.Add(o.joins)
+	a.leaves.Add(o.leaves)
+	a.channelLosses.Add(o.channelLosses)
 
 	for u := 0; u < o.nodes; u++ {
 		a.latency.merge(o.latBuckets[u], o.latSum[u])

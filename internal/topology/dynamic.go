@@ -1,0 +1,75 @@
+package topology
+
+import (
+	"sort"
+
+	"m2hew/internal/channel"
+)
+
+// DeriveGeometricCandidates re-derives the directed reception structure of a
+// geometric snapshot without constructing a Network: nodes at their current
+// positions, radius-limited adjacency found by the same grid-bucket scan
+// Geometric uses (so the edge visit order — ascending first index, then
+// second — matches the all-pairs scan exactly), and per-link spans computed
+// as A(u) ∩ A(v) minus each endpoint's blocked set.
+//
+// It returns the inbound-candidate table (cands[u] in ascending From order,
+// the order InboundCandidates guarantees) and the discoverable directed
+// links of the snapshot sorted ascending by (From, To) — the same order
+// DiscoverableLinks reports.
+//
+// active, if non-nil, excludes inactive endpoints from every edge; blocked,
+// if non-nil, holds per-node channel sets currently unusable (e.g. occupied
+// by a primary user) that are subtracted from every incident span. Links
+// whose span empties out are dropped entirely. Span overrides and dropped
+// directions do not apply: snapshots model plain geometric propagation.
+//
+// This is the per-epoch rebuild of the dynamics layer. It allocates its
+// result tables (they outlive the call inside memoized epoch snapshots), so
+// it is deliberately not //nd:hotpath; the per-slot reception loops that
+// consume the tables remain allocation-free.
+func DeriveGeometricCandidates(nodes []Node, radius float64, active []bool, blocked []channel.Set) ([][]Candidate, []Link) {
+	cands := make([][]Candidate, len(nodes))
+	var links []Link
+	for _, e := range geometricEdges(nodes, radius) {
+		i, j := e[0], e[1]
+		if active != nil && (!active[i] || !active[j]) {
+			continue
+		}
+		span := nodes[i].Avail.Intersect(nodes[j].Avail)
+		if blocked != nil {
+			if !blocked[i].IsEmpty() {
+				span = span.Minus(blocked[i])
+			}
+			if !blocked[j].IsEmpty() {
+				span = span.Minus(blocked[j])
+			}
+		}
+		if span.IsEmpty() {
+			continue
+		}
+		// Both directions share one span set; Candidate.Span is read-only by
+		// contract. Appending while scanning edges in ascending (i, j) order
+		// leaves every cands[u] in ascending From order: partners below u were
+		// appended during their own (smaller) first-index scans, partners
+		// above u during u's scan, both ascending.
+		cands[i] = append(cands[i], Candidate{From: j, Span: span})
+		cands[j] = append(cands[j], Candidate{From: i, Span: span})
+		links = append(links, Link{From: i, To: j}, Link{From: j, To: i})
+	}
+	SortLinks(links)
+	return cands, links
+}
+
+// SortLinks orders links ascending by (From, To) — the DiscoverableLinks
+// order every coverage target uses. The dynamics layer applies it to each
+// epoch's link set so growable coverage targets enumerate births in the
+// same order static targets do.
+func SortLinks(links []Link) {
+	sort.Slice(links, func(a, b int) bool {
+		if links[a].From != links[b].From {
+			return links[a].From < links[b].From
+		}
+		return links[a].To < links[b].To
+	})
+}

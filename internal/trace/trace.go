@@ -36,6 +36,15 @@ const (
 	KindFrameStart
 	// KindFrameResolve is a resolved asynchronous listening frame.
 	KindFrameResolve
+	// KindEpoch is a dynamic-run epoch boundary.
+	KindEpoch
+	// KindJoin is a node joining the network at an epoch boundary.
+	KindJoin
+	// KindLeave is a node leaving the network at an epoch boundary.
+	KindLeave
+	// KindChannelLoss is a node losing a channel to a primary user at an
+	// epoch boundary.
+	KindChannelLoss
 )
 
 // String renders the kind.
@@ -55,6 +64,14 @@ func (k Kind) String() string {
 		return "frame-start"
 	case KindFrameResolve:
 		return "frame-resolve"
+	case KindEpoch:
+		return "epoch"
+	case KindJoin:
+		return "join"
+	case KindLeave:
+		return "leave"
+	case KindChannelLoss:
+		return "channel-loss"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -78,6 +95,9 @@ type Event struct {
 	// (KindFrameResolve only).
 	Collected int `json:"collected,omitempty"`
 	Delivered int `json:"delivered,omitempty"`
+	// Epoch is the dynamic-run epoch index (KindEpoch, KindJoin, KindLeave,
+	// KindChannelLoss; From is the affected node for the latter three).
+	Epoch int `json:"epoch,omitempty"`
 }
 
 // String renders the event as one log line.
@@ -93,6 +113,12 @@ func (e Event) String() string {
 		return fmt.Sprintf("t=%-10.3f %-9s node=%d f=%d act=%s ch=%d", e.Time, e.Kind, e.From, e.Frame, e.Note, e.Channel)
 	case KindFrameResolve:
 		return fmt.Sprintf("t=%-10.3f %-9s node=%d f=%d heard=%d delivered=%d", e.Time, e.Kind, e.From, e.Frame, e.Collected, e.Delivered)
+	case KindEpoch:
+		return fmt.Sprintf("t=%-10.3f %-9s e=%d", e.Time, e.Kind, e.Epoch)
+	case KindJoin, KindLeave:
+		return fmt.Sprintf("t=%-10.3f %-9s node=%d e=%d", e.Time, e.Kind, e.From, e.Epoch)
+	case KindChannelLoss:
+		return fmt.Sprintf("t=%-10.3f %-9s node=%d ch=%d e=%d", e.Time, e.Kind, e.From, e.Channel, e.Epoch)
 	default:
 		return fmt.Sprintf("t=%-10.3f %-9s %s", e.Time, e.Kind, e.Note)
 	}

@@ -9,6 +9,7 @@ import (
 	"m2hew/internal/baseline"
 	"m2hew/internal/clock"
 	"m2hew/internal/core"
+	"m2hew/internal/dynamics"
 	"m2hew/internal/harness"
 	"m2hew/internal/metrics"
 	"m2hew/internal/rng"
@@ -95,6 +96,14 @@ type RunConfig struct {
 	// termination fields are populated. Default 0 (the paper's forever-
 	// running protocols).
 	TerminateAfterIdle int `json:"terminateAfterIdle,omitempty"`
+	// Dynamics, if non-nil, runs discovery on a time-varying network: node
+	// churn, random-waypoint mobility and primary-user spectrum dynamics
+	// follow an epoch schedule drawn from the run seed (see
+	// internal/dynamics). The coverage target then grows as links appear,
+	// so the Report's latency fields replace completion time as the
+	// headline. Incompatible with StartWindow — churn schedules subsume
+	// staggered starts.
+	Dynamics *DynamicsConfig `json:"dynamics,omitempty"`
 	// Seed makes the run deterministic; default 1.
 	Seed uint64 `json:"seed"`
 	// TraceWriter, if non-nil, receives one line per clear reception
@@ -107,6 +116,65 @@ type RunConfig struct {
 	// consumed by cmd/ndtrace. It does not affect the run. Write failures
 	// surface as an error after the run completes.
 	EventWriter io.Writer `json:"-"`
+}
+
+// DynamicsConfig selects the time-varying behaviours of a run. Any subset
+// of the three profiles may be active; zero-valued profiles are off. It is
+// the public mirror of dynamics.Spec (see internal/dynamics for the model).
+type DynamicsConfig struct {
+	// EpochLen is the epoch length in the engine's native time unit: slots
+	// for synchronous algorithms (must be a positive whole number), real
+	// time units for AlgorithmAsync. Required > 0.
+	EpochLen float64 `json:"epochLen"`
+	// ChurnJoinFraction / ChurnLeaveFraction make each node independently
+	// join late (uniformly within the first ChurnJoinWindow epochs) or
+	// leave permanently (uniformly within ChurnLeaveWindow epochs after
+	// joining) with the given probabilities.
+	ChurnJoinFraction  float64 `json:"churnJoinFraction,omitempty"`
+	ChurnJoinWindow    int     `json:"churnJoinWindow,omitempty"`
+	ChurnLeaveFraction float64 `json:"churnLeaveFraction,omitempty"`
+	ChurnLeaveWindow   int     `json:"churnLeaveWindow,omitempty"`
+	// MobilitySpeed > 0 activates random-waypoint motion over the unit
+	// square (unit lengths per epoch) with per-epoch edge re-derivation at
+	// communication radius MobilityRadius, pausing MobilityPause epochs at
+	// each waypoint.
+	MobilitySpeed  float64 `json:"mobilitySpeed,omitempty"`
+	MobilityRadius float64 `json:"mobilityRadius,omitempty"`
+	MobilityPause  int     `json:"mobilityPause,omitempty"`
+	// PrimaryEvents > 0 schedules that many primary-user appearances at
+	// uniform positions and epochs, each occupying one uniform channel for
+	// PrimaryDuration epochs within exclusion radius PrimaryRadius.
+	PrimaryEvents   int     `json:"primaryEvents,omitempty"`
+	PrimaryDuration int     `json:"primaryDuration,omitempty"`
+	PrimaryRadius   float64 `json:"primaryRadius,omitempty"`
+}
+
+// spec maps the public knobs onto the internal dynamics spec.
+func (d *DynamicsConfig) spec() dynamics.Spec {
+	spec := dynamics.Spec{EpochLen: d.EpochLen}
+	if d.ChurnJoinFraction > 0 || d.ChurnLeaveFraction > 0 {
+		spec.Churn = &dynamics.Churn{
+			JoinFraction:  d.ChurnJoinFraction,
+			JoinWindow:    d.ChurnJoinWindow,
+			LeaveFraction: d.ChurnLeaveFraction,
+			LeaveWindow:   d.ChurnLeaveWindow,
+		}
+	}
+	if d.MobilitySpeed > 0 {
+		spec.Mobility = &dynamics.Mobility{
+			Speed:  d.MobilitySpeed,
+			Radius: d.MobilityRadius,
+			Pause:  d.MobilityPause,
+		}
+	}
+	if d.PrimaryEvents > 0 {
+		spec.Primary = &dynamics.Primary{
+			Events:   d.PrimaryEvents,
+			Duration: d.PrimaryDuration,
+			Radius:   d.PrimaryRadius,
+		}
+	}
+	return spec
 }
 
 // Discovery is one entry of a node's neighbor table.
@@ -150,6 +218,14 @@ type Report struct {
 	// (synchronous) or frames (asynchronous) when TerminateAfterIdle is
 	// active — the energy proxy.
 	MeanActiveUnits float64 `json:"meanActiveUnits,omitempty"`
+	// Epochs is the dynamic world's scheduled horizon in epochs (0 for
+	// static runs).
+	Epochs int `json:"epochs,omitempty"`
+	// MeanDiscoveryLatency is the mean per-link discovery latency of a
+	// dynamic run — coverage time minus the covered link's birth time, in
+	// the engine's time unit — over all covered links. 0 for static runs
+	// (where completion time is the headline) and when nothing was covered.
+	MeanDiscoveryLatency float64 `json:"meanDiscoveryLatency,omitempty"`
 	// Tables holds each node's discovered neighbors, indexed by node ID.
 	Tables [][]Discovery `json:"tables"`
 	// Curve is the discovery progress curve: cumulative covered-link count
@@ -276,6 +352,17 @@ func runDefaults(n *Network, cfg RunConfig) (RunConfig, analytic.Scenario, error
 	}
 	if cfg.TerminateAfterIdle < 0 {
 		return cfg, analytic.Scenario{}, fmt.Errorf("m2hew: negative idle limit %d", cfg.TerminateAfterIdle)
+	}
+	if d := cfg.Dynamics; d != nil {
+		if d.EpochLen <= 0 {
+			return cfg, analytic.Scenario{}, fmt.Errorf("m2hew: dynamics epoch length %v must be positive", d.EpochLen)
+		}
+		if cfg.StartWindow > 0 {
+			return cfg, analytic.Scenario{}, fmt.Errorf("m2hew: dynamics and start windows are incompatible; churn schedules subsume staggered starts")
+		}
+		if cfg.Algorithm != AlgorithmAsync && d.EpochLen != math.Trunc(d.EpochLen) {
+			return cfg, analytic.Scenario{}, fmt.Errorf("m2hew: synchronous dynamics need a whole number of slots per epoch, got %v", d.EpochLen)
+		}
 	}
 	p := n.params
 	delta := p.Delta
@@ -415,6 +502,22 @@ func runSync(n *Network, cfg RunConfig, sc analytic.Scenario, scratch *harness.S
 			starts[u] = root.IntN(cfg.StartWindow)
 		}
 	}
+	// The world draws after every static stream (loss, protocols, starts),
+	// so a run with Dynamics == nil consumes exactly the splits it always
+	// did.
+	var world *dynamics.World
+	if cfg.Dynamics != nil {
+		epochSlots := int(cfg.Dynamics.EpochLen)
+		epochs := (maxSlots + epochSlots - 1) / epochSlots
+		if epochs < 1 {
+			epochs = 1
+		}
+		var err error
+		world, err = dynamics.NewWorld(n.inner, cfg.Dynamics.spec(), epochs, root.Split())
+		if err != nil {
+			return nil, fmt.Errorf("m2hew: %w", err)
+		}
+	}
 	traceObs, finishTrace := runObservers(cfg)
 	meter, err := metrics.NewEnergyMeter(n.N())
 	if err != nil {
@@ -431,6 +534,7 @@ func runSync(n *Network, cfg RunConfig, sc analytic.Scenario, scratch *harness.S
 		RunToMaxSlots: cfg.TerminateAfterIdle > 0,
 		Loss:          loss,
 		Observer:      sim.MultiObserver(traceObs, sim.EnergyObserver(meter)),
+		Dynamics:      world,
 	}
 	if scratch != nil {
 		syncCfg.Scratch = scratch.Sync()
@@ -453,6 +557,12 @@ func runSync(n *Network, cfg RunConfig, sc analytic.Scenario, scratch *harness.S
 	}
 	if res.Complete {
 		report.Slots = res.CompletionSlot + 1
+	}
+	if world != nil {
+		report.Epochs = world.Horizon()
+		if lat := res.Coverage.Latencies(); len(lat) > 0 {
+			report.MeanDiscoveryLatency = metrics.Summarize(lat).Mean
+		}
 	}
 	report.MeanDutyCycle = meter.MeanDutyCycle()
 	for _, w := range syncTermWrappers {
@@ -530,6 +640,22 @@ func runAsync(n *Network, cfg RunConfig, sc analytic.Scenario, scratch *harness.
 		nodes[u] = sim.AsyncNode{Protocol: proto, Start: start, Drift: drift}
 		hold = append(hold, table)
 	}
+	// The world draws after every static stream (loss, protocols, drifts,
+	// starts), so a run with Dynamics == nil consumes exactly the splits it
+	// always did.
+	var world *dynamics.World
+	if cfg.Dynamics != nil {
+		// Size the epoch horizon to the run's nominal real-time span; drifted
+		// clocks may overrun it slightly, where EpochOf clamps to the final
+		// epoch (whose state persists).
+		span := cfg.StartSpread + float64(maxFrames)*cfg.FrameLen*(1+cfg.DriftBound)
+		epochs := int(span/cfg.Dynamics.EpochLen) + 1
+		var err error
+		world, err = dynamics.NewWorld(n.inner, cfg.Dynamics.spec(), epochs, root.Split())
+		if err != nil {
+			return nil, fmt.Errorf("m2hew: %w", err)
+		}
+	}
 	traceObs, finishTrace := runObservers(cfg)
 	simCfg := sim.AsyncConfig{
 		Network:   n.inner,
@@ -538,6 +664,7 @@ func runAsync(n *Network, cfg RunConfig, sc analytic.Scenario, scratch *harness.
 		MaxFrames: maxFrames,
 		Loss:      loss,
 		Observer:  traceObs,
+		Dynamics:  world,
 	}
 	if scratch != nil {
 		// The Report never reads result Timelines, so this path can also
@@ -574,6 +701,12 @@ func runAsync(n *Network, cfg RunConfig, sc analytic.Scenario, scratch *harness.
 	}
 	if res.Complete {
 		report.Duration = res.CompletionTime - res.Ts
+	}
+	if world != nil {
+		report.Epochs = world.Horizon()
+		if lat := res.Coverage.Latencies(); len(lat) > 0 {
+			report.MeanDiscoveryLatency = metrics.Summarize(lat).Mean
+		}
 	}
 	for _, w := range asyncTermWrappers {
 		if w.Terminated() {
