@@ -40,7 +40,7 @@ test-race:
 # fast-package benchmark once so harness breakage surfaces before merge.
 ci: build vet fmt-check lint
 	$(GO) test -shuffle=on ./...
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./internal/sim/... ./internal/harness/... ./internal/telemetry/... ./internal/dynamics/...
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./internal/sim/... ./internal/harness/... ./internal/telemetry/... ./internal/dynamics/... ./internal/channel/... ./internal/topology/...
 	$(GO) test -race ./internal/harness/... ./internal/experiment/... ./internal/trace/... ./internal/sim/... ./internal/telemetry/... ./internal/dynamics/...
 
 # One full pass of every reproduction benchmark (one iteration each), then

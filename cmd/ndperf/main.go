@@ -6,7 +6,10 @@
 // reuse one sim scratch across runs (the trial-loop configuration),
 // large-n rows (200-node sync, 100-node async), and dynamic rows that run
 // the same large-n scenarios on a churn / mobility world so the epoch
-// boundary-crossing cost stays measured. `make bench` refreshes the
+// boundary-crossing cost stays measured, and kernel rows that isolate the
+// channel package's word-level bitset primitives (the word-OR transmitter
+// mask pass and the batched candidate-mask intersection) from the engines
+// built on them. `make bench` refreshes the
 // committed snapshot; CI runs it as a smoke and uploads the artifact, so a
 // hot-path regression shows up as a diff instead of an anecdote.
 //
@@ -24,6 +27,7 @@ import (
 	"os"
 	"testing"
 
+	"m2hew/internal/channel"
 	"m2hew/internal/clock"
 	"m2hew/internal/core"
 	"m2hew/internal/dynamics"
@@ -147,8 +151,9 @@ func run(out, metricsPath, cpuProf, memProf string) (retErr error) {
 		benchSync("RunSyncChurn", nw200, nw200.ComputeParams().Delta, 500, sim.NewSyncScratch(), churnWorld, nil),
 		benchAsync("RunAsyncMobility", sim.RunAsync, nw100, nw100.ComputeParams().Delta, 200, recycling(), mobilityWorld, nil),
 	}
+	rows = append(rows, benchKernels()...)
 	doc := snapshot{
-		Scenario:   "GeometricConnected(seed=1) + AssignUniformK(8,4); base n=30 r=0.35 (SyncUniform 2000 slots / Async 800 frames of 3 slots); large-n rows n=200 r=0.12 (500 slots) and n=100 r=0.16 (200 frames); Scratch rows reuse one sim scratch across runs; Churn/Mobility rows run the large-n scenarios on a dynamics.World (seed 7)",
+		Scenario:   "GeometricConnected(seed=1) + AssignUniformK(8,4); base n=30 r=0.35 (SyncUniform 2000 slots / Async 800 frames of 3 slots); large-n rows n=200 r=0.12 (500 slots) and n=100 r=0.16 (200 frames); Scratch rows reuse one sim scratch across runs; Churn/Mobility rows run the large-n scenarios on a dynamics.World (seed 7); Kernel rows measure the channel word kernels on the 200-node dimensions (slots_per_op = kernel calls)",
 		Notes:      "timings are machine-dependent; compare ratios across commits, not absolute values. slots_per_op is global slots (sync) or per-node local slots (async).",
 		Benchmarks: rows,
 	}
@@ -233,11 +238,9 @@ func benchSync(name string, nw *topology.Network, deltaEst, maxSlots int, scratc
 				MaxSlots:      maxSlots,
 				RunToMaxSlots: true,
 				Scratch:       scratch,
-				Observer: sim.MultiObserver(sim.ObserverFunc(func(e sim.Event) {
-					if e.Kind == sim.EventDeliver {
-						deliveries++
-					}
-				}), tele),
+				Observer: sim.MultiObserver(sim.OnlyEvents(sim.MaskOf(sim.EventDeliver), sim.ObserverFunc(func(e sim.Event) {
+					deliveries++
+				})), tele),
 			}
 			if world != nil {
 				cfg.Dynamics = world()
@@ -285,11 +288,9 @@ func benchAsync(name string, engine func(sim.AsyncConfig) (*sim.AsyncResult, err
 				FrameLen:  frameLen,
 				MaxFrames: maxFrames,
 				Scratch:   scratch,
-				Observer: sim.MultiObserver(sim.ObserverFunc(func(e sim.Event) {
-					if e.Kind == sim.EventDeliver {
-						deliveries++
-					}
-				}), tele),
+				Observer: sim.MultiObserver(sim.OnlyEvents(sim.MaskOf(sim.EventDeliver), sim.ObserverFunc(func(e sim.Event) {
+					deliveries++
+				})), tele),
 			}
 			if world != nil {
 				cfg.Dynamics = world()
@@ -303,6 +304,63 @@ func benchAsync(name string, engine func(sim.AsyncConfig) (*sim.AsyncResult, err
 		}
 	})
 	return row(name, res, deliveries, float64(maxFrames*slotsPerFrame))
+}
+
+// benchKernels measures the channel package's word-level bitset kernels on
+// a slot-resolution-shaped workload (the 200-node scenario's dimensions:
+// 200 nodes, 16 channels, 4 words per mask). KernelWordOr is the word-OR
+// pass that accumulates per-channel transmitter masks from node channel
+// sets; KernelOverlapResolve is the batched candidate-mask intersection
+// that resolves every listener against its channel's mask. slots_per_op is
+// the number of kernel calls per op; the delivery columns do not apply.
+func benchKernels() []benchRow {
+	const (
+		nodes    = 200
+		channels = 16
+		wordsPer = (nodes + 63) / 64
+	)
+	r := rng.New(9)
+	masks := make([][]uint64, nodes) // per-listener candidate masks
+	srcs := make([][]uint64, nodes)  // per-transmitter id-bit words
+	chs := make([]int, nodes)
+	for u := 0; u < nodes; u++ {
+		m := make([]uint64, wordsPer)
+		for i := 0; i < 8; i++ { // ~8 candidate neighbors
+			m[r.IntN(wordsPer)] |= 1 << uint(r.IntN(64))
+		}
+		masks[u] = m
+		src := make([]uint64, wordsPer)
+		src[u>>6] |= 1 << uint(u&63)
+		srcs[u] = src
+		chs[u] = r.IntN(channels)
+	}
+	txWords := make([]uint64, channels*wordsPer)
+	orRes := testing.Benchmark(func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			for i := range txWords {
+				txWords[i] = 0
+			}
+			for u, src := range srcs {
+				w := txWords[chs[u]*wordsPer : (chs[u]+1)*wordsPer]
+				channel.OrInto(w, src)
+			}
+		}
+	})
+	var sink int
+	resolveRes := testing.Benchmark(func(b *testing.B) {
+		for n := 0; n < b.N; n++ {
+			for u, m := range masks {
+				w := txWords[chs[u]*wordsPer : (chs[u]+1)*wordsPer]
+				count, first := channel.OverlapResolve(m, w)
+				sink += count + first
+			}
+		}
+	})
+	_ = sink
+	return []benchRow{
+		row("KernelWordOr", orRes, 0, nodes),
+		row("KernelOverlapResolve", resolveRes, 0, nodes),
+	}
 }
 
 // row folds a benchmark result and its delivery tally into one record. The

@@ -25,6 +25,14 @@ type ID int
 
 // Set is a set of channel IDs backed by a bitset. The zero value is the
 // empty set, ready to use.
+//
+// Trailing-word invariant: a Set's backing words may end in any number of
+// zero words, so two representations of the same set can have different
+// lengths — Remove leaves the cleared word in place, growWords reuses
+// spare capacity, and the *Into operations size results by operand length,
+// not content. Every operation, and every raw-word kernel in words.go,
+// must treat a missing word and a zero word identically; the fuzz suite
+// pins padded and canonical twins to equal behaviour across the whole API.
 type Set struct {
 	words []uint64
 }

@@ -52,6 +52,11 @@ type NeighborTable struct {
 	common []channel.Set // indexed by NodeID; meaningful iff has[v]
 	has    []bool
 	ids    []topology.NodeID // discovered IDs in discovery order
+	// hint is the capacity Reserve promised: the first growth jumps
+	// straight to it instead of doubling, so a table that discovers
+	// anything pays one sized allocation — and a table that discovers
+	// nothing pays none.
+	hint int
 }
 
 // NewNeighborTable returns an empty table.
@@ -75,7 +80,11 @@ func (t *NeighborTable) grow(v topology.NodeID) {
 	// extension is zeroed: the slices never shrink, so spare capacity has
 	// never held live entries.
 	if cap(t.has) < need {
-		has := make([]bool, need, growCap(need, cap(t.has)))
+		newCap := growCap(need, cap(t.has))
+		if t.hint > newCap {
+			newCap = t.hint
+		}
+		has := make([]bool, need, newCap)
 		copy(has, t.has)
 		t.has = has
 		common := make([]channel.Set, need, cap(t.has))
@@ -98,6 +107,20 @@ func growCap(need, cur int) int {
 		c *= 2
 	}
 	return c
+}
+
+// Reserve hints the dense storage size for node IDs in [0, n), so a caller
+// that knows the network size up front (the engines do) replaces the
+// doubling cascade of sequential discoveries with one sized allocation.
+// The allocation is lazy — it happens at the first discovery, not here —
+// so reserving a table that never records anything costs nothing, and a
+// run over many nodes pays for each table only when (and if) it is first
+// written. Reserving records nothing: Has, Len and Neighbors are
+// unchanged.
+func (t *NeighborTable) Reserve(n int) {
+	if n > t.hint {
+		t.hint = n
+	}
 }
 
 // Record stores neighbor v with the given common channel set. Re-recording a
@@ -169,6 +192,11 @@ func (t *NeighborTable) Neighbors() []topology.NodeID {
 // node is the state shared by all protocol implementations.
 type node struct {
 	avail channel.Set
+	// ids caches avail's channels in ascending order so the per-slot channel
+	// draw indexes a flat slice instead of re-walking the bitset. The draw is
+	// identical to avail.Pick: Pick consumes one IntN(|A(u)|) and returns the
+	// target-th smallest channel, which is exactly ids[target].
+	ids   []channel.ID
 	rng   *rng.Source
 	table *NeighborTable
 }
@@ -180,8 +208,14 @@ func newNode(avail channel.Set, r *rng.Source) (node, error) {
 	if r == nil {
 		return node{}, fmt.Errorf("core: node requires a random source")
 	}
-	return node{avail: avail.Clone(), rng: r, table: NewNeighborTable()}, nil
+	a := avail.Clone()
+	return node{avail: a, ids: a.IDs(), rng: r, table: NewNeighborTable()}, nil
 }
+
+// ReserveNeighbors pre-sizes the discovery table for node IDs in [0, n).
+// The engines call it (through sim.NeighborReserver) once per run with the
+// network size; results are unchanged — only allocation timing moves.
+func (n *node) ReserveNeighbors(count int) { n.table.Reserve(count) }
 
 // deliver implements the receive path common to all four algorithms:
 // "add ⟨v, A ∩ A(u)⟩ to the set of neighbors". Repeat receptions whose
@@ -199,11 +233,10 @@ func (n *node) deliver(msg radio.Message) {
 //
 //nd:hotpath
 func (n *node) chooseAction(p float64) radio.Action {
-	c, err := n.avail.Pick(n.rng)
-	if err != nil {
-		// newNode rejected empty sets; reaching this is a bug.
-		panic(fmt.Sprintf("core: pick channel: %v", err))
-	}
+	// ids[IntN(len)] is avail.Pick with the bitset walk pre-resolved: the
+	// same single IntN draw, the same uniform channel (newNode rejected
+	// empty sets, so ids is never empty).
+	c := n.ids[n.rng.IntN(len(n.ids))]
 	mode := radio.Receive
 	if n.rng.Bernoulli(p) {
 		mode = radio.Transmit

@@ -66,3 +66,40 @@ func cold(n int) []int {
 	}
 	return out
 }
+
+// resolver mirrors the batch slot resolver's scratch: channel-indexed
+// receive buckets, a touched list, and a flat transmit-word window.
+type resolver struct {
+	rx        [][]int
+	rxTouched []int
+	txWords   []uint64
+	wordsPer  int
+}
+
+// hotBatch mirrors the batch resolver's per-slot shape: bucket self-append
+// through an index expression, touched-list self-append, and a grow-once
+// guarded window make are all reuse idioms, not per-slot allocations.
+//
+//nd:hotpath
+func hotBatch(r *resolver, ch, u, channels int) {
+	if len(r.rx[ch]) == 0 {
+		r.rxTouched = append(r.rxTouched, ch)
+	}
+	r.rx[ch] = append(r.rx[ch], u)
+	if need := channels * r.wordsPer; cap(r.txWords) < need {
+		r.txWords = make([]uint64, need) // guarded grow-once make: allowed
+	}
+}
+
+// hotBatchLeaky shows the shapes the batch-resolver refactor must avoid: a
+// per-slot bucket table literal, draining a bucket into a fresh slice, and
+// handing listeners a freshly boxed record.
+//
+//nd:hotpath
+func hotBatchLeaky(r *resolver, ch int) []int {
+	table := [][]int{nil, nil}    // want "slice/map literal allocates in //nd:hotpath function hotBatchLeaky"
+	drained := append(table[ch])  // want "growing append in //nd:hotpath function hotBatchLeaky"
+	rec := &item{id: ch}          // want "&composite literal allocates in //nd:hotpath function hotBatchLeaky"
+	drained = append(drained, rec.id)
+	return drained
+}

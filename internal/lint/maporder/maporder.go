@@ -11,8 +11,12 @@
 // range over a map value whose body performs an order-sensitive effect:
 //
 //   - appending to a slice declared outside the loop — unless a later
-//     statement of the same block sorts that slice (the canonical
-//     collect-keys-then-sort idiom stays legal);
+//     statement sorts that slice before control can escape: the search
+//     starts in the loop's own block and walks outward through enclosing
+//     blocks (a loop inside an if/else branch whose shared continuation
+//     sorts, as the dense/map-backed collectors in metrics do, is legal),
+//     stopping at any return or branch that could publish the slice
+//     unsorted (the canonical collect-keys-then-sort idiom stays legal);
 //   - writing output (fmt print family, or Write/WriteString/Sum-style
 //     method calls, which also covers hashing);
 //   - compound floating-point accumulation (+=, -=, *=, /=) into a
@@ -73,7 +77,7 @@ func run(pass *lint.Pass) error {
 				return false
 			case *ast.RangeStmt:
 				if isMapType(pass, n.X) {
-					checkRange(pass, n, enclosing(blocks, n))
+					checkRange(pass, n, followingChain(blocks, n))
 				}
 			}
 			return true
@@ -83,17 +87,23 @@ func run(pass *lint.Pass) error {
 	return nil
 }
 
-// enclosing returns the statements that follow stmt in its innermost
-// enclosing block (nil when stmt is nested more deeply, e.g. inside an if).
-func enclosing(blocks []*ast.BlockStmt, stmt ast.Stmt) []ast.Stmt {
+// followingChain returns, innermost block first, the statements that
+// execute after stmt at each enclosing block level: at every level the
+// statement containing stmt is located by position and the statements after
+// it are collected. A loop that is the last statement of an if/else branch
+// thus still sees the shared continuation after the if — where the
+// dense/map dual-backing collectors put their sort.
+func followingChain(blocks []*ast.BlockStmt, stmt ast.Stmt) [][]ast.Stmt {
+	var chain [][]ast.Stmt
 	for i := len(blocks) - 1; i >= 0; i-- {
 		for j, st := range blocks[i].List {
-			if st == stmt {
-				return blocks[i].List[j+1:]
+			if st.Pos() <= stmt.Pos() && stmt.End() <= st.End() {
+				chain = append(chain, blocks[i].List[j+1:])
+				break
 			}
 		}
 	}
-	return nil
+	return chain
 }
 
 // isMapType reports whether expr's type is a map.
@@ -107,9 +117,9 @@ func isMapType(pass *lint.Pass, expr ast.Expr) bool {
 }
 
 // checkRange inspects one map-range body for order-sensitive effects.
-// following holds the statements after the loop in its enclosing block,
-// used to recognize the collect-then-sort idiom.
-func checkRange(pass *lint.Pass, rs *ast.RangeStmt, following []ast.Stmt) {
+// following holds, per enclosing block level, the statements after the
+// loop, used to recognize the collect-then-sort idiom.
+func checkRange(pass *lint.Pass, rs *ast.RangeStmt, following [][]ast.Stmt) {
 	ast.Inspect(rs.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
@@ -122,7 +132,7 @@ func checkRange(pass *lint.Pass, rs *ast.RangeStmt, following []ast.Stmt) {
 }
 
 // checkCall flags output/hash calls and unsorted appends.
-func checkCall(pass *lint.Pass, rs *ast.RangeStmt, call *ast.CallExpr, following []ast.Stmt) {
+func checkCall(pass *lint.Pass, rs *ast.RangeStmt, call *ast.CallExpr, following [][]ast.Stmt) {
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
 		if fun.Name != "append" {
@@ -148,7 +158,7 @@ func checkCall(pass *lint.Pass, rs *ast.RangeStmt, call *ast.CallExpr, following
 		if sortedLater(pass, obj, following) {
 			return // collect-then-sort idiom
 		}
-		pass.Reportf(call.Pos(), "append to %s inside range over a map iterates in nondeterministic order and %s is not sorted afterwards in this block; sort it or iterate sorted keys", dst.Name, dst.Name)
+		pass.Reportf(call.Pos(), "append to %s inside range over a map iterates in nondeterministic order and %s is not sorted before control escapes; sort it or iterate sorted keys", dst.Name, dst.Name)
 	case *ast.SelectorExpr:
 		obj := pass.Info.Uses[fun.Sel]
 		if obj == nil {
@@ -218,37 +228,69 @@ func declaredWithin(obj types.Object, node ast.Node) bool {
 	return node.Pos() <= obj.Pos() && obj.Pos() < node.End()
 }
 
-// sortedLater reports whether one of the statements after the loop calls a
-// sort/slices function with the slice obj among its arguments.
-func sortedLater(pass *lint.Pass, obj types.Object, following []ast.Stmt) bool {
-	for _, st := range following {
-		found := false
-		ast.Inspect(st, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok || found {
-				return !found
-			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok {
+// sortedLater reports whether a sort of obj post-dominates the loop: it
+// scans the statements after the loop level by level, innermost block
+// outward. A statement that sorts obj proves the order benign; a statement
+// that could transfer control out of the chain first (return, break,
+// continue, goto) means the unsorted slice may be observed, so the walk
+// stops and the append is flagged.
+func sortedLater(pass *lint.Pass, obj types.Object, following [][]ast.Stmt) bool {
+	for _, level := range following {
+		for _, st := range level {
+			if sortsObj(pass, st, obj) {
 				return true
 			}
-			fn := pass.Info.Uses[sel.Sel]
-			if fn == nil || fn.Pkg() == nil {
-				return true
+			if escapes(st) {
+				return false
 			}
-			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
-				return true
-			}
-			for _, arg := range call.Args {
-				if id, ok := arg.(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
-					found = true
-				}
-			}
-			return true
-		})
-		if found {
-			return true
 		}
 	}
 	return false
+}
+
+// sortsObj reports whether st calls a sort/slices function with obj among
+// its arguments.
+func sortsObj(pass *lint.Pass, st ast.Stmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := pass.Info.Uses[sel.Sel]
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// escapes conservatively reports whether st could transfer control away
+// from the statement chain — any return or branch at any depth counts, even
+// a conditional one, since on that path a later sort never runs.
+func escapes(st ast.Stmt) bool {
+	found := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			found = true
+		case *ast.FuncLit:
+			return false // its body runs elsewhere
+		}
+		return !found
+	})
+	return found
 }

@@ -75,3 +75,37 @@ func LocalAppend(m map[string][]int, f func([]int)) {
 		f(doubled)
 	}
 }
+
+// DualBackingLatencies mirrors the coverage collector's dense/map dual
+// backing: the map-range append sits in one branch of an if/else and the
+// sort lives in the shared continuation after the branch. The sort
+// post-dominates the loop, so the append is legal.
+func DualBackingLatencies(dense []float64, m map[string]float64) []float64 {
+	var out []float64
+	if m == nil {
+		out = append(out, dense...)
+	} else {
+		for _, v := range m {
+			out = append(out, v)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// EscapeBeforeSort returns the slice from inside the branch before the
+// outer sort can run: on that path map order is published, so the append
+// is still flagged even though a sort follows the if.
+func EscapeBeforeSort(m map[string]float64, raw bool) []float64 {
+	var out []float64
+	if m != nil {
+		for _, v := range m {
+			out = append(out, v) // want `append to out inside range over a map`
+		}
+		if raw {
+			return out
+		}
+	}
+	sort.Float64s(out)
+	return out
+}

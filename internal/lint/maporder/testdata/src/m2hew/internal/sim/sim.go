@@ -92,3 +92,38 @@ func MeanArrival(pending map[int]delivery) float64 {
 	}
 	return sum / float64(len(pending))
 }
+
+// FlushByBacking mirrors the batch resolver's per-path buckets: the slow
+// path drains a pending map inside one branch, the fast path copies a
+// deterministic batch, and the shared continuation sorts before the batch
+// is published. Legal — the sort post-dominates the map range.
+func (sc *scratch) FlushByBacking(pending map[int]delivery, fast []delivery) []delivery {
+	out := sc.deliveries[:0]
+	if pending != nil {
+		for _, d := range pending {
+			out = append(out, d)
+		}
+	} else {
+		out = append(out, fast...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].at < out[j].at })
+	sc.deliveries = out[:0]
+	return out
+}
+
+// FlushBreakBeforeSort drains pending maps per channel but breaks out of
+// the bucket loop before the sort on a budget hit: the break could publish
+// the batch unsorted downstream, so the append stays flagged.
+func (sc *scratch) FlushBreakBeforeSort(buckets []map[int]delivery, budget int) []delivery {
+	out := sc.deliveries[:0]
+	for _, pending := range buckets {
+		for _, d := range pending {
+			out = append(out, d) // want `append to out inside range over a map`
+		}
+		if len(out) > budget {
+			break
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].at < out[j].at })
+	return out
+}

@@ -10,10 +10,16 @@ package metrics
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"m2hew/internal/topology"
 )
+
+// denseCoverageLimit caps the node-ID stride of the dense backing: a stride
+// of 1024 bounds the first-coverage array at stride² float64s = 8 MiB.
+// Targets with larger IDs use the map backing.
+const denseCoverageLimit = 1024
 
 // Coverage tracks first-coverage times for a target set of directed links.
 // Times are unitless float64s: slot indexes for synchronous runs, real time
@@ -24,9 +30,26 @@ import (
 // spectrum dynamics), recording each link's birth time so discovery latency
 // — first coverage minus birth — stays well-defined for links that did not
 // exist at time zero.
+//
+// Two interchangeable backings implement the same observable behaviour: a
+// dense one (bitmaps plus a flat first-coverage array, chosen when the
+// constructor target's node IDs all fall under denseCoverageLimit) that
+// keeps the per-delivery Observe call off the map hardware, and a map one
+// for everything else. An AddTarget whose link exceeds the dense ID range
+// migrates the dense state into maps; results are identical either way.
 type Coverage struct {
-	first     map[topology.Link]float64
-	target    map[topology.Link]bool
+	// Map backing. Active (non-nil) iff stride == 0.
+	first  map[topology.Link]float64
+	target map[topology.Link]bool
+
+	// Dense backing, active iff stride > 0: link (v,u) lives at flat index
+	// v*stride+u. denseAt[idx] is meaningful only where covered has the bit.
+	stride     int
+	targetBits []uint64
+	covered    []uint64
+	denseAt    []float64
+	targetSize int
+
 	born      map[topology.Link]float64 // lazily allocated; absent link ⇒ born at 0
 	remaining int
 	nonTarget int // observations outside the target set (counted, never stored)
@@ -35,6 +58,24 @@ type Coverage struct {
 // NewCoverage returns a Coverage whose completion target is the given links
 // (typically Network.DiscoverableLinks()).
 func NewCoverage(links []topology.Link) *Coverage {
+	if stride := denseStride(links); stride > 0 {
+		c := &Coverage{
+			stride:     stride,
+			targetBits: make([]uint64, (stride*stride+63)/64),
+			covered:    make([]uint64, (stride*stride+63)/64),
+			denseAt:    make([]float64, stride*stride),
+		}
+		for _, l := range links {
+			idx := int(l.From)*stride + int(l.To)
+			w, bit := idx>>6, uint64(1)<<(uint(idx)&63)
+			if c.targetBits[w]&bit == 0 {
+				c.targetBits[w] |= bit
+				c.targetSize++
+			}
+		}
+		c.remaining = c.targetSize
+		return c
+	}
 	target := make(map[topology.Link]bool, len(links))
 	for _, l := range links {
 		target[l] = true
@@ -46,6 +87,31 @@ func NewCoverage(links []topology.Link) *Coverage {
 	}
 }
 
+// denseStride returns the dense-backing stride for the target links (one
+// past the largest endpoint ID), or 0 when the dense backing does not apply
+// (no links, a negative ID, or an ID at or beyond denseCoverageLimit).
+func denseStride(links []topology.Link) int {
+	if len(links) == 0 {
+		return 0
+	}
+	maxID := topology.NodeID(0)
+	for _, l := range links {
+		if l.From < 0 || l.To < 0 {
+			return 0
+		}
+		if l.From > maxID {
+			maxID = l.From
+		}
+		if l.To > maxID {
+			maxID = l.To
+		}
+	}
+	if int(maxID) >= denseCoverageLimit {
+		return 0
+	}
+	return int(maxID) + 1
+}
+
 // Observe records that link l was covered at the given time. It returns true
 // if this is the first coverage of a target link. Observations of non-target
 // links are counted (see NonTargetObservations) but never stored: storing
@@ -55,6 +121,25 @@ func NewCoverage(links []topology.Link) *Coverage {
 //
 //nd:hotpath
 func (c *Coverage) Observe(l topology.Link, at float64) bool {
+	if c.stride > 0 {
+		if l.From < 0 || l.To < 0 || int(l.From) >= c.stride || int(l.To) >= c.stride {
+			c.nonTarget++
+			return false
+		}
+		idx := int(l.From)*c.stride + int(l.To)
+		w, bit := idx>>6, uint64(1)<<(uint(idx)&63)
+		if c.covered[w]&bit != 0 {
+			return false
+		}
+		if c.targetBits[w]&bit == 0 {
+			c.nonTarget++
+			return false
+		}
+		c.covered[w] |= bit
+		c.denseAt[idx] = at
+		c.remaining--
+		return true
+	}
 	if _, seen := c.first[l]; seen {
 		return false
 	}
@@ -74,37 +159,108 @@ func (c *Coverage) Observe(l topology.Link, at float64) bool {
 // covered cannot occur in engine use — an engine only observes links it was
 // already told exist — and are rejected as no-ops too.
 func (c *Coverage) AddTarget(l topology.Link, at float64) bool {
+	if c.stride > 0 {
+		if l.From < 0 || l.To < 0 || int(l.From) >= c.stride || int(l.To) >= c.stride {
+			c.migrate()
+		} else {
+			idx := int(l.From)*c.stride + int(l.To)
+			w, bit := idx>>6, uint64(1)<<(uint(idx)&63)
+			if c.targetBits[w]&bit != 0 {
+				return false
+			}
+			c.targetBits[w] |= bit
+			c.targetSize++
+			c.remaining++
+			c.recordBirth(l, at)
+			return true
+		}
+	}
 	if c.target[l] {
 		return false
 	}
 	c.target[l] = true
 	c.remaining++
+	c.recordBirth(l, at)
+	return true
+}
+
+func (c *Coverage) recordBirth(l topology.Link, at float64) {
 	if at != 0 {
 		if c.born == nil {
 			c.born = make(map[topology.Link]float64)
 		}
 		c.born[l] = at
 	}
-	return true
+}
+
+// migrate converts the dense backing into the map backing, preserving every
+// observable. Only an AddTarget beyond the dense ID range triggers it.
+func (c *Coverage) migrate() {
+	c.first = make(map[topology.Link]float64, c.targetSize)
+	c.target = make(map[topology.Link]bool, c.targetSize)
+	c.forEachTarget(func(l topology.Link, covered bool, at float64) {
+		c.target[l] = true
+		if covered {
+			c.first[l] = at
+		}
+	})
+	c.stride, c.targetBits, c.covered, c.denseAt, c.targetSize = 0, nil, nil, nil, 0
+}
+
+// forEachTarget visits every dense target link in ascending (From, To)
+// order with its coverage state. Dense backing only.
+func (c *Coverage) forEachTarget(fn func(l topology.Link, covered bool, at float64)) {
+	for w, word := range c.targetBits {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			idx := w<<6 + b
+			l := topology.Link{
+				From: topology.NodeID(idx / c.stride),
+				To:   topology.NodeID(idx % c.stride),
+			}
+			fn(l, c.covered[w]&(uint64(1)<<uint(b)) != 0, c.denseAt[idx])
+		}
+	}
 }
 
 // BirthTime returns when link l entered the target set: the AddTarget time,
 // or 0 for links in the initial (constructor) target. ok is false for links
 // outside the target.
 func (c *Coverage) BirthTime(l topology.Link) (float64, bool) {
-	if !c.target[l] {
+	if !c.inTarget(l) {
 		return 0, false
 	}
 	return c.born[l], true
+}
+
+func (c *Coverage) inTarget(l topology.Link) bool {
+	if c.stride > 0 {
+		if l.From < 0 || l.To < 0 || int(l.From) >= c.stride || int(l.To) >= c.stride {
+			return false
+		}
+		idx := int(l.From)*c.stride + int(l.To)
+		return c.targetBits[idx>>6]&(uint64(1)<<(uint(idx)&63)) != 0
+	}
+	return c.target[l]
 }
 
 // Latencies returns the discovery latency — first-coverage time minus birth
 // time — of every covered target link, sorted ascending. For static runs
 // (all links born at 0) this is simply the sorted first-coverage times.
 func (c *Coverage) Latencies() []float64 {
-	out := make([]float64, 0, len(c.first))
-	for l, at := range c.first {
-		out = append(out, at-c.born[l])
+	covered := c.TargetSize() - c.remaining
+	out := make([]float64, 0, covered)
+	if c.stride > 0 {
+		c.forEachTarget(func(l topology.Link, cov bool, at float64) {
+			if cov {
+				out = append(out, at-c.born[l])
+			}
+		})
+	} else {
+		for l, at := range c.first {
+			out = append(out, at-c.born[l])
+		}
 	}
 	sort.Float64s(out)
 	return out
@@ -123,20 +279,36 @@ func (c *Coverage) Complete() bool { return c.remaining == 0 }
 func (c *Coverage) Remaining() int { return c.remaining }
 
 // TargetSize returns the number of target links.
-func (c *Coverage) TargetSize() int { return len(c.target) }
+func (c *Coverage) TargetSize() int {
+	if c.stride > 0 {
+		return c.targetSize
+	}
+	return len(c.target)
+}
 
 // Progress returns the covered fraction of the target in [0,1]; it is 1 for
 // an empty target.
 func (c *Coverage) Progress() float64 {
-	if len(c.target) == 0 {
+	size := c.TargetSize()
+	if size == 0 {
 		return 1
 	}
-	return float64(len(c.target)-c.remaining) / float64(len(c.target))
+	return float64(size-c.remaining) / float64(size)
 }
 
 // FirstCovered returns when link l was first covered. Only target links are
 // ever recorded.
 func (c *Coverage) FirstCovered(l topology.Link) (float64, bool) {
+	if c.stride > 0 {
+		if l.From < 0 || l.To < 0 || int(l.From) >= c.stride || int(l.To) >= c.stride {
+			return 0, false
+		}
+		idx := int(l.From)*c.stride + int(l.To)
+		if c.covered[idx>>6]&(uint64(1)<<(uint(idx)&63)) == 0 {
+			return 0, false
+		}
+		return c.denseAt[idx], true
+	}
 	at, ok := c.first[l]
 	return at, ok
 }
@@ -148,6 +320,14 @@ func (c *Coverage) CompletionTime() (float64, bool) {
 		return 0, false
 	}
 	maxAt := 0.0
+	if c.stride > 0 {
+		c.forEachTarget(func(l topology.Link, cov bool, at float64) {
+			if cov && at > maxAt {
+				maxAt = at
+			}
+		})
+		return maxAt, true
+	}
 	for l := range c.target {
 		if at := c.first[l]; at > maxAt {
 			maxAt = at
@@ -160,6 +340,14 @@ func (c *Coverage) CompletionTime() (float64, bool) {
 // order. Useful in failure diagnostics.
 func (c *Coverage) Uncovered() []topology.Link {
 	var out []topology.Link
+	if c.stride > 0 {
+		c.forEachTarget(func(l topology.Link, cov bool, at float64) {
+			if !cov {
+				out = append(out, l)
+			}
+		})
+		return out // forEachTarget already ascends (From, To)
+	}
 	for l := range c.target {
 		if _, ok := c.first[l]; !ok {
 			out = append(out, l)
@@ -178,10 +366,19 @@ func (c *Coverage) Uncovered() []topology.Link {
 // over target links, sorted by time. The curve starts implicitly at (−∞, 0);
 // each point is the cumulative count at that coverage instant.
 func (c *Coverage) Curve() []CurvePoint {
-	times := make([]float64, 0, len(c.target))
-	for l := range c.target {
-		if at, ok := c.first[l]; ok {
-			times = append(times, at)
+	covered := c.TargetSize() - c.remaining
+	times := make([]float64, 0, covered)
+	if c.stride > 0 {
+		c.forEachTarget(func(l topology.Link, cov bool, at float64) {
+			if cov {
+				times = append(times, at)
+			}
+		})
+	} else {
+		for l := range c.target {
+			if at, ok := c.first[l]; ok {
+				times = append(times, at)
+			}
 		}
 	}
 	sort.Float64s(times)
@@ -200,5 +397,6 @@ type CurvePoint struct {
 
 // String summarizes progress.
 func (c *Coverage) String() string {
-	return fmt.Sprintf("covered %d/%d links", len(c.target)-c.remaining, len(c.target))
+	size := c.TargetSize()
+	return fmt.Sprintf("covered %d/%d links", size-c.remaining, size)
 }

@@ -1,0 +1,197 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"m2hew/internal/rng"
+	"m2hew/internal/topology"
+)
+
+// compareCoverage asserts every observable of the two backings agrees.
+// probe is the set of links worth asking point queries about (targets,
+// non-targets, out-of-range).
+func compareCoverage(t *testing.T, step string, dense, mapped *Coverage, probe []topology.Link) {
+	t.Helper()
+	if a, b := dense.Complete(), mapped.Complete(); a != b {
+		t.Fatalf("%s: Complete %v vs %v", step, a, b)
+	}
+	if a, b := dense.Remaining(), mapped.Remaining(); a != b {
+		t.Fatalf("%s: Remaining %d vs %d", step, a, b)
+	}
+	if a, b := dense.TargetSize(), mapped.TargetSize(); a != b {
+		t.Fatalf("%s: TargetSize %d vs %d", step, a, b)
+	}
+	if a, b := dense.NonTargetObservations(), mapped.NonTargetObservations(); a != b {
+		t.Fatalf("%s: NonTargetObservations %d vs %d", step, a, b)
+	}
+	if a, b := dense.Progress(), mapped.Progress(); a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+		t.Fatalf("%s: Progress %v vs %v", step, a, b)
+	}
+	if a, b := dense.String(), mapped.String(); a != b {
+		t.Fatalf("%s: String %q vs %q", step, a, b)
+	}
+	if a, b := dense.Latencies(), mapped.Latencies(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("%s: Latencies %v vs %v", step, a, b)
+	}
+	if a, b := dense.Uncovered(), mapped.Uncovered(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("%s: Uncovered %v vs %v", step, a, b)
+	}
+	if a, b := dense.Curve(), mapped.Curve(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("%s: Curve %v vs %v", step, a, b)
+	}
+	at1, ok1 := dense.CompletionTime()
+	at2, ok2 := mapped.CompletionTime()
+	if at1 != at2 || ok1 != ok2 {
+		t.Fatalf("%s: CompletionTime (%v,%v) vs (%v,%v)", step, at1, ok1, at2, ok2)
+	}
+	for _, l := range probe {
+		fa, foka := dense.FirstCovered(l)
+		fb, fokb := mapped.FirstCovered(l)
+		if fa != fb || foka != fokb {
+			t.Fatalf("%s: FirstCovered(%v) (%v,%v) vs (%v,%v)", step, l, fa, foka, fb, fokb)
+		}
+		ba, boka := dense.BirthTime(l)
+		bb, bokb := mapped.BirthTime(l)
+		if ba != bb || boka != bokb {
+			t.Fatalf("%s: BirthTime(%v) (%v,%v) vs (%v,%v)", step, l, ba, boka, bb, bokb)
+		}
+	}
+}
+
+// TestCoverageDenseMapEquivalence drives identical random operation streams
+// through a dense-backed Coverage and a map-backed twin (same constructor
+// target, migrated up-front) and requires every observable to agree after
+// every operation. The stream mixes first and repeat observations, in- and
+// out-of-target links, negative and over-range IDs, AddTarget growth with
+// zero and non-zero birth times, and finally an out-of-range AddTarget that
+// forces the dense side through its natural migration path.
+func TestCoverageDenseMapEquivalence(t *testing.T) {
+	root := rng.New(20260811)
+	for trial := 0; trial < 50; trial++ {
+		r := root.Split()
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			const span = 12
+			nLinks := r.IntN(20) + 1
+			var links []topology.Link
+			for i := 0; i < nLinks; i++ {
+				links = append(links, topology.Link{
+					From: topology.NodeID(r.IntN(span)),
+					To:   topology.NodeID(r.IntN(span)),
+				})
+			}
+			dense := NewCoverage(links)
+			if dense.stride == 0 {
+				t.Fatal("constructor did not pick the dense backing")
+			}
+			mapped := NewCoverage(links)
+			mapped.migrate()
+			if mapped.stride != 0 {
+				t.Fatal("migrate left the twin dense")
+			}
+
+			probe := append([]topology.Link(nil), links...)
+			probe = append(probe,
+				topology.Link{From: -1, To: 0},
+				topology.Link{From: 0, To: denseCoverageLimit + 5},
+				topology.Link{From: span + 1, To: span + 2},
+			)
+
+			randomLink := func() topology.Link {
+				switch r.IntN(10) {
+				case 0:
+					return topology.Link{From: -1, To: topology.NodeID(r.IntN(span))}
+				case 1:
+					return topology.Link{
+						From: topology.NodeID(span + r.IntN(4)),
+						To:   topology.NodeID(r.IntN(span)),
+					}
+				default:
+					return topology.Link{
+						From: topology.NodeID(r.IntN(span)),
+						To:   topology.NodeID(r.IntN(span)),
+					}
+				}
+			}
+
+			ops := r.IntN(60) + 20
+			for op := 0; op < ops; op++ {
+				at := float64(op)
+				if r.Bernoulli(0.2) {
+					l := randomLink()
+					birth := 0.0
+					if r.Bernoulli(0.5) {
+						birth = at
+					}
+					a := dense.AddTarget(l, birth)
+					b := mapped.AddTarget(l, birth)
+					if a != b {
+						t.Fatalf("op %d: AddTarget(%v) %v vs %v", op, l, a, b)
+					}
+					probe = append(probe, l)
+				} else {
+					var l topology.Link
+					if len(links) > 0 && r.Bernoulli(0.7) {
+						l = links[r.IntN(len(links))]
+					} else {
+						l = randomLink()
+					}
+					a := dense.Observe(l, at)
+					b := mapped.Observe(l, at)
+					if a != b {
+						t.Fatalf("op %d: Observe(%v) %v vs %v", op, l, a, b)
+					}
+				}
+				compareCoverage(t, fmt.Sprintf("op %d", op), dense, mapped, probe)
+			}
+
+			// Out-of-range AddTarget: the dense side migrates, the map side
+			// just grows. Equivalence must survive the transition and the
+			// operations after it.
+			big := topology.Link{From: denseCoverageLimit + 1, To: 0}
+			if a, b := dense.AddTarget(big, 3.5), mapped.AddTarget(big, 3.5); a != b {
+				t.Fatalf("big AddTarget %v vs %v", a, b)
+			}
+			if dense.stride != 0 {
+				t.Fatal("out-of-range AddTarget did not migrate the dense backing")
+			}
+			probe = append(probe, big)
+			compareCoverage(t, "post-migrate", dense, mapped, probe)
+			for op := 0; op < 10; op++ {
+				l := randomLink()
+				if r.Bernoulli(0.3) {
+					l = big
+				}
+				a := dense.Observe(l, 1000+float64(op))
+				b := mapped.Observe(l, 1000+float64(op))
+				if a != b {
+					t.Fatalf("post-migrate op %d: Observe(%v) %v vs %v", op, l, a, b)
+				}
+				compareCoverage(t, fmt.Sprintf("post-migrate op %d", op), dense, mapped, probe)
+			}
+		})
+	}
+}
+
+// TestCoverageDenseStrideSelection pins the backing-selection boundary:
+// IDs strictly under denseCoverageLimit stay dense, anything at or past it
+// (or negative) falls back to maps, and an empty target is map-backed.
+func TestCoverageDenseStrideSelection(t *testing.T) {
+	if c := NewCoverage(nil); c.stride != 0 {
+		t.Error("empty target chose dense backing")
+	}
+	edge := topology.Link{From: denseCoverageLimit - 1, To: 0}
+	if c := NewCoverage([]topology.Link{edge}); c.stride != denseCoverageLimit {
+		t.Errorf("limit-1 ID: stride %d, want %d", c.stride, denseCoverageLimit)
+	}
+	over := topology.Link{From: denseCoverageLimit, To: 0}
+	if c := NewCoverage([]topology.Link{over}); c.stride != 0 {
+		t.Error("limit ID chose dense backing")
+	}
+	neg := topology.Link{From: -1, To: 0}
+	if c := NewCoverage([]topology.Link{neg}); c.stride != 0 {
+		t.Error("negative ID chose dense backing")
+	}
+}

@@ -140,6 +140,9 @@ func (c *AsyncConfig) validate() error {
 	if c.MaxFrames <= 0 {
 		return fmt.Errorf("sim: max frames %d must be positive", c.MaxFrames)
 	}
+	if err := c.Loss.validate(); err != nil {
+		return err
+	}
 	if c.Dynamics != nil && c.Dynamics.N() != c.Network.N() {
 		return fmt.Errorf("sim: dynamics world has %d nodes, network %d", c.Dynamics.N(), c.Network.N())
 	}

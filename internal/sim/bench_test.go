@@ -197,6 +197,42 @@ func BenchmarkRunSyncN200(b *testing.B) {
 	}
 }
 
+// BenchmarkRunSyncN200Observer is BenchmarkRunSyncN200 with a
+// deliveries-only masked observer attached — the shape ndperf's headline
+// row uses. It pins the cost of the kernel path when an observer is present
+// but subscribed away from the per-listener idle/collision flood.
+func BenchmarkRunSyncN200Observer(b *testing.B) {
+	nw := benchNetworkN(b, 200, 0.12)
+	params := nw.ComputeParams()
+	scratch := NewSyncScratch()
+	var deliveries int64
+	obs := OnlyEvents(MaskOf(EventDeliver), ObserverFunc(func(e Event) {
+		deliveries++
+	}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root := rng.New(uint64(i) + 1)
+		protos := make([]SyncProtocol, nw.N())
+		for u := 0; u < nw.N(); u++ {
+			p, err := core.NewSyncUniform(nw.Avail(topology.NodeID(u)), params.Delta, root.Split())
+			if err != nil {
+				b.Fatal(err)
+			}
+			protos[u] = p
+		}
+		if _, err := RunSync(SyncConfig{
+			Network:       nw,
+			Protocols:     protos,
+			MaxSlots:      500,
+			RunToMaxSlots: true,
+			Scratch:       scratch,
+			Observer:      obs,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRunAsyncN100 exercises the asynchronous engine in the large-n
 // regime (100 nodes) at steady state.
 func BenchmarkRunAsyncN100(b *testing.B) {

@@ -98,7 +98,6 @@ func referenceResolveAsync(
 				}
 			}
 			for from, at := range best {
-				//ndlint:ignore maporder out is fully sorted below, after all frames are collected
 				out = append(out, asyncRefDelivery{from: from, to: uid, at: at})
 			}
 		}

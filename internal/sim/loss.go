@@ -37,6 +37,25 @@ func NewLossModel(prob float64, r *rng.Source) (*LossModel, error) {
 	return &LossModel{Prob: prob, Rng: r}, nil
 }
 
+// validate checks a model the way NewLossModel would have. The engines'
+// config validators call it so a model constructed directly as
+// &LossModel{Prob: p} — bypassing NewLossModel, with no rng — surfaces as
+// a config error at run start instead of a nil-pointer panic deep inside
+// the slot loop at the first erasure draw. Safe on a nil model (reliable
+// channels).
+func (l *LossModel) validate() error {
+	if l == nil {
+		return nil
+	}
+	if l.Prob < 0 || l.Prob >= 1 {
+		return fmt.Errorf("sim: loss probability %v outside [0,1)", l.Prob)
+	}
+	if l.Prob > 0 && l.Rng == nil {
+		return fmt.Errorf("sim: loss model has probability %v but no rng (use NewLossModel)", l.Prob)
+	}
+	return nil
+}
+
 // erased draws one erasure decision; safe on a nil model.
 func (l *LossModel) erased() bool {
 	if l == nil || l.Prob <= 0 {

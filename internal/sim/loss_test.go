@@ -251,3 +251,32 @@ func TestOnlineEngineWithLoss(t *testing.T) {
 		t.Fatalf("online engine with loss incomplete: %s", res.Coverage)
 	}
 }
+
+// TestAsyncEnginesRejectLossWithoutRng is the async-side regression test
+// for the hand-constructed loss model footgun: &LossModel{Prob: p} with no
+// Rng used to nil-panic at the first erasure draw mid-run; both async
+// engines must reject it at config validation instead.
+func TestAsyncEnginesRejectLossWithoutRng(t *testing.T) {
+	nw := pairNet(t, channel.NewSet(0), channel.NewSet(0))
+	cfg := func() AsyncConfig {
+		return AsyncConfig{
+			Network:   nw,
+			Nodes:     []AsyncNode{{Protocol: &scriptAsync{}}, {Protocol: &scriptAsync{}}},
+			FrameLen:  3,
+			MaxFrames: 5,
+			Loss:      &LossModel{Prob: 0.5},
+		}
+	}
+	if _, err := RunAsync(cfg()); err == nil {
+		t.Error("RunAsync accepted a loss model with no rng")
+	}
+	if _, err := RunAsyncOnline(cfg()); err == nil {
+		t.Error("RunAsyncOnline accepted a loss model with no rng")
+	}
+	// Prob 0 without an rng models a reliable channel and stays valid.
+	ok := cfg()
+	ok.Loss = &LossModel{}
+	if _, err := RunAsync(ok); err != nil {
+		t.Errorf("RunAsync rejected a zero-probability loss model: %v", err)
+	}
+}

@@ -149,6 +149,78 @@ type Observer interface {
 	OnEvent(Event)
 }
 
+// EventMask is a subscription bitset over event kinds: bit 1<<k is set when
+// the observer wants EventKind k. The zero mask subscribes to nothing.
+type EventMask uint32
+
+// AllEvents subscribes to every event kind — the default for observers
+// that do not declare a narrower interest.
+const AllEvents EventMask = ^EventMask(0)
+
+// MaskOf builds a subscription mask from event kinds.
+func MaskOf(kinds ...EventKind) EventMask {
+	var m EventMask
+	for _, k := range kinds {
+		m |= 1 << k
+	}
+	return m
+}
+
+// Has reports whether the mask subscribes to kind k.
+func (m EventMask) Has(k EventKind) bool { return m&(1<<k) != 0 }
+
+// EventMasker is optionally implemented by observers to declare which event
+// kinds they consume. The engines skip constructing and dispatching events
+// outside the declared mask — per-listener idle events on a large network
+// dwarf the deliveries, so an observer that only counts deliveries saves
+// most of the observation cost by declaring so. Filtering never reorders:
+// the events an observer does receive arrive in exactly the relative order
+// an unmasked observer would see them in. An observer that does not
+// implement EventMasker receives every event (AllEvents).
+type EventMasker interface {
+	EventMask() EventMask
+}
+
+// observerMask resolves an observer's subscription: zero for nil (the
+// engines' no-observer fast path), the declared mask for an EventMasker,
+// AllEvents otherwise.
+func observerMask(obs Observer) EventMask {
+	if obs == nil {
+		return 0
+	}
+	if m, ok := obs.(EventMasker); ok {
+		return m.EventMask()
+	}
+	return AllEvents
+}
+
+// maskedObserver pairs an observer with its subscription, filtering
+// defensively in OnEvent so the wrapper behaves identically under engines
+// (or fan-outs) that ignore the mask.
+type maskedObserver struct {
+	obs  Observer
+	mask EventMask
+}
+
+// OnEvent implements Observer.
+func (m maskedObserver) OnEvent(e Event) {
+	if m.mask.Has(e.Kind) {
+		m.obs.OnEvent(e)
+	}
+}
+
+// EventMask implements EventMasker.
+func (m maskedObserver) EventMask() EventMask { return m.mask }
+
+// OnlyEvents subscribes obs to exactly the kinds in mask (see EventMasker).
+// A nil obs stays nil.
+func OnlyEvents(mask EventMask, obs Observer) Observer {
+	if obs == nil {
+		return nil
+	}
+	return maskedObserver{obs: obs, mask: mask}
+}
+
 // ObserverFunc adapts a function to the Observer interface.
 type ObserverFunc func(Event)
 
@@ -163,6 +235,19 @@ func (m multiObserver) OnEvent(e Event) {
 	for _, o := range m {
 		o.OnEvent(e)
 	}
+}
+
+// EventMask implements EventMasker: the union of the members'
+// subscriptions, so the fan-out receives an event iff some member wants it.
+// OnEvent still forwards to every member — members that declared a
+// narrower mask are masked observers themselves and drop the event on
+// their own — keeping the fan-out correct under engines that ignore masks.
+func (m multiObserver) EventMask() EventMask {
+	var mask EventMask
+	for _, o := range m {
+		mask |= observerMask(o)
+	}
+	return mask
 }
 
 // MultiObserver combines observers into one, skipping nils. It returns nil
@@ -191,15 +276,12 @@ func TraceObserver(sink trace.Sink) Observer {
 	if sink == nil {
 		return nil
 	}
-	return ObserverFunc(func(e Event) {
-		if e.Kind != EventDeliver {
-			return
-		}
+	return OnlyEvents(MaskOf(EventDeliver), ObserverFunc(func(e Event) {
 		sink.Record(trace.Event{
 			Time: e.Time, Kind: trace.KindDeliver,
 			From: e.From, To: e.To, Channel: e.Channel,
 		})
-	})
+	}))
 }
 
 // EventTraceObserver forwards the full event stream to a trace sink, one
@@ -281,12 +363,9 @@ func EnergyObserver(m *metrics.EnergyMeter) Observer {
 	if m == nil {
 		return nil
 	}
-	return ObserverFunc(func(e Event) {
-		if e.Kind != EventSlot {
-			return
-		}
+	return OnlyEvents(MaskOf(EventSlot), ObserverFunc(func(e Event) {
 		m.ObserveSlot(e.Slot, e.Actions)
-	})
+	}))
 }
 
 // copyHeard snapshots a protocol's reported heard-list at the engine
@@ -311,10 +390,7 @@ func DeliverObserver(f func(at float64, from, to topology.NodeID, ch channel.ID)
 	if f == nil {
 		return nil
 	}
-	return ObserverFunc(func(e Event) {
-		if e.Kind != EventDeliver {
-			return
-		}
+	return OnlyEvents(MaskOf(EventDeliver), ObserverFunc(func(e Event) {
 		f(e.Time, e.From, e.To, e.Channel)
-	})
+	}))
 }

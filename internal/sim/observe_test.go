@@ -198,3 +198,137 @@ func TestSyncNilObserverNoAllocs(t *testing.T) {
 		t.Errorf("RunSync with nil observer allocated %.0f objects per run", allocs)
 	}
 }
+
+func TestEventMaskOfAndHas(t *testing.T) {
+	kinds := []EventKind{
+		EventDeliver, EventSlot, EventCollision, EventIdle,
+		EventFrameStart, EventFrameResolve, EventEpoch,
+		EventJoin, EventLeave, EventChannelLoss,
+	}
+	m := MaskOf(EventDeliver, EventCollision)
+	for _, k := range kinds {
+		want := k == EventDeliver || k == EventCollision
+		if m.Has(k) != want {
+			t.Errorf("MaskOf(deliver, collision).Has(%v) = %v, want %v", k, m.Has(k), want)
+		}
+	}
+	if MaskOf().Has(EventDeliver) {
+		t.Error("empty mask claims EventDeliver")
+	}
+	for _, k := range kinds {
+		if !AllEvents.Has(k) {
+			t.Errorf("AllEvents missing %v", k)
+		}
+	}
+}
+
+func TestOnlyEventsFiltersAndDeclares(t *testing.T) {
+	var got []EventKind
+	obs := OnlyEvents(MaskOf(EventDeliver, EventIdle), ObserverFunc(func(e Event) {
+		got = append(got, e.Kind)
+	}))
+	// The wrapper must declare its mask so engines can skip construction...
+	masker, ok := obs.(EventMasker)
+	if !ok {
+		t.Fatal("OnlyEvents result does not implement EventMasker")
+	}
+	if m := masker.EventMask(); m != MaskOf(EventDeliver, EventIdle) {
+		t.Fatalf("declared mask %b, want %b", m, MaskOf(EventDeliver, EventIdle))
+	}
+	// ...and still filter defensively if handed unsubscribed events.
+	for _, k := range []EventKind{EventDeliver, EventSlot, EventCollision, EventIdle, EventEpoch} {
+		obs.OnEvent(Event{Kind: k})
+	}
+	if len(got) != 2 || got[0] != EventDeliver || got[1] != EventIdle {
+		t.Fatalf("filtered stream %v, want [deliver idle]", got)
+	}
+	if OnlyEvents(MaskOf(EventDeliver), nil) != nil {
+		t.Error("OnlyEvents(nil observer) should stay nil")
+	}
+}
+
+func TestObserverMaskDefaults(t *testing.T) {
+	if m := observerMask(nil); m != 0 {
+		t.Errorf("nil observer mask = %b, want 0", m)
+	}
+	// An observer that does not implement EventMasker gets everything.
+	if m := observerMask(ObserverFunc(func(Event) {})); m != AllEvents {
+		t.Errorf("plain observer mask = %b, want AllEvents", m)
+	}
+}
+
+func TestMultiObserverMaskUnion(t *testing.T) {
+	a := OnlyEvents(MaskOf(EventDeliver), ObserverFunc(func(Event) {}))
+	b := OnlyEvents(MaskOf(EventSlot), ObserverFunc(func(Event) {}))
+	multi := MultiObserver(a, b)
+	masker, ok := multi.(EventMasker)
+	if !ok {
+		t.Fatal("MultiObserver result does not implement EventMasker")
+	}
+	if m := masker.EventMask(); m != MaskOf(EventDeliver, EventSlot) {
+		t.Fatalf("union mask %b, want deliver|slot", m)
+	}
+	// One undeclared member widens the union to everything: the engine
+	// must not drop events that member might want.
+	wide := MultiObserver(a, ObserverFunc(func(Event) {})).(EventMasker)
+	if m := wide.EventMask(); m != AllEvents {
+		t.Fatalf("union with unmasked member = %b, want AllEvents", m)
+	}
+	// Nil members collapse away before the union: a single survivor is
+	// returned as-is, mask intact.
+	single := MultiObserver(nil, a)
+	if m := observerMask(single); m != MaskOf(EventDeliver) {
+		t.Errorf("MultiObserver(nil, a) mask = %b, want deliver only", m)
+	}
+}
+
+// TestMaskedObserverStreamMatchesFiltered is the engine-level contract:
+// subscribing via a mask yields exactly the events an unmasked observer
+// would have received, kind-filtered — same events, same order. The engine
+// may skip constructing unsubscribed events but must never reorder or drop
+// subscribed ones.
+func TestMaskedObserverStreamMatchesFiltered(t *testing.T) {
+	run := func(obs Observer) {
+		nw := pairNet(t, channel.NewSet(0), channel.NewSet(0))
+		protos := []SyncProtocol{
+			&scriptSync{actions: []radio.Action{tx(0), rx(0), tx(0), quiet()}},
+			&scriptSync{actions: []radio.Action{rx(0), rx(0), tx(0), rx(0)}},
+		}
+		if _, err := RunSync(SyncConfig{
+			Network:       nw,
+			Protocols:     protos,
+			MaxSlots:      4,
+			RunToMaxSlots: true,
+			Observer:      obs,
+		}); err != nil {
+			panic(err)
+		}
+	}
+	type rec struct {
+		kind EventKind
+		slot int
+		from topology.NodeID
+		to   topology.NodeID
+	}
+	mask := MaskOf(EventDeliver, EventIdle)
+	var full, masked []rec
+	run(ObserverFunc(func(e Event) {
+		if mask.Has(e.Kind) {
+			full = append(full, rec{e.Kind, e.Slot, e.From, e.To})
+		}
+	}))
+	run(OnlyEvents(mask, ObserverFunc(func(e Event) {
+		masked = append(masked, rec{e.Kind, e.Slot, e.From, e.To})
+	})))
+	if len(full) == 0 {
+		t.Fatal("scenario produced no deliver/idle events; scenario is too weak")
+	}
+	if len(masked) != len(full) {
+		t.Fatalf("masked stream has %d events, filtered full stream %d", len(masked), len(full))
+	}
+	for i := range full {
+		if masked[i] != full[i] {
+			t.Fatalf("event %d: masked %+v, filtered %+v", i, masked[i], full[i])
+		}
+	}
+}

@@ -23,12 +23,41 @@ type SyncScratch struct {
 	nwKey    *topology.Network
 	cands    [][]topology.Candidate
 	msgAvail []channel.Set
+	masks    *topology.CandidateMasks
+	links    []topology.Link
 
 	actions   []radio.Action
 	txOn      []int
 	txTouched []channel.ID
 	locals    []int
+
+	// Batched-resolver state (see sync_resolve.go): per-slot transmitter
+	// word masks (channel-major, wordsPer words per channel), per-channel
+	// listener buckets, the lossy path's overlap buffer, the covered-link
+	// dedup bitmap, and the per-run pull/dispatch buffers.
+	txWords   []uint64
+	avail1    []uint64
+	rx        [][]topology.NodeID
+	rxTouched []channel.ID
+	rxList    []topology.NodeID
+	rxChs     []channel.ID
+	ovl       []uint64
+	covered   []uint64
+	hrs       []HeardReporter
+	us        []topology.NodeID
+	ks        []int
+	dec       []radio.Action
 }
+
+// syncMaskWordBudget caps the packed candidate-mask table at 8 MB; larger
+// networks stay on the scalar resolver (the sharded engine's tiled layout
+// is the planned path to large n, not a giant flat table).
+const syncMaskWordBudget = 1 << 20
+
+// syncCoveredNodeBudget caps the covered-link dedup bitmap (n² bits) at
+// n = 4096 — 2 MB; beyond that deliveries deduplicate in Coverage's map as
+// before.
+const syncCoveredNodeBudget = 4096
 
 // NewSyncScratch returns an empty scratch ready for use.
 func NewSyncScratch() *SyncScratch {
@@ -40,18 +69,28 @@ func (sc *SyncScratch) Reset() {
 	sc.nwKey = nil
 	sc.cands = nil
 	sc.msgAvail = nil
+	sc.masks = nil
+	sc.links = nil
 }
 
-// networkTables returns the inbound-candidate table and shared message
-// availability sets for nw, rebuilding them only when the network changed
-// since the last run.
-func (sc *SyncScratch) networkTables(nw *topology.Network) ([][]topology.Candidate, []channel.Set) {
+// networkTables returns the network-derived tables — the inbound-candidate
+// table, the shared message availability sets, the channel-major candidate
+// masks (nil when over the word budget; the run falls back to the scalar
+// resolver) and the discoverable-link target — rebuilding them only when
+// the network changed since the last run.
+func (sc *SyncScratch) networkTables(nw *topology.Network) ([][]topology.Candidate, []channel.Set, *topology.CandidateMasks, []topology.Link) {
 	if sc.nwKey != nw {
 		sc.nwKey = nw
 		sc.cands = nw.InboundCandidates()
 		sc.msgAvail = sharedMsgAvail(nw)
+		channels := 0
+		if id, ok := nw.Universe().Max(); ok {
+			channels = int(id) + 1
+		}
+		sc.masks = topology.NewCandidateMasks(sc.cands, channels, syncMaskWordBudget)
+		sc.links = nw.DiscoverableLinks()
 	}
-	return sc.cands, sc.msgAvail
+	return sc.cands, sc.msgAvail, sc.masks, sc.links
 }
 
 // actionBuf returns the per-node action buffer, grown to n. Entries are
@@ -79,6 +118,96 @@ func (sc *SyncScratch) txIndex(maxID channel.ID) ([]int, []channel.ID) {
 		sc.txTouched = make([]channel.ID, 0, 16)
 	}
 	return txOn, sc.txTouched[:0]
+}
+
+// availBuf returns the per-node single-word availability mask buffer,
+// reusing scratch capacity; the caller refills the contents every run.
+func (sc *SyncScratch) availBuf(n int) []uint64 {
+	if cap(sc.avail1) < n {
+		sc.avail1 = make([]uint64, n)
+	}
+	return sc.avail1[:n]
+}
+
+// txWordsBuf returns the per-slot channel-major transmitter masks (channels
+// × wordsPer words), zeroed: an errored previous run may have returned
+// mid-slot with live bits still set.
+func (sc *SyncScratch) txWordsBuf(words int) []uint64 {
+	if cap(sc.txWords) < words {
+		sc.txWords = make([]uint64, words)
+	}
+	txw := sc.txWords[:words]
+	for i := range txw {
+		txw[i] = 0
+	}
+	return txw
+}
+
+// rxListBufs returns the kernel path's flat per-slot listener list and its
+// parallel channel list, re-sliced empty, each with capacity for every
+// node so per-slot appends never grow them.
+func (sc *SyncScratch) rxListBufs(n int) ([]topology.NodeID, []channel.ID) {
+	if cap(sc.rxList) < n {
+		sc.rxList = make([]topology.NodeID, 0, n)
+		sc.rxChs = make([]channel.ID, 0, n)
+	}
+	return sc.rxList[:0], sc.rxChs[:0]
+}
+
+// rxBuckets returns the per-channel listener buckets and their touched
+// list, each bucket re-sliced empty: an errored previous run may have
+// returned mid-slot with listeners still queued.
+func (sc *SyncScratch) rxBuckets(channels int) ([][]topology.NodeID, []channel.ID) {
+	if cap(sc.rx) < channels {
+		rx := make([][]topology.NodeID, channels)
+		copy(rx, sc.rx)
+		sc.rx = rx
+	}
+	sc.rx = sc.rx[:channels]
+	for i := range sc.rx {
+		sc.rx[i] = sc.rx[i][:0]
+	}
+	if sc.rxTouched == nil {
+		sc.rxTouched = make([]channel.ID, 0, 16)
+	}
+	return sc.rx, sc.rxTouched[:0]
+}
+
+// ovlBuf returns the lossy resolver's overlap buffer with capacity for
+// wordsPer words (no row is wider than the full NodeID range, so
+// OverlapInto never regrows it mid-run).
+func (sc *SyncScratch) ovlBuf(wordsPer int) []uint64 {
+	if cap(sc.ovl) < wordsPer {
+		sc.ovl = make([]uint64, wordsPer)
+	}
+	return sc.ovl[:0]
+}
+
+// coveredBuf returns the covered-link dedup bitmap (n² bits, bit
+// from·n+to), zeroed: every run starts with no link covered.
+func (sc *SyncScratch) coveredBuf(n int) []uint64 {
+	words := (n*n + 63) / 64
+	if cap(sc.covered) < words {
+		sc.covered = make([]uint64, words)
+	}
+	cov := sc.covered[:words]
+	for i := range cov {
+		cov[i] = 0
+	}
+	return cov
+}
+
+// runBufs returns the per-run dispatch buffers: the heard-reporter cache
+// (fully overwritten by the run's setup) and the batched decision-pull
+// triple (written before read every slot).
+func (sc *SyncScratch) runBufs(n int) ([]HeardReporter, []topology.NodeID, []int, []radio.Action) {
+	if cap(sc.hrs) < n {
+		sc.hrs = make([]HeardReporter, n)
+		sc.us = make([]topology.NodeID, n)
+		sc.ks = make([]int, n)
+		sc.dec = make([]radio.Action, n)
+	}
+	return sc.hrs[:n], sc.us[:n], sc.ks[:n], sc.dec[:n]
 }
 
 // localSlotBuf returns the per-node local-slot counters of a dynamic run,

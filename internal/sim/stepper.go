@@ -36,6 +36,21 @@ type Stepper interface {
 	Next(u topology.NodeID, k int) radio.Action
 }
 
+// BatchStepper is an optional Stepper extension: the synchronous engine
+// batches all of a slot's decision pulls into one NextBatch call instead
+// of n Next calls. The seam is sound for the same reason lazy pulling is —
+// every protocol draws only from its own per-node rng stream, so whether
+// the engine pulls decisions one call at a time or a slot at a time is
+// invisible in results (NextBatch must fill dst[i] exactly as Next(us[i],
+// ks[i]) would, and both built-in steppers do precisely that). Engines
+// fall back to per-node Next calls for steppers without the extension.
+type BatchStepper interface {
+	Stepper
+	// NextBatch fills dst[i] with node us[i]'s ks[i]-th decision for every
+	// i. len(us) == len(ks) == len(dst); us is ascending.
+	NextBatch(us []topology.NodeID, ks []int, dst []radio.Action)
+}
+
 // syncStepper is the synchronous engine's default incremental stepper: each
 // decision is pulled from the node's protocol when the engine reaches the
 // node's k-th active slot.
@@ -43,6 +58,17 @@ type syncStepper struct{ protos []SyncProtocol }
 
 func (s syncStepper) Next(u topology.NodeID, k int) radio.Action {
 	return s.protos[u].Step(k)
+}
+
+// NextBatch pulls one slot's decisions in ascending node order — the same
+// per-node calls Next would make, amortizing the seam dispatch per slot
+// instead of per node.
+//
+//nd:hotpath
+func (s syncStepper) NextBatch(us []topology.NodeID, ks []int, dst []radio.Action) {
+	for i, u := range us {
+		dst[i] = s.protos[u].Step(ks[i])
+	}
 }
 
 // asyncStepper is the asynchronous engines' default incremental stepper:
@@ -80,6 +106,17 @@ type PregenStepper struct {
 // harness always sizes the horizon to the run's budget.
 func (p *PregenStepper) Next(u topology.NodeID, k int) radio.Action {
 	return p.decisions[u][k]
+}
+
+// NextBatch replays one slot's worth of the pre-generated schedule,
+// keeping the differential reference valid for the engine's batched pull
+// path too.
+//
+//nd:hotpath
+func (p *PregenStepper) NextBatch(us []topology.NodeID, ks []int, dst []radio.Action) {
+	for i, u := range us {
+		dst[i] = p.decisions[u][ks[i]]
+	}
 }
 
 // Horizon returns the number of decisions pre-generated per node.

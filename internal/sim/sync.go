@@ -145,6 +145,9 @@ func (c *SyncConfig) validate() error {
 	if c.MaxSlots <= 0 {
 		return fmt.Errorf("sim: max slots %d must be positive", c.MaxSlots)
 	}
+	if err := c.Loss.validate(); err != nil {
+		return err
+	}
 	if c.Dynamics != nil {
 		if c.StartSlots != nil {
 			return fmt.Errorf("sim: dynamics and start slots are mutually exclusive (churn schedules subsume staggered starts)")
@@ -171,14 +174,6 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 	nw := cfg.Network
 	n := nw.N()
 	world := cfg.Dynamics
-	var coverage *metrics.Coverage
-	epochSlots := 0
-	if world != nil {
-		epochSlots, _ = world.EpochSlots()  // error ruled out by validate
-		coverage = metrics.NewCoverage(nil) // grows at epoch boundaries below
-	} else {
-		coverage = metrics.NewCoverage(nw.DiscoverableLinks())
-	}
 	st := cfg.Stepper
 	if st == nil {
 		st = syncStepper{protos: cfg.Protocols}
@@ -189,8 +184,10 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 	//
 	//   - cands[u] lists the only transmitters listener u can ever decode
 	//     (adjacency, direction and link span resolved up front by the
-	//     topology layer), so Phase 2 walks a flat slice instead of
-	//     re-querying Neighbors/Reaches/Span per slot;
+	//     topology layer), so the scalar resolver walks a flat slice instead
+	//     of re-querying Neighbors/Reaches/Span per slot — and the kernel
+	//     resolvers read the same table packed channel-major into word masks
+	//     (see syncRun for the per-run path-selection contract);
 	//   - txOn[c] counts the transmitters tuned to channel c this slot
 	//     (txTouched records which entries to reset), pruning listeners on
 	//     silent channels without scanning their candidate lists;
@@ -200,23 +197,96 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 	if sc == nil {
 		sc = NewSyncScratch()
 	}
-	cands, msgAvail := sc.networkTables(nw)
-	actions := sc.actionBuf(n)
+	cands, msgAvail, masks, links := sc.networkTables(nw)
+	var coverage *metrics.Coverage
+	epochSlots := 0
+	if world != nil {
+		epochSlots, _ = world.EpochSlots()  // error ruled out by validate
+		coverage = metrics.NewCoverage(nil) // grows at epoch boundaries below
+	} else {
+		coverage = metrics.NewCoverage(links)
+	}
 	maxID := channel.ID(-1)
 	if id, ok := nw.Universe().Max(); ok {
 		maxID = id
 	}
-	txOn, txTouched := sc.txIndex(maxID)
 	//ndlint:ignore hotalloc one result allocation per run, not per slot
 	result := &SyncResult{Coverage: coverage}
 
-	// Dynamic-run state: the current epoch snapshot, its candidate table
-	// (curCands shadows the static table so Phase 2 reads one variable on
-	// both paths), and per-node local-slot counters — a node's decision
-	// index is its count of active slots, not the global slot, so a churned
-	// node's private rng stream pauses while it is out of the network.
+	var run syncRun
+	run.nw = nw
+	run.n = n
+	run.protos = cfg.Protocols
+	run.obs = cfg.Observer
+	run.loss = cfg.Loss
+	run.st = st
+	run.bst, _ = st.(BatchStepper)
+	run.coverage = coverage
+	run.curCands = cands    //ndlint:ignore scratchalias syncRun is a run-scoped local; the field dies with the run, before the scratch is recycled
+	run.msgAvail = msgAvail // covered by the directive above (own line + next)
+	run.masks = masks
+	run.actions = sc.actionBuf(n)
+	run.txOn, run.txTouched = sc.txIndex(maxID)
+	if maxID < 64 {
+		// Every channel ID fits one word: flatten each node's availability
+		// to a single mask so phase 1 validates with one bit test. The
+		// contents are recomputed per run (cheap, O(n)); only the buffer
+		// is reused.
+		run.avail1 = sc.availBuf(n)
+		for u := 0; u < n; u++ {
+			run.avail1[u] = 0
+			if w := nw.Avail(topology.NodeID(u)).Words(); len(w) > 0 {
+				run.avail1[u] = w[0]
+			}
+		}
+	}
+	run.lossFree = cfg.Loss == nil || cfg.Loss.Prob <= 0
+	run.useKernel = world == nil && masks != nil
+	// The observer's subscription (EventMasker; AllEvents when undeclared)
+	// gates each emission site, and an observer subscribed to no
+	// per-listener kind frees the engine from the per-listener event order
+	// entirely — such runs take the batched path exactly like observerless
+	// ones (slot and epoch events are unaffected: both paths emit them
+	// identically).
+	mask := observerMask(cfg.Observer)
+	run.wantDeliver = mask.Has(EventDeliver)
+	run.wantColl = mask.Has(EventCollision)
+	run.wantIdle = mask.Has(EventIdle)
+	perListener := run.wantDeliver || run.wantColl || run.wantIdle
+	run.batched = run.useKernel && run.lossFree && !perListener
+	run.storeActions = mask.Has(EventSlot) || !run.useKernel
+	if run.useKernel {
+		run.wordsPer = (n + 63) / 64
+		run.txWords = sc.txWordsBuf((int(maxID) + 1) * run.wordsPer)
+		if !run.lossFree {
+			run.ovl = sc.ovlBuf(run.wordsPer)
+		}
+	}
+	if run.batched {
+		run.rx, run.rxTouched = sc.rxBuckets(int(maxID) + 1)
+	} else if run.useKernel {
+		run.rxList, run.rxChs = sc.rxListBufs(n)
+	}
+	if world == nil && n <= syncCoveredNodeBudget {
+		run.covered = sc.coveredBuf(n)
+	}
+	run.hrs, run.us, run.ks, run.dec = sc.runBufs(n)
+	for u := 0; u < n; u++ {
+		run.us[u] = topology.NodeID(u) // phase1's static fast path reads us prefilled
+	}
+	for u, p := range cfg.Protocols {
+		hr, _ := p.(HeardReporter)
+		run.hrs[u] = hr
+	}
+	reserveSyncProtocols(cfg.Protocols, n)
+
+	// Dynamic-run state: the current epoch snapshot (its candidate table
+	// shadows the static table through run.curCands, so the scalar resolver
+	// reads one variable on both paths) and per-node local-slot counters — a
+	// node's decision index is its count of active slots, not the global
+	// slot, so a churned node's private rng stream pauses while it is out of
+	// the network.
 	var cur *dynamics.Epoch
-	curCands := cands
 	var locals []int
 	if world != nil {
 		locals = sc.localSlotBuf(n)
@@ -231,21 +301,27 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 		if world != nil {
 			if e := slot / epochSlots; cur == nil || (e != cur.Index && e < world.Horizon()) {
 				cur = world.At(e)
-				curCands = cur.Cands
-				if cfg.Observer != nil {
+				run.curCands = cur.Cands
+				if mask.Has(EventEpoch) {
 					cfg.Observer.OnEvent(Event{
 						Kind: EventEpoch, Time: float64(slot), Slot: slot, Epoch: cur.Index,
 					})
+				}
+				if mask.Has(EventJoin) {
 					for _, v := range cur.Joined {
 						cfg.Observer.OnEvent(Event{
 							Kind: EventJoin, Time: float64(slot), Slot: slot, Node: v, Epoch: cur.Index,
 						})
 					}
+				}
+				if mask.Has(EventLeave) {
 					for _, v := range cur.Left {
 						cfg.Observer.OnEvent(Event{
 							Kind: EventLeave, Time: float64(slot), Slot: slot, Node: v, Epoch: cur.Index,
 						})
 					}
+				}
+				if mask.Has(EventChannelLoss) {
 					for _, l := range cur.Losses {
 						cfg.Observer.OnEvent(Event{
 							Kind: EventChannelLoss, Time: float64(slot), Slot: slot,
@@ -259,130 +335,41 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 			}
 		}
 
-		// Phase 1: collect actions and index transmitters by channel.
-		for u := 0; u < n; u++ {
-			var local int
-			if cur != nil {
-				if !cur.Active[u] {
-					actions[u] = radio.Action{Mode: radio.Quiet}
-					continue
-				}
-				local = locals[u]
-				locals[u]++
-			} else {
-				start := 0
-				if cfg.StartSlots != nil {
-					start = cfg.StartSlots[u]
-				}
-				if slot < start {
-					actions[u] = radio.Action{Mode: radio.Quiet}
-					continue
-				}
-				local = slot - start
-			}
-			a := st.Next(topology.NodeID(u), local)
-			if err := a.Validate(nw.Avail(topology.NodeID(u))); err != nil {
-				return nil, fmt.Errorf("sim: node %d slot %d: %w", u, slot, err)
-			}
-			actions[u] = a
-			if a.Mode == radio.Transmit {
-				if txOn[a.Channel] == 0 {
-					txTouched = append(txTouched, a.Channel)
-				}
-				txOn[a.Channel]++
-			}
+		// Phase 1: collect actions — one batched pull through the stepper
+		// seam when available — and index transmitters by channel.
+		var active []bool
+		if cur != nil {
+			active = cur.Active
 		}
-		if cfg.Observer != nil {
+		if err := run.phase1(slot, active, locals, cfg.StartSlots); err != nil {
+			return nil, err
+		}
+		if mask.Has(EventSlot) {
 			cfg.Observer.OnEvent(Event{
 				Kind: EventSlot, Time: float64(slot), Slot: slot,
-				Actions: actions,
+				Actions: run.actions,
 			})
 		}
 
-		// Phase 2: resolve receptions per listener. The loss-model draw
-		// order is part of the reproducibility contract: exactly one draw
-		// per candidate that transmits on the listener's channel over an
-		// operating link, consumed in ascending candidate order, stopping
-		// at the second surviving transmission (resolveSlotNaive in the
-		// differential tests re-states this order from first principles).
-		for u := 0; u < n; u++ {
-			if actions[u].Mode != radio.Receive {
-				continue
-			}
-			c := actions[u].Channel
-			if txOn[c] == 0 {
-				// Nobody transmits on c: certain silence, no draws.
-				if cfg.Observer != nil {
-					cfg.Observer.OnEvent(Event{
-						Kind: EventIdle, Time: float64(slot), Slot: slot,
-						To: topology.NodeID(u), Channel: c,
-					})
-				}
-				continue
-			}
-			var sender, firstSender topology.NodeID
-			senders := 0
-			for _, cand := range curCands[u] {
-				if actions[cand.From].Mode != radio.Transmit || actions[cand.From].Channel != c {
-					continue
-				}
-				// The link must operate on c (span precomputed per candidate;
-				// adjacency and direction already hold for every candidate).
-				if !cand.Span.Contains(c) {
-					continue
-				}
-				// Unreliable channels: the transmission may fade at u.
-				if cfg.Loss.erased() {
-					continue
-				}
-				if senders == 0 {
-					firstSender = cand.From
-				}
-				senders++
-				sender = cand.From
-				if senders > 1 {
-					break // collision; no need to scan further
-				}
-			}
-			if senders != 1 {
-				// Silence or collision: the node hears nothing useful. The
-				// collision event reports only the first surviving transmitter
-				// — scanning past the second would consume extra loss draws
-				// and break the reproducibility contract above.
-				if cfg.Observer != nil {
-					if senders == 0 {
-						cfg.Observer.OnEvent(Event{
-							Kind: EventIdle, Time: float64(slot), Slot: slot,
-							To: topology.NodeID(u), Channel: c,
-						})
-					} else {
-						cfg.Observer.OnEvent(Event{
-							Kind: EventCollision, Time: float64(slot), Slot: slot,
-							From: firstSender, To: topology.NodeID(u), Channel: c,
-						})
-					}
-				}
-				continue
-			}
-			msg := radio.Message{From: sender, Avail: msgAvail[sender]}
-			if hr, ok := cfg.Protocols[sender].(HeardReporter); ok {
-				msg.Heard = copyHeard(hr.Heard())
-			}
-			cfg.Protocols[u].Deliver(msg)
-			coverage.Observe(topology.Link{From: sender, To: topology.NodeID(u)}, float64(slot))
-			if cfg.Observer != nil {
-				cfg.Observer.OnEvent(Event{
-					Kind: EventDeliver, Time: float64(slot), Slot: slot,
-					From: sender, To: topology.NodeID(u), Channel: c,
-				})
-			}
+		// Phase 2: resolve receptions. The loss-model draw order is part of
+		// the reproducibility contract: exactly one draw per candidate that
+		// transmits on the listener's channel over an operating link,
+		// consumed in ascending candidate order, stopping at the second
+		// surviving transmission (resolveSlotNaive in the differential tests
+		// re-states this order from first principles; every resolver below
+		// preserves it — see syncRun for why the batched path may reorder
+		// the rest).
+		switch {
+		case run.batched:
+			run.resolveBatched(slot)
+		case run.useKernel:
+			run.resolveKernel(slot)
+		default:
+			run.resolveScalar(slot)
 		}
 
-		// Reset the per-slot channel index for the next slot.
-		for _, c := range txTouched {
-			txOn[c] = 0
-		}
-		txTouched = txTouched[:0]
+		// Reset the per-slot indexes for the next slot.
+		run.clearSlot()
 
 		result.SlotsSimulated = slot + 1
 		// Early stop requires a quiescent world: a dynamic run may grow new
@@ -392,7 +379,10 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 			break
 		}
 	}
-	sc.txTouched = txTouched[:0] // keep any capacity the run grew
+	sc.txTouched = run.txTouched[:0] // keep any capacity the run grew
+	if run.rx != nil {
+		sc.rxTouched = run.rxTouched[:0]
+	}
 
 	if coverage.Complete() {
 		result.Complete = true
