@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench profile vet fmt fmt-check lint lint-json ci experiments examples clean
+.PHONY: all build test test-race bench bench-gate profile vet fmt fmt-check lint lint-json ci experiments examples clean
 
 all: build vet lint test
 
@@ -37,11 +37,23 @@ test-race:
 
 # Everything the GitHub Actions pipeline runs, locally and in order. The
 # test pass shuffles execution order, the bench smoke compiles and runs each
-# fast-package benchmark once so harness breakage surfaces before merge.
+# fast-package benchmark once so harness breakage surfaces before merge, and
+# the bench gate compares a fresh throughput snapshot against the committed
+# BENCH_3.json via cmd/ndstat.
 ci: build vet fmt-check lint
 	$(GO) test -shuffle=on ./...
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./internal/sim/... ./internal/harness/... ./internal/telemetry/... ./internal/dynamics/... ./internal/channel/... ./internal/topology/...
-	$(GO) test -race ./internal/harness/... ./internal/experiment/... ./internal/trace/... ./internal/sim/... ./internal/telemetry/... ./internal/dynamics/...
+	$(GO) test -race ./internal/harness/... ./internal/experiment/... ./internal/trace/... ./internal/sim/... ./internal/telemetry/... ./internal/dynamics/... ./internal/diag/...
+	$(MAKE) bench-gate
+
+# Bench-regression gate: take a fresh cmd/ndperf snapshot and diff it
+# against the committed BENCH_3.json with cmd/ndstat. The 50% threshold is
+# deliberately loose — wall-clock varies across machines, but allocs/op is
+# deterministic and a halving of throughput is a real regression anywhere.
+bench-gate:
+	@tmp="$$(mktemp)"; trap 'rm -f "$$tmp"' EXIT; \
+	$(GO) run ./cmd/ndperf -out "$$tmp" && \
+	$(GO) run ./cmd/ndstat -gate -threshold 50 BENCH_3.json "$$tmp"
 
 # One full pass of every reproduction benchmark (one iteration each), then
 # the engine throughput snapshot: cmd/ndperf rewrites BENCH_3.json with

@@ -20,6 +20,7 @@ import (
 	"os"
 	"strings"
 
+	"m2hew/internal/diag"
 	"m2hew/internal/experiment"
 	"m2hew/internal/harness"
 	"m2hew/internal/telemetry"
@@ -31,6 +32,11 @@ func main() {
 		os.Exit(1)
 	}
 }
+
+// diagStarted is called with the diagnostics server's base URL once it is
+// listening; the smoke tests override it to probe the live server
+// mid-run. It must return before the suite starts.
+var diagStarted = func(url string) {}
 
 func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("ndbench", flag.ContinueOnError)
@@ -46,6 +52,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		markdown = fs.Bool("markdown", false, "emit markdown tables")
 		asJSON   = fs.Bool("json", false, "emit one JSON object per experiment (NDJSON)")
 		metrics  = fs.String("metrics", "", "aggregate run telemetry across all trials and write it as NDJSON to this file (\"-\" = stdout, after the tables)")
+		diagAddr = fs.String("diag", "", "serve live diagnostics (/metrics, /runinfo, /progress, /debug/pprof) on this address (e.g. 127.0.0.1:6060) for the duration of the run")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -97,16 +104,51 @@ func run(args []string, out io.Writer) (retErr error) {
 		Quick:  *quick,
 	}
 	var (
-		reg *telemetry.Registry
-		agg *telemetry.Aggregate
+		reg  *telemetry.Registry
+		agg  *telemetry.Aggregate
+		prog *harness.Progress
 	)
-	if *metrics != "" {
+	if *metrics != "" || *diagAddr != "" {
 		// The aggregate rides the harness instrument seam, so every trial of
 		// every experiment feeds it without the experiments knowing.
 		reg = telemetry.NewRegistry()
 		agg = telemetry.NewAggregate(reg)
-		harness.SetInstrument(agg)
+	}
+	var instruments []harness.Instrument
+	if agg != nil {
+		instruments = append(instruments, agg)
+	}
+	if *diagAddr != "" {
+		prog = harness.NewProgress()
+		prog.SetPhase("experiments")
+		instruments = append(instruments, prog)
+	}
+	if ins := harness.Instruments(instruments...); ins != nil {
+		harness.SetInstrument(ins)
 		defer harness.SetInstrument(nil)
+	}
+	if *diagAddr != "" {
+		ids := make([]string, len(entries))
+		for i, e := range entries {
+			ids[i] = e.ID
+		}
+		srv, err := diag.Serve(*diagAddr, diag.Config{
+			Registry: reg,
+			Progress: prog,
+			Info: diag.RunInfo{
+				Command: "ndbench", Args: args, Seed: int64(*seed),
+				Scenario: struct {
+					Experiments []string           `json:"experiments"`
+					Options     experiment.Options `json:"options"`
+				}{ids, opts},
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintln(os.Stderr, "ndbench: diagnostics on", srv.URL())
+		diagStarted(srv.URL())
 	}
 	// Experiments are independent deterministic functions of opts, so they
 	// run on the harness pool; output is emitted afterwards in input order.
@@ -145,8 +187,10 @@ func run(args []string, out io.Writer) (retErr error) {
 	}
 	if agg != nil {
 		agg.UpdateDerived()
-		if err := writeMetrics(*metrics, out, reg); err != nil {
-			return err
+		if *metrics != "" {
+			if err := writeMetrics(*metrics, out, reg); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -30,6 +30,7 @@ import (
 	"m2hew/internal/channel"
 	"m2hew/internal/clock"
 	"m2hew/internal/core"
+	"m2hew/internal/diag"
 	"m2hew/internal/dynamics"
 	"m2hew/internal/rng"
 	"m2hew/internal/sim"
@@ -61,16 +62,21 @@ type snapshot struct {
 func main() {
 	out := flag.String("out", "BENCH_3.json", "output path for the JSON snapshot")
 	metrics := flag.String("metrics", "", "also derive run telemetry during the benchmarks and write it as NDJSON to this file (skews allocs_per_op; not for committed snapshots)")
+	diagAddr := flag.String("diag", "", "serve live diagnostics (/metrics, /runinfo, /debug/pprof) on this address while the benchmarks run (/metrics is populated only with -metrics)")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
-	if err := run(*out, *metrics, *cpuProf, *memProf); err != nil {
+	if err := run(*out, *metrics, *diagAddr, *cpuProf, *memProf); err != nil {
 		fmt.Fprintln(os.Stderr, "ndperf:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, metricsPath, cpuProf, memProf string) (retErr error) {
+// diagStarted is called with the diagnostics server's base URL once it is
+// listening; tests override it to probe the live server.
+var diagStarted = func(url string) {}
+
+func run(out, metricsPath, diagAddr, cpuProf, memProf string) (retErr error) {
 	stopProfiles, err := telemetry.StartProfiles(cpuProf, memProf)
 	if err != nil {
 		return err
@@ -102,6 +108,25 @@ func run(out, metricsPath, cpuProf, memProf string) (retErr error) {
 		reg = telemetry.NewRegistry()
 		// The fixed 30-node scenario makes per-node latency series meaningful.
 		agg = telemetry.NewAggregate(reg, telemetry.PerNodeLatency(nw.N()))
+	}
+	if diagAddr != "" {
+		// ndperf calls the engines directly (no harness pool), so the diag
+		// server exposes /runinfo and the pprof endpoints for profiling a
+		// live benchmark; /metrics carries data only when -metrics also
+		// attaches the telemetry observer (which skews allocs_per_op).
+		srv, err := diag.Serve(diagAddr, diag.Config{
+			Registry: reg,
+			Info: diag.RunInfo{Command: "ndperf", Seed: 1, Scenario: struct {
+				Out     string `json:"out"`
+				Metrics string `json:"metrics,omitempty"`
+			}{out, metricsPath}},
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintln(os.Stderr, "ndperf: diagnostics on", srv.URL())
+		diagStarted(srv.URL())
 	}
 	recycling := func() *sim.AsyncScratch {
 		sc := sim.NewAsyncScratch()

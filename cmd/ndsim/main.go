@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"m2hew"
+	"m2hew/internal/diag"
 	"m2hew/internal/telemetry"
 )
 
@@ -36,6 +37,11 @@ func main() {
 		os.Exit(1)
 	}
 }
+
+// diagStarted is called with the diagnostics server's base URL once it is
+// listening; the tests override it to probe the live server. It must
+// return before the run starts.
+var diagStarted = func(url string) {}
 
 func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("ndsim", flag.ContinueOnError)
@@ -87,6 +93,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		curveFile   = fs.String("curve", "", "write the discovery progress curve as CSV to this file")
 		verbose     = fs.Bool("v", false, "trace every clear reception")
 		eventsFile  = fs.String("events", "", "write the full engine event stream as NDJSON to this file (inspect with ndtrace)")
+		diagAddr    = fs.String("diag", "", "serve live diagnostics (/metrics, /runinfo, /debug/pprof) on this address for the duration of the run")
 		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -190,6 +197,27 @@ func run(args []string, out io.Writer) (retErr error) {
 			}
 		}()
 		cfg.EventWriter = f
+	}
+	if *diagAddr != "" {
+		// Single runs bypass the harness instrument seam, so the telemetry
+		// observer attaches through RunConfig.Observer instead; the run's
+		// tallies merge into the registry when the run finishes, just
+		// before the server shuts down.
+		reg := telemetry.NewRegistry()
+		agg := telemetry.NewAggregate(reg)
+		obs := agg.TrialObserver(nw.N(), nw.Stats().Universe)
+		cfg.Observer = obs
+		srv, err := diag.Serve(*diagAddr, diag.Config{
+			Registry: reg,
+			Info:     diag.RunInfo{Command: "ndsim", Args: args, Seed: int64(*runSeed), Scenario: cfg},
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintln(os.Stderr, "ndsim: diagnostics on", srv.URL())
+		diagStarted(srv.URL())
+		defer func() { agg.TrialDone(obs); agg.UpdateDerived() }()
 	}
 	report, err := m2hew.Run(nw, cfg)
 	if err != nil {

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFile drops content into a temp file and returns its path.
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseJSON = `{
+  "scenario": "test",
+  "benchmarks": [
+    {"name": "RunSync", "ns_per_op": 1000000, "bytes_per_op": 96000, "allocs_per_op": 1200},
+    {"name": "RunAsync", "ns_per_op": 5000000, "bytes_per_op": 2700000, "allocs_per_op": 1500}
+  ]
+}`
+
+// TestGatePassesOnIdenticalPair is the no-regression baseline: comparing a
+// snapshot against itself must print a table of zero deltas and exit clean
+// even with the gate armed at a tight threshold.
+func TestGatePassesOnIdenticalPair(t *testing.T) {
+	old := writeFile(t, "old.json", baseJSON)
+	cur := writeFile(t, "new.json", baseJSON)
+	var buf strings.Builder
+	if err := run([]string{"-gate", "-threshold", "0.1", old, cur}, &buf); err != nil {
+		t.Fatalf("identical pair failed the gate: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"RunSync", "RunAsync", "ns/op", "allocs/op", "gate ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Every delta on an identical pair is the "no change" marker.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "RunSync") || strings.HasPrefix(line, "RunAsync") {
+			if !strings.HasSuffix(strings.TrimRight(line, " "), "~") {
+				t.Errorf("identical pair printed a nonzero delta: %q", line)
+			}
+		}
+	}
+}
+
+// TestGateFailsOnRegression feeds a synthetic 20% ns/op regression through
+// a 10% gate and requires a nonzero (error) exit naming the offender.
+func TestGateFailsOnRegression(t *testing.T) {
+	old := writeFile(t, "old.json", baseJSON)
+	cur := writeFile(t, "new.json", `{
+  "benchmarks": [
+    {"name": "RunSync", "ns_per_op": 1200000, "bytes_per_op": 96000, "allocs_per_op": 1200},
+    {"name": "RunAsync", "ns_per_op": 5000000, "bytes_per_op": 2700000, "allocs_per_op": 1500}
+  ]
+}`)
+	var buf strings.Builder
+	err := run([]string{"-gate", "-threshold", "10", old, cur}, &buf)
+	if err == nil {
+		t.Fatalf("20%% regression passed a 10%% gate\noutput:\n%s", buf.String())
+	}
+	if !strings.Contains(err.Error(), "gate") {
+		t.Errorf("error %q does not mention the gate", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "GATE FAILED") || !strings.Contains(out, "RunSync ns/op +20.00%") {
+		t.Errorf("gate output missing the offending row:\n%s", out)
+	}
+	// The within-threshold row must not be flagged.
+	if strings.Contains(out, "RunAsync ns/op") {
+		t.Errorf("unregressed RunAsync flagged:\n%s", out)
+	}
+}
+
+// TestGateFailsOnAllocRegression: allocs/op regressions gate too — they
+// are deterministic, so even small jumps are real.
+func TestGateFailsOnAllocRegression(t *testing.T) {
+	old := writeFile(t, "old.json", baseJSON)
+	cur := writeFile(t, "new.json", `{
+  "benchmarks": [
+    {"name": "RunSync", "ns_per_op": 1000000, "bytes_per_op": 96000, "allocs_per_op": 1560},
+    {"name": "RunAsync", "ns_per_op": 5000000, "bytes_per_op": 2700000, "allocs_per_op": 1500}
+  ]
+}`)
+	var buf strings.Builder
+	if err := run([]string{"-gate", "-threshold", "10", old, cur}, &buf); err == nil {
+		t.Fatalf("30%% alloc regression passed a 10%% gate\noutput:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "RunSync allocs/op +30.00%") {
+		t.Errorf("gate output missing alloc regression:\n%s", buf.String())
+	}
+}
+
+// TestGateThresholdIsTolerance: a 5% drift passes a 10% gate, so noisy CI
+// timings don't flap the build.
+func TestGateThresholdIsTolerance(t *testing.T) {
+	old := writeFile(t, "old.json", baseJSON)
+	cur := writeFile(t, "new.json", `{
+  "benchmarks": [
+    {"name": "RunSync", "ns_per_op": 1050000, "bytes_per_op": 96000, "allocs_per_op": 1200},
+    {"name": "RunAsync", "ns_per_op": 5000000, "bytes_per_op": 2700000, "allocs_per_op": 1500}
+  ]
+}`)
+	var buf strings.Builder
+	if err := run([]string{"-gate", "-threshold", "10", old, cur}, &buf); err != nil {
+		t.Fatalf("5%% drift failed a 10%% gate: %v\noutput:\n%s", err, buf.String())
+	}
+}
+
+// TestParseRawBenchOutput compares a JSON snapshot against raw
+// `go test -bench` text: Benchmark prefixes and -GOMAXPROCS suffixes are
+// stripped so the names line up, and non-benchmark lines are skipped.
+func TestParseRawBenchOutput(t *testing.T) {
+	old := writeFile(t, "old.json", baseJSON)
+	cur := writeFile(t, "bench.txt", `goos: linux
+goarch: amd64
+pkg: m2hew/internal/sim
+cpu: Test CPU
+BenchmarkRunSync-8   	     500	   1000000 ns/op	   96000 B/op	    1200 allocs/op
+BenchmarkRunAsync-8  	     100	   5500000 ns/op	 2700000 B/op	    1500 allocs/op
+BenchmarkUnrelated-8 	    1000	      1234 ns/op
+PASS
+ok  	m2hew/internal/sim	2.345s
+`)
+	var buf strings.Builder
+	if err := run([]string{old, cur}, &buf); err != nil {
+		t.Fatalf("raw bench comparison failed: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "RunSync") || !strings.Contains(out, "RunAsync") {
+		t.Errorf("matched rows missing:\n%s", out)
+	}
+	if !strings.Contains(out, "+10.00%") {
+		t.Errorf("expected +10.00%% ns/op delta for RunAsync:\n%s", out)
+	}
+	if !strings.Contains(out, "only in") || !strings.Contains(out, "Unrelated") {
+		t.Errorf("unmatched benchmark not reported:\n%s", out)
+	}
+}
+
+// TestParseRawBenchAveragesRepeats: -count>1 runs of one benchmark are
+// averaged into a single row.
+func TestParseRawBenchAveragesRepeats(t *testing.T) {
+	old := writeFile(t, "old.txt", `BenchmarkX-4 100 1000 ns/op 10 B/op 1 allocs/op
+BenchmarkX-4 100 3000 ns/op 30 B/op 3 allocs/op
+`)
+	cur := writeFile(t, "new.txt", `BenchmarkX-4 100 2000 ns/op 20 B/op 2 allocs/op
+`)
+	var buf strings.Builder
+	if err := run([]string{"-gate", "-threshold", "0.1", old, cur}, &buf); err != nil {
+		t.Fatalf("averaged repeats should match the single run exactly: %v\noutput:\n%s", err, buf.String())
+	}
+}
+
+// TestErrors covers the argument and parse failure modes.
+func TestErrors(t *testing.T) {
+	good := writeFile(t, "good.json", baseJSON)
+	empty := writeFile(t, "empty.txt", "no benchmarks here\n")
+	disjoint := writeFile(t, "disjoint.json", `{"benchmarks": [{"name": "Other", "ns_per_op": 1}]}`)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"one file", []string{good}},
+		{"missing file", []string{good, filepath.Join(t.TempDir(), "nope.json")}},
+		{"no bench lines", []string{good, empty}},
+		{"no common benchmarks", []string{good, disjoint}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf strings.Builder
+			if err := run(tc.args, &buf); err == nil {
+				t.Errorf("expected an error\noutput:\n%s", buf.String())
+			}
+		})
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"m2hew/internal/trace"
 )
@@ -108,6 +109,17 @@ type nodeRow struct {
 	Delivered int `json:"delivered"`
 }
 
+// syncNodeRow is one node's synchronous activity: slots it transmitted,
+// clear receptions it heard, receptions destroyed by interference at it,
+// and listening slots that heard nothing.
+type syncNodeRow struct {
+	Node      int `json:"node"`
+	Tx        int `json:"tx"`
+	Deliver   int `json:"deliver"`
+	Collision int `json:"collision"`
+	Idle      int `json:"idle"`
+}
+
 // linkRow is one directed link's collision count.
 type linkRow struct {
 	From  int `json:"from"`
@@ -126,26 +138,36 @@ type chanRow struct {
 	TxShare   float64 `json:"txShare"`
 }
 
+// lossRow is one primary-user channel loss: which node lost which channel.
+type lossRow struct {
+	Node    int `json:"node"`
+	Channel int `json:"channel"`
+}
+
 // epochRow is one dynamic-run epoch boundary's membership and spectrum
-// flips.
+// flips, with the affected node IDs spelled out.
 type epochRow struct {
-	Epoch         int     `json:"epoch"`
-	Time          float64 `json:"time"`
-	Joins         int     `json:"joins"`
-	Leaves        int     `json:"leaves"`
-	ChannelLosses int     `json:"channelLosses"`
+	Epoch         int       `json:"epoch"`
+	Time          float64   `json:"time"`
+	Joins         int       `json:"joins"`
+	Leaves        int       `json:"leaves"`
+	ChannelLosses int       `json:"channelLosses"`
+	Joined        []int     `json:"joined,omitempty"`
+	Left          []int     `json:"left,omitempty"`
+	Lost          []lossRow `json:"lost,omitempty"`
 }
 
 // summary is the full digest of one event log.
 type summary struct {
-	Events         int        `json:"events"`
-	Kinds          kindCounts `json:"kinds"`
-	Slots          []slotRow  `json:"slots,omitempty"`
-	Nodes          []nodeRow  `json:"nodes,omitempty"`
-	TopCollisions  []linkRow  `json:"topCollisionLinks,omitempty"`
-	CollisionLinks int        `json:"collisionLinks"`
-	Channels       []chanRow  `json:"channels,omitempty"`
-	Epochs         []epochRow `json:"epochs,omitempty"`
+	Events         int           `json:"events"`
+	Kinds          kindCounts    `json:"kinds"`
+	Slots          []slotRow     `json:"slots,omitempty"`
+	SyncNodes      []syncNodeRow `json:"syncNodes,omitempty"`
+	Nodes          []nodeRow     `json:"nodes,omitempty"`
+	TopCollisions  []linkRow     `json:"topCollisionLinks,omitempty"`
+	CollisionLinks int           `json:"collisionLinks"`
+	Channels       []chanRow     `json:"channels,omitempty"`
+	Epochs         []epochRow    `json:"epochs,omitempty"`
 }
 
 // epochAt finds (or, for logs whose boundary event was filtered out,
@@ -167,10 +189,11 @@ func epochAt(rows *[]epochRow, epoch int, t float64) *epochRow {
 func summarize(events []trace.Event, top int) *summary {
 	s := &summary{Events: len(events)}
 	var (
-		slots    []slotRow
-		nodes    = map[int]*nodeRow{}
-		links    = map[[2]int]int{}
-		channels = map[int]*chanRow{}
+		slots     []slotRow
+		syncNodes = map[int]*syncNodeRow{}
+		nodes     = map[int]*nodeRow{}
+		links     = map[[2]int]int{}
+		channels  = map[int]*chanRow{}
 	)
 	slotAt := func(t float64) *slotRow {
 		idx := int(t)
@@ -181,6 +204,14 @@ func summarize(events []trace.Event, top int) *summary {
 			slots = append(slots, slotRow{Slot: len(slots)})
 		}
 		return &slots[idx]
+	}
+	syncNodeAt := func(id int) *syncNodeRow {
+		n, ok := syncNodes[id]
+		if !ok {
+			n = &syncNodeRow{Node: id}
+			syncNodes[id] = n
+		}
+		return n
 	}
 	nodeAt := func(id int) *nodeRow {
 		n, ok := nodes[id]
@@ -204,6 +235,7 @@ func summarize(events []trace.Event, top int) *summary {
 		case trace.KindTx:
 			s.Kinds.Tx++
 			slotAt(e.Time).Tx++
+			syncNodeAt(int(e.From)).Tx++
 			chanAt(int(e.Channel)).Tx++
 		case trace.KindDeliver:
 			s.Kinds.Deliver++
@@ -211,16 +243,19 @@ func summarize(events []trace.Event, top int) *summary {
 				// Synchronous deliveries land on slot boundaries; asynchronous
 				// ones are mid-frame instants and stay out of the slot table.
 				slotAt(e.Time).Deliver++
+				syncNodeAt(int(e.To)).Deliver++
 			}
 			chanAt(int(e.Channel)).Deliver++
 		case trace.KindCollision:
 			s.Kinds.Collision++
 			slotAt(e.Time).Collision++
+			syncNodeAt(int(e.To)).Collision++
 			chanAt(int(e.Channel)).Collision++
 			links[[2]int{int(e.From), int(e.To)}]++
 		case trace.KindIdle:
 			s.Kinds.Idle++
 			slotAt(e.Time).Idle++
+			syncNodeAt(int(e.To)).Idle++
 			chanAt(int(e.Channel)).Idle++
 		case trace.KindFrameStart:
 			s.Kinds.FrameStart++
@@ -249,25 +284,50 @@ func summarize(events []trace.Event, top int) *summary {
 			s.Kinds.Join++
 			if r := epochAt(&s.Epochs, e.Epoch, e.Time); r != nil {
 				r.Joins++
+				r.Joined = append(r.Joined, int(e.From))
 			}
 		case trace.KindLeave:
 			s.Kinds.Leave++
 			if r := epochAt(&s.Epochs, e.Epoch, e.Time); r != nil {
 				r.Leaves++
+				r.Left = append(r.Left, int(e.From))
 			}
 		case trace.KindChannelLoss:
 			s.Kinds.ChannelLoss++
 			if r := epochAt(&s.Epochs, e.Epoch, e.Time); r != nil {
 				r.ChannelLosses++
+				r.Lost = append(r.Lost, lossRow{Node: int(e.From), Channel: int(e.Channel)})
 			}
 		}
 	}
 	// Asynchronous logs have no slot structure: a lone delivery table keyed
-	// by truncated frame time would read as slots, so drop it.
+	// by truncated frame time would read as slots, so drop it — and the
+	// per-node slot accounting with it (the frame table covers nodes there).
 	if frames {
 		slots = nil
+		syncNodes = map[int]*syncNodeRow{}
 	}
 	s.Slots = slots
+	syncRows := make([]syncNodeRow, 0, len(syncNodes))
+	for _, n := range syncNodes {
+		syncRows = append(syncRows, *n)
+	}
+	sort.Slice(syncRows, func(i, j int) bool { return syncRows[i].Node < syncRows[j].Node })
+	s.SyncNodes = syncRows
+
+	// Per-epoch detail lists arrive in event order; sort them so the report
+	// is stable regardless of how the writer interleaved same-epoch flips.
+	for i := range s.Epochs {
+		r := &s.Epochs[i]
+		sort.Ints(r.Joined)
+		sort.Ints(r.Left)
+		sort.Slice(r.Lost, func(a, b int) bool {
+			if r.Lost[a].Node != r.Lost[b].Node {
+				return r.Lost[a].Node < r.Lost[b].Node
+			}
+			return r.Lost[a].Channel < r.Lost[b].Channel
+		})
+	}
 
 	nodeRows := make([]nodeRow, 0, len(nodes))
 	for _, n := range nodes {
@@ -336,6 +396,13 @@ func (s *summary) print(out io.Writer, slotRows int) error {
 			fmt.Fprintf(out, "  %6d %6d %8d %10d %6d\n", r.Slot, r.Tx, r.Deliver, r.Collision, r.Idle)
 		}
 	}
+	if len(s.SyncNodes) > 0 {
+		fmt.Fprintf(out, "\nper-node slot summary:\n")
+		fmt.Fprintf(out, "  %6s %6s %8s %10s %6s\n", "node", "tx", "deliver", "collision", "idle")
+		for _, n := range s.SyncNodes {
+			fmt.Fprintf(out, "  %6d %6d %8d %10d %6d\n", n.Node, n.Tx, n.Deliver, n.Collision, n.Idle)
+		}
+	}
 	if len(s.Nodes) > 0 {
 		fmt.Fprintf(out, "\nper-node frame summary:\n")
 		fmt.Fprintf(out, "  %6s %7s %5s %5s %6s %10s\n", "node", "frames", "tx", "rx", "heard", "delivered")
@@ -361,7 +428,39 @@ func (s *summary) print(out io.Writer, slotRows int) error {
 		fmt.Fprintf(out, "  %6s %10s %6s %7s %13s\n", "epoch", "t", "joins", "leaves", "channel-loss")
 		for _, r := range s.Epochs {
 			fmt.Fprintf(out, "  %6d %10.1f %6d %7d %13d\n", r.Epoch, r.Time, r.Joins, r.Leaves, r.ChannelLosses)
+			if detail := epochDetail(r); detail != "" {
+				fmt.Fprintf(out, "         %s\n", detail)
+			}
 		}
 	}
 	return nil
+}
+
+// epochDetail renders one epoch's member/spectrum flip lists, or "" for a
+// quiet boundary.
+func epochDetail(r epochRow) string {
+	var parts []string
+	if len(r.Joined) > 0 {
+		parts = append(parts, "joined "+intList(r.Joined))
+	}
+	if len(r.Left) > 0 {
+		parts = append(parts, "left "+intList(r.Left))
+	}
+	if len(r.Lost) > 0 {
+		losses := make([]string, len(r.Lost))
+		for i, l := range r.Lost {
+			losses[i] = fmt.Sprintf("%d:ch%d", l.Node, l.Channel)
+		}
+		parts = append(parts, "lost "+strings.Join(losses, ","))
+	}
+	return strings.Join(parts, "  ")
+}
+
+// intList renders node IDs as a comma-separated list.
+func intList(ids []int) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprint(id)
+	}
+	return strings.Join(parts, ",")
 }

@@ -80,6 +80,94 @@ func TestPerSlotCountsHandChecked(t *testing.T) {
 	}
 }
 
+// TestPerNodeSyncCountsHandChecked checks the per-node slot table against
+// the same hand log: node 0 transmits twice then idles once; node 1 suffers
+// the collision, hears the delivery and idles once; node 2 transmits once
+// and idles twice.
+func TestPerNodeSyncCountsHandChecked(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-json"}, strings.NewReader(handLog(t)), &out); err != nil {
+		t.Fatal(err)
+	}
+	var s summary
+	if err := json.Unmarshal(out.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	want := []syncNodeRow{
+		{Node: 0, Tx: 2, Deliver: 0, Collision: 0, Idle: 1},
+		{Node: 1, Tx: 0, Deliver: 1, Collision: 1, Idle: 1},
+		{Node: 2, Tx: 1, Deliver: 0, Collision: 0, Idle: 2},
+	}
+	if len(s.SyncNodes) != len(want) {
+		t.Fatalf("syncNodes = %+v, want %d rows", s.SyncNodes, len(want))
+	}
+	for i, w := range want {
+		if s.SyncNodes[i] != w {
+			t.Errorf("node %d = %+v, want %+v", w.Node, s.SyncNodes[i], w)
+		}
+	}
+}
+
+// dynamicsLog is a hand-checked dynamic-run log: epoch 1 admits nodes 5 and
+// 3 and drops node 2's channel 7; epoch 2 removes node 0.
+func dynamicsLog(t *testing.T) string {
+	t.Helper()
+	events := []trace.Event{
+		{Time: 100, Kind: trace.KindEpoch, Epoch: 1},
+		{Time: 100, Kind: trace.KindJoin, From: 5, Epoch: 1},
+		{Time: 100, Kind: trace.KindJoin, From: 3, Epoch: 1},
+		{Time: 100, Kind: trace.KindChannelLoss, From: 2, Channel: 7, Epoch: 1},
+		{Time: 200, Kind: trace.KindEpoch, Epoch: 2},
+		{Time: 200, Kind: trace.KindLeave, From: 0, Epoch: 2},
+	}
+	var sb strings.Builder
+	w := trace.NewJSONWriter(&sb)
+	for _, e := range events {
+		w.Record(e)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestEpochMemberDetailHandChecked checks that epoch rows carry the affected
+// node IDs (sorted) and the lost channels, not just the counts, and that
+// the text report prints them.
+func TestEpochMemberDetailHandChecked(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-json"}, strings.NewReader(dynamicsLog(t)), &out); err != nil {
+		t.Fatal(err)
+	}
+	var s summary
+	if err := json.Unmarshal(out.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Epochs) != 2 {
+		t.Fatalf("epochs = %+v, want 2 rows", s.Epochs)
+	}
+	e1, e2 := s.Epochs[0], s.Epochs[1]
+	if e1.Joins != 2 || len(e1.Joined) != 2 || e1.Joined[0] != 3 || e1.Joined[1] != 5 {
+		t.Errorf("epoch 1 joined = %+v (joins %d), want sorted [3 5]", e1.Joined, e1.Joins)
+	}
+	if len(e1.Lost) != 1 || e1.Lost[0] != (lossRow{Node: 2, Channel: 7}) {
+		t.Errorf("epoch 1 lost = %+v, want [{2 7}]", e1.Lost)
+	}
+	if e2.Leaves != 1 || len(e2.Left) != 1 || e2.Left[0] != 0 {
+		t.Errorf("epoch 2 left = %+v (leaves %d), want [0]", e2.Left, e2.Leaves)
+	}
+
+	var text bytes.Buffer
+	if err := run(nil, strings.NewReader(dynamicsLog(t)), &text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"joined 3,5", "lost 2:ch7", "left 0"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, text.String())
+		}
+	}
+}
+
 func TestTextReport(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(nil, strings.NewReader(handLog(t)), &out); err != nil {
@@ -89,6 +177,7 @@ func TestTextReport(t *testing.T) {
 	for _, want := range []string{
 		"events: 9 (tx 3, deliver 1, collision 1, idle 4, frame-start 0, frame-resolve 0, note 0)",
 		"per-slot summary (3 of 3 slots)",
+		"per-node slot summary",
 		"top collision links (1 of 1)",
 		"channel utilization",
 	} {

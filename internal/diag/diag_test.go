@@ -1,0 +1,186 @@
+package diag
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"m2hew/internal/harness"
+	"m2hew/internal/telemetry"
+)
+
+// get issues a request against the handler and returns status and body.
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+func TestIndexListsEndpoints(t *testing.T) {
+	h := Handler(Config{})
+	code, body := get(t, h, "/")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, ep := range []string{"/metrics", "/runinfo", "/progress", "/debug/vars", "/debug/pprof/"} {
+		if !strings.Contains(body, ep) {
+			t.Errorf("index missing %s:\n%s", ep, body)
+		}
+	}
+	if code, _ := get(t, h, "/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path status = %d, want 404", code)
+	}
+}
+
+func TestMetricsServesRegistry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("nd_test_total", "a test counter").Add(7)
+	code, body := get(t, Handler(Config{Registry: reg}), "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if !strings.Contains(body, "nd_test_total 7") {
+		t.Errorf("exposition missing counter:\n%s", body)
+	}
+	// Nil registry: empty but well-formed response, not a panic.
+	if code, body := get(t, Handler(Config{}), "/metrics"); code != http.StatusOK || strings.TrimSpace(body) != "" {
+		t.Errorf("nil-registry /metrics = %d %q", code, body)
+	}
+}
+
+func TestRunInfoCarriesScenarioAndBuild(t *testing.T) {
+	h := Handler(Config{Info: RunInfo{
+		Command:  "ndtest",
+		Args:     []string{"-all"},
+		Seed:     42,
+		Scenario: map[string]any{"experiments": []string{"E1", "E4"}},
+	}})
+	code, body := get(t, h, "/runinfo")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var p struct {
+		Command   string          `json:"command"`
+		Args      []string        `json:"args"`
+		Seed      int64           `json:"seed"`
+		Scenario  json.RawMessage `json:"scenario"`
+		GoVersion string          `json:"go_version"`
+		GOOS      string          `json:"goos"`
+	}
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("bad /runinfo JSON: %v\n%s", err, body)
+	}
+	if p.Command != "ndtest" || p.Seed != 42 || len(p.Args) != 1 {
+		t.Errorf("payload = %+v", p)
+	}
+	if p.GoVersion == "" || p.GOOS == "" {
+		t.Errorf("build info missing: %+v", p)
+	}
+	if !strings.Contains(string(p.Scenario), "E4") {
+		t.Errorf("scenario not preserved: %s", p.Scenario)
+	}
+}
+
+// TestProgressStreamNilProgress: a nil Progress still yields exactly one
+// (empty) snapshot record so clients always see valid NDJSON.
+func TestProgressStreamNilProgress(t *testing.T) {
+	code, body := get(t, Handler(Config{}), "/progress")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var rec harness.ProgressRecord
+	if err := json.Unmarshal([]byte(strings.TrimSpace(body)), &rec); err != nil {
+		t.Fatalf("bad record: %v\n%s", err, body)
+	}
+	if rec.Index != -1 {
+		t.Errorf("snapshot record index = %d, want -1", rec.Index)
+	}
+}
+
+// TestProgressStreamSnapshotThenLive runs the stream against a real server
+// (the httptest.Recorder cannot exercise flushing/streaming): the first
+// record is the snapshot of completions so far, then live records follow.
+func TestProgressStreamSnapshotThenLive(t *testing.T) {
+	prog := harness.NewProgress()
+	prog.SetPhase("warmup")
+	prog.ObserveBatch(3)
+	prog.ObserveStart(0)
+	prog.ObserveRun(0, 0, 0) // one trial already done before the client connects
+
+	ts := httptest.NewServer(Handler(Config{Progress: prog}))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no snapshot record: %v", sc.Err())
+	}
+	var snap harness.ProgressRecord
+	if err := json.Unmarshal(sc.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Index != -1 || snap.Done != 1 || snap.Queued != 2 || snap.Phase != "warmup" {
+		t.Errorf("snapshot = %+v, want index -1, done 1, queued 2, phase warmup", snap)
+	}
+
+	// A completion after the subscribe arrives as a live record.
+	prog.ObserveStart(1)
+	prog.ObserveRun(1, 0, 0)
+	if !sc.Scan() {
+		t.Fatalf("no live record: %v", sc.Err())
+	}
+	var live harness.ProgressRecord
+	if err := json.Unmarshal(sc.Bytes(), &live); err != nil {
+		t.Fatal(err)
+	}
+	if live.Index != 1 || live.Done != 2 {
+		t.Errorf("live record = %+v, want index 1, done 2", live)
+	}
+}
+
+func TestDebugEndpoints(t *testing.T) {
+	h := Handler(Config{})
+	if code, body := get(t, h, "/debug/vars"); code != http.StatusOK || !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars = %d", code)
+	}
+	if code, body := get(t, h, "/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+}
+
+// TestServeLifecycle starts a real server on an ephemeral port and checks
+// Addr/URL plus a live request, then Close.
+func TestServeLifecycle(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", Config{Info: RunInfo{Command: "t"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(srv.URL(), "http://127.0.0.1:") {
+		t.Errorf("URL = %q", srv.URL())
+	}
+	resp, err := http.Get(srv.URL() + "/runinfo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(srv.URL() + "/runinfo"); err == nil {
+		t.Error("server still answering after Close")
+	}
+}

@@ -51,7 +51,7 @@ func RunScratch(n int, fn func(i int, sc *Scratch) error) error {
 	if n <= 0 {
 		return nil
 	}
-	fn = instrumented(fn)
+	fn = instrumented(n, fn)
 	errs := make([]error, n)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {

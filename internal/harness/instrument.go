@@ -31,6 +31,23 @@ type Instrument interface {
 	ObserveRun(index int, queueDelay, wall time.Duration)
 }
 
+// BatchObserver is optionally implemented by instruments that want the
+// shape of the work before it runs: RunScratch announces each batch's item
+// count once, on the caller's goroutine, before any worker starts.
+// harness.Progress uses it to publish the queued-trial count.
+type BatchObserver interface {
+	ObserveBatch(n int)
+}
+
+// StartObserver is optionally implemented by instruments that want item
+// pickups as they happen: ObserveStart(i) is called from the worker
+// goroutine the moment it takes item i, before the work function runs.
+// Paired with ObserveRun (the completion) it brackets each item's
+// execution, which is what lets Progress keep a live running count.
+type StartObserver interface {
+	ObserveStart(index int)
+}
+
 // instrumentBox wraps the interface so a nil Instrument and "no
 // instrument" are both representable in the atomic pointer.
 type instrumentBox struct{ ins Instrument }
@@ -61,14 +78,23 @@ func CurrentInstrument() Instrument {
 
 // instrumented wraps fn with per-item timing when an instrument is
 // installed; with none installed it returns fn untouched, so the pipeline
-// never reads the wall clock in the default configuration.
-func instrumented(fn func(i int, sc *Scratch) error) func(i int, sc *Scratch) error {
+// never reads the wall clock in the default configuration. n is the
+// batch's item count, announced to BatchObserver instruments before any
+// worker starts.
+func instrumented(n int, fn func(i int, sc *Scratch) error) func(i int, sc *Scratch) error {
 	ins := CurrentInstrument()
 	if ins == nil {
 		return fn
 	}
+	if b, ok := ins.(BatchObserver); ok {
+		b.ObserveBatch(n)
+	}
+	starter, _ := ins.(StartObserver)
 	start := time.Now()
 	return func(i int, sc *Scratch) error {
+		if starter != nil {
+			starter.ObserveStart(i)
+		}
 		picked := time.Now()
 		err := fn(i, sc)
 		ins.ObserveRun(i, picked.Sub(start), time.Since(picked))

@@ -1,0 +1,203 @@
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"m2hew/internal/sim"
+)
+
+// Progress is the live trial-progress instrument: it watches the pipeline
+// through the Instrument seam (batch announcements, item pickups, item
+// completions) and publishes queued/running/done counts, per-phase wall
+// and queue timing, and a per-completion record stream — the feed behind
+// the diag server's /progress endpoint.
+//
+// Progress never touches the engines: TrialObserver returns nil, so an
+// installation that only wants progress keeps the engines' no-observer
+// fast path and cannot perturb results. Compose it with a telemetry
+// aggregate via Instruments(agg, prog).
+//
+// All methods are safe for concurrent use. Completion records are
+// delivered to subscribers with a non-blocking send — a slow or stalled
+// subscriber loses records, never stalls a worker.
+type Progress struct {
+	queued  atomic.Int64
+	running atomic.Int64
+	done    atomic.Int64
+	seq     atomic.Int64
+
+	mu     sync.Mutex
+	phase  string
+	order  []string
+	phases map[string]*PhaseStats
+	subs   map[int]chan ProgressRecord
+	nextID int
+}
+
+// NewProgress returns an empty Progress instrument.
+func NewProgress() *Progress {
+	return &Progress{
+		phases: make(map[string]*PhaseStats),
+		subs:   make(map[int]chan ProgressRecord),
+	}
+}
+
+// PhaseStats accumulates one phase's completed-item timing.
+type PhaseStats struct {
+	// Phase is the label set by SetPhase ("" before the first call).
+	Phase string `json:"phase"`
+	// Done counts completed items (successes and failures alike).
+	Done int64 `json:"done"`
+	// QueueSeconds and WallSeconds sum the items' queue delays and wall
+	// times.
+	QueueSeconds float64 `json:"queue_s"`
+	WallSeconds  float64 `json:"wall_s"`
+}
+
+// ProgressRecord is one pipeline observation: a per-item completion, or a
+// snapshot (Index < 0) emitted to a new subscriber.
+type ProgressRecord struct {
+	// Seq increases by one per emitted completion; snapshots reuse the
+	// latest value.
+	Seq int64 `json:"seq"`
+	// Index is the completed item's pool index, or -1 for a snapshot.
+	Index int64 `json:"index"`
+	// Phase is the current SetPhase label.
+	Phase string `json:"phase,omitempty"`
+	// Queued, Running and Done are the pipeline totals after this event:
+	// items announced but not picked up, items executing, items finished.
+	Queued  int64 `json:"queued"`
+	Running int64 `json:"running"`
+	Done    int64 `json:"done"`
+	// QueueSeconds and WallSeconds time the completed item (zero in
+	// snapshots).
+	QueueSeconds float64 `json:"queue_s"`
+	WallSeconds  float64 `json:"wall_s"`
+}
+
+// SetPhase labels subsequent observations — call it between harness runs
+// (e.g. per experiment) so the progress stream and the per-phase timing
+// table attribute work to the right phase.
+func (p *Progress) SetPhase(name string) {
+	p.mu.Lock()
+	p.phase = name
+	p.mu.Unlock()
+}
+
+// TrialObserver implements Instrument: Progress wants no engine events.
+func (p *Progress) TrialObserver(nodes, channels int) sim.Observer { return nil }
+
+// TrialDone implements Instrument: nothing to merge.
+func (p *Progress) TrialDone(obs sim.Observer) {}
+
+// ObserveBatch implements BatchObserver: n items just entered the queue.
+func (p *Progress) ObserveBatch(n int) {
+	p.queued.Add(int64(n))
+}
+
+// ObserveStart implements StartObserver: a worker picked an item up.
+func (p *Progress) ObserveStart(index int) {
+	p.queued.Add(-1)
+	p.running.Add(1)
+}
+
+// ObserveRun implements Instrument: an item finished (successfully or
+// not); tally its timing under the current phase and publish a record.
+func (p *Progress) ObserveRun(index int, queueDelay, wall time.Duration) {
+	p.running.Add(-1)
+	done := p.done.Add(1)
+	rec := ProgressRecord{
+		Seq:          p.seq.Add(1),
+		Index:        int64(index),
+		Queued:       p.queued.Load(),
+		Running:      p.running.Load(),
+		Done:         done,
+		QueueSeconds: queueDelay.Seconds(),
+		WallSeconds:  wall.Seconds(),
+	}
+	p.mu.Lock()
+	rec.Phase = p.phase
+	ps := p.phases[p.phase]
+	if ps == nil {
+		ps = &PhaseStats{Phase: p.phase}
+		p.phases[p.phase] = ps
+		p.order = append(p.order, p.phase)
+	}
+	ps.Done++
+	ps.QueueSeconds += rec.QueueSeconds
+	ps.WallSeconds += rec.WallSeconds
+	for _, ch := range p.subs {
+		select {
+		case ch <- rec:
+		default: // slow subscriber: drop, never stall the pool
+		}
+	}
+	p.mu.Unlock()
+}
+
+// ProgressSnapshot is the pipeline's current totals and per-phase timing.
+type ProgressSnapshot struct {
+	Queued  int64        `json:"queued"`
+	Running int64        `json:"running"`
+	Done    int64        `json:"done"`
+	Phase   string       `json:"phase,omitempty"`
+	Phases  []PhaseStats `json:"phases,omitempty"`
+}
+
+// Snapshot copies the current totals; phases appear in first-completion
+// order.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := ProgressSnapshot{
+		Queued:  p.queued.Load(),
+		Running: p.running.Load(),
+		Done:    p.done.Load(),
+		Phase:   p.phase,
+	}
+	for _, name := range p.order {
+		s.Phases = append(s.Phases, *p.phases[name])
+	}
+	return s
+}
+
+// Record renders the snapshot as a ProgressRecord (Index −1), the shape
+// /progress streams first so a subscriber always sees the current totals
+// before any live completion.
+func (s ProgressSnapshot) Record(seq int64) ProgressRecord {
+	return ProgressRecord{
+		Seq: seq, Index: -1, Phase: s.Phase,
+		Queued: s.Queued, Running: s.Running, Done: s.Done,
+	}
+}
+
+// Seq returns the number of completion records emitted so far.
+func (p *Progress) Seq() int64 { return p.seq.Load() }
+
+// Subscribe registers a completion-record channel with the given buffer
+// (minimum 1) and returns it with its cancel function. Records arriving
+// while the buffer is full are dropped. Cancel is idempotent and closes
+// the channel.
+func (p *Progress) Subscribe(buffer int) (<-chan ProgressRecord, func()) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	ch := make(chan ProgressRecord, buffer)
+	p.mu.Lock()
+	id := p.nextID
+	p.nextID++
+	p.subs[id] = ch
+	p.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			p.mu.Lock()
+			delete(p.subs, id)
+			p.mu.Unlock()
+			close(ch)
+		})
+	}
+	return ch, cancel
+}

@@ -97,9 +97,9 @@ func hotBatch(r *resolver, ch, u, channels int) {
 //
 //nd:hotpath
 func hotBatchLeaky(r *resolver, ch int) []int {
-	table := [][]int{nil, nil}    // want "slice/map literal allocates in //nd:hotpath function hotBatchLeaky"
-	drained := append(table[ch])  // want "growing append in //nd:hotpath function hotBatchLeaky"
-	rec := &item{id: ch}          // want "&composite literal allocates in //nd:hotpath function hotBatchLeaky"
+	table := [][]int{nil, nil}   // want "slice/map literal allocates in //nd:hotpath function hotBatchLeaky"
+	drained := append(table[ch]) // want "growing append in //nd:hotpath function hotBatchLeaky"
+	rec := &item{id: ch}         // want "&composite literal allocates in //nd:hotpath function hotBatchLeaky"
 	drained = append(drained, rec.id)
 	return drained
 }

@@ -41,6 +41,7 @@ import (
 // experiment pipeline's input, so a map-ordered effect there corrupts
 // byte-identity at the source.
 var fencedPackages = []string{
+	"m2hew/internal/diag",
 	"m2hew/internal/dynamics",
 	"m2hew/internal/experiment",
 	"m2hew/internal/harness",

@@ -15,5 +15,6 @@ func TestMapOrder(t *testing.T) {
 		"m2hew/internal/sim",       // fenced: engine delivery-batch patterns
 		"m2hew/internal/telemetry", // fenced: exporter/snapshot rendering
 		"m2hew/internal/dynamics",  // fenced: epoch-rebuild table patterns
+		"m2hew/internal/diag",      // fenced: diagnostics-server render paths
 	)
 }

@@ -1,0 +1,49 @@
+// Package diag is a fixture exercising maporder inside the diagnostics
+// fence: the diag server renders registry snapshots and progress phases to
+// HTTP responses, and a scrape that differs between two requests over the
+// same state would make /metrics and /progress unusable for diffing — so
+// map-ordered emission is flagged while the collect-then-sort idiom the
+// real handlers use stays legal.
+package diag
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ServePhases writes the per-phase trial counts straight out of the map:
+// two scrapes of identical state would render in different orders.
+func ServePhases(w io.Writer, phases map[string]int) {
+	for name, n := range phases {
+		fmt.Fprintf(w, "%s %d\n", name, n) // want `fmt.Fprintf inside range over a map`
+	}
+}
+
+// PhaseRows collects the phase table in map order without sorting.
+func PhaseRows(phases map[string]int) []string {
+	var rows []string
+	for name := range phases {
+		rows = append(rows, name) // want `append to rows inside range over a map`
+	}
+	return rows
+}
+
+// SortedPhaseRows collects then sorts: the real handler idiom.
+func SortedPhaseRows(phases map[string]int) []string {
+	rows := make([]string, 0, len(phases))
+	for name := range phases {
+		rows = append(rows, name)
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// TotalTrials is an order-insensitive integer reduction, legal.
+func TotalTrials(phases map[string]int) int {
+	total := 0
+	for _, n := range phases {
+		total += n
+	}
+	return total
+}

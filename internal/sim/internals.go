@@ -1,0 +1,126 @@
+package sim
+
+// This file is the engine-internals reporting seam: a once-per-run summary
+// of what the engine machinery itself did — which resolver path ran, how
+// the stepper batches filled, whether the scratch's network tables were
+// reused — as opposed to what happened in the simulated network (the Event
+// stream). The two ride the same Observer attachment point so composition,
+// masking and the nil fast path need no second seam: an observer that also
+// implements InternalsSink receives exactly one OnInternals call when the
+// run finishes.
+//
+// The contract mirrors the Event seam's cost rules:
+//
+//   - Zero cost when unused: the engine type-asserts the observer once at
+//     setup; without a sink the hot loop carries no internals tallies
+//     beyond one dead boolean test per slot.
+//   - Zero allocation when used: Internals is a plain value passed by
+//     value; per-slot tallying is integer arithmetic on run-local fields.
+//   - Zero perturbation: a sink whose EventMask is zero keeps the batched
+//     resolver path and the engine's event-free fast paths — reading the
+//     internals never changes which internals there are to read. (A full
+//     observer still flips batched → kernel, exactly as it did before this
+//     seam existed; the report then says so.)
+
+// Internals is one synchronous run's engine-internals summary. All fields
+// are totals over the run, sized for lossless merging across trials.
+type Internals struct {
+	// SlotsSimulated mirrors SyncResult.SlotsSimulated.
+	SlotsSimulated int64
+	// BatchedSlots, KernelSlots and ScalarSlots attribute the run's slots
+	// to the resolver path that executed them. Path selection is fixed for
+	// a whole run, so exactly one of the three equals SlotsSimulated and
+	// the other two are zero — their sum always equals SlotsSimulated.
+	BatchedSlots int64
+	KernelSlots  int64
+	ScalarSlots  int64
+	// MaskBudgetOverruns is 1 when a static run's packed candidate-mask
+	// table exceeded its word budget, forcing the scalar path on a network
+	// the kernels could otherwise have served; 0 otherwise (dynamic runs
+	// take the scalar path by design and do not count).
+	MaskBudgetOverruns int64
+	// StepperBatches counts decision-pull batches (one per slot);
+	// StepperBatchNodes sums their sizes (decisions pulled), so the mean
+	// batch size is StepperBatchNodes/StepperBatches. MaxStepperBatch is
+	// the largest single batch. BatchSteps counts the batches served by a
+	// single BatchStepper.NextBatch call rather than per-node Next calls.
+	StepperBatches    int64
+	StepperBatchNodes int64
+	MaxStepperBatch   int64
+	BatchSteps        int64
+	// ScratchTableHits / ScratchTableMisses report whether the run reused
+	// the scratch's cached network tables (hit) or rebuilt them (miss);
+	// one of the two is 1, the other 0. Across a trial batch on one
+	// worker the hit rate exposes how often networks are recycled.
+	ScratchTableHits   int64
+	ScratchTableMisses int64
+}
+
+// Merge adds o's totals into in.
+func (in *Internals) Merge(o Internals) {
+	in.SlotsSimulated += o.SlotsSimulated
+	in.BatchedSlots += o.BatchedSlots
+	in.KernelSlots += o.KernelSlots
+	in.ScalarSlots += o.ScalarSlots
+	in.MaskBudgetOverruns += o.MaskBudgetOverruns
+	in.StepperBatches += o.StepperBatches
+	in.StepperBatchNodes += o.StepperBatchNodes
+	if o.MaxStepperBatch > in.MaxStepperBatch {
+		in.MaxStepperBatch = o.MaxStepperBatch
+	}
+	in.BatchSteps += o.BatchSteps
+	in.ScratchTableHits += o.ScratchTableHits
+	in.ScratchTableMisses += o.ScratchTableMisses
+}
+
+// InternalsSink is optionally implemented by observers that want the
+// engine-internals summary. The engine calls OnInternals exactly once, on
+// its own goroutine, after the slot loop finishes and before RunSync
+// returns; the value is a copy the sink may retain.
+type InternalsSink interface {
+	OnInternals(Internals)
+}
+
+// OnInternals implements InternalsSink: the fan-out forwards the report to
+// every member that accepts it, in order, mirroring OnEvent.
+func (m multiObserver) OnInternals(in Internals) {
+	for _, o := range m {
+		if s, ok := o.(InternalsSink); ok {
+			s.OnInternals(in)
+		}
+	}
+}
+
+// OnInternals implements InternalsSink: masking filters event kinds, not
+// the end-of-run internals report, so the wrapper forwards unconditionally.
+func (m maskedObserver) OnInternals(in Internals) {
+	if s, ok := m.obs.(InternalsSink); ok {
+		s.OnInternals(in)
+	}
+}
+
+// InternalsRecorder captures engine-internals reports while subscribing to
+// no events at all, so attaching one preserves the engine's batched path
+// and event-free fast paths — the production shape for counters that must
+// not perturb what they measure, and the reference observer for the
+// perturbation guards in the tests.
+type InternalsRecorder struct {
+	// Total accumulates every report; Last is the most recent one.
+	Total Internals
+	Last  Internals
+	// Reports counts OnInternals calls (one per completed run).
+	Reports int
+}
+
+// OnEvent implements sim.Observer; the recorder consumes no events.
+func (r *InternalsRecorder) OnEvent(Event) {}
+
+// EventMask implements EventMasker: subscribe to nothing.
+func (r *InternalsRecorder) EventMask() EventMask { return 0 }
+
+// OnInternals implements InternalsSink.
+func (r *InternalsRecorder) OnInternals(in Internals) {
+	r.Last = in
+	r.Total.Merge(in)
+	r.Reports++
+}

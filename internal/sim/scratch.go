@@ -77,9 +77,11 @@ func (sc *SyncScratch) Reset() {
 // table, the shared message availability sets, the channel-major candidate
 // masks (nil when over the word budget; the run falls back to the scalar
 // resolver) and the discoverable-link target — rebuilding them only when
-// the network changed since the last run.
-func (sc *SyncScratch) networkTables(nw *topology.Network) ([][]topology.Candidate, []channel.Set, *topology.CandidateMasks, []topology.Link) {
-	if sc.nwKey != nw {
+// the network changed since the last run. hit reports whether the cached
+// tables were reused (the engine-internals scratch hit/miss counter).
+func (sc *SyncScratch) networkTables(nw *topology.Network) (_ [][]topology.Candidate, _ []channel.Set, _ *topology.CandidateMasks, _ []topology.Link, hit bool) {
+	hit = sc.nwKey == nw
+	if !hit {
 		sc.nwKey = nw
 		sc.cands = nw.InboundCandidates()
 		sc.msgAvail = sharedMsgAvail(nw)
@@ -90,7 +92,7 @@ func (sc *SyncScratch) networkTables(nw *topology.Network) ([][]topology.Candida
 		sc.masks = topology.NewCandidateMasks(sc.cands, channels, syncMaskWordBudget)
 		sc.links = nw.DiscoverableLinks()
 	}
-	return sc.cands, sc.msgAvail, sc.masks, sc.links
+	return sc.cands, sc.msgAvail, sc.masks, sc.links, hit
 }
 
 // actionBuf returns the per-node action buffer, grown to n. Entries are

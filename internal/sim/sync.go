@@ -197,7 +197,7 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 	if sc == nil {
 		sc = NewSyncScratch()
 	}
-	cands, msgAvail, masks, links := sc.networkTables(nw)
+	cands, msgAvail, masks, links, tablesHit := sc.networkTables(nw)
 	var coverage *metrics.Coverage
 	epochSlots := 0
 	if world != nil {
@@ -249,6 +249,12 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 	// ones (slot and epoch events are unaffected: both paths emit them
 	// identically).
 	mask := observerMask(cfg.Observer)
+	// The internals sink is resolved once; tallying per slot is gated on it
+	// so observerless runs pay one dead boolean test. A sink with a zero
+	// EventMask leaves every path decision below untouched (see
+	// internals.go for the non-perturbation contract).
+	sink, _ := cfg.Observer.(InternalsSink)
+	run.tallyInternals = sink != nil
 	run.wantDeliver = mask.Has(EventDeliver)
 	run.wantColl = mask.Has(EventCollision)
 	run.wantIdle = mask.Has(EventIdle)
@@ -389,5 +395,35 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 		at, _ := coverage.CompletionTime()
 		result.CompletionSlot = int(at)
 	}
+	if sink != nil {
+		sink.OnInternals(run.finalizeInternals(int64(result.SlotsSimulated), world == nil && masks == nil, tablesHit))
+	}
 	return result, nil
+}
+
+// finalizeInternals completes the run's internals report. Path selection is
+// fixed per run, so the per-path slot attribution is free: the whole run's
+// slot count lands on whichever resolver actually executed. overBudget is
+// the static-run mask-table overrun (dynamic runs take the scalar path by
+// design and do not count); tablesHit reports scratch network-table reuse.
+func (r *syncRun) finalizeInternals(slots int64, overBudget, tablesHit bool) Internals {
+	in := r.internals
+	in.SlotsSimulated = slots
+	switch {
+	case r.batched:
+		in.BatchedSlots = slots
+	case r.useKernel:
+		in.KernelSlots = slots
+	default:
+		in.ScalarSlots = slots
+	}
+	if overBudget {
+		in.MaskBudgetOverruns = 1
+	}
+	if tablesHit {
+		in.ScratchTableHits = 1
+	} else {
+		in.ScratchTableMisses = 1
+	}
+	return in
 }

@@ -73,6 +73,12 @@ type syncRun struct {
 	useKernel bool
 	batched   bool
 
+	// Engine-internals tallies (see internals.go): integer arithmetic on
+	// run-local fields, gated per slot by tallyInternals so runs without an
+	// InternalsSink pay one dead boolean test.
+	tallyInternals bool
+	internals      Internals
+
 	// Per-kind observation gates: obs != nil AND the observer's
 	// subscription (EventMasker; AllEvents when undeclared) includes the
 	// kind. Emission sites test one boolean instead of re-deriving the
@@ -169,6 +175,16 @@ func (r *syncRun) phase1(slot int, active []bool, locals, startSlots []int) erro
 func (r *syncRun) phase2(slot, nb int) error {
 	us, ks := r.us, r.ks
 	dec := r.dec[:nb]
+	if r.tallyInternals {
+		r.internals.StepperBatches++
+		r.internals.StepperBatchNodes += int64(nb)
+		if int64(nb) > r.internals.MaxStepperBatch {
+			r.internals.MaxStepperBatch = int64(nb)
+		}
+		if r.bst != nil {
+			r.internals.BatchSteps++
+		}
+	}
 	if r.bst != nil {
 		r.bst.NextBatch(us[:nb], ks[:nb], dec)
 	} else {

@@ -47,6 +47,8 @@ type RunObserver struct {
 
 	channelTx []int64 // transmissions per channel ID
 
+	internals sim.Internals // engine-internals report (sync engine)
+
 	latBounds  []float64  // shared, immutable
 	latBuckets [][]uint64 // per receiving node: len(latBounds)+1
 	latSum     []float64  // per receiving node
@@ -134,6 +136,16 @@ func (o *RunObserver) OnEvent(e sim.Event) {
 	}
 }
 
+// OnInternals implements sim.InternalsSink: the engine's once-per-run
+// internals report (resolver path, stepper batching, scratch table reuse)
+// is retained for Stats and the Aggregate merge. Attaching a RunObserver
+// subscribes to every event kind, so the report will attribute the run's
+// slots to the kernel (or scalar) path — the path that actually executed
+// under observation; see sim/internals.go.
+func (o *RunObserver) OnInternals(in sim.Internals) {
+	o.internals.Merge(in)
+}
+
 //nd:hotpath
 func (o *RunObserver) countTx(ch int) {
 	o.transmissions++
@@ -194,6 +206,10 @@ type RunStats struct {
 	Joins         int64 `json:"joins,omitempty"`
 	Leaves        int64 `json:"leaves,omitempty"`
 	ChannelLosses int64 `json:"channelLosses,omitempty"`
+	// Internals is the synchronous engine's internals report (resolver-path
+	// slot attribution, stepper batch sizes, scratch table reuse); the zero
+	// value for asynchronous runs.
+	Internals sim.Internals `json:"internals,omitempty"`
 	// ChannelTx is Transmissions split by channel ID.
 	ChannelTx []int64 `json:"channelTx"`
 	// NodeLatency holds one discovery-latency histogram per receiving
@@ -234,6 +250,7 @@ func (o *RunObserver) Stats() RunStats {
 		Joins:           o.joins,
 		Leaves:          o.leaves,
 		ChannelLosses:   o.channelLosses,
+		Internals:       o.internals,
 		ChannelTx:       append([]int64(nil), o.channelTx...),
 		NodeLatency:     make([]HistogramSnapshot, o.nodes),
 	}
@@ -276,6 +293,18 @@ type Aggregate struct {
 	leaves          *Counter
 	channelLosses   *Counter
 	latency         *Histogram
+
+	// Engine-internals series (sim.Internals; sync engine only).
+	batchedSlots    *Counter
+	kernelSlots     *Counter
+	scalarSlots     *Counter
+	maskOverruns    *Counter
+	stepperBatches  *Counter
+	stepperNodes    *Counter
+	batchSteps      *Counter
+	scratchHits     *Counter
+	scratchMisses   *Counter
+	maxStepperBatch *Gauge
 
 	queueDelay *Histogram
 	wall       *Histogram
@@ -327,6 +356,16 @@ func NewAggregate(reg *Registry, opts ...AggregateOption) *Aggregate {
 	a.joins = reg.Counter("nd_joins_total", "nodes joining the network at epoch boundaries")
 	a.leaves = reg.Counter("nd_leaves_total", "nodes leaving the network at epoch boundaries")
 	a.channelLosses = reg.Counter("nd_channel_losses_total", "channels vacated to primary users at epoch boundaries")
+	a.batchedSlots = reg.Counter("nd_resolver_batched_slots_total", "sync slots resolved on the channel-major batched path")
+	a.kernelSlots = reg.Counter("nd_resolver_kernel_slots_total", "sync slots resolved on the listener-major kernel path")
+	a.scalarSlots = reg.Counter("nd_resolver_scalar_slots_total", "sync slots resolved on the scalar candidate-scan path")
+	a.maskOverruns = reg.Counter("nd_mask_budget_overruns_total", "static sync runs whose candidate-mask table exceeded its word budget")
+	a.stepperBatches = reg.Counter("nd_stepper_batches_total", "sync decision-pull batches (one per slot)")
+	a.stepperNodes = reg.Counter("nd_stepper_batch_nodes_total", "decisions pulled across all sync stepper batches")
+	a.batchSteps = reg.Counter("nd_stepper_batch_calls_total", "stepper batches served by a single NextBatch call")
+	a.scratchHits = reg.Counter("nd_scratch_table_hits_total", "sync runs that reused the scratch's cached network tables")
+	a.scratchMisses = reg.Counter("nd_scratch_table_misses_total", "sync runs that rebuilt the scratch's network tables")
+	a.maxStepperBatch = reg.Gauge("nd_stepper_batch_max", "largest single sync stepper batch seen")
 	a.latency = reg.Histogram("nd_discovery_latency", "first-coverage instants of discoverable links (slots or real time)", a.latBounds)
 	a.queueDelay = reg.Histogram("nd_trial_queue_seconds", "delay between harness run start and trial pickup", DefaultTimingBounds)
 	a.wall = reg.Histogram("nd_trial_wall_seconds", "per-trial wall time on the harness pool", DefaultTimingBounds)
@@ -363,12 +402,24 @@ func (a *Aggregate) TrialDone(obs sim.Observer) {
 	a.joins.Add(o.joins)
 	a.leaves.Add(o.leaves)
 	a.channelLosses.Add(o.channelLosses)
+	a.batchedSlots.Add(o.internals.BatchedSlots)
+	a.kernelSlots.Add(o.internals.KernelSlots)
+	a.scalarSlots.Add(o.internals.ScalarSlots)
+	a.maskOverruns.Add(o.internals.MaskBudgetOverruns)
+	a.stepperBatches.Add(o.internals.StepperBatches)
+	a.stepperNodes.Add(o.internals.StepperBatchNodes)
+	a.batchSteps.Add(o.internals.BatchSteps)
+	a.scratchHits.Add(o.internals.ScratchTableHits)
+	a.scratchMisses.Add(o.internals.ScratchTableMisses)
 
 	for u := 0; u < o.nodes; u++ {
 		a.latency.merge(o.latBuckets[u], o.latSum[u])
 	}
 
 	a.mu.Lock()
+	if m := float64(o.internals.MaxStepperBatch); m > a.maxStepperBatch.Value() {
+		a.maxStepperBatch.Set(m)
+	}
 	for len(a.channelTx) < len(o.channelTx) {
 		c := len(a.channelTx)
 		a.channelTx = append(a.channelTx, a.reg.Counter(

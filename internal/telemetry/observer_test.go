@@ -208,6 +208,49 @@ func TestAggregateFlush(t *testing.T) {
 	}
 }
 
+// TestAggregateInternalsCounters: engine-internals reports delivered to a
+// trial's RunObserver land in the registry's nd_resolver_* / nd_stepper_* /
+// nd_scratch_* series on TrialDone, summing across trials with the max
+// gauge taking the largest batch seen.
+func TestAggregateInternalsCounters(t *testing.T) {
+	reg := NewRegistry()
+	agg := NewAggregate(reg)
+
+	o1 := agg.TrialObserver(4, 2).(*RunObserver)
+	o1.OnInternals(sim.Internals{
+		SlotsSimulated: 100, BatchedSlots: 100,
+		StepperBatches: 100, StepperBatchNodes: 400, MaxStepperBatch: 7,
+		BatchSteps: 100, ScratchTableMisses: 1,
+	})
+	agg.TrialDone(o1)
+
+	o2 := agg.TrialObserver(4, 2).(*RunObserver)
+	o2.OnInternals(sim.Internals{
+		SlotsSimulated: 50, KernelSlots: 50, MaskBudgetOverruns: 1,
+		StepperBatches: 50, StepperBatchNodes: 90, MaxStepperBatch: 3,
+		ScratchTableHits: 1,
+	})
+	agg.TrialDone(o2)
+
+	snap := reg.Snapshot()
+	for name, want := range map[string]float64{
+		"nd_resolver_batched_slots_total": 100,
+		"nd_resolver_kernel_slots_total":  50,
+		"nd_resolver_scalar_slots_total":  0,
+		"nd_mask_budget_overruns_total":   1,
+		"nd_stepper_batches_total":        150,
+		"nd_stepper_batch_nodes_total":    490,
+		"nd_stepper_batch_calls_total":    100,
+		"nd_scratch_table_hits_total":     1,
+		"nd_scratch_table_misses_total":   1,
+		"nd_stepper_batch_max":            7, // max across trials, not sum
+	} {
+		if v := findMetric(t, snap, name).Value; v != want {
+			t.Errorf("%s = %v, want %v", name, v, want)
+		}
+	}
+}
+
 func TestAggregateConcurrentTrials(t *testing.T) {
 	reg := NewRegistry()
 	agg := NewAggregate(reg, PerNodeLatency(8))

@@ -79,15 +79,25 @@ type Histogram struct {
 
 // NewHistogram builds a histogram with the given ascending bucket upper
 // bounds (observation v lands in the first bucket with v ≤ bound, or the
-// implicit +Inf overflow bucket).
+// implicit +Inf overflow bucket). Bounds must be finite and strictly
+// ascending: a NaN bound would poison the binary search in Observe (every
+// comparison against NaN is false, silently mis-bucketing observations)
+// and a +Inf bound would shadow the implicit overflow bucket, so both are
+// rejected here with the offending index instead.
 func NewHistogram(bounds []float64) (*Histogram, error) {
 	if len(bounds) == 0 {
 		return nil, fmt.Errorf("telemetry: histogram needs at least one bucket bound")
 	}
-	for i := 1; i < len(bounds); i++ {
-		if !(bounds[i] > bounds[i-1]) {
+	for i, b := range bounds {
+		if math.IsNaN(b) {
+			return nil, fmt.Errorf("telemetry: histogram bound %d is NaN", i)
+		}
+		if math.IsInf(b, 0) {
+			return nil, fmt.Errorf("telemetry: histogram bound %d is %v (the +Inf overflow bucket is implicit)", i, b)
+		}
+		if i > 0 && b <= bounds[i-1] {
 			return nil, fmt.Errorf("telemetry: histogram bounds not strictly ascending at %d (%v after %v)",
-				i, bounds[i], bounds[i-1])
+				i, b, bounds[i-1])
 		}
 	}
 	own := make([]float64, len(bounds))

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"math"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -34,17 +35,45 @@ func TestGauge(t *testing.T) {
 }
 
 func TestNewHistogramValidation(t *testing.T) {
-	if _, err := NewHistogram(nil); err == nil {
-		t.Error("empty bounds accepted")
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := []struct {
+		name    string
+		bounds  []float64
+		wantErr string // "" = must be accepted
+	}{
+		{"valid", []float64{1, 2, 4}, ""},
+		{"valid negative and zero", []float64{-3, 0, 0.5}, ""},
+		{"single bound", []float64{10}, ""},
+		{"nil", nil, "at least one"},
+		{"empty", []float64{}, "at least one"},
+		{"duplicate", []float64{1, 1}, "not strictly ascending at 1"},
+		{"descending", []float64{2, 1}, "not strictly ascending at 1"},
+		{"unsorted interior", []float64{1, 5, 3, 7}, "not strictly ascending at 2"},
+		{"NaN lone", []float64{nan}, "bound 0 is NaN"},
+		{"NaN interior", []float64{1, nan, 3}, "bound 1 is NaN"},
+		{"+Inf", []float64{1, inf}, "bound 1 is +Inf"},
+		{"-Inf", []float64{math.Inf(-1), 1}, "bound 0 is -Inf"},
 	}
-	if _, err := NewHistogram([]float64{1, 1}); err == nil {
-		t.Error("non-ascending bounds accepted")
-	}
-	if _, err := NewHistogram([]float64{2, 1}); err == nil {
-		t.Error("descending bounds accepted")
-	}
-	if _, err := NewHistogram([]float64{1, 2, 4}); err != nil {
-		t.Errorf("valid bounds rejected: %v", err)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h, err := NewHistogram(tc.bounds)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid bounds rejected: %v", err)
+				}
+				if h == nil {
+					t.Fatal("nil histogram without error")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("malformed bounds %v accepted", tc.bounds)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not name the problem (want substring %q)", err, tc.wantErr)
+			}
+		})
 	}
 }
 

@@ -17,6 +17,10 @@ var kindNames = map[Kind]string{
 	KindIdle:         "idle",
 	KindFrameStart:   "frame-start",
 	KindFrameResolve: "frame-resolve",
+	KindEpoch:        "epoch",
+	KindJoin:         "join",
+	KindLeave:        "leave",
+	KindChannelLoss:  "channel-loss",
 }
 
 // MarshalJSON renders the kind as its string name.

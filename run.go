@@ -116,6 +116,13 @@ type RunConfig struct {
 	// consumed by cmd/ndtrace. It does not affect the run. Write failures
 	// surface as an error after the run completes.
 	EventWriter io.Writer `json:"-"`
+	// Observer, if non-nil, additionally receives the engine's event
+	// stream (sim.Event values) and — when it implements
+	// sim.InternalsSink — the end-of-run engine-internals report. It is
+	// called from the run's goroutine only and does not affect results;
+	// ndsim's -diag flag attaches its telemetry observer here because
+	// single runs bypass the harness instrument seam.
+	Observer sim.Observer `json:"-"`
 }
 
 // DynamicsConfig selects the time-varying behaviours of a run. Any subset
@@ -290,6 +297,9 @@ func RunTrials(n *Network, cfg RunConfig, trials int) ([]*Report, error) {
 	}
 	if cfg.EventWriter != nil {
 		return nil, fmt.Errorf("m2hew: RunTrials does not support EventWriter; concurrent trials would interleave their event logs")
+	}
+	if cfg.Observer != nil {
+		return nil, fmt.Errorf("m2hew: RunTrials does not support Observer; concurrent trials would share it (use the harness instrument seam instead)")
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
@@ -756,6 +766,9 @@ func runObservers(cfg RunConfig) (sim.Observer, func() error) {
 		jw := trace.NewJSONWriter(cfg.EventWriter)
 		obs = sim.MultiObserver(obs, sim.EventTraceObserver(jw))
 		finalize = append(finalize, jw.Err)
+	}
+	if cfg.Observer != nil {
+		obs = sim.MultiObserver(obs, cfg.Observer)
 	}
 	return obs, func() error {
 		for _, f := range finalize {
