@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-gate profile vet fmt fmt-check lint lint-json ci experiments examples clean
+.PHONY: all build test test-race bench bench-gate soak-1m profile vet fmt fmt-check lint lint-json ci experiments examples clean
 
 all: build vet lint test
 
@@ -61,6 +61,13 @@ bench-gate:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./...
 	$(GO) run ./cmd/ndperf -out BENCH_3.json
+
+# Off-CI scale soak: one million nodes (CSR-streamed geometric graph, mean
+# degree ~15) resolved on the tiled parallel path. Allocates tens of GB and
+# runs for minutes; run by hand when touching the tiled engine, the CSR
+# generators, or the halo kernels. Prints per-stage timings; writes nothing.
+soak-1m:
+	$(GO) run ./cmd/ndperf -soak1m
 
 # CPU/heap profiles of the engine hot path, via cmd/ndperf's pprof flags.
 # Inspect with `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.

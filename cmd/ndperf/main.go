@@ -65,7 +65,15 @@ func main() {
 	diagAddr := flag.String("diag", "", "serve live diagnostics (/metrics, /runinfo, /debug/pprof) on this address while the benchmarks run (/metrics is populated only with -metrics)")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	soak := flag.Bool("soak1m", false, "run the off-CI 1M-node tiled soak instead of the benchmark suite (no snapshot is written)")
 	flag.Parse()
+	if *soak {
+		if err := soak1M(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "ndperf:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*out, *metrics, *diagAddr, *cpuProf, *memProf); err != nil {
 		fmt.Fprintln(os.Stderr, "ndperf:", err)
 		os.Exit(1)
@@ -96,6 +104,10 @@ func run(out, metricsPath, diagAddr, cpuProf, memProf string) (retErr error) {
 		return err
 	}
 	nw100, err := benchNetworkN(100, 0.16)
+	if err != nil {
+		return err
+	}
+	nw100k, tiling100k, err := benchNetwork100k()
 	if err != nil {
 		return err
 	}
@@ -160,25 +172,29 @@ func run(out, metricsPath, diagAddr, cpuProf, memProf string) (retErr error) {
 		return w
 	}
 	rows := []benchRow{
-		benchSync("RunSync", nw, params.Delta, 2000, nil, nil, agg),
+		benchSync("RunSync", nw, params.Delta, 2000, nil, nil, nil, agg),
 		benchAsync("RunAsync", sim.RunAsync, nw, params.Delta, 800, nil, nil, agg),
 		benchAsync("RunAsyncOnline", sim.RunAsyncOnline, nw, params.Delta, 800, nil, nil, agg),
 		// Steady state: one scratch reused across runs, the per-worker trial
 		// loop configuration. The gap to the rows above is the reuse saving.
-		benchSync("RunSyncScratch", nw, params.Delta, 2000, sim.NewSyncScratch(), nil, agg),
+		benchSync("RunSyncScratch", nw, params.Delta, 2000, sim.NewSyncScratch(), nil, nil, agg),
 		benchAsync("RunAsyncScratch", sim.RunAsync, nw, params.Delta, 800, recycling(), nil, agg),
 		// Large-n regime (shorter horizons keep wall time comparable).
-		benchSync("RunSyncN200", nw200, nw200.ComputeParams().Delta, 500, sim.NewSyncScratch(), nil, nil),
+		benchSync("RunSyncN200", nw200, nw200.ComputeParams().Delta, 500, sim.NewSyncScratch(), nil, nil, nil),
 		benchAsync("RunAsyncN100", sim.RunAsync, nw100, nw100.ComputeParams().Delta, 200, recycling(), nil, nil),
+		// Very-large-n regime: the streamed-CSR 100k scenario on the tiled
+		// parallel resolver. A short horizon keeps the row ~1s/op; deltaEst
+		// is fixed (ComputeParams at 100k would dominate setup).
+		benchSync("RunSyncN100k", nw100k, 16, 8, sim.NewSyncScratch(), tiling100k, nil, nil),
 		// Dynamic regime: same large-n scenarios on a time-varying world.
 		// The gap to the static rows above is the dynamics overhead (epoch
 		// snapshots, activity gating, growable coverage).
-		benchSync("RunSyncChurn", nw200, nw200.ComputeParams().Delta, 500, sim.NewSyncScratch(), churnWorld, nil),
+		benchSync("RunSyncChurn", nw200, nw200.ComputeParams().Delta, 500, sim.NewSyncScratch(), nil, churnWorld, nil),
 		benchAsync("RunAsyncMobility", sim.RunAsync, nw100, nw100.ComputeParams().Delta, 200, recycling(), mobilityWorld, nil),
 	}
 	rows = append(rows, benchKernels()...)
 	doc := snapshot{
-		Scenario:   "GeometricConnected(seed=1) + AssignUniformK(8,4); base n=30 r=0.35 (SyncUniform 2000 slots / Async 800 frames of 3 slots); large-n rows n=200 r=0.12 (500 slots) and n=100 r=0.16 (200 frames); Scratch rows reuse one sim scratch across runs; Churn/Mobility rows run the large-n scenarios on a dynamics.World (seed 7); Kernel rows measure the channel word kernels on the 200-node dimensions (slots_per_op = kernel calls)",
+		Scenario:   "GeometricConnected(seed=1) + AssignUniformK(8,4); base n=30 r=0.35 (SyncUniform 2000 slots / Async 800 frames of 3 slots); large-n rows n=200 r=0.12 (500 slots) and n=100 r=0.16 (200 frames); N100k row streams GeometricConnectedCSR n=100k r=0.007 onto the tiled resolver (TilingByRadius 32x32, deltaEst 16, 8 slots); Scratch rows reuse one sim scratch across runs; Churn/Mobility rows run the large-n scenarios on a dynamics.World (seed 7); Kernel rows measure the channel word kernels on the 200-node dimensions (slots_per_op = kernel calls)",
 		Notes:      "timings are machine-dependent; compare ratios across commits, not absolute values. slots_per_op is global slots (sync) or per-node local slots (async).",
 		Benchmarks: rows,
 	}
@@ -241,7 +257,27 @@ func benchNetworkN(n int, radius float64) (*topology.Network, error) {
 	return nw, nil
 }
 
-func benchSync(name string, nw *topology.Network, deltaEst, maxSlots int, scratch *sim.SyncScratch, world func() *dynamics.World, agg *telemetry.Aggregate) benchRow {
+// benchNetwork100k builds the streamed-CSR 100k scenario (mean degree
+// ~15, connected at seed 1) and its radius-safe tiling for the tiled
+// parallel resolver row.
+func benchNetwork100k() (*topology.Network, *topology.Tiling, error) {
+	const radius = 0.007
+	r := rng.New(1)
+	nw, err := topology.GeometricConnectedCSR(100_000, radius, r, 100)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := topology.AssignUniformK(nw, 8, 4, r); err != nil {
+		return nil, nil, err
+	}
+	tl, err := topology.TilingByRadius(nw, radius, 1024)
+	if err != nil {
+		return nil, nil, err
+	}
+	return nw, tl, nil
+}
+
+func benchSync(name string, nw *topology.Network, deltaEst, maxSlots int, scratch *sim.SyncScratch, tiling *topology.Tiling, world func() *dynamics.World, agg *telemetry.Aggregate) benchRow {
 	var deliveries, slots int64
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -263,6 +299,7 @@ func benchSync(name string, nw *topology.Network, deltaEst, maxSlots int, scratc
 				MaxSlots:      maxSlots,
 				RunToMaxSlots: true,
 				Scratch:       scratch,
+				Tiling:        tiling,
 				Observer: sim.MultiObserver(sim.OnlyEvents(sim.MaskOf(sim.EventDeliver), sim.ObserverFunc(func(e sim.Event) {
 					deliveries++
 				})), tele),

@@ -7,6 +7,7 @@
 //	ndtopo -nodes 20 -channels primary-users            # parameter summary
 //	ndtopo -nodes 12 -json                              # machine-readable dump
 //	ndtopo -topology ring -nodes 8 -dot | dot -Tsvg ... # draw it
+//	ndtopo -stream -nodes 100000 -radius 0.007          # O(n)-memory stats
 package main
 
 import (
@@ -17,7 +18,9 @@ import (
 	"os"
 
 	"m2hew"
+	"m2hew/internal/rng"
 	"m2hew/internal/telemetry"
+	"m2hew/internal/topology"
 )
 
 // dump is the JSON shape emitted by -json.
@@ -70,6 +73,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		asJSON    = fs.Bool("json", false, "emit the network as JSON")
 		asDOT     = fs.Bool("dot", false, "emit the graph as Graphviz DOT")
 		sample    = fs.Int("sample", 0, "generate this many networks (seeds seed..seed+n-1) and print parameter statistics")
+		stream    = fs.Bool("stream", false, "geometric only: stream degree and connectivity stats in O(n) memory without building the graph (sizes 100k+ nodes; ignores -channels)")
 		saveFile  = fs.String("save", "", "also save the network (full fidelity, reloadable by ndsim -net) to this file")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile to this file at exit")
@@ -88,6 +92,28 @@ func run(args []string, out io.Writer) (retErr error) {
 	}()
 	if *asJSON && *asDOT {
 		return fmt.Errorf("-json and -dot are mutually exclusive")
+	}
+	if *stream {
+		if *asDOT || *sample > 0 || *saveFile != "" {
+			return fmt.Errorf("-stream is incompatible with -dot/-sample/-save")
+		}
+		if *topo != "geometric" {
+			return fmt.Errorf("-stream supports only the geometric topology, not %q", *topo)
+		}
+		st, err := topology.GeometricStreamStats(*nodes, *radius, rng.New(*seed))
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(st)
+		}
+		_, err = fmt.Fprintf(out,
+			"N=%d edges=%d deg=[%d..%d] mean=%.2f isolated=%d components=%d largest=%d connected=%v\n",
+			st.Nodes, st.Edges, st.MinDegree, st.MaxDegree, st.MeanDegree,
+			st.Isolated, st.Components, st.LargestComponent, st.Connected())
+		return err
 	}
 
 	build := func(seed uint64) (*m2hew.Network, error) {

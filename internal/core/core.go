@@ -43,21 +43,40 @@ import (
 // NeighborTable is the output of neighbor discovery at one node: for every
 // discovered neighbor, the channels shared with it (A(v) ∩ A(u)).
 //
-// Node IDs are dense indexes (topology guarantees 0..N-1), so the table is a
-// slice indexed by NodeID plus a discovered-ID list instead of a map: Record
-// and the engines' delivery hot path touch one slot by index, re-recording a
-// known neighbor allocates nothing, and no map iteration order can leak into
-// results.
+// Node IDs are dense indexes (topology guarantees 0..N-1), so up to
+// denseNeighborBudget the table is a slice indexed by NodeID plus a
+// discovered-ID list: Record and the engines' delivery hot path touch one
+// slot by index, re-recording a known neighbor allocates nothing, and no
+// map iteration order can leak into results. Past the budget — large-n
+// runs, where n tables × n-slot backing would be O(n²) memory across the
+// network while each node discovers only its ~degree neighbors — the table
+// switches to a compact sparse backing: entries in discovery order plus a
+// NodeID→entry index map used for point lookups only (never iterated, so
+// no map order can leak into results either). The mode is an internal
+// representation choice, decided at the first write from the larger of the
+// Reserve hint and the first recorded ID; every observable behaves
+// identically in both.
 type NeighborTable struct {
-	common []channel.Set // indexed by NodeID; meaningful iff has[v]
+	common []channel.Set // dense: indexed by NodeID; meaningful iff has[v]
 	has    []bool
 	ids    []topology.NodeID // discovered IDs in discovery order
-	// hint is the capacity Reserve promised: the first growth jumps
+	// Sparse backing: sets[i] is the common set of ids[i]; idx maps a
+	// NodeID to its position in ids/sets. idx non-nil means sparse mode.
+	sets []channel.Set
+	idx  map[topology.NodeID]int32
+	// hint is the capacity Reserve promised: the first dense growth jumps
 	// straight to it instead of doubling, so a table that discovers
 	// anything pays one sized allocation — and a table that discovers
-	// nothing pays none.
+	// nothing pays none. A hint past denseNeighborBudget selects the
+	// sparse backing instead.
 	hint int
 }
+
+// denseNeighborBudget caps the dense backing: a table whose Reserve hint
+// (or first recorded ID) exceeds it stores entries sparsely. At the budget
+// the dense arrays cost ~1 MB per table; past it, per-table memory must
+// track discoveries (~degree), not the network size.
+const denseNeighborBudget = 1 << 15
 
 // NewNeighborTable returns an empty table.
 func NewNeighborTable() *NeighborTable {
@@ -67,10 +86,25 @@ func NewNeighborTable() *NeighborTable {
 // grow extends the dense storage to cover v. Negative IDs are rejected with
 // a panic because node IDs are dense non-negative by construction; a
 // negative ID is a bug, never a data condition.
-func (t *NeighborTable) grow(v topology.NodeID) {
-	if v < 0 {
-		panic(fmt.Sprintf("core: NeighborTable: negative node id %d", v))
+// sparseFor reports whether a first write for node v selects the sparse
+// backing: nothing is stored densely yet and the larger of the Reserve
+// hint and v's slot exceeds the dense budget. Once a mode has storage the
+// table stays in it — re-deciding per write would strand entries.
+func (t *NeighborTable) sparseFor(v topology.NodeID) bool {
+	if t.idx != nil {
+		return true
 	}
+	if len(t.has) > 0 {
+		return false
+	}
+	need := int(v) + 1
+	if t.hint > need {
+		need = t.hint
+	}
+	return need > denseNeighborBudget
+}
+
+func (t *NeighborTable) grow(v topology.NodeID) {
 	need := int(v) + 1
 	if need <= len(t.has) {
 		return
@@ -130,6 +164,20 @@ func (t *NeighborTable) Reserve(n int) {
 //
 //nd:hotpath
 func (t *NeighborTable) Record(v topology.NodeID, common channel.Set) {
+	if v < 0 {
+		panic(fmt.Sprintf("core: NeighborTable: negative node id %d", v))
+	}
+	if t.sparseFor(v) {
+		if i, ok := t.idx[v]; ok {
+			if common.SubsetOf(t.sets[i]) {
+				return // nothing new: the union would rebuild an equal set
+			}
+			t.sets[i] = t.sets[i].UnionInto(common, t.sets[i])
+			return
+		}
+		t.recordSparse(v, common.CopyInto(channel.Set{}))
+		return
+	}
 	t.grow(v)
 	if t.has[v] {
 		if common.SubsetOf(t.common[v]) {
@@ -143,12 +191,37 @@ func (t *NeighborTable) Record(v topology.NodeID, common channel.Set) {
 	t.common[v] = common.CopyInto(t.common[v])
 }
 
+// recordSparse appends a first-time discovery to the sparse backing.
+func (t *NeighborTable) recordSparse(v topology.NodeID, set channel.Set) {
+	if t.idx == nil {
+		t.idx = make(map[topology.NodeID]int32, 16)
+	}
+	t.idx[v] = int32(len(t.ids))
+	t.ids = append(t.ids, v)
+	t.sets = append(t.sets, set)
+}
+
 // RecordIntersect records neighbor v with a ∩ b, computing the intersection
 // directly into the table's entry storage — the zero-allocation (at steady
 // state) form of Record(v, a.Intersect(b)) used by the delivery hot path.
 //
 //nd:hotpath
 func (t *NeighborTable) RecordIntersect(v topology.NodeID, a, b channel.Set) {
+	if v < 0 {
+		panic(fmt.Sprintf("core: NeighborTable: negative node id %d", v))
+	}
+	if t.sparseFor(v) {
+		if i, ok := t.idx[v]; ok {
+			if a.IntersectionSubsetOf(b, t.sets[i]) {
+				return // nothing new
+			}
+			// Rare monotone-extension path; see the dense branch below.
+			t.sets[i] = t.sets[i].Union(a.Intersect(b))
+			return
+		}
+		t.recordSparse(v, a.IntersectInto(b, channel.Set{}))
+		return
+	}
 	t.grow(v)
 	if t.has[v] {
 		if a.IntersectionSubsetOf(b, t.common[v]) {
@@ -167,6 +240,12 @@ func (t *NeighborTable) RecordIntersect(v topology.NodeID, a, b channel.Set) {
 // Common returns the recorded common channel set with v and whether v has
 // been discovered.
 func (t *NeighborTable) Common(v topology.NodeID) (channel.Set, bool) {
+	if t.idx != nil {
+		if i, ok := t.idx[v]; ok {
+			return t.sets[i], true
+		}
+		return channel.Set{}, false
+	}
 	if v < 0 || int(v) >= len(t.has) || !t.has[v] {
 		return channel.Set{}, false
 	}
@@ -175,6 +254,10 @@ func (t *NeighborTable) Common(v topology.NodeID) (channel.Set, bool) {
 
 // Has reports whether v has been discovered.
 func (t *NeighborTable) Has(v topology.NodeID) bool {
+	if t.idx != nil {
+		_, ok := t.idx[v]
+		return ok
+	}
 	return v >= 0 && int(v) < len(t.has) && t.has[v]
 }
 

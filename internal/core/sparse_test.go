@@ -1,0 +1,135 @@
+package core
+
+// Differential tests for the NeighborTable's sparse backing (selected past
+// denseNeighborBudget): every observable — Has, Common, Len, Neighbors —
+// must behave identically to the dense backing under the same operation
+// sequence, and per-table memory must track discoveries, not the reserved
+// network size.
+
+import (
+	"fmt"
+	"testing"
+
+	"m2hew/internal/channel"
+	"m2hew/internal/rng"
+	"m2hew/internal/topology"
+)
+
+// TestNeighborTableSparseMatchesDense drives a dense table (small Reserve)
+// and a sparse table (Reserve past the budget) through the identical
+// randomized Record/RecordIntersect sequence on a shared ID set and pins
+// every observable between them.
+func TestNeighborTableSparseMatchesDense(t *testing.T) {
+	root := rng.New(20260813)
+	for trial := 0; trial < 30; trial++ {
+		r := root.Split()
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			dense := NewNeighborTable()
+			dense.Reserve(64)
+			sparse := NewNeighborTable()
+			sparse.Reserve(denseNeighborBudget * 4)
+
+			own := randomSet(r, 8)
+			ids := make([]topology.NodeID, 12)
+			for i := range ids {
+				ids[i] = topology.NodeID(r.IntN(64))
+			}
+			for op := 0; op < 200; op++ {
+				v := ids[r.IntN(len(ids))]
+				set := randomSet(r, 8)
+				if r.Bernoulli(0.5) {
+					dense.Record(v, set)
+					sparse.Record(v, set)
+				} else {
+					dense.RecordIntersect(v, set, own)
+					sparse.RecordIntersect(v, set, own)
+				}
+			}
+
+			if dense.Len() != sparse.Len() {
+				t.Fatalf("Len: dense %d, sparse %d", dense.Len(), sparse.Len())
+			}
+			dn, sn := dense.Neighbors(), sparse.Neighbors()
+			for i := range dn {
+				if dn[i] != sn[i] {
+					t.Fatalf("Neighbors[%d]: dense %d, sparse %d", i, dn[i], sn[i])
+				}
+			}
+			for v := topology.NodeID(0); v < 64; v++ {
+				if dense.Has(v) != sparse.Has(v) {
+					t.Fatalf("Has(%d): dense %v, sparse %v", v, dense.Has(v), sparse.Has(v))
+				}
+				dc, dok := dense.Common(v)
+				sc, sok := sparse.Common(v)
+				if dok != sok || (dok && !dc.Equal(sc)) {
+					t.Fatalf("Common(%d): dense (%v, %v), sparse (%v, %v)", v, dc, dok, sc, sok)
+				}
+			}
+		})
+	}
+}
+
+// randomSet draws a non-empty channel set over [0, universe).
+func randomSet(r *rng.Source, universe int) channel.Set {
+	var s channel.Set
+	for s.IsEmpty() {
+		for c := 0; c < universe; c++ {
+			if r.Bernoulli(0.4) {
+				s.Add(channel.ID(c))
+			}
+		}
+	}
+	return s
+}
+
+// TestNeighborTableSparseSelection pins the mode decision: a large Reserve
+// hint, or a first recorded ID past the budget, selects the sparse backing
+// (no dense arrays); a small table stays dense even when later re-reserved.
+func TestNeighborTableSparseSelection(t *testing.T) {
+	set := channel.NewSet(0, 1)
+
+	big := NewNeighborTable()
+	big.Reserve(1_000_000)
+	for i := 0; i < 10; i++ {
+		big.RecordIntersect(topology.NodeID(i*977), set, set)
+	}
+	if len(big.has) != 0 || len(big.common) != 0 {
+		t.Fatalf("reserved-large table allocated dense arrays (%d slots)", len(big.has))
+	}
+	if big.idx == nil || big.Len() != 10 {
+		t.Fatalf("reserved-large table: idx nil=%v, len=%d", big.idx == nil, big.Len())
+	}
+
+	far := NewNeighborTable()
+	far.Record(denseNeighborBudget+5, set)
+	if len(far.has) != 0 || !far.Has(denseNeighborBudget+5) {
+		t.Fatalf("far-first-ID table went dense (%d slots)", len(far.has))
+	}
+
+	small := NewNeighborTable()
+	small.Reserve(16)
+	small.Record(3, set)
+	if small.idx != nil {
+		t.Fatal("small table went sparse")
+	}
+}
+
+// TestNeighborTableSparseSteadyStateAllocs is the sparse twin of the dense
+// steady-state guard: re-recording known neighbors with subset payloads —
+// every repeat delivery in the paper's model — must not allocate.
+func TestNeighborTableSparseSteadyStateAllocs(t *testing.T) {
+	tab := NewNeighborTable()
+	tab.Reserve(denseNeighborBudget * 8)
+	own := channel.NewSet(0, 2, 4, 6)
+	for i := 0; i < 64; i++ {
+		tab.RecordIntersect(topology.NodeID(i*1013), own, own)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			tab.RecordIntersect(topology.NodeID(i*1013), own, own)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("sparse re-record allocated %.1f objects per sweep", allocs)
+	}
+}

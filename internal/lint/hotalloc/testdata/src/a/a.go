@@ -103,3 +103,50 @@ func hotBatchLeaky(r *resolver, ch int) []int {
 	drained = append(drained, rec.id)
 	return drained
 }
+
+// tile mirrors the tiled resolver's per-tile scratch: a lazily assembled
+// halo word window stamped by slot, local transmit words, and per-slot
+// receive queues.
+type tile struct {
+	halo     []uint64
+	haloSlot []int
+	localTx  []uint64
+	rxU      []int
+	rxC      []int
+}
+
+// hotTileSlot mirrors the per-tile slot phase: slot-stamped lazy halo
+// assembly with a guarded grow-once window, and queue self-appends. All
+// reuse idioms — no findings.
+//
+//nd:hotpath
+func hotTileSlot(t *tile, ch, words, slot, u int) {
+	if cap(t.halo) < words {
+		t.halo = make([]uint64, words) // guarded grow-once make: allowed
+	}
+	if len(t.haloSlot) <= ch {
+		t.haloSlot = make([]int, ch+1) // guarded by len: allowed
+	}
+	if t.haloSlot[ch] != slot {
+		t.haloSlot[ch] = slot
+		for i := range t.localTx {
+			t.halo[i] |= t.localTx[i]
+		}
+	}
+	t.rxU = append(t.rxU, u)  // self-append: allowed
+	t.rxC = append(t.rxC, ch) // self-append: allowed
+}
+
+// hotTileLeaky allocates the halo window and delivery queue fresh every
+// slot — the per-slot shapes the tiled resolver must avoid.
+//
+//nd:hotpath
+func hotTileLeaky(t *tile, words, u int) []int {
+	halo := make([]uint64, words) // want "make in //nd:hotpath function hotTileLeaky"
+	for i := range t.localTx {
+		halo[i] |= t.localTx[i]
+	}
+	queue := []int{u} // want "slice/map literal allocates in //nd:hotpath function hotTileLeaky"
+	queue = append(queue, t.rxU...)
+	return queue
+}

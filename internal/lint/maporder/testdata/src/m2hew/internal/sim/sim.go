@@ -111,6 +111,33 @@ func (sc *scratch) FlushByBacking(pending map[int]delivery, fast []delivery) []d
 	return out
 }
 
+// tileScratch mirrors the tiled resolver's per-tile delivery queues: one
+// slice per tile, applied sequentially after the parallel phase.
+type tileScratch struct {
+	queues [][]delivery
+}
+
+// ApplyTilesAscending drains the per-tile queues in ascending tile order —
+// the tiled engine's sequential apply phase. Slice iteration is
+// deterministic; legal without a sort.
+func (ts *tileScratch) ApplyTilesAscending(out []delivery) []delivery {
+	for _, q := range ts.queues {
+		out = append(out, q...)
+	}
+	return out
+}
+
+// ApplyTileMap keys the tile queues by tile index in a map and drains in
+// iteration order: the cross-tile apply order — and with it the delivery
+// batch — would vary run to run. Flagged.
+func ApplyTileMap(queues map[int][]delivery) []delivery {
+	var out []delivery
+	for _, q := range queues {
+		out = append(out, q...) // want `append to out inside range over a map`
+	}
+	return out
+}
+
 // FlushBreakBeforeSort drains pending maps per channel but breaks out of
 // the bucket loop before the sort on a budget hit: the break could publish
 // the batch unsorted downstream, so the append stays flagged.

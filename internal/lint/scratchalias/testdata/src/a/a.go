@@ -85,6 +85,36 @@ func aliasSuppressed(sc *runScratch, n int) *result {
 	return &result{actions: acts}
 }
 
+// tiledRun mimics the tiled resolver's run-scoped state: per-tile halo
+// windows borrowed from the trial scratch for the duration of one run.
+type tiledRun struct{ halo []int }
+
+// haloBuf hands out the scratch's halo word window, like actionBuf.
+func (sc *runScratch) haloBuf(n int) []int { return sc.actions[:0] }
+
+// tileAliasLiteral wires a scratch-owned halo window into a run object
+// that outlives the call — undocumented, so flagged.
+func tileAliasLiteral(sc *runScratch, n int) *tiledRun {
+	halo := sc.haloBuf(n)
+	return &tiledRun{halo: halo} // want "scratch-owned slice halo aliased into a composite literal"
+}
+
+// tileAliasSuppressed is the sanctioned tiled-run shape: the run object
+// dies with the run, before the scratch is recycled, and the directive
+// records that.
+func tileAliasSuppressed(sc *runScratch, n int) *tiledRun {
+	halo := sc.haloBuf(n)
+	//ndlint:ignore scratchalias run-scoped borrow; the run ends before the scratch is recycled
+	return &tiledRun{halo: halo}
+}
+
+// tileAliasField stores the borrowed halo window into a longer-lived
+// struct field after the fact; same leak, different syntax.
+func tileAliasField(sc *runScratch, tr *tiledRun, n int) {
+	halo := sc.haloBuf(n)
+	tr.halo = halo // want "scratch-owned slice halo stored into a struct field"
+}
+
 // inlineEmit passes the literal straight to a callee: borrow, not escape.
 func inlineEmit(sc *runScratch, n int) {
 	acts := sc.actionBuf(n)

@@ -31,14 +31,20 @@ const denseCoverageLimit = 1024
 // — first coverage minus birth — stays well-defined for links that did not
 // exist at time zero.
 //
-// Two interchangeable backings implement the same observable behaviour: a
-// dense one (bitmaps plus a flat first-coverage array, chosen when the
+// Three interchangeable backings implement the same observable behaviour:
+// a dense one (bitmaps plus a flat first-coverage array, chosen when the
 // constructor target's node IDs all fall under denseCoverageLimit) that
-// keeps the per-delivery Observe call off the map hardware, and a map one
-// for everything else. An AddTarget whose link exceeds the dense ID range
-// migrates the dense state into maps; results are identical either way.
+// keeps the per-delivery Observe call off the map hardware; a CSR one for
+// large-n static targets (chosen when the constructor links arrive sorted
+// ascending by (From, To) — Network.DiscoverableLinks order — with IDs
+// past the dense limit), storing the target as row offsets plus ascending
+// destination lists so memory is O(links) instead of O(n²) and Observe is
+// one binary search in the receiver row; and a map one for everything
+// else. An AddTarget whose link exceeds the dense ID range (or misses the
+// CSR target — a dynamic run growing links) migrates the state into maps;
+// results are identical with every backing.
 type Coverage struct {
-	// Map backing. Active (non-nil) iff stride == 0.
+	// Map backing. Active (non-nil) iff stride == 0 and csrTo == nil.
 	first  map[topology.Link]float64
 	target map[topology.Link]bool
 
@@ -49,6 +55,16 @@ type Coverage struct {
 	covered    []uint64
 	denseAt    []float64
 	targetSize int
+
+	// CSR backing, active iff csrTo != nil: link i has From = the row whose
+	// [csrOff[row], csrOff[row+1]) window contains i and To = csrTo[i].
+	// Rows are ascending, csrTo ascends within each row, csrCovered is a
+	// bitset over link indexes, and csrAt[i] is meaningful only where
+	// csrCovered has the bit.
+	csrOff     []int64
+	csrTo      []topology.NodeID
+	csrAt      []float64
+	csrCovered []uint64
 
 	born      map[topology.Link]float64 // lazily allocated; absent link ⇒ born at 0
 	remaining int
@@ -76,6 +92,9 @@ func NewCoverage(links []topology.Link) *Coverage {
 		c.remaining = c.targetSize
 		return c
 	}
+	if c := newCSRCoverage(links); c != nil {
+		return c
+	}
 	target := make(map[topology.Link]bool, len(links))
 	for _, l := range links {
 		target[l] = true
@@ -84,6 +103,81 @@ func NewCoverage(links []topology.Link) *Coverage {
 		first:     make(map[topology.Link]float64, len(links)),
 		target:    target,
 		remaining: len(target),
+	}
+}
+
+// newCSRCoverage builds the CSR backing, or returns nil when it does not
+// apply: the links must be non-empty, non-negative, and strictly ascending
+// by (From, To) — the order Network.DiscoverableLinks produces. Duplicate
+// or unsorted input falls back to the map backing rather than silently
+// mis-counting.
+func newCSRCoverage(links []topology.Link) *Coverage {
+	if len(links) == 0 || links[0].From < 0 || links[0].To < 0 {
+		return nil
+	}
+	for i := 1; i < len(links); i++ {
+		a, b := links[i-1], links[i]
+		if b.To < 0 || b.From < a.From || (b.From == a.From && b.To <= a.To) {
+			return nil
+		}
+	}
+	rows := int(links[len(links)-1].From) + 1
+	c := &Coverage{
+		csrOff:     make([]int64, rows+1),
+		csrTo:      make([]topology.NodeID, len(links)),
+		csrAt:      make([]float64, len(links)),
+		csrCovered: make([]uint64, (len(links)+63)/64),
+		targetSize: len(links),
+		remaining:  len(links),
+	}
+	row := 0
+	for i, l := range links {
+		for row < int(l.From) {
+			row++
+			c.csrOff[row] = int64(i)
+		}
+		c.csrTo[i] = l.To
+	}
+	for row < rows {
+		row++
+		c.csrOff[row] = int64(len(links))
+	}
+	return c
+}
+
+// csrIndex returns link l's index in the CSR target, or -1 when l is not a
+// target link.
+//
+//nd:hotpath
+func (c *Coverage) csrIndex(l topology.Link) int {
+	if l.From < 0 || int(l.From) >= len(c.csrOff)-1 {
+		return -1
+	}
+	lo, hi := c.csrOff[l.From], c.csrOff[l.From+1]
+	for lo < hi {
+		mid := (lo + hi) >> 1
+		if c.csrTo[mid] < l.To {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < c.csrOff[l.From+1] && c.csrTo[lo] == l.To {
+		return int(lo)
+	}
+	return -1
+}
+
+// forEachTargetCSR visits every CSR target link in ascending (From, To)
+// order with its coverage state. CSR backing only.
+func (c *Coverage) forEachTargetCSR(fn func(l topology.Link, covered bool, at float64)) {
+	row := 0
+	for i, to := range c.csrTo {
+		for int64(i) >= c.csrOff[row+1] {
+			row++
+		}
+		fn(topology.Link{From: topology.NodeID(row), To: to},
+			c.csrCovered[i>>6]&(uint64(1)<<(uint(i)&63)) != 0, c.csrAt[i])
 	}
 }
 
@@ -140,6 +234,21 @@ func (c *Coverage) Observe(l topology.Link, at float64) bool {
 		c.remaining--
 		return true
 	}
+	if c.csrTo != nil {
+		i := c.csrIndex(l)
+		if i < 0 {
+			c.nonTarget++
+			return false
+		}
+		w, bit := i>>6, uint64(1)<<(uint(i)&63)
+		if c.csrCovered[w]&bit != 0 {
+			return false
+		}
+		c.csrCovered[w] |= bit
+		c.csrAt[i] = at
+		c.remaining--
+		return true
+	}
 	if _, seen := c.first[l]; seen {
 		return false
 	}
@@ -175,6 +284,14 @@ func (c *Coverage) AddTarget(l topology.Link, at float64) bool {
 			return true
 		}
 	}
+	if c.csrTo != nil {
+		if c.csrIndex(l) >= 0 {
+			return false
+		}
+		// A link outside the static CSR target: a dynamic run growing its
+		// link set. Migrate to the map backing and fall through.
+		c.migrate()
+	}
 	if c.target[l] {
 		return false
 	}
@@ -193,18 +310,25 @@ func (c *Coverage) recordBirth(l topology.Link, at float64) {
 	}
 }
 
-// migrate converts the dense backing into the map backing, preserving every
-// observable. Only an AddTarget beyond the dense ID range triggers it.
+// migrate converts the dense or CSR backing into the map backing,
+// preserving every observable. Only an AddTarget the active backing cannot
+// represent triggers it (dense: an ID beyond the stride; CSR: any link
+// outside the fixed target).
 func (c *Coverage) migrate() {
 	c.first = make(map[topology.Link]float64, c.targetSize)
 	c.target = make(map[topology.Link]bool, c.targetSize)
-	c.forEachTarget(func(l topology.Link, covered bool, at float64) {
+	visit := c.forEachTarget
+	if c.csrTo != nil {
+		visit = c.forEachTargetCSR
+	}
+	visit(func(l topology.Link, covered bool, at float64) {
 		c.target[l] = true
 		if covered {
 			c.first[l] = at
 		}
 	})
 	c.stride, c.targetBits, c.covered, c.denseAt, c.targetSize = 0, nil, nil, nil, 0
+	c.csrOff, c.csrTo, c.csrAt, c.csrCovered = nil, nil, nil, nil
 }
 
 // forEachTarget visits every dense target link in ascending (From, To)
@@ -242,6 +366,9 @@ func (c *Coverage) inTarget(l topology.Link) bool {
 		idx := int(l.From)*c.stride + int(l.To)
 		return c.targetBits[idx>>6]&(uint64(1)<<(uint(idx)&63)) != 0
 	}
+	if c.csrTo != nil {
+		return c.csrIndex(l) >= 0
+	}
 	return c.target[l]
 }
 
@@ -251,13 +378,20 @@ func (c *Coverage) inTarget(l topology.Link) bool {
 func (c *Coverage) Latencies() []float64 {
 	covered := c.TargetSize() - c.remaining
 	out := make([]float64, 0, covered)
-	if c.stride > 0 {
+	switch {
+	case c.stride > 0:
 		c.forEachTarget(func(l topology.Link, cov bool, at float64) {
 			if cov {
 				out = append(out, at-c.born[l])
 			}
 		})
-	} else {
+	case c.csrTo != nil:
+		c.forEachTargetCSR(func(l topology.Link, cov bool, at float64) {
+			if cov {
+				out = append(out, at-c.born[l])
+			}
+		})
+	default:
 		for l, at := range c.first {
 			out = append(out, at-c.born[l])
 		}
@@ -280,7 +414,7 @@ func (c *Coverage) Remaining() int { return c.remaining }
 
 // TargetSize returns the number of target links.
 func (c *Coverage) TargetSize() int {
-	if c.stride > 0 {
+	if c.stride > 0 || c.csrTo != nil {
 		return c.targetSize
 	}
 	return len(c.target)
@@ -309,6 +443,13 @@ func (c *Coverage) FirstCovered(l topology.Link) (float64, bool) {
 		}
 		return c.denseAt[idx], true
 	}
+	if c.csrTo != nil {
+		i := c.csrIndex(l)
+		if i < 0 || c.csrCovered[i>>6]&(uint64(1)<<(uint(i)&63)) == 0 {
+			return 0, false
+		}
+		return c.csrAt[i], true
+	}
 	at, ok := c.first[l]
 	return at, ok
 }
@@ -322,6 +463,14 @@ func (c *Coverage) CompletionTime() (float64, bool) {
 	maxAt := 0.0
 	if c.stride > 0 {
 		c.forEachTarget(func(l topology.Link, cov bool, at float64) {
+			if cov && at > maxAt {
+				maxAt = at
+			}
+		})
+		return maxAt, true
+	}
+	if c.csrTo != nil {
+		c.forEachTargetCSR(func(l topology.Link, cov bool, at float64) {
 			if cov && at > maxAt {
 				maxAt = at
 			}
@@ -348,6 +497,14 @@ func (c *Coverage) Uncovered() []topology.Link {
 		})
 		return out // forEachTarget already ascends (From, To)
 	}
+	if c.csrTo != nil {
+		c.forEachTargetCSR(func(l topology.Link, cov bool, at float64) {
+			if !cov {
+				out = append(out, l)
+			}
+		})
+		return out // CSR construction order is ascending (From, To)
+	}
 	for l := range c.target {
 		if _, ok := c.first[l]; !ok {
 			out = append(out, l)
@@ -368,13 +525,20 @@ func (c *Coverage) Uncovered() []topology.Link {
 func (c *Coverage) Curve() []CurvePoint {
 	covered := c.TargetSize() - c.remaining
 	times := make([]float64, 0, covered)
-	if c.stride > 0 {
+	switch {
+	case c.stride > 0:
 		c.forEachTarget(func(l topology.Link, cov bool, at float64) {
 			if cov {
 				times = append(times, at)
 			}
 		})
-	} else {
+	case c.csrTo != nil:
+		c.forEachTargetCSR(func(l topology.Link, cov bool, at float64) {
+			if cov {
+				times = append(times, at)
+			}
+		})
+	default:
 		for l := range c.target {
 			if at, ok := c.first[l]; ok {
 				times = append(times, at)

@@ -1,0 +1,191 @@
+package metrics
+
+// Differential tests for the CSR coverage backing: large-ID sorted targets
+// (Network.DiscoverableLinks order) must behave identically to the map
+// backing under identical operation streams, including the migration an
+// out-of-target AddTarget forces.
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"m2hew/internal/rng"
+	"m2hew/internal/topology"
+)
+
+// sortedBigLinks draws a random strictly-ascending (From, To) link set with
+// IDs past the dense limit, so NewCoverage selects the CSR backing.
+func sortedBigLinks(r *rng.Source) []topology.Link {
+	span := denseCoverageLimit * 4
+	n := r.IntN(30) + 2
+	seen := make(map[topology.Link]bool, n)
+	var links []topology.Link
+	for len(links) < n {
+		l := topology.Link{
+			From: topology.NodeID(r.IntN(span)),
+			To:   topology.NodeID(r.IntN(span)),
+		}
+		if !seen[l] {
+			seen[l] = true
+			links = append(links, l)
+		}
+	}
+	// Force at least one ID past the dense limit.
+	links[0].From = topology.NodeID(denseCoverageLimit + r.IntN(span))
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].From != links[j].From {
+			return links[i].From < links[j].From
+		}
+		return links[i].To < links[j].To
+	})
+	out := links[:1]
+	for _, l := range links[1:] {
+		if l != out[len(out)-1] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// TestCoverageCSRMapEquivalence drives identical random operation streams
+// through a CSR-backed Coverage and a map-backed twin and requires every
+// observable to agree after every operation, including across the
+// migration a novel AddTarget forces on the CSR side.
+func TestCoverageCSRMapEquivalence(t *testing.T) {
+	root := rng.New(20260814)
+	for trial := 0; trial < 50; trial++ {
+		r := root.Split()
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			links := sortedBigLinks(r)
+			csr := NewCoverage(links)
+			if csr.csrTo == nil {
+				t.Fatal("constructor did not pick the CSR backing")
+			}
+			mapped := NewCoverage(links)
+			mapped.migrate()
+			if mapped.csrTo != nil {
+				t.Fatal("migrate left the twin on CSR")
+			}
+
+			probe := append([]topology.Link(nil), links...)
+			probe = append(probe,
+				topology.Link{From: -1, To: 0},
+				topology.Link{From: links[len(links)-1].From + 7, To: 0},
+			)
+			randomLink := func() topology.Link {
+				if r.Bernoulli(0.7) {
+					return links[r.IntN(len(links))]
+				}
+				return topology.Link{
+					From: topology.NodeID(r.IntN(denseCoverageLimit * 5)),
+					To:   topology.NodeID(r.IntN(denseCoverageLimit * 5)),
+				}
+			}
+
+			ops := r.IntN(60) + 20
+			for op := 0; op < ops; op++ {
+				at := float64(op)
+				if r.Bernoulli(0.1) {
+					// Re-adding an existing target link must be a no-op that
+					// does NOT migrate the CSR side.
+					l := links[r.IntN(len(links))]
+					a := csr.AddTarget(l, at)
+					b := mapped.AddTarget(l, at)
+					if a || b {
+						t.Fatalf("op %d: re-AddTarget(%v) %v/%v", op, l, a, b)
+					}
+					if csr.csrTo == nil {
+						t.Fatalf("op %d: re-AddTarget migrated the CSR backing", op)
+					}
+				} else {
+					l := randomLink()
+					a := csr.Observe(l, at)
+					b := mapped.Observe(l, at)
+					if a != b {
+						t.Fatalf("op %d: Observe(%v) %v vs %v", op, l, a, b)
+					}
+				}
+				compareCoverage(t, fmt.Sprintf("op %d", op), csr, mapped, probe)
+			}
+
+			// A link outside the fixed target migrates the CSR side; the map
+			// side just grows. Equivalence must survive the transition.
+			novel := topology.Link{From: links[len(links)-1].From + 11, To: 3}
+			if a, b := csr.AddTarget(novel, 2.5), mapped.AddTarget(novel, 2.5); a != b {
+				t.Fatalf("novel AddTarget %v vs %v", a, b)
+			}
+			if csr.csrTo != nil {
+				t.Fatal("novel AddTarget did not migrate the CSR backing")
+			}
+			probe = append(probe, novel)
+			compareCoverage(t, "post-migrate", csr, mapped, probe)
+			for op := 0; op < 10; op++ {
+				l := randomLink()
+				if r.Bernoulli(0.3) {
+					l = novel
+				}
+				a := csr.Observe(l, 1000+float64(op))
+				b := mapped.Observe(l, 1000+float64(op))
+				if a != b {
+					t.Fatalf("post-migrate op %d: Observe(%v) %v vs %v", op, l, a, b)
+				}
+				compareCoverage(t, fmt.Sprintf("post-migrate op %d", op), csr, mapped, probe)
+			}
+		})
+	}
+}
+
+// TestCoverageCSRSelection pins the backing-selection rules: sorted
+// large-ID targets go CSR; unsorted, duplicated or negative input falls
+// back to maps; small-ID targets stay dense.
+func TestCoverageCSRSelection(t *testing.T) {
+	big := topology.NodeID(denseCoverageLimit + 1)
+	if c := NewCoverage([]topology.Link{{From: big, To: 0}, {From: big, To: 2}}); c.csrTo == nil {
+		t.Error("sorted large-ID target did not choose the CSR backing")
+	}
+	if c := NewCoverage([]topology.Link{{From: big, To: 2}, {From: big, To: 0}}); c.csrTo != nil {
+		t.Error("unsorted target chose the CSR backing")
+	}
+	if c := NewCoverage([]topology.Link{{From: big, To: 2}, {From: big, To: 2}}); c.csrTo != nil {
+		t.Error("duplicated target chose the CSR backing")
+	}
+	if c := NewCoverage([]topology.Link{{From: big, To: -2}}); c.csrTo != nil {
+		t.Error("negative-ID target chose the CSR backing")
+	}
+	if c := NewCoverage([]topology.Link{{From: 1, To: 2}}); c.csrTo != nil || c.stride == 0 {
+		t.Error("small-ID target left the dense backing")
+	}
+	// The CSR row table is sized by From IDs, not by links: a sparse huge-ID
+	// target must not allocate quadratically.
+	far := topology.NodeID(1 << 20)
+	c := NewCoverage([]topology.Link{{From: far, To: 1}, {From: far, To: 2}})
+	if c.csrTo == nil {
+		t.Fatal("huge-ID target did not choose the CSR backing")
+	}
+	if len(c.csrOff) != int(far)+2 || len(c.csrTo) != 2 {
+		t.Errorf("CSR sizes: off %d, to %d", len(c.csrOff), len(c.csrTo))
+	}
+}
+
+// TestCoverageCSRObserveAllocs pins the per-delivery hot path: observing
+// target links on the CSR backing allocates nothing.
+func TestCoverageCSRObserveAllocs(t *testing.T) {
+	links := []topology.Link{
+		{From: denseCoverageLimit + 1, To: 4},
+		{From: denseCoverageLimit + 1, To: 9},
+		{From: denseCoverageLimit + 3, To: 4},
+	}
+	c := NewCoverage(links)
+	if c.csrTo == nil {
+		t.Fatal("target did not choose the CSR backing")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, l := range links {
+			c.Observe(l, 1)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("CSR Observe allocated %.1f objects per sweep", allocs)
+	}
+}

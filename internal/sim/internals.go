@@ -27,13 +27,22 @@ package sim
 type Internals struct {
 	// SlotsSimulated mirrors SyncResult.SlotsSimulated.
 	SlotsSimulated int64
-	// BatchedSlots, KernelSlots and ScalarSlots attribute the run's slots
-	// to the resolver path that executed them. Path selection is fixed for
-	// a whole run, so exactly one of the three equals SlotsSimulated and
-	// the other two are zero — their sum always equals SlotsSimulated.
+	// TiledSlots, BatchedSlots, KernelSlots and ScalarSlots attribute the
+	// run's slots to the resolver path that executed them. Path selection
+	// is fixed for a whole run, so exactly one of the four equals
+	// SlotsSimulated and the other three are zero — their sum always
+	// equals SlotsSimulated.
+	TiledSlots   int64
 	BatchedSlots int64
 	KernelSlots  int64
 	ScalarSlots  int64
+	// HaloExchanges counts tiled-path halo segment copies from a NEIGHBOR
+	// tile (a tile reading its own transmitter mask does not count);
+	// HaloWordsCopied sums their word widths. Both are zero off the tiled
+	// path. Tiled runs attribute stepper batches per (slot, tile with
+	// active nodes) rather than per slot.
+	HaloExchanges   int64
+	HaloWordsCopied int64
 	// MaskBudgetOverruns is 1 when a static run's packed candidate-mask
 	// table exceeded its word budget, forcing the scalar path on a network
 	// the kernels could otherwise have served; 0 otherwise (dynamic runs
@@ -59,6 +68,9 @@ type Internals struct {
 // Merge adds o's totals into in.
 func (in *Internals) Merge(o Internals) {
 	in.SlotsSimulated += o.SlotsSimulated
+	in.TiledSlots += o.TiledSlots
+	in.HaloExchanges += o.HaloExchanges
+	in.HaloWordsCopied += o.HaloWordsCopied
 	in.BatchedSlots += o.BatchedSlots
 	in.KernelSlots += o.KernelSlots
 	in.ScalarSlots += o.ScalarSlots

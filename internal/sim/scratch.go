@@ -26,6 +26,13 @@ type SyncScratch struct {
 	masks    *topology.CandidateMasks
 	links    []topology.Link
 
+	// Tiled-resolver state (see sync_tiled.go), cached keyed by (network,
+	// tiling) pair: the halo-local candidate masks and the per-tile scratch.
+	tileNW    *topology.Network
+	tileTL    *topology.Tiling
+	tileMasks *topology.TileMasks
+	tiles     []tileState
+
 	actions   []radio.Action
 	txOn      []int
 	txTouched []channel.ID
@@ -71,6 +78,10 @@ func (sc *SyncScratch) Reset() {
 	sc.msgAvail = nil
 	sc.masks = nil
 	sc.links = nil
+	sc.tileNW = nil
+	sc.tileTL = nil
+	sc.tileMasks = nil
+	sc.tiles = nil
 }
 
 // networkTables returns the network-derived tables — the inbound-candidate
@@ -93,6 +104,43 @@ func (sc *SyncScratch) networkTables(nw *topology.Network) (_ [][]topology.Candi
 		sc.links = nw.DiscoverableLinks()
 	}
 	return sc.cands, sc.msgAvail, sc.masks, sc.links, hit
+}
+
+// syncTileMaskWordBudget returns the tiled resolver's packed-mask budget:
+// the flat-table budget, scaled linearly past it — a listener's halo-local
+// row spans at most its 3×3 halo (a constant for radius-matched tilings),
+// so the packed table is O(n) by construction and a linear budget admits
+// every well-tiled network while still refusing a pathological blowup.
+func syncTileMaskWordBudget(n int) int {
+	if scaled := 128 * n; scaled > syncMaskWordBudget {
+		return scaled
+	}
+	return syncMaskWordBudget
+}
+
+// tileState returns the tiled resolver's halo-local candidate masks and
+// per-tile scratch for the (network, tiling) pair, rebuilding on a key
+// change and re-zeroing the per-run state either way. A nil mask table
+// (halo violation — the tiling is finer than the network's reach — or
+// budget overrun, or no channels) disables the tiled path for the run; the
+// caller falls back to the single-threaded resolvers.
+func (sc *SyncScratch) tileState(nw *topology.Network, tl *topology.Tiling, cands [][]topology.Candidate, channels int) (*topology.TileMasks, []tileState) {
+	if sc.tileNW != nw || sc.tileTL != tl {
+		sc.tileNW, sc.tileTL = nw, tl
+		sc.tileMasks = nil
+		sc.tiles = nil
+		if channels > 0 {
+			sc.tileMasks = topology.NewTileMasks(tl, cands, channels, syncTileMaskWordBudget(tl.N()))
+		}
+		if sc.tileMasks != nil {
+			sc.tiles = buildTileStates(tl, channels)
+		}
+	}
+	if sc.tileMasks == nil {
+		return nil, nil
+	}
+	resetTileStates(sc.tiles)
+	return sc.tileMasks, sc.tiles
 }
 
 // actionBuf returns the per-node action buffer, grown to n. Entries are

@@ -240,12 +240,15 @@ func TestRunAsyncSteadyStateAllocs(t *testing.T) {
 	steady := testing.AllocsPerRun(5, func() { run(scratch) })
 	fresh := testing.AllocsPerRun(5, func() { run(nil) })
 	t.Logf("RunAsync allocs/run: steady=%.0f fresh=%.0f", steady, fresh)
-	// Measured ~75 steady vs ~260 fresh: timelines, frame tables, resolver
+	// Measured ~66 steady vs ~196 fresh: timelines, frame tables, resolver
 	// buffers, and delivery queues all reuse; what remains is the per-run
-	// result. The benchmark config (n=30, 800 frames), where timeline slots
-	// dominate, shows the full >5x bytes/op reduction.
-	if steady*3 > fresh {
-		t.Fatalf("steady-state RunAsync allocates %.0f/run, fresh %.0f/run; want at least 3x reduction", steady, fresh)
+	// result. (The fresh side shrank when InboundCandidates moved to the
+	// flat shared-span arena build, so the ratio here matches the sync
+	// twin's 2x rather than the original 3x.) The benchmark config (n=30,
+	// 800 frames), where timeline slots dominate, shows the full >5x
+	// bytes/op reduction.
+	if steady*2 > fresh {
+		t.Fatalf("steady-state RunAsync allocates %.0f/run, fresh %.0f/run; want at least 2x reduction", steady, fresh)
 	}
 	if steady > 150 {
 		t.Fatalf("steady-state RunAsync allocates %.0f/run; ceiling 150", steady)

@@ -51,10 +51,29 @@ type BatchStepper interface {
 	NextBatch(us []topology.NodeID, ks []int, dst []radio.Action)
 }
 
+// ConcurrentStepper marks a Stepper whose decision pulls for DIFFERENT
+// nodes may be issued concurrently: Next(u, …) and Next(v, …) with u ≠ v
+// from different goroutines, with per-node calls still strictly ordered
+// (the tiled engine partitions nodes by tile, so one tile's pulls never
+// interleave with another's for the same node). Both built-in steppers
+// qualify — the package premise is that every protocol draws only from its
+// own per-node rng stream — but a custom stepper funneling nodes through
+// shared state must not declare the marker, and without it the engine
+// stays on the single-threaded paths.
+type ConcurrentStepper interface {
+	Stepper
+	// ConcurrentByNode is a marker; implementations do nothing.
+	ConcurrentByNode()
+}
+
 // syncStepper is the synchronous engine's default incremental stepper: each
 // decision is pulled from the node's protocol when the engine reaches the
 // node's k-th active slot.
 type syncStepper struct{ protos []SyncProtocol }
+
+// ConcurrentByNode marks the default stepper safe for per-node-disjoint
+// concurrent pulls: each decision touches only protos[u]'s private state.
+func (s syncStepper) ConcurrentByNode() {}
 
 func (s syncStepper) Next(u topology.NodeID, k int) radio.Action {
 	return s.protos[u].Step(k)
@@ -118,6 +137,10 @@ func (p *PregenStepper) NextBatch(us []topology.NodeID, ks []int, dst []radio.Ac
 		dst[i] = p.decisions[u][ks[i]]
 	}
 }
+
+// ConcurrentByNode marks the pregen stepper safe for per-node-disjoint
+// concurrent pulls: replay reads disjoint rows of an immutable schedule.
+func (p *PregenStepper) ConcurrentByNode() {}
 
 // Horizon returns the number of decisions pre-generated per node.
 func (p *PregenStepper) Horizon() int {

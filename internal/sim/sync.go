@@ -31,9 +31,11 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 
 	"m2hew/internal/channel"
 	"m2hew/internal/dynamics"
+	"m2hew/internal/harness/tilepool"
 	"m2hew/internal/metrics"
 	"m2hew/internal/radio"
 	"m2hew/internal/topology"
@@ -92,6 +94,22 @@ type SyncConfig struct {
 	// sound for oblivious protocols only). Protocols remain required either
 	// way: they are the Deliver targets.
 	Stepper Stepper
+	// Tiling, if non-nil, requests the tiled parallel resolver: per-tile
+	// slot resolution on a fork-join worker pool with a deterministic
+	// two-phase halo exchange per slot (see sync_tiled.go), byte-identical
+	// to the single-threaded engine at matched seed. The tiling must
+	// partition this network's nodes with cell side ≥ the connection
+	// radius. The tiled path engages only when its preconditions hold —
+	// static world, loss-free, no per-listener event subscription, a
+	// ConcurrentStepper (the default and pregen steppers qualify), and a
+	// halo-clean in-budget mask table; otherwise the run falls back to the
+	// single-threaded resolvers, deterministically.
+	Tiling *topology.Tiling
+	// TileWorkers bounds the tiled resolver's parallelism (caller
+	// included). 0 picks GOMAXPROCS; 1 runs the tiled path serially
+	// (useful for differential tests). Ignored without Tiling. Worker
+	// count never affects results, only wall-clock.
+	TileWorkers int
 	// Dynamics, if non-nil, runs the simulation on a time-varying world:
 	// reception structure, activity and channel availability follow the
 	// world's epoch schedule (see internal/dynamics). Nodes inactive in an
@@ -144,6 +162,12 @@ func (c *SyncConfig) validate() error {
 	}
 	if c.MaxSlots <= 0 {
 		return fmt.Errorf("sim: max slots %d must be positive", c.MaxSlots)
+	}
+	if c.Tiling != nil && c.Tiling.N() != n {
+		return fmt.Errorf("sim: tiling partitions %d nodes, network has %d", c.Tiling.N(), n)
+	}
+	if c.TileWorkers < 0 {
+		return fmt.Errorf("sim: tile workers %d must be non-negative", c.TileWorkers)
 	}
 	if err := c.Loss.validate(); err != nil {
 		return err
@@ -258,10 +282,44 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 	run.wantDeliver = mask.Has(EventDeliver)
 	run.wantColl = mask.Has(EventCollision)
 	run.wantIdle = mask.Has(EventIdle)
+	run.wantSlot = mask.Has(EventSlot)
 	perListener := run.wantDeliver || run.wantColl || run.wantIdle
-	run.batched = run.useKernel && run.lossFree && !perListener
-	run.storeActions = mask.Has(EventSlot) || !run.useKernel
-	if run.useKernel {
+	// The tiled path shares the batched path's preconditions (static,
+	// loss-free, no per-listener events) plus a stepper declared safe for
+	// per-node-disjoint concurrent pulls, and requires the halo-local mask
+	// table to build (nil on halo violation or budget overrun — the
+	// deterministic fallback). Worker setup is per-run: the pool's
+	// goroutines live exactly as long as the run.
+	if cfg.Tiling != nil && world == nil && run.lossFree && !perListener {
+		if _, ok := st.(ConcurrentStepper); ok {
+			if tm, tiles := sc.tileState(nw, cfg.Tiling, cands, int(maxID)+1); tm != nil {
+				workers := cfg.TileWorkers
+				if workers == 0 {
+					workers = runtime.GOMAXPROCS(0)
+				}
+				// Workers beyond the tile count would never find work.
+				if t := cfg.Tiling.Tiles(); workers > t {
+					workers = t
+				}
+				pool := tilepool.New(workers)
+				defer pool.Close()
+				//ndlint:ignore hotalloc one tiledRun and two phase closures per run, not per slot
+				tr := &tiledRun{
+					tl: cfg.Tiling, masks: tm,
+					pool:       pool,
+					tiles:      tiles, //ndlint:ignore scratchalias tiledRun is run-scoped; the field dies with the run, before the scratch is recycled
+					channels:   int(maxID) + 1,
+					startSlots: cfg.StartSlots,
+				}
+				tr.fnA = func(ti int) { run.tileSlotA(ti) } //ndlint:ignore hotalloc per-run closure, not per-slot
+				tr.fnB = func(ti int) { run.tileSlotB(ti) }
+				run.tiled = tr
+			}
+		}
+	}
+	run.batched = run.tiled == nil && run.useKernel && run.lossFree && !perListener
+	run.storeActions = run.wantSlot || (run.tiled == nil && !run.useKernel)
+	if run.useKernel && run.tiled == nil {
 		run.wordsPer = (n + 63) / 64
 		run.txWords = sc.txWordsBuf((int(maxID) + 1) * run.wordsPer)
 		if !run.lossFree {
@@ -270,7 +328,7 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 	}
 	if run.batched {
 		run.rx, run.rxTouched = sc.rxBuckets(int(maxID) + 1)
-	} else if run.useKernel {
+	} else if run.useKernel && run.tiled == nil {
 		run.rxList, run.rxChs = sc.rxListBufs(n)
 	}
 	if world == nil && n <= syncCoveredNodeBudget {
@@ -339,6 +397,21 @@ func RunSync(cfg SyncConfig) (*SyncResult, error) {
 					coverage.AddTarget(l, float64(slot))
 				}
 			}
+		}
+
+		// The tiled path owns its whole slot — decision pulls, EventSlot
+		// emission, resolution and delivery all happen inside tiledSlot
+		// (two pool fork-joins around a halo barrier), so none of the
+		// single-threaded machinery below runs.
+		if run.tiled != nil {
+			if err := run.tiledSlot(slot); err != nil {
+				return nil, err
+			}
+			result.SlotsSimulated = slot + 1
+			if coverage.Complete() && !cfg.RunToMaxSlots {
+				break
+			}
+			continue
 		}
 
 		// Phase 1: collect actions — one batched pull through the stepper
@@ -410,6 +483,19 @@ func (r *syncRun) finalizeInternals(slots int64, overBudget, tablesHit bool) Int
 	in := r.internals
 	in.SlotsSimulated = slots
 	switch {
+	case r.tiled != nil:
+		in.TiledSlots = slots
+		for i := range r.tiled.tiles {
+			ts := &r.tiled.tiles[i]
+			in.StepperBatches += ts.batches
+			in.StepperBatchNodes += ts.batchNodes
+			if ts.maxBatch > in.MaxStepperBatch {
+				in.MaxStepperBatch = ts.maxBatch
+			}
+			in.BatchSteps += ts.batchSteps
+			in.HaloExchanges += ts.haloEx
+			in.HaloWordsCopied += ts.haloWordsCopied
+		}
 	case r.batched:
 		in.BatchedSlots = slots
 	case r.useKernel:

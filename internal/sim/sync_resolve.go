@@ -72,6 +72,10 @@ type syncRun struct {
 	lossFree  bool
 	useKernel bool
 	batched   bool
+	// tiled, when non-nil, routes every slot through the tiled parallel
+	// resolver (sync_tiled.go); batched/useKernel are then irrelevant for
+	// path selection but still describe what the fallback would have been.
+	tiled *tiledRun
 
 	// Engine-internals tallies (see internals.go): integer arithmetic on
 	// run-local fields, gated per slot by tallyInternals so runs without an
@@ -86,6 +90,7 @@ type syncRun struct {
 	wantDeliver bool
 	wantColl    bool
 	wantIdle    bool
+	wantSlot    bool
 	// storeActions gates the per-decision actions[u] stores: the scalar
 	// resolver reads them back and the slot event borrows the slice, but
 	// on the kernel and batched paths with EventSlot unsubscribed nothing

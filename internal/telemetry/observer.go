@@ -295,6 +295,9 @@ type Aggregate struct {
 	latency         *Histogram
 
 	// Engine-internals series (sim.Internals; sync engine only).
+	tiledSlots      *Counter
+	haloExchanges   *Counter
+	haloWords       *Counter
 	batchedSlots    *Counter
 	kernelSlots     *Counter
 	scalarSlots     *Counter
@@ -356,6 +359,9 @@ func NewAggregate(reg *Registry, opts ...AggregateOption) *Aggregate {
 	a.joins = reg.Counter("nd_joins_total", "nodes joining the network at epoch boundaries")
 	a.leaves = reg.Counter("nd_leaves_total", "nodes leaving the network at epoch boundaries")
 	a.channelLosses = reg.Counter("nd_channel_losses_total", "channels vacated to primary users at epoch boundaries")
+	a.tiledSlots = reg.Counter("nd_resolver_tiled_slots_total", "sync slots resolved on the tiled parallel path")
+	a.haloExchanges = reg.Counter("nd_halo_exchanges_total", "tiled-path halo segment copies from neighbor tiles")
+	a.haloWords = reg.Counter("nd_halo_words_copied_total", "words copied across tile halos")
 	a.batchedSlots = reg.Counter("nd_resolver_batched_slots_total", "sync slots resolved on the channel-major batched path")
 	a.kernelSlots = reg.Counter("nd_resolver_kernel_slots_total", "sync slots resolved on the listener-major kernel path")
 	a.scalarSlots = reg.Counter("nd_resolver_scalar_slots_total", "sync slots resolved on the scalar candidate-scan path")
@@ -402,6 +408,9 @@ func (a *Aggregate) TrialDone(obs sim.Observer) {
 	a.joins.Add(o.joins)
 	a.leaves.Add(o.leaves)
 	a.channelLosses.Add(o.channelLosses)
+	a.tiledSlots.Add(o.internals.TiledSlots)
+	a.haloExchanges.Add(o.internals.HaloExchanges)
+	a.haloWords.Add(o.internals.HaloWordsCopied)
 	a.batchedSlots.Add(o.internals.BatchedSlots)
 	a.kernelSlots.Add(o.internals.KernelSlots)
 	a.scalarSlots.Add(o.internals.ScalarSlots)

@@ -3,7 +3,6 @@ package topology
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"m2hew/internal/rng"
 )
@@ -33,67 +32,13 @@ func Geometric(n int, radius float64, r *rng.Source) (*Network, error) {
 
 // geometricEdges lists every pair of nodes within radius, ordered by
 // ascending first index then ascending second — exactly the order of the
-// all-pairs scan it replaces. Nodes are bucketed into a cols×cols grid with
-// cell side ≥ radius, so all partners of a node lie in its 3×3 cell
-// neighborhood; cols is also capped at ⌈√n⌉ to bound the cell count by O(n)
-// when the radius is tiny.
+// all-pairs scan it replaces. The grid-bucket scan itself lives in
+// visitGeometricPairs, shared with the streaming CSR builders.
 func geometricEdges(nodes []Node, radius float64) [][2]NodeID {
-	n := len(nodes)
-	cols := int(math.Ceil(math.Sqrt(float64(n))))
-	if radius > 0 {
-		if byRadius := int(1 / radius); byRadius < cols {
-			cols = byRadius
-		}
-	}
-	if cols < 1 {
-		cols = 1 // radius ≥ 1: one cell, the scan degenerates to all pairs
-	}
-	cellOf := func(coord float64) int {
-		c := int(coord * float64(cols))
-		if c < 0 {
-			c = 0
-		}
-		if c >= cols {
-			c = cols - 1
-		}
-		return c
-	}
-	buckets := make([][]int32, cols*cols)
-	for i, nd := range nodes {
-		c := cellOf(nd.Y)*cols + cellOf(nd.X)
-		buckets[c] = append(buckets[c], int32(i))
-	}
 	var edges [][2]NodeID
-	var cand []int32
-	for i := 0; i < n; i++ {
-		cx, cy := cellOf(nodes[i].X), cellOf(nodes[i].Y)
-		cand = cand[:0]
-		for dy := -1; dy <= 1; dy++ {
-			y := cy + dy
-			if y < 0 || y >= cols {
-				continue
-			}
-			for dx := -1; dx <= 1; dx++ {
-				x := cx + dx
-				if x < 0 || x >= cols {
-					continue
-				}
-				for _, j := range buckets[y*cols+x] {
-					if int(j) > i {
-						cand = append(cand, j)
-					}
-				}
-			}
-		}
-		// Bucket visit order is spatial; restore ascending-j emission order.
-		sort.Slice(cand, func(a, b int) bool { return cand[a] < cand[b] })
-		for _, j := range cand {
-			dx, dy := nodes[i].X-nodes[j].X, nodes[i].Y-nodes[j].Y
-			if math.Hypot(dx, dy) <= radius {
-				edges = append(edges, [2]NodeID{NodeID(i), NodeID(j)})
-			}
-		}
-	}
+	visitGeometricPairs(nodes, radius, func(i, j int32) {
+		edges = append(edges, [2]NodeID{NodeID(i), NodeID(j)})
+	})
 	return edges
 }
 

@@ -1,0 +1,159 @@
+package topology
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"m2hew/internal/rng"
+)
+
+// TestGeometricCSRMatchesGeometric pins the streaming CSR builder to the
+// edge-list builder at matched seed: identical nodes (same rng draws) and
+// identical sorted adjacency, so everything downstream — spans, candidate
+// tables, engines — is indistinguishable.
+func TestGeometricCSRMatchesGeometric(t *testing.T) {
+	root := rng.New(61)
+	for trial := 0; trial < 40; trial++ {
+		seed := root.Uint64()
+		n := int(seed%300) + 1
+		radius := 0.02 + float64(seed%97)/97*0.5
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			a, err := Geometric(n, radius, rng.New(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := GeometricCSR(n, radius, rng.New(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a.Nodes(), b.Nodes()) {
+				t.Fatal("node placements differ")
+			}
+			if a.EdgeCount() != b.EdgeCount() {
+				t.Fatalf("edge counts differ: %d vs %d", a.EdgeCount(), b.EdgeCount())
+			}
+			for u := 0; u < n; u++ {
+				ga, gb := a.Neighbors(NodeID(u)), b.Neighbors(NodeID(u))
+				if len(ga) != len(gb) {
+					t.Fatalf("node %d: degree %d vs %d", u, len(ga), len(gb))
+				}
+				for i := range ga {
+					if ga[i] != gb[i] {
+						t.Fatalf("node %d: adjacency differs at %d: %v vs %v", u, i, ga, gb)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGeometricConnectedCSRMatchesRetryLoop pins the retrying variant: the
+// accepted instance is the one GeometricConnected accepts at the same seed.
+func TestGeometricConnectedCSRMatchesRetryLoop(t *testing.T) {
+	a, err := GeometricConnected(60, 0.2, rng.New(67), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GeometricConnectedCSR(60, 0.2, rng.New(67), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Nodes(), b.Nodes()) || a.EdgeCount() != b.EdgeCount() {
+		t.Fatal("connected instances differ at matched seed")
+	}
+	if !b.Connected() {
+		t.Fatal("CSR instance not connected")
+	}
+}
+
+// TestGeometricStreamStatsMatchesGraph pins the O(n) streaming summary to
+// the materialized graph at matched seed.
+func TestGeometricStreamStatsMatchesGraph(t *testing.T) {
+	root := rng.New(71)
+	for trial := 0; trial < 25; trial++ {
+		seed := root.Uint64()
+		n := int(seed%200) + 1
+		radius := 0.02 + float64(seed%89)/89*0.4
+		st, err := GeometricStreamStats(n, radius, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw, err := Geometric(n, radius, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Nodes != n || st.Edges != nw.EdgeCount() {
+			t.Fatalf("trial %d: nodes/edges %d/%d, want %d/%d", trial, st.Nodes, st.Edges, n, nw.EdgeCount())
+		}
+		minDeg, maxDeg, isolated := -1, 0, 0
+		for u := 0; u < n; u++ {
+			d := len(nw.Neighbors(NodeID(u)))
+			if minDeg < 0 || d < minDeg {
+				minDeg = d
+			}
+			if d > maxDeg {
+				maxDeg = d
+			}
+			if d == 0 {
+				isolated++
+			}
+		}
+		if st.MinDegree != minDeg || st.MaxDegree != maxDeg || st.Isolated != isolated {
+			t.Fatalf("trial %d: degrees min/max/iso %d/%d/%d, want %d/%d/%d",
+				trial, st.MinDegree, st.MaxDegree, st.Isolated, minDeg, maxDeg, isolated)
+		}
+		if st.Connected() != nw.Connected() {
+			t.Fatalf("trial %d: Connected %v, want %v", trial, st.Connected(), nw.Connected())
+		}
+		if nw.Connected() && (st.Components != 1 || st.LargestComponent != n) {
+			t.Fatalf("trial %d: components=%d largest=%d on a connected graph of %d",
+				trial, st.Components, st.LargestComponent, n)
+		}
+	}
+}
+
+// TestInboundCandidatesMatchesNaive pins the flat shared-span table to the
+// original row-at-a-time build across asymmetric drops and span overrides.
+func TestInboundCandidatesMatchesNaive(t *testing.T) {
+	root := rng.New(73)
+	for trial := 0; trial < 50; trial++ {
+		r := root.Split()
+		n := r.IntN(60) + 2
+		nw, err := ErdosRenyi(n, 0.25, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := AssignBernoulli(nw, r.IntN(5)+1, 0.7, r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Bernoulli(0.5) {
+			if err := DropRandomDirections(nw, 0.4, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if r.Bernoulli(0.3) {
+			if err := RestrictSpansRandomly(nw, 1, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, want := nw.InboundCandidates(), nw.inboundCandidatesNaive()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d rows, want %d", trial, len(got), len(want))
+		}
+		for u := range want {
+			if len(got[u]) != len(want[u]) {
+				t.Fatalf("trial %d node %d: %d candidates, want %d", trial, u, len(got[u]), len(want[u]))
+			}
+			for i := range want[u] {
+				if got[u][i].From != want[u][i].From {
+					t.Fatalf("trial %d node %d cand %d: From %d, want %d",
+						trial, u, i, got[u][i].From, want[u][i].From)
+				}
+				if !got[u][i].Span.Equal(want[u][i].Span) {
+					t.Fatalf("trial %d node %d cand %d: spans differ", trial, u, i)
+				}
+			}
+		}
+	}
+}

@@ -47,9 +47,14 @@ type Link struct {
 
 // Network is an immutable-after-build M²HeW network instance.
 type Network struct {
-	nodes    []Node
-	adj      [][]NodeID // sorted adjacency lists
-	universe channel.Set
+	nodes []Node
+	adj   [][]NodeID // sorted adjacency lists
+	// universe caches the union of all Avail sets. universeStale defers the
+	// O(n) recomputation to the next Universe() read: assigners call
+	// SetAvail once per node, and an eager refresh there would make bulk
+	// channel assignment O(n²) — minutes at 100k nodes.
+	universe      channel.Set
+	universeStale bool
 	// spanOverride optionally restricts the span of specific undirected
 	// edges below A(u)∩A(v), modeling diverse propagation characteristics
 	// (an extension the paper mentions in Section II). Keys are canonical
@@ -97,7 +102,7 @@ func newNetwork(nodes []Node, edges [][2]NodeID) (*Network, error) {
 	for _, neighbors := range adj {
 		sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
 	}
-	return &Network{nodes: nodes, adj: adj}, nil
+	return &Network{nodes: nodes, adj: adj, universeStale: true}, nil
 }
 
 func canonicalEdge(a, b NodeID) [2]NodeID {
@@ -124,7 +129,16 @@ func (nw *Network) Nodes() []Node {
 }
 
 // Universe returns the universal channel set (union of all available sets).
-func (nw *Network) Universe() channel.Set { return nw.universe.Clone() }
+// The first read after a SetAvail recomputes the cached union, so the first
+// call must not race with other Network accesses; every engine resolves it
+// during single-threaded setup.
+func (nw *Network) Universe() channel.Set {
+	if nw.universeStale {
+		nw.refreshUniverse()
+		nw.universeStale = false
+	}
+	return nw.universe.Clone()
+}
 
 // Avail returns A(u). The returned set shares storage with the network and
 // must not be modified; Clone it first.
@@ -204,7 +218,7 @@ func (nw *Network) Symmetric() bool { return len(nw.dropped) == 0 }
 // use it during construction.
 func (nw *Network) SetAvail(u NodeID, a channel.Set) {
 	nw.nodes[u].Avail = a.Clone()
-	nw.refreshUniverse()
+	nw.universeStale = true
 }
 
 func (nw *Network) refreshUniverse() {
@@ -267,7 +281,84 @@ type Candidate struct {
 // walking Neighbors with per-slot Reaches/Span queries would. The table
 // snapshots the network: calls to RestrictSpan, DropDirection or SetAvail
 // after construction are not reflected.
+//
+// Rows are subslices of one flat arena, and span(u,v) — symmetric by
+// definition — is resolved once per undirected edge and shared by both
+// directions' entries (Candidate.Span is already shared-storage by
+// contract). Relative to the row-at-a-time build this halves the span
+// intersections and replaces O(n) append-grown slices with two O(E)
+// allocations, which is what keeps the table affordable at n≥100k.
+// inboundCandidatesNaive is the differential-test reference.
 func (nw *Network) InboundCandidates() [][]Candidate {
+	n := len(nw.nodes)
+	// Pass 1: resolve each undirected edge's span once, in ascending
+	// (u, v>u) order, and count the surviving entries per receiver row.
+	spans := make([]channel.Set, 0, nw.EdgeCount())
+	counts := make([]int32, n+1)
+	for u := range nw.nodes {
+		uid := NodeID(u)
+		for _, v := range nw.adj[u] {
+			if v <= uid {
+				continue
+			}
+			span := nw.Span(uid, v)
+			spans = append(spans, span)
+			if span.IsEmpty() {
+				continue
+			}
+			if nw.Reaches(v, uid) {
+				counts[u]++
+			}
+			if nw.Reaches(uid, v) {
+				counts[v]++
+			}
+		}
+	}
+	off := make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		off[u+1] = off[u] + counts[u]
+	}
+	arena := make([]Candidate, off[n])
+	// Pass 2: scatter both directions of each edge through per-row cursors.
+	// Row u receives each transmitter v<u while the outer index is v
+	// (ascending v), then each v>u while the outer index is u (ascending
+	// adjacency order), so rows come out in ascending From order without a
+	// sort.
+	cur := counts[:n]
+	copy(cur, off[:n])
+	ei := 0
+	for u := range nw.nodes {
+		uid := NodeID(u)
+		for _, v := range nw.adj[u] {
+			if v <= uid {
+				continue
+			}
+			span := spans[ei]
+			ei++
+			if span.IsEmpty() {
+				continue
+			}
+			if nw.Reaches(v, uid) {
+				arena[cur[u]] = Candidate{From: v, Span: span}
+				cur[u]++
+			}
+			if nw.Reaches(uid, v) {
+				arena[cur[v]] = Candidate{From: uid, Span: span}
+				cur[v]++
+			}
+		}
+	}
+	table := make([][]Candidate, n)
+	for u := 0; u < n; u++ {
+		table[u] = arena[off[u]:off[u+1]:off[u+1]]
+	}
+	return table
+}
+
+// inboundCandidatesNaive is the original row-at-a-time build, kept verbatim
+// as the differential-test reference for the flat shared-span
+// InboundCandidates. Production code never calls this.
+func (nw *Network) inboundCandidatesNaive() [][]Candidate {
 	table := make([][]Candidate, len(nw.nodes))
 	for u := range nw.nodes {
 		uid := NodeID(u)

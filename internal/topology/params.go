@@ -37,7 +37,7 @@ type Params struct {
 func (nw *Network) ComputeParams() Params {
 	p := Params{
 		N:            nw.N(),
-		UniverseSize: nw.universe.Size(),
+		UniverseSize: nw.Universe().Size(),
 		Rho:          1,
 		Edges:        nw.EdgeCount(),
 	}
